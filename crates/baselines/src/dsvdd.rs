@@ -1,0 +1,170 @@
+//! Deep SVDD (Ruff et al., ICML 2018) — the paper's deep one-class
+//! clustering baseline.
+//!
+//! A pointwise MLP encoder maps each observation into a latent space; the
+//! hypersphere center is the mean embedding of the training data after an
+//! initial pass; training minimizes the mean squared distance to the
+//! center; the anomaly score is that distance.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_data::{Detector, TimeSeries, ZScore};
+use tfmae_nn::{Adam, Ctx, Linear};
+use tfmae_tensor::{Graph, ParamStore, Var};
+
+use crate::common::{score_windows, training_batches_strided, DeepProtocol};
+
+/// Deep support vector data description over observations.
+pub struct DeepSvdd {
+    /// Protocol.
+    pub proto: DeepProtocol,
+    /// Latent width.
+    pub latent: usize,
+    state: Option<State>,
+}
+
+struct State {
+    ps: ParamStore,
+    l1: Linear,
+    l2: Linear,
+    center: Vec<f32>,
+    norm: ZScore,
+    dims: usize,
+}
+
+impl DeepSvdd {
+    /// Creates an untrained DeepSVDD.
+    pub fn new(proto: DeepProtocol, latent: usize) -> Self {
+        Self { proto, latent, state: None }
+    }
+
+    fn embed(state: &State, ctx: &Ctx, values: &[f32], rows: usize) -> Var {
+        let g = ctx.g;
+        let x = g.constant(values.to_vec(), vec![rows, state.dims]);
+        let h = g.relu(state.l1.forward(ctx, x));
+        state.l2.forward(ctx, h)
+    }
+
+    fn distances(state: &State, g: &Graph, z: Var, rows: usize) -> Var {
+        let c = g.constant(state.center.clone(), vec![state.center.len()]);
+        let diff = g.sub(z, c);
+        let _ = rows;
+        g.sum_last(g.square(diff), false)
+    }
+}
+
+impl Detector for DeepSvdd {
+    fn name(&self) -> String {
+        "DSVDD".to_string()
+    }
+
+    fn fit(&mut self, train: &TimeSeries, _val: &TimeSeries) {
+        let p = self.proto;
+        let norm = ZScore::fit(train);
+        let tn = norm.transform(train);
+        let dims = train.dims();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut state = State {
+            l1: Linear::new(&mut ps, &mut rng, "dsvdd.l1", dims, p.d_model),
+            l2: Linear::with_bias(&mut ps, &mut rng, "dsvdd.l2", p.d_model, self.latent, false),
+            ps,
+            center: vec![0.0; self.latent],
+            norm,
+            dims,
+        };
+
+        // Initialize the center as the mean embedding (standard DeepSVDD
+        // warm start; keeps the trivial-solution collapse away from zero).
+        {
+            let g = Graph::new();
+            let ctx = Ctx::eval(&g, &state.ps);
+            let rows = tn.len().min(2048);
+            let z = Self::embed(&state, &ctx, &tn.data()[..rows * dims], rows);
+            let zv = g.value(z);
+            let mut center = vec![0.0f32; self.latent];
+            for row in zv.chunks(self.latent) {
+                for (c, v) in center.iter_mut().zip(row.iter()) {
+                    *c += v;
+                }
+            }
+            for c in center.iter_mut() {
+                *c /= rows as f32;
+                // Standard trick: push tiny coordinates away from zero.
+                if c.abs() < 0.01 {
+                    *c = if *c < 0.0 { -0.01 } else { 0.01 };
+                }
+            }
+            state.center = center;
+        }
+
+        let mut opt = Adam::new(&state.ps, p.lr);
+        for epoch in 0..p.epochs {
+            for (starts, values) in training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64) {
+                let rows = starts.len() * p.win_len;
+                let g = Graph::new();
+                let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
+                let z = Self::embed(&state, &ctx, &values, rows);
+                let d = Self::distances(&state, &g, z, rows);
+                let loss = g.mean_all(d);
+                g.backward_params(loss, &mut state.ps);
+                opt.step(&mut state.ps);
+            }
+        }
+        self.state = Some(state);
+    }
+
+    fn score(&self, series: &TimeSeries) -> Vec<f32> {
+        let state = self.state.as_ref().expect("fit before score");
+        let p = self.proto;
+        let s = state.norm.transform(series);
+        score_windows(&s, p.win_len, p.batch, |values, b| {
+            let rows = b * p.win_len;
+            let g = Graph::new();
+            let ctx = Ctx::eval(&g, &state.ps);
+            let z = Self::embed(state, &ctx, values, rows);
+            g.value(Self::distances(state, &g, z, rows))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfmae_data::{render, Component};
+
+    fn series(len: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = render(
+            &[Component::Sine { period: 20.0, amp: 1.0, phase: 0.0 }, Component::Noise { sigma: 0.1 }],
+            len,
+            &mut rng,
+        );
+        TimeSeries::from_channels(&[a])
+    }
+
+    #[test]
+    fn training_shrinks_distances() {
+        let train = series(512, 1);
+        let mut det = DeepSvdd::new(DeepProtocol { epochs: 1, ..DeepProtocol::tiny() }, 4);
+        det.fit(&train, &train);
+        let before: f32 = det.score(&series(128, 2)).iter().sum();
+
+        let mut det2 = DeepSvdd::new(DeepProtocol { epochs: 10, ..DeepProtocol::tiny() }, 4);
+        det2.fit(&train, &train);
+        let after: f32 = det2.score(&series(128, 2)).iter().sum();
+        assert!(after < before, "more training should shrink normal distances: {after} vs {before}");
+    }
+
+    #[test]
+    fn outlier_scores_above_normal() {
+        let train = series(512, 3);
+        let mut det = DeepSvdd::new(DeepProtocol { epochs: 6, ..DeepProtocol::tiny() }, 4);
+        det.fit(&train, &train);
+        let mut test = series(96, 4);
+        test.set(50, 0, 15.0);
+        let scores = det.score(&test);
+        let mean: f32 = scores.iter().sum::<f32>() / scores.len() as f32;
+        assert!(scores[50] > mean, "outlier {} vs mean {}", scores[50], mean);
+    }
+}

@@ -1,0 +1,202 @@
+//! Isolation Forest (Liu et al., ICDM 2008) — the paper's tree baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfmae_data::{Detector, TimeSeries, ZScore};
+
+enum Node {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Average unsuccessful-search path length of a BST with `n` nodes —
+/// the `c(n)` normalizer of the iForest score.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (n - 1.0) / n
+}
+
+fn build(points: &mut [usize], data: &[Vec<f32>], depth: usize, max_depth: usize, rng: &mut StdRng) -> Node {
+    if points.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: points.len() };
+    }
+    let dims = data[0].len();
+    // Try a few random features for one with spread.
+    for _ in 0..4 {
+        let f = rng.gen_range(0..dims);
+        let (mut lo, mut hi) = (f32::MAX, f32::MIN);
+        for &p in points.iter() {
+            lo = lo.min(data[p][f]);
+            hi = hi.max(data[p][f]);
+        }
+        if hi <= lo {
+            continue;
+        }
+        let thr = rng.gen_range(lo..hi);
+        let mid = itertools_partition(points, |&p| data[p][f] < thr);
+        let (lp, rp) = points.split_at_mut(mid);
+        if lp.is_empty() || rp.is_empty() {
+            continue;
+        }
+        return Node::Split {
+            feature: f,
+            threshold: thr,
+            left: Box::new(build(lp, data, depth + 1, max_depth, rng)),
+            right: Box::new(build(rp, data, depth + 1, max_depth, rng)),
+        };
+    }
+    Node::Leaf { size: points.len() }
+}
+
+/// Stable partition returning the split point (std lacks slice::partition).
+fn itertools_partition<T, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
+    let mut i = 0;
+    for j in 0..xs.len() {
+        if pred(&xs[j]) {
+            xs.swap(i, j);
+            i += 1;
+        }
+    }
+    i
+}
+
+fn path_length(node: &Node, x: &[f32], depth: usize) -> f64 {
+    match node {
+        Node::Leaf { size } => depth as f64 + c_factor(*size),
+        Node::Split { feature, threshold, left, right } => {
+            if x[*feature] < *threshold {
+                path_length(left, x, depth + 1)
+            } else {
+                path_length(right, x, depth + 1)
+            }
+        }
+    }
+}
+
+/// Isolation forest over individual observations.
+pub struct IsolationForest {
+    /// Number of trees.
+    pub trees: usize,
+    /// Subsample size per tree.
+    pub subsample: usize,
+    seed: u64,
+    norm: Option<ZScore>,
+    forest: Vec<Node>,
+    c_n: f64,
+}
+
+impl IsolationForest {
+    /// Creates a forest with the classic defaults (100 trees, ψ = 256).
+    pub fn new(trees: usize, subsample: usize, seed: u64) -> Self {
+        Self { trees, subsample, seed, norm: None, forest: Vec::new(), c_n: 1.0 }
+    }
+}
+
+impl Detector for IsolationForest {
+    fn name(&self) -> String {
+        "IForest".to_string()
+    }
+
+    fn fit(&mut self, train: &TimeSeries, _val: &TimeSeries) {
+        let norm = ZScore::fit(train);
+        let tn = norm.transform(train);
+        let data: Vec<Vec<f32>> = (0..tn.len()).map(|t| tn.row(t).to_vec()).collect();
+        let psi = self.subsample.min(data.len());
+        let max_depth = (psi as f64).log2().ceil() as usize + 1;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.forest = (0..self.trees)
+            .map(|_| {
+                let mut pts: Vec<usize> =
+                    (0..psi).map(|_| rng.gen_range(0..data.len())).collect();
+                build(&mut pts, &data, 0, max_depth, &mut rng)
+            })
+            .collect();
+        self.c_n = c_factor(psi).max(1.0);
+        self.norm = Some(norm);
+    }
+
+    fn score(&self, series: &TimeSeries) -> Vec<f32> {
+        let norm = self.norm.as_ref().expect("fit before score");
+        let s = norm.transform(series);
+        (0..s.len())
+            .map(|t| {
+                let x = s.row(t);
+                let mean_path: f64 = self
+                    .forest
+                    .iter()
+                    .map(|tree| path_length(tree, x, 0))
+                    .sum::<f64>()
+                    / self.forest.len().max(1) as f64;
+                // s(x) = 2^{-E[h(x)] / c(ψ)} ∈ (0, 1], higher = more anomalous.
+                (2.0f64.powf(-mean_path / self.c_n)) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_cloud(n: usize) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let u1: f32 = rng.gen_range(1e-6..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let g = (-2.0 * u1.ln()).sqrt();
+            data.push(g * (2.0 * std::f32::consts::PI * u2).cos());
+            data.push(g * (2.0 * std::f32::consts::PI * u2).sin());
+        }
+        TimeSeries::new(data, n, 2)
+    }
+
+    #[test]
+    fn far_point_scores_higher_than_center() {
+        let train = gaussian_cloud(800);
+        let mut forest = IsolationForest::new(100, 256, 1);
+        forest.fit(&train, &train);
+        let test = TimeSeries::new(vec![0.0, 0.0, 9.0, -9.0], 2, 2);
+        let scores = forest.score(&test);
+        assert!(scores[1] > scores[0] + 0.1, "outlier {} vs center {}", scores[1], scores[0]);
+    }
+
+    #[test]
+    fn scores_are_probability_like() {
+        let train = gaussian_cloud(400);
+        let mut forest = IsolationForest::new(50, 128, 2);
+        forest.fit(&train, &train);
+        let scores = forest.score(&gaussian_cloud(100));
+        assert!(scores.iter().all(|&s| s > 0.0 && s <= 1.0));
+    }
+
+    #[test]
+    fn c_factor_grows_logarithmically() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(256) > c_factor(16));
+        assert!((c_factor(2) - (2.0 * (1.0f64.ln() + 0.5772156649) - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = gaussian_cloud(300);
+        let test = gaussian_cloud(50);
+        let run = |seed| {
+            let mut f = IsolationForest::new(30, 64, seed);
+            f.fit(&train, &train);
+            f.score(&test)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

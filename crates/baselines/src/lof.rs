@@ -1,0 +1,175 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000) — the paper's classic
+//! density baseline.
+//!
+//! Exact k-NN LOF against a (subsampled) reference set drawn from the
+//! training split. Scores are the LOF of each query observation: the ratio
+//! of the average local reachability density of its neighbors to its own.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tfmae_data::{Detector, TimeSeries, ZScore};
+
+/// LOF detector over individual observations.
+pub struct Lof {
+    /// Neighborhood size.
+    pub k: usize,
+    /// Maximum reference points kept from the training split.
+    pub max_refs: usize,
+    seed: u64,
+    norm: Option<ZScore>,
+    refs: Vec<Vec<f32>>,
+    ref_kdist: Vec<f32>,
+    ref_lrd: Vec<f32>,
+}
+
+impl Lof {
+    /// Creates an LOF detector with neighborhood size `k`.
+    pub fn new(k: usize, max_refs: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        Self { k, max_refs, seed, norm: None, refs: Vec::new(), ref_kdist: Vec::new(), ref_lrd: Vec::new() }
+    }
+
+    fn dist(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (x, y) in a.iter().zip(b.iter()) {
+            let d = x - y;
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// k nearest reference indices and distances for a query (excluding
+    /// `skip`, used when the query is itself a reference point).
+    fn knn(&self, q: &[f32], skip: Option<usize>) -> Vec<(usize, f32)> {
+        let mut best: Vec<(usize, f32)> = Vec::with_capacity(self.k + 1);
+        for (i, r) in self.refs.iter().enumerate() {
+            if skip == Some(i) {
+                continue;
+            }
+            let d = Self::dist(q, r);
+            if best.len() < self.k || d < best.last().unwrap().1 {
+                let pos = best.partition_point(|&(_, bd)| bd <= d);
+                best.insert(pos, (i, d));
+                if best.len() > self.k {
+                    best.pop();
+                }
+            }
+        }
+        best
+    }
+
+    fn lrd_of(&self, q: &[f32], skip: Option<usize>) -> f32 {
+        self.lrd_from_neighbors(&self.knn(q, skip))
+    }
+
+    /// LRD given an already-computed neighbor list (avoids a second k-NN
+    /// sweep when the caller has one).
+    fn lrd_from_neighbors(&self, nn: &[(usize, f32)]) -> f32 {
+        if nn.is_empty() {
+            return 1.0;
+        }
+        // reach-dist(q, o) = max(k-dist(o), d(q, o))
+        let sum: f32 = nn.iter().map(|&(i, d)| d.max(self.ref_kdist[i])).sum();
+        let mean = sum / nn.len() as f32;
+        1.0 / mean.max(1e-9)
+    }
+}
+
+impl Detector for Lof {
+    fn name(&self) -> String {
+        "LOF".to_string()
+    }
+
+    fn fit(&mut self, train: &TimeSeries, _val: &TimeSeries) {
+        let norm = ZScore::fit(train);
+        let tn = norm.transform(train);
+        let mut idx: Vec<usize> = (0..tn.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        idx.shuffle(&mut rng);
+        idx.truncate(self.max_refs);
+        self.refs = idx.iter().map(|&t| tn.row(t).to_vec()).collect();
+        assert!(self.refs.len() > self.k, "need more than k reference points");
+
+        // Precompute per-reference k-distance, then LRD.
+        self.ref_kdist = (0..self.refs.len())
+            .map(|i| {
+                let nn = self.knn(&self.refs[i].clone(), Some(i));
+                nn.last().map(|&(_, d)| d).unwrap_or(0.0)
+            })
+            .collect();
+        self.ref_lrd = (0..self.refs.len())
+            .map(|i| self.lrd_of(&self.refs[i].clone(), Some(i)))
+            .collect();
+        self.norm = Some(norm);
+    }
+
+    fn score(&self, series: &TimeSeries) -> Vec<f32> {
+        let norm = self.norm.as_ref().expect("fit before score");
+        let s = norm.transform(series);
+        (0..s.len())
+            .map(|t| {
+                let q = s.row(t);
+                let nn = self.knn(q, None);
+                if nn.is_empty() {
+                    return 1.0;
+                }
+                let lrd_q = self.lrd_from_neighbors(&nn);
+                let mean_nb: f32 =
+                    nn.iter().map(|&(i, _)| self.ref_lrd[i]).sum::<f32>() / nn.len() as f32;
+                mean_nb / lrd_q.max(1e-9)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_series(n: usize, with_outlier: bool) -> TimeSeries {
+        // Two tight 2-D clusters; optional far outlier at the end.
+        let mut pts = Vec::new();
+        for i in 0..n {
+            let (cx, cy) = if i % 2 == 0 { (0.0, 0.0) } else { (5.0, 5.0) };
+            let jx = ((i * 37) % 17) as f32 / 17.0 * 0.2;
+            let jy = ((i * 53) % 13) as f32 / 13.0 * 0.2;
+            pts.push(vec![cx + jx, cy + jy]);
+        }
+        if with_outlier {
+            pts.push(vec![20.0, -20.0]);
+        }
+        let len = pts.len();
+        TimeSeries::new(pts.into_iter().flatten().collect(), len, 2)
+    }
+
+    #[test]
+    fn outlier_gets_high_lof() {
+        let train = cluster_series(200, false);
+        let test = cluster_series(50, true);
+        let mut lof = Lof::new(10, 500, 1);
+        lof.fit(&train, &train);
+        let scores = lof.score(&test);
+        let outlier = *scores.last().unwrap();
+        let max_inlier = scores[..scores.len() - 1].iter().fold(f32::MIN, |a, &b| a.max(b));
+        assert!(outlier > 2.0 * max_inlier, "outlier {outlier} vs inliers {max_inlier}");
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let train = cluster_series(200, false);
+        let mut lof = Lof::new(10, 500, 1);
+        lof.fit(&train, &train);
+        let scores = lof.score(&cluster_series(40, false));
+        let mean: f32 = scores.iter().sum::<f32>() / scores.len() as f32;
+        assert!((mean - 1.0).abs() < 0.5, "inlier mean LOF was {mean}");
+    }
+
+    #[test]
+    fn reference_subsampling_caps_memory() {
+        let train = cluster_series(500, false);
+        let mut lof = Lof::new(5, 100, 2);
+        lof.fit(&train, &train);
+        assert_eq!(lof.refs.len(), 100);
+    }
+}

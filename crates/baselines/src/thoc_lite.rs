@@ -1,0 +1,197 @@
+//! THOC-lite (Shen et al., NeurIPS 2020) — temporal hierarchical one-class
+//! detection, the paper's second clustering baseline.
+//!
+//! Mechanism kept from the original: a *dilated* RNN produces
+//! representations at several temporal scales; each scale owns a set of
+//! learnable hypersphere centers; training minimizes the distance of every
+//! representation to its nearest center (multi-scale one-class objective);
+//! the anomaly score is the scale-summed nearest-center distance.
+//!
+//! Simplifications (DESIGN.md §5): two scales instead of three, hard
+//! nearest-center assignment instead of the original's soft fuzzy
+//! clustering, and no self-supervised TSS auxiliary task.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_data::{Detector, TimeSeries, ZScore};
+use tfmae_nn::{Adam, Ctx, Gru};
+use tfmae_tensor::{Graph, ParamId, ParamStore, Var};
+
+use crate::common::{score_windows, training_batches_strided, DeepProtocol};
+
+/// THOC-lite detector.
+pub struct ThocLite {
+    /// Protocol.
+    pub proto: DeepProtocol,
+    /// Hidden width per scale.
+    pub hidden: usize,
+    /// Clusters per scale.
+    pub clusters: usize,
+    state: Option<State>,
+}
+
+struct State {
+    ps: ParamStore,
+    scales: Vec<Gru>,
+    centers: Vec<ParamId>, // one [K, hidden] per scale
+    norm: ZScore,
+    dims: usize,
+    hidden: usize,
+    clusters: usize,
+}
+
+impl ThocLite {
+    /// Creates an untrained THOC-lite.
+    pub fn new(proto: DeepProtocol, hidden: usize, clusters: usize) -> Self {
+        assert!(clusters >= 1);
+        Self { proto, hidden, clusters, state: None }
+    }
+
+    /// Nearest-center squared distance for every `[B*T, hidden]` row against
+    /// a `[K, hidden]` center matrix, computed with a soft-min so gradients
+    /// reach both representations and centers.
+    ///
+    /// `softmin_τ(d_1..d_K) = Σ_k softmax(−d/τ)_k · d_k` with τ = 0.5.
+    fn soft_min_distance(g: &Graph, reps: Var, centers: Var, rows: usize, k: usize) -> Var {
+        // dists[r, c] = ||rep_r − center_c||²
+        //            = ||rep||² − 2·rep·centerᵀ + ||center||²
+        let rep_sq = g.sum_last(g.square(reps), true); // [rows, 1]
+        let cen_sq = g.sum_last(g.square(centers), false); // [K]
+        let cross = g.matmul(reps, g.transpose_last(centers)); // [rows, K]
+        let dists = g.add(g.add(g.scale(cross, -2.0), rep_sq), cen_sq);
+        let _ = (rows, k);
+        let weights = g.softmax_last(g.scale(dists, -2.0)); // softmin weights, τ = 0.5
+        g.sum_last(g.mul(weights, dists), false) // [rows]
+    }
+}
+
+impl Detector for ThocLite {
+    fn name(&self) -> String {
+        "THOC".to_string()
+    }
+
+    fn fit(&mut self, train: &TimeSeries, _val: &TimeSeries) {
+        let p = self.proto;
+        let norm = ZScore::fit(train);
+        let tn = norm.transform(train);
+        let dims = train.dims();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let scales = vec![
+            Gru::new(&mut ps, &mut rng, "thoc.s1", dims, self.hidden, 1),
+            Gru::new(&mut ps, &mut rng, "thoc.s2", dims, self.hidden, 4),
+        ];
+        let centers: Vec<ParamId> = (0..scales.len())
+            .map(|si| {
+                ps.add(
+                    format!("thoc.centers{si}"),
+                    tfmae_nn::init::uniform(&mut rng, self.clusters * self.hidden, 0.5),
+                    vec![self.clusters, self.hidden],
+                )
+            })
+            .collect();
+        let mut state =
+            State { ps, scales, centers, norm, dims, hidden: self.hidden, clusters: self.clusters };
+
+        let mut opt = Adam::new(&state.ps, p.lr);
+        for epoch in 0..p.epochs {
+            for (starts, values) in
+                training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64)
+            {
+                let b = starts.len();
+                let rows = b * p.win_len;
+                let g = Graph::new();
+                let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
+                let x = g.constant(values.clone(), vec![b, p.win_len, dims]);
+                let mut loss = g.scalar(0.0);
+                for (si, gru) in state.scales.iter().enumerate() {
+                    let reps = g.reshape(gru.forward(&ctx, x), &[rows, state.hidden]);
+                    let centers = g.param(&state.ps, state.centers[si]);
+                    let d = Self::soft_min_distance(&g, reps, centers, rows, state.clusters);
+                    loss = g.add(loss, g.mean_all(d));
+                }
+                g.backward_params(loss, &mut state.ps);
+                opt.step(&mut state.ps);
+            }
+        }
+        self.state = Some(state);
+    }
+
+    fn score(&self, series: &TimeSeries) -> Vec<f32> {
+        let state = self.state.as_ref().expect("fit before score");
+        let p = self.proto;
+        let s = state.norm.transform(series);
+        score_windows(&s, p.win_len, p.batch, |values, b| {
+            let rows = b * p.win_len;
+            let g = Graph::new();
+            let ctx = Ctx::eval(&g, &state.ps);
+            let x = g.constant(values.to_vec(), vec![b, p.win_len, state.dims]);
+            let mut total = vec![0.0f32; rows];
+            for (si, gru) in state.scales.iter().enumerate() {
+                let reps = g.reshape(gru.forward(&ctx, x), &[rows, state.hidden]);
+                let centers = g.param(&state.ps, state.centers[si]);
+                let d = Self::soft_min_distance(&g, reps, centers, rows, state.clusters);
+                for (acc, v) in total.iter_mut().zip(g.value(d)) {
+                    *acc += v;
+                }
+            }
+            total
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfmae_data::{render, Component};
+
+    fn series(len: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ch = render(
+            &[Component::Sine { period: 8.0, amp: 1.0, phase: 0.0 }, Component::Noise { sigma: 0.05 }],
+            len,
+            &mut rng,
+        );
+        TimeSeries::from_channels(&[ch])
+    }
+
+    fn tiny_proto() -> DeepProtocol {
+        DeepProtocol { win_len: 16, batch: 8, epochs: 4, d_model: 8, train_stride: 8, ..DeepProtocol::default() }
+    }
+
+    #[test]
+    fn training_shrinks_one_class_distances() {
+        let train = series(256, 1);
+        let test = series(64, 2);
+        let mut short = ThocLite::new(DeepProtocol { epochs: 1, ..tiny_proto() }, 6, 3);
+        short.fit(&train, &train);
+        let before: f32 = short.score(&test).iter().sum();
+        let mut long = ThocLite::new(DeepProtocol { epochs: 12, ..tiny_proto() }, 6, 3);
+        long.fit(&train, &train);
+        let after: f32 = long.score(&test).iter().sum();
+        assert!(after < before, "training must shrink distances: {after} vs {before}");
+    }
+
+    #[test]
+    fn outlier_scores_above_median() {
+        let train = series(256, 3);
+        let mut det = ThocLite::new(DeepProtocol { epochs: 8, ..tiny_proto() }, 6, 3);
+        det.fit(&train, &train);
+        let mut test = series(64, 4);
+        test.set(30, 0, 10.0);
+        let scores = det.score(&test);
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(scores[30] > sorted[32], "outlier {} vs median {}", scores[30], sorted[32]);
+    }
+
+    #[test]
+    fn scores_are_finite_and_sized() {
+        let train = series(128, 5);
+        let mut det = ThocLite::new(tiny_proto(), 4, 2);
+        det.fit(&train, &train);
+        let scores = det.score(&series(48, 6));
+        assert_eq!(scores.len(), 48);
+        assert!(scores.iter().all(|s| s.is_finite() && *s >= -1e-4));
+    }
+}

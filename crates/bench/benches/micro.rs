@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the substrates:
+//!
+//! * FFT-accelerated vs looped coefficient-of-variation (the Eq. 5 speedup
+//!   behind Fig. 10's `w/o FFT` gap);
+//! * FFT sizes (power-of-two vs Bluestein);
+//! * multi-head attention forward;
+//! * one full TFMAE training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n).map(|t| (t as f64 * 0.21).sin() + 0.3 * (t as f64 * 1.7).cos()).collect()
+}
+
+fn bench_cv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sliding_cv");
+    for &n in &[256usize, 1024, 4096] {
+        let x = signal(n);
+        group.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
+            b.iter(|| tfmae_fft::sliding_cv_fft(black_box(&x), 10))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| tfmae_fft::sliding_cv_naive(black_box(&x), 10))
+        });
+    }
+    group.finish();
+
+    // Crossover study for EXPERIMENTS.md (Fig. 10): the Eq. 5 FFT path is
+    // O(n log n) regardless of W, the loop path is O(n·W) — at the paper's
+    // W = 10 the compiled loop wins; past W ≈ 150 the FFT path takes over.
+    let mut group = c.benchmark_group("sliding_cv_window_sweep");
+    let x = signal(4096);
+    for &w in &[10usize, 50, 100, 500, 1000] {
+        group.bench_with_input(BenchmarkId::new("fft", w), &w, |b, &w| {
+            b.iter(|| tfmae_fft::sliding_cv_fft(black_box(&x), w))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", w), &w, |b, &w| {
+            b.iter(|| tfmae_fft::sliding_cv_naive(black_box(&x), w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[100usize, 128, 1000, 1024] {
+        let x: Vec<tfmae_fft::Complex64> =
+            signal(n).into_iter().map(tfmae_fft::Complex64::from_re).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| tfmae_fft::fft(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    use tfmae_nn::{Ctx, MultiHeadSelfAttention};
+    use tfmae_tensor::{Graph, ParamStore};
+
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let attn = MultiHeadSelfAttention::new(&mut ps, &mut rng, "a", 64, 4);
+    let data: Vec<f32> = (0..4 * 100 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    c.bench_function("attention_forward_b4_t100_d64", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let ctx = Ctx::eval(&g, &ps);
+            let x = g.constant(black_box(data.clone()), vec![4, 100, 64]);
+            let y = attn.forward(&ctx, x);
+            black_box(g.value(y));
+        })
+    });
+}
+
+fn bench_tfmae_step(c: &mut Criterion) {
+    use tfmae_core::{TfmaeConfig, TfmaeModel};
+    use tfmae_nn::{Adam, Ctx};
+    use tfmae_tensor::Graph;
+
+    let cfg = TfmaeConfig { epochs: 1, ..TfmaeConfig::default() };
+    let model = TfmaeModel::new(cfg.clone(), 8);
+    let mut rng = StdRng::seed_from_u64(2);
+    let values: Vec<f32> =
+        (0..8 * cfg.win_len * 8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+    c.bench_function("tfmae_train_step_b8_t100_n8", |b| {
+        let mut model = TfmaeModel::new(cfg.clone(), 8);
+        let mut opt = Adam::new(&model.ps, cfg.lr);
+        b.iter(|| {
+            let batch = model.prepare_batch(values.clone(), 8, &mut rng);
+            let g = Graph::new();
+            let ctx = Ctx::train(&g, &model.ps, 0);
+            let out = model.forward(&ctx, &batch);
+            let loss = model.training_loss(&ctx, &out);
+            g.backward_params(loss, &mut model.ps);
+            opt.step(&mut model.ps);
+        })
+    });
+
+    c.bench_function("tfmae_prepare_batch_masks", |b| {
+        b.iter(|| black_box(model.prepare_batch(values.clone(), 8, &mut rng)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cv, bench_fft, bench_attention, bench_tfmae_step
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Figure 1 — the paper's motivation:
+//!
+//! * Left: a reconstruction model (TimesNet-lite) on NIPS-TS-Global
+//!   reconstructs normal series well yet *also fits the anomalies*
+//!   (abnormal bias) — we print reconstruction error at anomalies vs
+//!   normal points, trained once on clean data and once on contaminated
+//!   data, to expose the bias.
+//! * Right: the CDF gap of its anomaly scores between the SMAP validation
+//!   and test splits (distribution shift) — see also `fig9_cdf`.
+//!
+//! ```text
+//! cargo run --release -p tfmae-bench --bin fig1_motivation -- [--divisor N] [--epochs N]
+//! ```
+
+use tfmae_baselines::{DeepProtocol, DenseAutoencoder, TimesNetLite};
+use tfmae_bench::{Options, Table};
+use tfmae_data::{generate, DatasetKind, Detector, TimeSeries};
+use tfmae_metrics::{ks_distance, roc_auc};
+
+/// Mean score over labeled/unlabeled points.
+fn split_means(scores: &[f32], labels: &[u8]) -> (f64, f64) {
+    let (mut sa, mut na, mut sn, mut nn) = (0.0f64, 0usize, 0.0f64, 0usize);
+    for (&s, &l) in scores.iter().zip(labels.iter()) {
+        if l == 1 {
+            sa += s as f64;
+            na += 1;
+        } else {
+            sn += s as f64;
+            nn += 1;
+        }
+    }
+    (sa / na.max(1) as f64, sn / nn.max(1) as f64)
+}
+
+fn main() {
+    let opts = Options::parse();
+
+    // ---- Left panel: abnormal bias on NIPS-TS-Global. -------------------
+    let bench = generate(DatasetKind::NipsTsGlobal, opts.seed, opts.divisor);
+    let proto = DeepProtocol { epochs: opts.epochs, seed: opts.seed, ..DeepProtocol::default() };
+
+    // The paper's Fig. 1 uses TimesNet; our TimesNet-lite predicts from two
+    // periodic lags only and *cannot* memorize individual anomalies, so the
+    // bias is demonstrated on the window autoencoder (OmniAno stand-in),
+    // which has the capacity to fit what it sees — the property at issue.
+    // (a) trained on the normal training split (mild contamination).
+    let mut clean = DenseAutoencoder::new("ReconAE", proto, 16);
+    clean.fit(&bench.train, &bench.val);
+    let s_clean = clean.score(&bench.test);
+
+    // (b) trained directly on the *anomalous test data* — the abnormal-bias
+    // worst case: the model gets to fit the anomalies it must detect.
+    let mut biased = DenseAutoencoder::new("ReconAE", proto, 16);
+    let contaminated: TimeSeries = bench.train.concat(&bench.test);
+    biased.fit(&contaminated, &bench.val);
+    let s_biased = biased.score(&bench.test);
+
+    let (a_clean, n_clean) = split_means(&s_clean, &bench.test_labels);
+    let (a_biased, n_biased) = split_means(&s_biased, &bench.test_labels);
+    let mut table = Table::new(
+        "Fig. 1 (left): abnormal bias of a reconstruction autoencoder on NIPS-TS-Global",
+        &["training data", "recon err @anomalies", "recon err @normal", "anomaly/normal", "ROC-AUC"],
+    );
+    table.row(vec![
+        "normal train".into(),
+        format!("{a_clean:.4}"),
+        format!("{n_clean:.4}"),
+        format!("{:.2}x", a_clean / n_clean.max(1e-12)),
+        format!("{:.3}", roc_auc(&s_clean, &bench.test_labels)),
+    ]);
+    table.row(vec![
+        "train ∪ anomalous test".into(),
+        format!("{a_biased:.4}"),
+        format!("{n_biased:.4}"),
+        format!("{:.2}x", a_biased / n_biased.max(1e-12)),
+        format!("{:.3}", roc_auc(&s_biased, &bench.test_labels)),
+    ]);
+    table.print();
+    table.write_csv("fig1_abnormal_bias");
+    // The paper's Challenge I: when anomalies leak into training, the
+    // reconstruction model learns to reproduce them. The direct measurement
+    // is the *absolute* reconstruction error at anomalies collapsing.
+    if a_biased < 0.5 * a_clean {
+        println!(
+            "shape ok: anomaly reconstruction error collapses once anomalies enter \
+             training ({a_clean:.2} -> {a_biased:.2}, a {:.1}x drop) — the paper's \
+             Challenge I (abnormal bias)",
+            a_clean / a_biased.max(1e-12)
+        );
+    } else {
+        println!(
+            "shape !!: expected the contaminated model to fit the anomalies \
+             ({a_clean:.2} -> {a_biased:.2})"
+        );
+    }
+
+    // ---- Right panel: score CDF gap on SMAP. ----------------------------
+    let smap = generate(DatasetKind::Smap, opts.seed, opts.divisor);
+    let mut recon = DenseAutoencoder::new("ReconAE", proto, 16);
+    recon.fit(&smap.train, &smap.val);
+    let val = recon.score(&smap.val);
+    let test = recon.score(&smap.test);
+    let mut tn = TimesNetLite::new(proto);
+    tn.fit(&smap.train, &smap.val);
+    println!(
+        "\nFig. 1 (right): reconstruction-AE score CDF gap on SMAP val vs test: KS = {:.3} \
+         (TimesNet-lite, whose periodic differencing cancels level shifts, shows {:.3}; \
+          nonzero gap = thresholds picked on validation do not transfer; Fig. 9 \
+          contrasts this with TFMAE)",
+        ks_distance(&val, &test),
+        ks_distance(&tn.score(&smap.val), &tn.score(&smap.test))
+    );
+}

@@ -1,0 +1,110 @@
+//! Figure 6 — hyper-parameter study of the masking strategies: F1 as a
+//! function of the temporal masking ratio `r_T` (paper grid 5..=95 step 10)
+//! and the frequency masking ratio `r_F` (10..=90 step 10), per dataset.
+//!
+//! ```text
+//! cargo run --release -p tfmae-bench --bin fig6_mask_ratio -- \
+//!     [--divisor N] [--epochs N] [--threads N] [--quick]
+//! ```
+
+use tfmae_baselines::evaluate;
+use tfmae_bench::{pct, run_parallel, sparkline, Options, Table};
+use tfmae_core::{TfmaeConfig, TfmaeDetector};
+use tfmae_data::{generate, DatasetKind};
+use tfmae_metrics::Prf;
+
+fn main() {
+    let opts = Options::parse();
+    let datasets =
+        if opts.quick { vec![DatasetKind::Smd, DatasetKind::Msl] } else { DatasetKind::main_five().to_vec() };
+    let t_grid: Vec<f64> = if opts.quick {
+        vec![0.05, 0.35, 0.65, 0.95]
+    } else {
+        (0..10).map(|i| 0.05 + 0.10 * i as f64).collect() // 5%..=95%
+    };
+    let f_grid: Vec<f64> = if opts.quick {
+        vec![0.10, 0.40, 0.70]
+    } else {
+        (1..10).map(|i| 0.10 * i as f64).collect() // 10%..=90%
+    };
+
+    // Temporal-ratio sweep (r_F fixed at the paper optimum).
+    let mut jobs: Vec<Box<dyn FnOnce() -> Prf + Send>> = Vec::new();
+    for &kind in &datasets {
+        for &rt in &t_grid {
+            let opts = opts.clone();
+            jobs.push(Box::new(move || {
+                let bench = generate(kind, opts.seed, opts.divisor);
+                let hp = kind.paper_hparams();
+                let cfg = TfmaeConfig {
+                    r_temporal: rt.min(0.95),
+                    r_frequency: hp.r_f,
+                    epochs: opts.epochs,
+                    seed: opts.seed,
+                    ..TfmaeConfig::default()
+                };
+                let mut det = TfmaeDetector::new(cfg);
+                let prf = evaluate(&mut det, &bench, hp.r);
+                eprintln!("[done] {} r_T={:.0}% F1={:.2}", kind.name(), rt * 100.0, prf.f1);
+                prf
+            }));
+        }
+    }
+    let t_results = run_parallel(opts.threads, jobs);
+
+    // Frequency-ratio sweep (r_T fixed at the paper optimum).
+    let mut jobs: Vec<Box<dyn FnOnce() -> Prf + Send>> = Vec::new();
+    for &kind in &datasets {
+        for &rf in &f_grid {
+            let opts = opts.clone();
+            jobs.push(Box::new(move || {
+                let bench = generate(kind, opts.seed, opts.divisor);
+                let hp = kind.paper_hparams();
+                let cfg = TfmaeConfig {
+                    r_temporal: hp.r_t,
+                    r_frequency: rf,
+                    epochs: opts.epochs,
+                    seed: opts.seed,
+                    ..TfmaeConfig::default()
+                };
+                let mut det = TfmaeDetector::new(cfg);
+                let prf = evaluate(&mut det, &bench, hp.r);
+                eprintln!("[done] {} r_F={:.0}% F1={:.2}", kind.name(), rf * 100.0, prf.f1);
+                prf
+            }));
+        }
+    }
+    let f_results = run_parallel(opts.threads, jobs);
+
+    let mut header = vec!["Dataset".to_string()];
+    header.extend(t_grid.iter().map(|r| format!("rT={:.0}%", r * 100.0)));
+    header.push("curve".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut tt = Table::new("Fig. 6 (top): F1 vs temporal masking ratio", &header_refs);
+    for (di, kind) in datasets.iter().enumerate() {
+        let f1s: Vec<f64> =
+            (0..t_grid.len()).map(|gi| t_results[di * t_grid.len() + gi].f1).collect();
+        let mut cells = vec![kind.name().to_string()];
+        cells.extend(f1s.iter().map(|&v| pct(v)));
+        cells.push(sparkline(&f1s));
+        tt.row(cells);
+    }
+    tt.print();
+    tt.write_csv("fig6_temporal_ratio");
+
+    let mut header = vec!["Dataset".to_string()];
+    header.extend(f_grid.iter().map(|r| format!("rF={:.0}%", r * 100.0)));
+    header.push("curve".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut ft = Table::new("Fig. 6 (bottom): F1 vs frequency masking ratio", &header_refs);
+    for (di, kind) in datasets.iter().enumerate() {
+        let f1s: Vec<f64> =
+            (0..f_grid.len()).map(|gi| f_results[di * f_grid.len() + gi].f1).collect();
+        let mut cells = vec![kind.name().to_string()];
+        cells.extend(f1s.iter().map(|&v| pct(v)));
+        cells.push(sparkline(&f1s));
+        ft.row(cells);
+    }
+    ft.print();
+    ft.write_csv("fig6_frequency_ratio");
+}

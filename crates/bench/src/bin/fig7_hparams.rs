@@ -1,0 +1,98 @@
+//! Figure 7 — hyper-parameter study on MSL and SMD: F1 as a function of
+//! Transformer layers {1..5}, hidden dimensions {32..512} and the CV
+//! window length {1, 5, 10, 15, 20}.
+//!
+//! ```text
+//! cargo run --release -p tfmae-bench --bin fig7_hparams -- \
+//!     [--divisor N] [--epochs N] [--threads N] [--quick]
+//! ```
+
+use tfmae_baselines::evaluate;
+use tfmae_bench::{pct, run_parallel, sparkline, Options, Table};
+use tfmae_core::{TfmaeConfig, TfmaeDetector};
+use tfmae_data::{generate, DatasetKind};
+use tfmae_metrics::Prf;
+
+#[derive(Clone, Copy)]
+enum Sweep {
+    Layers(usize),
+    Hidden(usize),
+    Window(usize),
+}
+
+fn main() {
+    let opts = Options::parse();
+    let datasets = [DatasetKind::Msl, DatasetKind::Smd];
+    let layers: Vec<usize> = if opts.quick { vec![1, 3] } else { vec![1, 2, 3, 4, 5] };
+    let hidden: Vec<usize> = if opts.quick { vec![32, 128] } else { vec![32, 64, 128, 256, 512] };
+    let windows: Vec<usize> = if opts.quick { vec![1, 10] } else { vec![1, 5, 10, 15, 20] };
+
+    let mut sweeps: Vec<(&str, Vec<Sweep>)> = Vec::new();
+    sweeps.push(("layers L", layers.iter().map(|&l| Sweep::Layers(l)).collect()));
+    sweeps.push(("hidden D", hidden.iter().map(|&d| Sweep::Hidden(d)).collect()));
+    sweeps.push(("CV window W", windows.iter().map(|&w| Sweep::Window(w)).collect()));
+
+    for (sweep_name, points) in sweeps {
+        let mut jobs: Vec<Box<dyn FnOnce() -> Prf + Send>> = Vec::new();
+        for &kind in &datasets {
+            for &point in &points {
+                let opts = opts.clone();
+                jobs.push(Box::new(move || {
+                    let bench = generate(kind, opts.seed, opts.divisor);
+                    let hp = kind.paper_hparams();
+                    let mut cfg = TfmaeConfig {
+                        r_temporal: hp.r_t,
+                        r_frequency: hp.r_f,
+                        epochs: opts.epochs,
+                        seed: opts.seed,
+                        ..TfmaeConfig::default()
+                    };
+                    let label = match point {
+                        Sweep::Layers(l) => {
+                            cfg.layers = l;
+                            format!("L={l}")
+                        }
+                        Sweep::Hidden(d) => {
+                            cfg.d_model = d;
+                            cfg.d_ff = d * 2;
+                            cfg.heads = if d >= 64 { 4 } else { 2 };
+                            format!("D={d}")
+                        }
+                        Sweep::Window(w) => {
+                            cfg.cv_window = w;
+                            format!("W={w}")
+                        }
+                    };
+                    let mut det = TfmaeDetector::new(cfg);
+                    let prf = evaluate(&mut det, &bench, hp.r);
+                    eprintln!("[done] {} {label} F1={:.2}", kind.name(), prf.f1);
+                    prf
+                }));
+            }
+        }
+        let results = run_parallel(opts.threads, jobs);
+
+        let mut header = vec!["Dataset".to_string()];
+        header.extend(points.iter().map(|p| match p {
+            Sweep::Layers(l) => format!("L={l}"),
+            Sweep::Hidden(d) => format!("D={d}"),
+            Sweep::Window(w) => format!("W={w}"),
+        }));
+        header.push("curve".into());
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&format!("Fig. 7: F1 vs {sweep_name} (MSL & SMD)"), &header_refs);
+        for (di, kind) in datasets.iter().enumerate() {
+            let f1s: Vec<f64> =
+                (0..points.len()).map(|pi| results[di * points.len() + pi].f1).collect();
+            let mut cells = vec![kind.name().to_string()];
+            cells.extend(f1s.iter().map(|&v| pct(v)));
+            cells.push(sparkline(&f1s));
+            table.row(cells);
+        }
+        table.print();
+        table.write_csv(&format!(
+            "fig7_{}",
+            sweep_name.split_whitespace().next().unwrap_or("sweep").to_lowercase()
+        ));
+    }
+}

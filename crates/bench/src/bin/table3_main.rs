@@ -1,0 +1,117 @@
+//! Table III — main results: precision / recall / F1 of the full method
+//! roster on the five multivariate benchmarks, plus the Average column.
+//!
+//! ```text
+//! cargo run --release -p tfmae-bench --bin table3_main -- \
+//!     [--divisor N] [--epochs N] [--seed N] [--threads N] [--quick]
+//! ```
+//!
+//! Absolute numbers differ from the paper (simulated data, scaled lengths,
+//! CPU-sized models); the claim under reproduction is the *shape*: deep >
+//! classic, adversarial/contrastive > plain reconstruction, TFMAE best on
+//! average (see EXPERIMENTS.md).
+
+use tfmae_baselines::{evaluate, table3_roster, DeepProtocol};
+use tfmae_bench::{pct, run_parallel, Options, Table};
+use tfmae_core::{TfmaeConfig, TfmaeDetector};
+use tfmae_data::{generate, DatasetKind};
+use tfmae_metrics::Prf;
+
+fn main() {
+    let opts = Options::parse();
+    let datasets = DatasetKind::main_five();
+    let proto = DeepProtocol { epochs: opts.epochs, seed: opts.seed, ..DeepProtocol::default() };
+
+    // Method names in display order (roster + TFMAE last, as in the paper).
+    let method_names: Vec<String> = {
+        let mut names: Vec<String> = table3_roster(proto).iter().map(|d| d.name()).collect();
+        names.push("TFMAE".into());
+        names
+    };
+    let n_methods = method_names.len();
+
+    // One job per (dataset, method).
+    let mut jobs: Vec<Box<dyn FnOnce() -> Prf + Send>> = Vec::new();
+    for &kind in &datasets {
+        for mi in 0..n_methods {
+            let opts = opts.clone();
+            jobs.push(Box::new(move || {
+                let bench = generate(kind, opts.seed, opts.divisor);
+                let hp = kind.paper_hparams();
+                let proto =
+                    DeepProtocol { epochs: opts.epochs, seed: opts.seed, ..DeepProtocol::default() };
+                if mi + 1 == n_methods {
+                    let cfg = TfmaeConfig {
+                        r_temporal: hp.r_t,
+                        r_frequency: hp.r_f,
+                        epochs: opts.epochs,
+                        seed: opts.seed,
+                        ..TfmaeConfig::default()
+                    };
+                    let mut det = TfmaeDetector::new(cfg);
+                    let prf = evaluate(&mut det, &bench, hp.r);
+                    eprintln!("[done] {:<16} TFMAE       F1={:.2}", kind.name(), prf.f1);
+                    prf
+                } else {
+                    let mut det = table3_roster(proto).into_iter().nth(mi).expect("method index");
+                    let prf = evaluate(det.as_mut(), &bench, hp.r);
+                    eprintln!("[done] {:<16} {:<11} F1={:.2}", kind.name(), det.name(), prf.f1);
+                    prf
+                }
+            }));
+        }
+    }
+    let results = run_parallel(opts.threads, jobs);
+
+    // results laid out dataset-major.
+    let mut header = vec!["Model".to_string()];
+    for kind in &datasets {
+        for m in ["P", "R", "F1"] {
+            header.push(format!("{}-{}", kind.name(), m));
+        }
+    }
+    header.extend(["Avg-P".into(), "Avg-R".into(), "Avg-F1".into()]);
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        &format!(
+            "Table III: main results (divisor {}, epochs {}, seed {})",
+            opts.divisor, opts.epochs, opts.seed
+        ),
+        &header_refs,
+    );
+
+    for (mi, name) in method_names.iter().enumerate() {
+        let mut cells = vec![name.clone()];
+        let mut per_ds = Vec::new();
+        for di in 0..datasets.len() {
+            let prf = results[di * n_methods + mi];
+            per_ds.push(prf);
+            cells.push(pct(prf.precision));
+            cells.push(pct(prf.recall));
+            cells.push(pct(prf.f1));
+        }
+        let avg = Prf::mean(&per_ds);
+        cells.push(pct(avg.precision));
+        cells.push(pct(avg.recall));
+        cells.push(pct(avg.f1));
+        table.row(cells);
+    }
+    table.print();
+    table.write_csv("table3_main");
+
+    // Paper-shape summary: who wins on average?
+    let mut avg_f1: Vec<(String, f64)> = method_names
+        .iter()
+        .enumerate()
+        .map(|(mi, name)| {
+            let f1s: Vec<Prf> =
+                (0..datasets.len()).map(|di| results[di * n_methods + mi]).collect();
+            (name.clone(), Prf::mean(&f1s).f1)
+        })
+        .collect();
+    avg_f1.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("Average-F1 ranking (paper's Table III ends with TFMAE on top):");
+    for (i, (name, f1)) in avg_f1.iter().enumerate() {
+        println!("  {:>2}. {:<12} {:.2}", i + 1, name, f1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Table IV — model ablations (`w/o L_adv`, `w/ L_radv`, `w/o Fre`,
+//! `w/o FD`, `w/o Tem`, `w/o TE`, `w/o TD`) on the five benchmarks.
+//!
+//! ```text
+//! cargo run --release -p tfmae-bench --bin table4_ablation -- \
+//!     [--divisor N] [--epochs N] [--seed N] [--threads N]
+//! ```
+
+use tfmae_baselines::evaluate;
+use tfmae_bench::{pct, run_parallel, Options, Table};
+use tfmae_core::{ModelAblation, TfmaeConfig, TfmaeDetector};
+use tfmae_data::{generate, DatasetKind};
+use tfmae_metrics::Prf;
+
+fn main() {
+    let opts = Options::parse();
+    let datasets = DatasetKind::main_five();
+    let ablations = ModelAblation::all();
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> Prf + Send>> = Vec::new();
+    for &kind in &datasets {
+        for ab in ablations {
+            let opts = opts.clone();
+            jobs.push(Box::new(move || {
+                let bench = generate(kind, opts.seed, opts.divisor);
+                let hp = kind.paper_hparams();
+                let base = TfmaeConfig {
+                    r_temporal: hp.r_t,
+                    r_frequency: hp.r_f,
+                    epochs: opts.epochs,
+                    seed: opts.seed,
+                    ..TfmaeConfig::default()
+                };
+                let mut det = TfmaeDetector::new(ab.apply(base));
+                let prf = evaluate(&mut det, &bench, hp.r);
+                eprintln!("[done] {:<16} {:<10} F1={:.2}", kind.name(), ab.label(), prf.f1);
+                prf
+            }));
+        }
+    }
+    let results = run_parallel(opts.threads, jobs);
+
+    let mut header = vec!["Variant".to_string()];
+    for kind in &datasets {
+        for m in ["P", "R", "F1"] {
+            header.push(format!("{}-{}", kind.name(), m));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        &format!("Table IV: model ablations (divisor {}, epochs {})", opts.divisor, opts.epochs),
+        &header_refs,
+    );
+    for (ai, ab) in ablations.iter().enumerate() {
+        let mut cells = vec![ab.label().to_string()];
+        for di in 0..datasets.len() {
+            let prf = results[di * ablations.len() + ai];
+            cells.push(pct(prf.precision));
+            cells.push(pct(prf.recall));
+            cells.push(pct(prf.f1));
+        }
+        table.row(cells);
+    }
+    table.print();
+    table.write_csv("table4_ablation");
+
+    // Paper-shape checks.
+    let f1_of = |ab: ModelAblation, di: usize| {
+        let ai = ablations.iter().position(|a| *a == ab).unwrap();
+        results[di * ablations.len() + ai].f1
+    };
+    let mean_f1 = |ab: ModelAblation| {
+        (0..datasets.len()).map(|di| f1_of(ab, di)).sum::<f64>() / datasets.len() as f64
+    };
+    println!("shape checks (paper: full TFMAE beats every ablation on average):");
+    let full = mean_f1(ModelAblation::Full);
+    for ab in ablations.iter().filter(|a| **a != ModelAblation::Full) {
+        let m = mean_f1(*ab);
+        let mark = if full >= m { "ok " } else { "!! " };
+        println!("  {mark} TFMAE {:.2} vs {:<10} {:.2}", full, ab.label(), m);
+    }
+}

@@ -1,0 +1,79 @@
+//! Table V — masking-strategy ablations (`w/o MT`, `w/ SMT`, `w/ RMT`,
+//! `w/o MF`, `w/ HMF`, `w/ RMF`) on the five benchmarks.
+//!
+//! ```text
+//! cargo run --release -p tfmae-bench --bin table5_masking -- \
+//!     [--divisor N] [--epochs N] [--seed N] [--threads N]
+//! ```
+
+use tfmae_baselines::evaluate;
+use tfmae_bench::{pct, run_parallel, Options, Table};
+use tfmae_core::{MaskAblation, TfmaeConfig, TfmaeDetector};
+use tfmae_data::{generate, DatasetKind};
+use tfmae_metrics::Prf;
+
+fn main() {
+    let opts = Options::parse();
+    let datasets = DatasetKind::main_five();
+    let ablations = MaskAblation::all();
+
+    let mut jobs: Vec<Box<dyn FnOnce() -> Prf + Send>> = Vec::new();
+    for &kind in &datasets {
+        for ab in ablations {
+            let opts = opts.clone();
+            jobs.push(Box::new(move || {
+                let bench = generate(kind, opts.seed, opts.divisor);
+                let hp = kind.paper_hparams();
+                let base = TfmaeConfig {
+                    r_temporal: hp.r_t,
+                    r_frequency: hp.r_f,
+                    epochs: opts.epochs,
+                    seed: opts.seed,
+                    ..TfmaeConfig::default()
+                };
+                let mut det = TfmaeDetector::new(ab.apply(base));
+                let prf = evaluate(&mut det, &bench, hp.r);
+                eprintln!("[done] {:<16} {:<8} F1={:.2}", kind.name(), ab.label(), prf.f1);
+                prf
+            }));
+        }
+    }
+    let results = run_parallel(opts.threads, jobs);
+
+    let mut header = vec!["Variant".to_string()];
+    for kind in &datasets {
+        for m in ["P", "R", "F1"] {
+            header.push(format!("{}-{}", kind.name(), m));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        &format!("Table V: masking ablations (divisor {}, epochs {})", opts.divisor, opts.epochs),
+        &header_refs,
+    );
+    for (ai, ab) in ablations.iter().enumerate() {
+        let mut cells = vec![ab.label().to_string()];
+        for di in 0..datasets.len() {
+            let prf = results[di * ablations.len() + ai];
+            cells.push(pct(prf.precision));
+            cells.push(pct(prf.recall));
+            cells.push(pct(prf.f1));
+        }
+        table.row(cells);
+    }
+    table.print();
+    table.write_csv("table5_masking");
+
+    let mean_f1 = |ab: MaskAblation| {
+        let ai = ablations.iter().position(|a| *a == ab).unwrap();
+        (0..datasets.len()).map(|di| results[di * ablations.len() + ai].f1).sum::<f64>()
+            / datasets.len() as f64
+    };
+    println!("shape checks (paper: CV/amplitude masking beats random & std/high-freq variants):");
+    let full = mean_f1(MaskAblation::Full);
+    for ab in ablations.iter().filter(|a| **a != MaskAblation::Full) {
+        let m = mean_f1(*ab);
+        let mark = if full >= m { "ok " } else { "!! " };
+        println!("  {mark} TFMAE {:.2} vs {:<7} {:.2}", full, ab.label(), m);
+    }
+}

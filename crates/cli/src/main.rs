@@ -1,0 +1,226 @@
+//! `tfmae` — command-line interface to the TFMAE reproduction.
+//!
+//! ```text
+//! tfmae simulate --dataset smd --divisor 100 --out-dir data/      # write train/val/test CSVs
+//! tfmae train    --train data/train.csv --val data/val.csv --model model.json
+//! tfmae score    --model model.json --input data/test.csv --out scores.csv
+//! tfmae evaluate --model model.json --input data/test.csv --ratio 0.005
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tfmae_core::{TfmaeConfig, TfmaeDetector};
+use tfmae_data::{generate, read_csv, write_csv, DatasetKind, Detector, TimeSeries};
+use tfmae_metrics::{apply_threshold, point_adjust, pr_auc, roc_auc, threshold_for_ratio, Prf};
+
+fn usage() -> &'static str {
+    "tfmae — Temporal-Frequency Masked Autoencoders for time-series anomaly detection
+
+USAGE:
+  tfmae simulate --dataset <msl|psm|smd|swat|smap|global|seasonal> [--divisor N] [--seed N] --out-dir DIR
+  tfmae train    --train FILE.csv [--val FILE.csv] --model OUT.json
+                 [--epochs N] [--win N] [--d-model N] [--layers N] [--rt F] [--rf F] [--seed N]
+  tfmae score    --model FILE.json --input FILE.csv --out FILE.csv
+  tfmae evaluate --model FILE.json --input FILE.csv (--ratio F | --val FILE.csv --ratio F)
+  tfmae help
+
+CSV format: one row per observation, one numeric column per channel, optional
+header, optional trailing `label` column (needed by `evaluate`)."
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let value = args.get(i + 1).cloned().unwrap_or_default();
+                flags.push((key.to_string(), value));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Self { flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        }
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "msl" => DatasetKind::Msl,
+        "psm" => DatasetKind::Psm,
+        "smd" => DatasetKind::Smd,
+        "swat" => DatasetKind::Swat,
+        "smap" => DatasetKind::Smap,
+        "global" | "nips-ts-global" => DatasetKind::NipsTsGlobal,
+        "seasonal" | "nips-ts-seasonal" => DatasetKind::NipsTsSeasonal,
+        other => return Err(format!("unknown dataset {other:?}")),
+    })
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let kind = parse_dataset(args.require("dataset")?)?;
+    let divisor: usize = args.num("divisor", 100)?;
+    let seed: u64 = args.num("seed", 7)?;
+    let out_dir = PathBuf::from(args.require("out-dir")?);
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+
+    let bench = generate(kind, seed, divisor);
+    write_csv(out_dir.join("train.csv"), &bench.train, None).map_err(|e| e.to_string())?;
+    write_csv(out_dir.join("val.csv"), &bench.val, None).map_err(|e| e.to_string())?;
+    write_csv(out_dir.join("test.csv"), &bench.test, Some(&bench.test_labels))
+        .map_err(|e| e.to_string())?;
+    let hp = kind.paper_hparams();
+    println!(
+        "wrote {} simulator (dims={}, train={}, val={}, test={}, AR={:.1}%) to {}",
+        kind.name(),
+        bench.train.dims(),
+        bench.train.len(),
+        bench.val.len(),
+        bench.test.len(),
+        bench.realized_anomaly_ratio() * 100.0,
+        out_dir.display()
+    );
+    println!(
+        "paper hyper-parameters: --rt {} --rf {}  (threshold ratio r = {})",
+        hp.r_t, hp.r_f, hp.r
+    );
+    Ok(())
+}
+
+fn load_series(path: &str) -> Result<(TimeSeries, Option<Vec<u8>>), String> {
+    let data = read_csv(path).map_err(|e| e.to_string())?;
+    Ok((data.series, data.labels))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let (train, _) = load_series(args.require("train")?)?;
+    let val = match args.get("val") {
+        Some(p) => load_series(p)?.0,
+        None => train.clone(),
+    };
+    let cfg = TfmaeConfig {
+        epochs: args.num("epochs", 5)?,
+        win_len: args.num("win", 100)?,
+        d_model: args.num("d-model", 64)?,
+        layers: args.num("layers", 2)?,
+        r_temporal: args.num("rt", 0.25)?,
+        r_frequency: args.num("rf", 0.25)?,
+        seed: args.num("seed", 7)?,
+        ..TfmaeConfig::default()
+    };
+    cfg.validate()?;
+    let model_path = args.require("model")?.to_string();
+    let mut det = TfmaeDetector::new(cfg);
+    det.fit(&train, &val);
+    println!(
+        "trained on {} observations × {} channels: {} steps in {:.2}s (final loss {:.4})",
+        train.len(),
+        train.dims(),
+        det.fit_report.steps,
+        det.fit_report.seconds,
+        det.fit_report.final_loss
+    );
+    det.save(&model_path).map_err(|e| e.to_string())?;
+    println!("saved checkpoint to {model_path}");
+    Ok(())
+}
+
+fn check_dims(det: &TfmaeDetector, input: &TimeSeries) -> Result<(), String> {
+    let model_dims = det.model().map(|m| m.dims()).unwrap_or(0);
+    if input.dims() != model_dims {
+        return Err(format!(
+            "input has {} channels but the model was trained on {model_dims}",
+            input.dims()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_score(args: &Args) -> Result<(), String> {
+    let det = TfmaeDetector::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let (input, _) = load_series(args.require("input")?)?;
+    check_dims(&det, &input)?;
+    let scores = det.score(&input);
+    let out = args.require("out")?;
+    let series = TimeSeries::new(scores.clone(), scores.len(), 1);
+    write_csv(out, &series, None).map_err(|e| e.to_string())?;
+    println!("wrote {} scores to {out}", scores.len());
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let det = TfmaeDetector::load(args.require("model")?).map_err(|e| e.to_string())?;
+    let (input, labels) = load_series(args.require("input")?)?;
+    check_dims(&det, &input)?;
+    let labels = labels.ok_or("evaluate requires a `label` column in the input CSV")?;
+    let ratio: f64 = args.num("ratio", 0.01)?;
+
+    let scores = det.score(&input);
+    let threshold_scores = match args.get("val") {
+        Some(p) => {
+            let (val, _) = load_series(p)?;
+            check_dims(&det, &val)?;
+            det.score(&val)
+        }
+        None => scores.clone(),
+    };
+    let delta = threshold_for_ratio(&threshold_scores, ratio);
+    let pred = apply_threshold(&scores, delta);
+    let prf = Prf::from_predictions(&point_adjust(&pred, &labels), &labels);
+    println!("threshold δ = {delta:.6} (ratio {ratio})");
+    println!("P = {:.2}%  R = {:.2}%  F1 = {:.2}%", prf.precision, prf.recall, prf.f1);
+    println!(
+        "ROC-AUC = {:.4}  PR-AUC = {:.4}",
+        roc_auc(&scores, &labels),
+        pr_auc(&scores, &labels)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd {
+        "simulate" => cmd_simulate(&args),
+        "train" => cmd_train(&args),
+        "score" => cmd_score(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

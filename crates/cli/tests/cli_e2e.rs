@@ -1,0 +1,164 @@
+//! End-to-end tests of the `tfmae` binary: simulate → train → score →
+//! evaluate through the filesystem, exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tfmae"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfmae_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulate"));
+    assert!(text.contains("evaluate"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_flags_are_reported() {
+    let out = bin().args(["simulate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dataset"));
+}
+
+#[test]
+fn full_pipeline_simulate_train_score_evaluate() {
+    let dir = tmpdir("pipeline");
+    let data = dir.join("data");
+    let model = dir.join("model.json");
+    let scores = dir.join("scores.csv");
+
+    let out = bin()
+        .args(["simulate", "--dataset", "global", "--divisor", "150", "--out-dir"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.join("train.csv").exists());
+    assert!(data.join("test.csv").exists());
+
+    let out = bin()
+        .args(["train", "--epochs", "3", "--win", "50", "--rt", "0.25", "--rf", "0.2", "--train"])
+        .arg(data.join("train.csv"))
+        .arg("--val")
+        .arg(data.join("val.csv"))
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    let out = bin()
+        .args(["score", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(data.join("test.csv"))
+        .arg("--out")
+        .arg(&scores)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "score failed: {}", String::from_utf8_lossy(&out.stderr));
+    let score_text = std::fs::read_to_string(&scores).unwrap();
+    // header + one row per test observation
+    let test_rows = std::fs::read_to_string(data.join("test.csv")).unwrap().lines().count() - 1;
+    assert_eq!(score_text.lines().count() - 1, test_rows);
+
+    let out = bin()
+        .args(["evaluate", "--ratio", "0.05", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(data.join("test.csv"))
+        .arg("--val")
+        .arg(data.join("val.csv"))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("F1 ="), "missing metrics in: {text}");
+    assert!(text.contains("ROC-AUC"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn score_with_wrong_channel_count_fails_cleanly() {
+    let dir = tmpdir("dims");
+    let data = dir.join("data");
+    let model = dir.join("model.json");
+    bin()
+        .args(["simulate", "--dataset", "global", "--divisor", "200", "--out-dir"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    bin()
+        .args(["train", "--epochs", "1", "--win", "32", "--train"])
+        .arg(data.join("train.csv"))
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .unwrap();
+    // Two-channel input against the univariate model.
+    let two = dir.join("two.csv");
+    std::fs::write(&two, "a,b\n1.0,2.0\n3.0,4.0\n").unwrap();
+    let out = bin()
+        .args(["score", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(&two)
+        .arg("--out")
+        .arg(dir.join("s.csv"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("channels"), "unhelpful error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evaluate_without_labels_fails_cleanly() {
+    let dir = tmpdir("nolabels");
+    let data = dir.join("data");
+    let model = dir.join("model.json");
+    bin()
+        .args(["simulate", "--dataset", "global", "--divisor", "200", "--out-dir"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    bin()
+        .args(["train", "--epochs", "1", "--win", "32", "--train"])
+        .arg(data.join("train.csv"))
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .unwrap();
+    // train.csv has no label column.
+    let out = bin()
+        .args(["evaluate", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(data.join("train.csv"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("label"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

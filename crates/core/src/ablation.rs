@@ -1,0 +1,173 @@
+//! Named ablation variants of Tables IV and V.
+//!
+//! Each variant maps a paper row label to a config transformation, so the
+//! harness and the integration tests construct exactly the model the paper
+//! ablated.
+
+use crate::config::{AdversarialMode, FreqMaskKind, TemporalMaskKind, TfmaeConfig};
+
+/// Rows of Table IV (model ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelAblation {
+    /// Full TFMAE.
+    Full,
+    /// `w/o L_adv` — no adversarial objective (pure Eq. 14).
+    WithoutAdversarial,
+    /// `w/ L_radv` — swapped roles of `P` and `F` in Eq. 15.
+    ReversedAdversarial,
+    /// `w/o Fre` — frequency view removed.
+    WithoutFrequencyView,
+    /// `w/o FD` — frequency decoder removed.
+    WithoutFrequencyDecoder,
+    /// `w/o Tem` — temporal view removed.
+    WithoutTemporalView,
+    /// `w/o TE` — temporal encoder removed.
+    WithoutTemporalEncoder,
+    /// `w/o TD` — temporal decoder removed.
+    WithoutTemporalDecoder,
+}
+
+impl ModelAblation {
+    /// All Table IV rows in paper order.
+    pub fn all() -> [ModelAblation; 8] {
+        [
+            ModelAblation::WithoutAdversarial,
+            ModelAblation::ReversedAdversarial,
+            ModelAblation::WithoutFrequencyView,
+            ModelAblation::WithoutFrequencyDecoder,
+            ModelAblation::WithoutTemporalView,
+            ModelAblation::WithoutTemporalEncoder,
+            ModelAblation::WithoutTemporalDecoder,
+            ModelAblation::Full,
+        ]
+    }
+
+    /// Paper row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelAblation::Full => "TFMAE",
+            ModelAblation::WithoutAdversarial => "w/o L_adv",
+            ModelAblation::ReversedAdversarial => "w/ L_radv",
+            ModelAblation::WithoutFrequencyView => "w/o Fre",
+            ModelAblation::WithoutFrequencyDecoder => "w/o FD",
+            ModelAblation::WithoutTemporalView => "w/o Tem",
+            ModelAblation::WithoutTemporalEncoder => "w/o TE",
+            ModelAblation::WithoutTemporalDecoder => "w/o TD",
+        }
+    }
+
+    /// Applies the ablation to a base config.
+    pub fn apply(&self, mut cfg: TfmaeConfig) -> TfmaeConfig {
+        match self {
+            ModelAblation::Full => {}
+            ModelAblation::WithoutAdversarial => cfg.adversarial = AdversarialMode::NoAdversarial,
+            ModelAblation::ReversedAdversarial => cfg.adversarial = AdversarialMode::Reversed,
+            ModelAblation::WithoutFrequencyView => cfg.use_frequency_branch = false,
+            ModelAblation::WithoutFrequencyDecoder => cfg.frequency_decoder = false,
+            ModelAblation::WithoutTemporalView => cfg.use_temporal_branch = false,
+            ModelAblation::WithoutTemporalEncoder => cfg.temporal_encoder = false,
+            ModelAblation::WithoutTemporalDecoder => cfg.temporal_decoder = false,
+        }
+        cfg
+    }
+}
+
+/// Rows of Table V (masking-strategy ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaskAblation {
+    /// Full TFMAE.
+    Full,
+    /// `w/o MT` — no temporal masking.
+    WithoutTemporalMask,
+    /// `w/ SMT` — standard-deviation temporal masking.
+    StdTemporalMask,
+    /// `w/ RMT` — random temporal masking.
+    RandomTemporalMask,
+    /// `w/o MF` — no frequency masking.
+    WithoutFrequencyMask,
+    /// `w/ HMF` — high-frequency masking.
+    HighFrequencyMask,
+    /// `w/ RMF` — random frequency masking.
+    RandomFrequencyMask,
+}
+
+impl MaskAblation {
+    /// All Table V rows in paper order.
+    pub fn all() -> [MaskAblation; 7] {
+        [
+            MaskAblation::WithoutTemporalMask,
+            MaskAblation::StdTemporalMask,
+            MaskAblation::RandomTemporalMask,
+            MaskAblation::WithoutFrequencyMask,
+            MaskAblation::HighFrequencyMask,
+            MaskAblation::RandomFrequencyMask,
+            MaskAblation::Full,
+        ]
+    }
+
+    /// Paper row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MaskAblation::Full => "TFMAE",
+            MaskAblation::WithoutTemporalMask => "w/o MT",
+            MaskAblation::StdTemporalMask => "w/ SMT",
+            MaskAblation::RandomTemporalMask => "w/ RMT",
+            MaskAblation::WithoutFrequencyMask => "w/o MF",
+            MaskAblation::HighFrequencyMask => "w/ HMF",
+            MaskAblation::RandomFrequencyMask => "w/ RMF",
+        }
+    }
+
+    /// Applies the ablation to a base config.
+    pub fn apply(&self, mut cfg: TfmaeConfig) -> TfmaeConfig {
+        match self {
+            MaskAblation::Full => {}
+            MaskAblation::WithoutTemporalMask => cfg.temporal_mask = TemporalMaskKind::None,
+            MaskAblation::StdTemporalMask => cfg.temporal_mask = TemporalMaskKind::Std,
+            MaskAblation::RandomTemporalMask => cfg.temporal_mask = TemporalMaskKind::Random,
+            MaskAblation::WithoutFrequencyMask => cfg.freq_mask = FreqMaskKind::None,
+            MaskAblation::HighFrequencyMask => cfg.freq_mask = FreqMaskKind::HighFreq,
+            MaskAblation::RandomFrequencyMask => cfg.freq_mask = FreqMaskKind::Random,
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_ablation_yields_valid_config() {
+        for ab in ModelAblation::all() {
+            let cfg = ab.apply(TfmaeConfig::tiny());
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", ab.label()));
+        }
+    }
+
+    #[test]
+    fn every_mask_ablation_yields_valid_config() {
+        for ab in MaskAblation::all() {
+            let cfg = ab.apply(TfmaeConfig::tiny());
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", ab.label()));
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(ModelAblation::WithoutAdversarial.label(), "w/o L_adv");
+        assert_eq!(MaskAblation::HighFrequencyMask.label(), "w/ HMF");
+        assert_eq!(ModelAblation::all().len(), 8);
+        assert_eq!(MaskAblation::all().len(), 7);
+    }
+
+    #[test]
+    fn applications_change_the_intended_switch() {
+        let base = TfmaeConfig::tiny();
+        let c = ModelAblation::WithoutTemporalEncoder.apply(base.clone());
+        assert!(!c.temporal_encoder && c.temporal_decoder);
+        let c = MaskAblation::RandomFrequencyMask.apply(base);
+        assert_eq!(c.freq_mask, FreqMaskKind::Random);
+        assert_eq!(c.temporal_mask, TemporalMaskKind::Cv);
+    }
+}

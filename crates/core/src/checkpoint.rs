@@ -1,0 +1,197 @@
+//! Checkpointing: save and restore a trained [`TfmaeDetector`].
+//!
+//! The checkpoint is a single JSON document holding the config, the
+//! normalization statistics and every parameter tensor — enough to resume
+//! scoring on another machine with bit-identical results.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use tfmae_data::ZScore;
+use tfmae_tensor::ParamStore;
+
+use crate::config::TfmaeConfig;
+use crate::detector::TfmaeDetector;
+use crate::model::TfmaeModel;
+
+/// Serializable snapshot of a trained detector.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Model hyper-parameters.
+    pub config: TfmaeConfig,
+    /// Input feature count the model was built for.
+    pub dims: usize,
+    /// Per-channel normalization means.
+    pub norm_mean: Vec<f32>,
+    /// Per-channel normalization standard deviations.
+    pub norm_std: Vec<f32>,
+    /// All trainable parameters.
+    pub params: ParamStore,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Parse(String),
+    /// Detector has not been fitted yet.
+    NotFitted,
+    /// Version from a newer incompatible writer.
+    Version(u32),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            CheckpointError::NotFitted => write!(f, "detector must be fitted before saving"),
+            CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl TfmaeDetector {
+    /// Serializes the fitted detector to JSON.
+    pub fn to_checkpoint(&self) -> Result<Checkpoint, CheckpointError> {
+        let model = self.model().ok_or(CheckpointError::NotFitted)?;
+        let norm = self.norm().ok_or(CheckpointError::NotFitted)?;
+        Ok(Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.cfg.clone(),
+            dims: model.dims(),
+            norm_mean: norm.mean.clone(),
+            norm_std: norm.std.clone(),
+            params: model.ps.clone(),
+        })
+    }
+
+    /// Saves the fitted detector to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let ckpt = self.to_checkpoint()?;
+        let json =
+            serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Restores a detector from a checkpoint value.
+    pub fn from_checkpoint(ckpt: Checkpoint) -> Result<Self, CheckpointError> {
+        if ckpt.version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version(ckpt.version));
+        }
+        if ckpt.dims == 0 {
+            return Err(CheckpointError::Parse("dims must be >= 1".into()));
+        }
+        ckpt.config
+            .validate()
+            .map_err(|e| CheckpointError::Parse(format!("invalid config: {e}")))?;
+        if ckpt.norm_mean.len() != ckpt.dims || ckpt.norm_std.len() != ckpt.dims {
+            return Err(CheckpointError::Parse("normalization dims mismatch".into()));
+        }
+        if !ckpt.norm_mean.iter().all(|v| v.is_finite())
+            || !ckpt.norm_std.iter().all(|v| v.is_finite() && *v > 0.0)
+        {
+            return Err(CheckpointError::Parse(
+                "normalization statistics must be finite with positive std".into(),
+            ));
+        }
+        let mut model = TfmaeModel::new(ckpt.config.clone(), ckpt.dims);
+        if model.ps.len() != ckpt.params.len()
+            || model.ps.num_scalars() != ckpt.params.num_scalars()
+        {
+            return Err(CheckpointError::Parse("parameter layout mismatch".into()));
+        }
+        model.ps = ckpt.params;
+        let norm = ZScore { mean: ckpt.norm_mean, std: ckpt.norm_std };
+        Ok(TfmaeDetector::from_parts(ckpt.config, model, norm))
+    }
+
+    /// Loads a detector from a JSON checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let json = fs::read_to_string(path)?;
+        let ckpt: Checkpoint =
+            serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        Self::from_checkpoint(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tfmae_data::{render, Component, Detector, TimeSeries};
+
+    fn series(len: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ch = render(
+            &[Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 }, Component::Noise { sigma: 0.05 }],
+            len,
+            &mut rng,
+        );
+        TimeSeries::from_channels(&[ch])
+    }
+
+    #[test]
+    fn roundtrip_preserves_scores_exactly() {
+        let train = series(256, 1);
+        let test = series(96, 2);
+        let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+        det.fit(&train, &train);
+        let want = det.score(&test);
+
+        let dir = std::env::temp_dir().join("tfmae_ckpt_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+        let restored = TfmaeDetector::load(&path).unwrap();
+        assert_eq!(restored.score(&test), want, "checkpoint must restore bit-identical scoring");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn saving_unfitted_detector_fails() {
+        let det = TfmaeDetector::new(TfmaeConfig::tiny());
+        assert!(matches!(det.to_checkpoint(), Err(CheckpointError::NotFitted)));
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let train = series(128, 3);
+        let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+        det.fit(&train, &train);
+        let mut ckpt = det.to_checkpoint().unwrap();
+        ckpt.version = CHECKPOINT_VERSION + 1;
+        assert!(matches!(
+            TfmaeDetector::from_checkpoint(ckpt),
+            Err(CheckpointError::Version(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_file_reports_parse_error() {
+        let dir = std::env::temp_dir().join("tfmae_ckpt_test2");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(TfmaeDetector::load(&path), Err(CheckpointError::Parse(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,266 @@
+//! TFMAE configuration, including every ablation switch of Tables IV & V.
+
+use serde::{Deserialize, Serialize};
+
+/// How temporal-mask candidates are selected (§IV-A1 and Table V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TemporalMaskKind {
+    /// Coefficient of variation over a trailing window (the paper's method).
+    Cv,
+    /// Standard deviation only (`w/ SMT`).
+    Std,
+    /// Uniformly random indices (`w/ RMT`).
+    Random,
+    /// No temporal masking (`w/o MT`).
+    None,
+}
+
+/// How frequency-mask bins are selected (§IV-A2 and Table V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FreqMaskKind {
+    /// Smallest-amplitude bins (the paper's method).
+    Amplitude,
+    /// Highest-frequency bins (`w/ HMF`).
+    HighFreq,
+    /// Uniformly random bins (`w/ RMF`).
+    Random,
+    /// No frequency masking (`w/o MF`).
+    None,
+}
+
+/// Anomaly-score criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreKind {
+    /// Eq. 16: symmetric KL between the softmax-normalized latent
+    /// representations of the two views (the paper's criterion).
+    LatentKl,
+    /// Discrepancy between the two views' *reconstructions* in data space:
+    /// `mean_n (rec_T[t,n] − rec_F[t,n])²`. Same contrastive principle
+    /// ("normal-recovered vs original-abnormal views disagree"), measured
+    /// after the recovery heads; sharper on short training schedules.
+    DualRecon,
+    /// Sum of both (latent KL is scale-normalized by its window mean).
+    Combined,
+}
+
+/// Objective-function variants (Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdversarialMode {
+    /// Eq. 15: `min_F max_P symKL` with stop-gradients (the paper's method).
+    Full,
+    /// `w/o L_adv`: the pure contrastive objective of Eq. 14 (gradient of
+    /// the temporal representation halted).
+    NoAdversarial,
+    /// `w/ L_radv`: roles of `P` and `F` swapped in Eq. 15.
+    Reversed,
+}
+
+/// Full hyper-parameter set for TFMAE.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TfmaeConfig {
+    /// Model input length (the paper fixes 100, §V-B).
+    pub win_len: usize,
+    /// Latent width `D` (paper default 128; the CPU harness default is 64 —
+    /// Fig. 7 sweeps both).
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Transformer layers `L` (paper default 3).
+    pub layers: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Sliding-window length `W` for the coefficient of variation (paper 10).
+    pub cv_window: usize,
+    /// Temporal masking ratio `r_T` (fraction, e.g. 0.55).
+    pub r_temporal: f64,
+    /// Frequency masking ratio `r_F` (fraction of rFFT bins).
+    pub r_frequency: f64,
+    /// Adam learning rate (paper 1e-4).
+    pub lr: f32,
+    /// Training epochs (paper uses 1 on the full-size datasets; the scaled
+    /// simulators need a few more passes to see as many windows).
+    pub epochs: usize,
+    /// Windows per batch (paper 64).
+    pub batch: usize,
+    /// Use the FFT-accelerated CV (Eq. 5); `false` is the `w/o FFT` ablation.
+    pub use_fft_cv: bool,
+    /// Temporal masking variant.
+    pub temporal_mask: TemporalMaskKind,
+    /// Frequency masking variant.
+    pub freq_mask: FreqMaskKind,
+    /// Objective variant.
+    pub adversarial: AdversarialMode,
+    /// `w/o Tem`: disable the temporal view entirely.
+    pub use_temporal_branch: bool,
+    /// `w/o Fre`: disable the frequency view entirely.
+    pub use_frequency_branch: bool,
+    /// `w/o TE`: drop the temporal encoder (decoder sees raw projections).
+    pub temporal_encoder: bool,
+    /// `w/o TD`: drop the temporal decoder.
+    pub temporal_decoder: bool,
+    /// `w/o FD`: drop the frequency decoder.
+    pub frequency_decoder: bool,
+    /// Weight of the masked-reconstruction grounding terms (the MAE
+    /// "recovery" of Fig. 5; Eq. 15 alone does not tie representations to
+    /// the data — see DESIGN.md §3).
+    pub recon_weight: f32,
+    /// Weight of the adversarial contrastive objective (Eq. 14–15).
+    pub contrastive_weight: f32,
+    /// Relative weight of the max-phase (repel) term inside Eq. 15. The
+    /// paper trains a single epoch at lr 1e-4, which implicitly keeps the
+    /// max phase from dominating; on the scaled simulators the longer
+    /// schedules need an explicit weight (DESIGN.md §3).
+    pub adv_weight: f32,
+    /// Stride between training windows (default = `win_len`, i.e.
+    /// non-overlapping tiles; smaller values yield more training windows on
+    /// the scaled simulators).
+    pub train_stride: usize,
+    /// Anomaly-score criterion (Eq. 16 by default).
+    pub score: ScoreKind,
+    /// RNG seed controlling init, dropout and random-mask variants.
+    pub seed: u64,
+}
+
+impl Default for TfmaeConfig {
+    fn default() -> Self {
+        Self {
+            win_len: 100,
+            d_model: 64,
+            heads: 4,
+            d_ff: 128,
+            layers: 2,
+            dropout: 0.0,
+            cv_window: 10,
+            r_temporal: 0.25,
+            r_frequency: 0.25,
+            lr: 1e-3,
+            epochs: 3,
+            batch: 32,
+            use_fft_cv: true,
+            temporal_mask: TemporalMaskKind::Cv,
+            freq_mask: FreqMaskKind::Amplitude,
+            adversarial: AdversarialMode::Full,
+            use_temporal_branch: true,
+            use_frequency_branch: true,
+            temporal_encoder: true,
+            temporal_decoder: true,
+            frequency_decoder: true,
+            recon_weight: 1.0,
+            contrastive_weight: 1.0,
+            adv_weight: 0.05,
+            train_stride: 50,
+            score: ScoreKind::Combined,
+            seed: 7,
+        }
+    }
+}
+
+impl TfmaeConfig {
+    /// The paper's exact §V-A4 setting (slower on CPU; Fig. 7 covers the
+    /// difference to the harness default).
+    pub fn paper() -> Self {
+        Self { d_model: 128, d_ff: 256, layers: 3, lr: 1e-4, epochs: 1, batch: 64, ..Self::default() }
+    }
+
+    /// A small fast configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            win_len: 32,
+            d_model: 16,
+            heads: 2,
+            d_ff: 32,
+            layers: 1,
+            epochs: 2,
+            batch: 16,
+            train_stride: 32,
+            ..Self::default()
+        }
+    }
+
+    /// Number of masked observations `I_T = ⌊r_T · |S|⌋` (Eq. 2).
+    pub fn masked_time_steps(&self) -> usize {
+        ((self.win_len as f64) * self.r_temporal).floor() as usize
+    }
+
+    /// Number of masked frequency bins `I_F = ⌊r_F · bins⌋` (Eq. 8), over
+    /// the `win_len/2 + 1` unique rFFT bins.
+    pub fn masked_freq_bins(&self) -> usize {
+        let bins = self.win_len / 2 + 1;
+        ((bins as f64) * self.r_frequency).floor() as usize
+    }
+
+    /// Validates invariants; call before training.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.win_len < 4 {
+            return Err(format!("win_len must be >= 4, got {}", self.win_len));
+        }
+        if !self.d_model.is_multiple_of(self.heads) {
+            return Err(format!("d_model {} must divide into {} heads", self.d_model, self.heads));
+        }
+        if !(0.0..1.0).contains(&self.r_temporal) || !(0.0..1.0).contains(&self.r_frequency) {
+            return Err("masking ratios must be in [0, 1)".into());
+        }
+        if self.masked_time_steps() >= self.win_len {
+            return Err("temporal mask would cover the whole window".into());
+        }
+        if !self.use_temporal_branch && !self.use_frequency_branch {
+            return Err("at least one branch must be enabled".into());
+        }
+        if self.cv_window == 0 {
+            return Err("cv_window must be >= 1".into());
+        }
+        if self.train_stride == 0 {
+            return Err("train_stride must be >= 1".into());
+        }
+        if self.recon_weight < 0.0 || self.contrastive_weight < 0.0 || self.adv_weight < 0.0 {
+            return Err("loss weights must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        TfmaeConfig::default().validate().unwrap();
+        TfmaeConfig::paper().validate().unwrap();
+        TfmaeConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn mask_counts_follow_floor_formulas() {
+        let cfg = TfmaeConfig { win_len: 100, r_temporal: 0.55, r_frequency: 0.40, ..Default::default() };
+        assert_eq!(cfg.masked_time_steps(), 55);
+        assert_eq!(cfg.masked_freq_bins(), 20); // ⌊51 · 0.4⌋
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = TfmaeConfig::default();
+        cfg.heads = 3; // 64 % 3 != 0
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TfmaeConfig::default();
+        cfg.r_temporal = 1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TfmaeConfig::default();
+        cfg.use_temporal_branch = false;
+        cfg.use_frequency_branch = false;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = TfmaeConfig::paper();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: TfmaeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.d_model, 128);
+        assert_eq!(back.adversarial, AdversarialMode::Full);
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end TFMAE detector: normalization → windowing → training loop →
+//! per-observation scoring (§IV-D).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tfmae_data::{batch_windows, extract_windows, fold_scores, Detector, FitReport, TimeSeries, ZScore};
+use tfmae_nn::{Adam, Ctx};
+
+use crate::config::TfmaeConfig;
+use crate::model::TfmaeModel;
+
+/// TFMAE wrapped as a [`Detector`] with the paper's training protocol.
+pub struct TfmaeDetector {
+    /// Hyper-parameters (frozen at `fit` time).
+    pub cfg: TfmaeConfig,
+    model: Option<TfmaeModel>,
+    norm: Option<ZScore>,
+    /// Resource accounting from the last `fit` (Fig. 10).
+    pub fit_report: FitReport,
+    /// Per-step training losses from the last `fit` (diagnostics).
+    pub loss_curve: Vec<f32>,
+}
+
+impl TfmaeDetector {
+    /// Creates an untrained detector.
+    pub fn new(cfg: TfmaeConfig) -> Self {
+        Self { cfg, model: None, norm: None, fit_report: FitReport::default(), loss_curve: Vec::new() }
+    }
+
+    /// Access to the trained model (after `fit`).
+    pub fn model(&self) -> Option<&TfmaeModel> {
+        self.model.as_ref()
+    }
+
+    /// Access to the fitted normalizer (after `fit`).
+    pub fn norm(&self) -> Option<&ZScore> {
+        self.norm.as_ref()
+    }
+
+    /// Reassembles a detector from checkpoint parts (see
+    /// [`crate::checkpoint`]).
+    pub fn from_parts(cfg: TfmaeConfig, model: TfmaeModel, norm: ZScore) -> Self {
+        Self {
+            cfg,
+            model: Some(model),
+            norm: Some(norm),
+            fit_report: FitReport::default(),
+            loss_curve: Vec::new(),
+        }
+    }
+
+    /// Per-observation score components `(latent KL, dual-recon)` for a
+    /// series, each folded onto the timeline but **not** combined — used by
+    /// callers that need to freeze normalization constants (e.g. online
+    /// scoring, see [`crate::stream`]).
+    pub fn score_components(&self, series: &TimeSeries) -> (Vec<f32>, Vec<f32>) {
+        let model = self.model.as_ref().expect("fit before score");
+        let norm = self.norm.as_ref().expect("fit before score");
+        self.components_normalized(model, &norm.transform(series))
+    }
+
+    fn score_normalized(&self, model: &TfmaeModel, series: &TimeSeries) -> Vec<f32> {
+        let (kl, dual) = self.components_normalized(model, series);
+        crate::model::combine_scores(self.cfg.score, &kl, &dual)
+    }
+
+    fn components_normalized(
+        &self,
+        model: &TfmaeModel,
+        series: &TimeSeries,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let t = self.cfg.win_len;
+        let windows = extract_windows(series, t, t);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5c0e);
+        let mut kl_windows: Vec<(usize, Vec<f32>)> = Vec::with_capacity(windows.len());
+        let mut dual_windows: Vec<(usize, Vec<f32>)> = Vec::with_capacity(windows.len());
+        for (starts, values) in batch_windows(&windows, self.cfg.batch) {
+            let b = starts.len();
+            let batch = model.prepare_batch(values, b, &mut rng);
+            let g = tfmae_tensor::Graph::new();
+            let ctx = Ctx::eval(&g, &model.ps);
+            let out = model.forward(&ctx, &batch);
+            let (kl, dual) = model.anomaly_score_components(&ctx, &out);
+            for (wi, &start) in starts.iter().enumerate() {
+                kl_windows.push((start, kl[wi * t..(wi + 1) * t].to_vec()));
+                dual_windows.push((start, dual[wi * t..(wi + 1) * t].to_vec()));
+            }
+        }
+        // Fold each component; `score_normalized` combines them with
+        // *series-global* means so batch boundaries leave no seams.
+        let kl = fold_scores(series.len(), t, &kl_windows);
+        let dual = fold_scores(series.len(), t, &dual_windows);
+        (kl, dual)
+    }
+}
+
+impl Detector for TfmaeDetector {
+    fn name(&self) -> String {
+        "TFMAE".to_string()
+    }
+
+    fn fit(&mut self, train: &TimeSeries, _val: &TimeSeries) {
+        let cfg = self.cfg.clone();
+        cfg.validate().expect("invalid TfmaeConfig");
+        let start = Instant::now();
+
+        let norm = ZScore::fit(train);
+        let train_n = norm.transform(train);
+        let mut model = TfmaeModel::new(cfg.clone(), train.dims());
+        let mut opt = Adam::new(&model.ps, cfg.lr);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf17);
+
+        let windows = extract_windows(&train_n, cfg.win_len, cfg.train_stride.min(cfg.win_len));
+        // Masks depend only on window contents (Eq. 2/8), so compute them
+        // once per window and reuse across epochs. The Random mask variants
+        // intentionally redraw every epoch instead.
+        let reuse_masks = cfg.temporal_mask != crate::config::TemporalMaskKind::Random
+            && cfg.freq_mask != crate::config::FreqMaskKind::Random;
+        let mut mask_cache: Vec<(crate::masking::temporal::TemporalMask, crate::masking::frequency::FrequencyMaskData)> =
+            if reuse_masks {
+                windows.iter().map(|w| model.window_masks(&w.values, &mut rng)).collect()
+            } else {
+                Vec::new()
+            };
+
+        let mut losses = Vec::new();
+        let mut max_activation = 0usize;
+        let mut step: u64 = 0;
+        let mut order: Vec<usize> = (0..windows.len()).collect();
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch) {
+                let b = chunk.len();
+                let mut values = Vec::with_capacity(b * cfg.win_len * train.dims());
+                for &wi in chunk {
+                    values.extend_from_slice(&windows[wi].values);
+                }
+                let batch = if reuse_masks {
+                    crate::model::BatchInputs {
+                        values,
+                        b,
+                        masks_t: chunk.iter().map(|&wi| mask_cache[wi].0.clone()).collect(),
+                        masks_f: chunk.iter().map(|&wi| mask_cache[wi].1.clone()).collect(),
+                    }
+                } else {
+                    model.prepare_batch(values, b, &mut rng)
+                };
+                let g = tfmae_tensor::Graph::new();
+                let ctx = Ctx::train(&g, &model.ps, cfg.seed ^ step);
+                let out = model.forward(&ctx, &batch);
+                let loss = model.training_loss(&ctx, &out);
+                let loss_val = g.scalar_value(loss);
+                g.backward_params(loss, &mut model.ps);
+                opt.step(&mut model.ps);
+                max_activation = max_activation.max(g.activation_bytes());
+                losses.push(loss_val);
+                step += 1;
+            }
+        }
+        mask_cache.clear();
+
+        self.fit_report = FitReport {
+            seconds: start.elapsed().as_secs_f64(),
+            bytes: model.ps.bytes() + max_activation,
+            steps: step,
+            final_loss: losses.last().copied().unwrap_or(0.0) as f64,
+        };
+        self.loss_curve = losses;
+        self.model = Some(model);
+        self.norm = Some(norm);
+    }
+
+    fn score(&self, series: &TimeSeries) -> Vec<f32> {
+        let model = self.model.as_ref().expect("fit before score");
+        let norm = self.norm.as_ref().expect("fit before score");
+        self.score_normalized(model, &norm.transform(series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfmae_data::{Component, render};
+
+    fn tiny_series(len: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = render(
+            &[
+                Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 },
+                Component::Noise { sigma: 0.05 },
+            ],
+            len,
+            &mut rng,
+        );
+        let b = render(
+            &[
+                Component::Sine { period: 8.0, amp: 0.5, phase: 1.0 },
+                Component::Noise { sigma: 0.05 },
+            ],
+            len,
+            &mut rng,
+        );
+        TimeSeries::from_channels(&[a, b])
+    }
+
+    #[test]
+    fn fit_and_score_end_to_end() {
+        let train = tiny_series(256, 1);
+        let val = tiny_series(64, 2);
+        let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+        det.fit(&train, &val);
+        assert!(det.fit_report.steps > 0);
+        assert!(det.fit_report.seconds > 0.0);
+        assert!(det.fit_report.bytes > 0);
+        assert!(det.loss_curve.iter().all(|l| l.is_finite()));
+
+        let test = tiny_series(128, 3);
+        let scores = det.score(&test);
+        assert_eq!(scores.len(), 128);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn spike_scores_above_median() {
+        let train = tiny_series(512, 4);
+        let val = tiny_series(64, 5);
+        let mut cfg = TfmaeConfig::tiny();
+        cfg.epochs = 4;
+        let mut det = TfmaeDetector::new(cfg);
+        det.fit(&train, &val);
+
+        let mut test = tiny_series(160, 6);
+        let spike_t = 80;
+        test.set(spike_t, 0, 12.0);
+        let scores = det.score(&test);
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[scores.len() / 2];
+        let local_max =
+            (spike_t.saturating_sub(2)..=(spike_t + 2)).map(|t| scores[t]).fold(f32::MIN, f32::max);
+        assert!(
+            local_max > median,
+            "spike region should outscore the median: {local_max} vs {median}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before score")]
+    fn scoring_before_fit_panics() {
+        let det = TfmaeDetector::new(TfmaeConfig::tiny());
+        det.score(&tiny_series(64, 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = tiny_series(256, 7);
+        let val = tiny_series(64, 8);
+        let test = tiny_series(96, 9);
+        let run = || {
+            let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+            det.fit(&train, &val);
+            det.score(&test)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,231 @@
+//! Amplitude-based frequency masking (§IV-A2, Eq. 6–10, Fig. 4).
+//!
+//! Each feature channel of a window is transformed with a real FFT; the
+//! `r_F%` of bins with the *smallest amplitude* are replaced by a learnable
+//! complex scalar `m^(F) ∈ C^N` (Eq. 9) and the spectrum is inverted back
+//! (Eq. 10).
+//!
+//! Because the inverse rFFT is linear in the spectrum, the masked
+//! reconstruction decomposes as
+//!
+//! ```text
+//! f[t, n] = base[t, n] + Re(m^n)·A[t, n] + Im(m^n)·B[t, n]
+//! ```
+//!
+//! where `base` is the inverse transform with the masked bins zeroed and
+//! `A`/`B` collect the cosine/sine synthesis coefficients of the masked
+//! bins. `base`, `A`, `B` are precomputed constants per window, so exact
+//! gradients reach `m^(F)` through ordinary broadcast multiply/add — no
+//! custom autograd kernel is needed (DESIGN.md §3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use tfmae_fft::stats::bottom_k_indices;
+use tfmae_fft::{irfft, rfft, rfft_len, Complex64};
+
+use crate::config::FreqMaskKind;
+
+/// Precomputed constants of the linear-in-`m` masked reconstruction for one
+/// window (all row-major `[win_len, dims]`).
+#[derive(Clone, Debug)]
+pub struct FrequencyMaskData {
+    /// Inverse transform of the spectrum with masked bins zeroed.
+    pub base: Vec<f32>,
+    /// `∂f/∂Re(m^n)` synthesis coefficients.
+    pub a: Vec<f32>,
+    /// `∂f/∂Im(m^n)` synthesis coefficients.
+    pub b: Vec<f32>,
+    /// Masked bin indices per channel (the `idx^(F)` of Eq. 8).
+    pub masked_bins: Vec<Vec<usize>>,
+}
+
+/// Computes the frequency mask for one window.
+///
+/// * `values` — row-major `[win_len, dims]`;
+/// * `i_f` — bins to mask per channel (`I_F` of Eq. 8);
+/// * `rng` — consumed only by [`FreqMaskKind::Random`].
+pub fn frequency_mask(
+    values: &[f32],
+    win_len: usize,
+    dims: usize,
+    i_f: usize,
+    kind: FreqMaskKind,
+    rng: &mut StdRng,
+) -> FrequencyMaskData {
+    assert_eq!(values.len(), win_len * dims, "window size mismatch");
+    let bins = rfft_len(win_len);
+    let i_f = i_f.min(bins.saturating_sub(1));
+    let mut base = vec![0.0f32; win_len * dims];
+    let mut a = vec![0.0f32; win_len * dims];
+    let mut b = vec![0.0f32; win_len * dims];
+    let mut masked_bins = Vec::with_capacity(dims);
+
+    for n in 0..dims {
+        let ch: Vec<f64> = (0..win_len).map(|t| values[t * dims + n] as f64).collect();
+        let mut spec = rfft(&ch);
+        let masked: Vec<usize> = if i_f == 0 || kind == FreqMaskKind::None {
+            Vec::new()
+        } else {
+            match kind {
+                FreqMaskKind::Amplitude => {
+                    let amp: Vec<f64> = spec.iter().map(|z| z.abs()).collect();
+                    let mut idx = bottom_k_indices(&amp, i_f);
+                    idx.sort_unstable();
+                    idx
+                }
+                FreqMaskKind::HighFreq => ((bins - i_f)..bins).collect(),
+                FreqMaskKind::Random => {
+                    let mut idx: Vec<usize> = (0..bins).collect();
+                    idx.shuffle(rng);
+                    let mut idx = idx[..i_f].to_vec();
+                    idx.sort_unstable();
+                    idx
+                }
+                FreqMaskKind::None => unreachable!(),
+            }
+        };
+
+        // base: zero the masked bins and synthesize.
+        for &i in &masked {
+            spec[i] = Complex64::ZERO;
+        }
+        let base_ch = irfft(&spec, win_len);
+        for (t, &v) in base_ch.iter().enumerate() {
+            base[t * dims + n] = v as f32;
+        }
+
+        // A/B: synthesis coefficients of a unit (1 / j) written into every
+        // masked bin. Mirror bins double all but DC and (even-n) Nyquist;
+        // the imaginary part of DC/Nyquist cancels under conjugate symmetry.
+        for &i in &masked {
+            let dc_or_nyquist = i == 0 || (win_len.is_multiple_of(2) && i == win_len / 2);
+            let c = if dc_or_nyquist { 1.0 } else { 2.0 };
+            let w = 2.0 * std::f64::consts::PI * i as f64 / win_len as f64;
+            for t in 0..win_len {
+                let (s, co) = (w * t as f64).sin_cos();
+                a[t * dims + n] += (c * co / win_len as f64) as f32;
+                if !dc_or_nyquist {
+                    b[t * dims + n] += (-c * s / win_len as f64) as f32;
+                }
+            }
+        }
+        masked_bins.push(masked);
+    }
+
+    FrequencyMaskData { base, a, b, masked_bins }
+}
+
+/// Reference reconstruction `f = base + re·A + im·B` evaluated on the CPU —
+/// used by tests to validate the linear decomposition against a direct
+/// masked-irfft.
+pub fn reconstruct(data: &FrequencyMaskData, re: &[f32], im: &[f32], win_len: usize, dims: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; win_len * dims];
+    for t in 0..win_len {
+        for n in 0..dims {
+            let idx = t * dims + n;
+            out[idx] = data.base[idx] + re[n] * data.a[idx] + im[n] * data.b[idx];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn tone_plus_noise(len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|t| {
+                (2.0 * std::f32::consts::PI * 5.0 * t as f32 / len as f32).sin()
+                    + 0.01 * ((t * 7919) % 13) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn amplitude_masking_keeps_the_dominant_tone() {
+        let len = 64;
+        let vals = tone_plus_noise(len);
+        let data = frequency_mask(&vals, len, 1, 20, FreqMaskKind::Amplitude, &mut rng());
+        assert!(!data.masked_bins[0].contains(&5), "dominant bin must survive");
+        assert_eq!(data.masked_bins[0].len(), 20);
+    }
+
+    #[test]
+    fn high_freq_masking_takes_the_top_bins() {
+        let len = 64;
+        let vals = tone_plus_noise(len);
+        let data = frequency_mask(&vals, len, 1, 4, FreqMaskKind::HighFreq, &mut rng());
+        assert_eq!(data.masked_bins[0], vec![29, 30, 31, 32]);
+    }
+
+    #[test]
+    fn linear_decomposition_matches_direct_masked_irfft() {
+        // Write an arbitrary complex m into the masked bins directly and
+        // compare with base + re·A + im·B.
+        let len = 50;
+        let vals = tone_plus_noise(len);
+        let data = frequency_mask(&vals, len, 1, 10, FreqMaskKind::Amplitude, &mut rng());
+        let (re, im) = (0.7f32, -0.3f32);
+
+        let ch: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        let mut spec = rfft(&ch);
+        for &i in &data.masked_bins[0] {
+            spec[i] = Complex64::new(re as f64, im as f64);
+        }
+        let direct = irfft(&spec, len);
+        let fast = reconstruct(&data, &[re], &[im], len, 1);
+        for (d, f) in direct.iter().zip(fast.iter()) {
+            assert!((*d as f32 - *f).abs() < 1e-4, "{d} vs {f}");
+        }
+    }
+
+    #[test]
+    fn zero_m_reproduces_base() {
+        let len = 40;
+        let vals = tone_plus_noise(len);
+        let data = frequency_mask(&vals, len, 1, 8, FreqMaskKind::Amplitude, &mut rng());
+        let rec = reconstruct(&data, &[0.0], &[0.0], len, 1);
+        assert_eq!(rec, data.base);
+    }
+
+    #[test]
+    fn none_kind_reproduces_input() {
+        let len = 32;
+        let vals = tone_plus_noise(len);
+        let data = frequency_mask(&vals, len, 1, 8, FreqMaskKind::None, &mut rng());
+        for (x, y) in vals.iter().zip(data.base.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        assert!(data.masked_bins[0].is_empty());
+        assert!(data.a.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn multichannel_masks_are_per_channel() {
+        let len = 48;
+        let mut vals = vec![0.0f32; len * 2];
+        for t in 0..len {
+            vals[t * 2] = (2.0 * std::f32::consts::PI * 3.0 * t as f32 / len as f32).sin();
+            vals[t * 2 + 1] = (2.0 * std::f32::consts::PI * 9.0 * t as f32 / len as f32).sin();
+        }
+        let data = frequency_mask(&vals, len, 2, 5, FreqMaskKind::Amplitude, &mut rng());
+        assert!(!data.masked_bins[0].contains(&3));
+        assert!(!data.masked_bins[1].contains(&9));
+        // Channel 1's dominant bin (9) is maskable on channel 0 where it's quiet.
+        assert_eq!(data.masked_bins.len(), 2);
+    }
+
+    #[test]
+    fn mask_count_clamped() {
+        let len = 16;
+        let vals = tone_plus_noise(len);
+        let data = frequency_mask(&vals, len, 1, 999, FreqMaskKind::Amplitude, &mut rng());
+        assert_eq!(data.masked_bins[0].len(), rfft_len(len) - 1);
+    }
+}

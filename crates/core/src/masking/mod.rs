@@ -1,0 +1,4 @@
+//! The two anomaly-purifying masking strategies of §IV-A.
+
+pub mod frequency;
+pub mod temporal;

@@ -1,0 +1,210 @@
+//! Window-based temporal masking (§IV-A1, Eq. 1–5, Fig. 3).
+//!
+//! For each model window, a statistic is computed per observation (the
+//! coefficient of variation over a trailing sub-sequence of length `W`),
+//! and the `r_T%` observations with the largest statistic are masked. The
+//! statistic is computed either with explicit loops (Eq. 1) or with FFT
+//! convolutions (Eq. 4–5) — both paths live in `tfmae-fft` and agree to
+//! numerical tolerance.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use tfmae_fft::stats::{multivariate_cv, sliding_var_fft, sliding_var_naive, top_k_indices};
+
+use crate::config::TemporalMaskKind;
+
+/// The split of one window's time indices into masked and unmasked sets,
+/// both sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TemporalMask {
+    /// Indices selected as candidate anomalies (the `idx^(T)` of Eq. 2).
+    pub masked: Vec<usize>,
+    /// The complement.
+    pub unmasked: Vec<usize>,
+}
+
+/// Computes the temporal mask for one window.
+///
+/// * `values` — row-major `[win_len, dims]` window;
+/// * `i_t` — number of indices to mask (`I_T` of Eq. 2);
+/// * `cv_window` — trailing-statistic window `W`;
+/// * `use_fft` — Eq. 5 fast path vs Eq. 1 loops (`w/o FFT` ablation);
+/// * `rng` — consumed only by [`TemporalMaskKind::Random`].
+pub fn temporal_mask(
+    values: &[f32],
+    win_len: usize,
+    dims: usize,
+    i_t: usize,
+    cv_window: usize,
+    kind: TemporalMaskKind,
+    use_fft: bool,
+    rng: &mut StdRng,
+) -> TemporalMask {
+    assert_eq!(values.len(), win_len * dims, "window size mismatch");
+    let i_t = i_t.min(win_len.saturating_sub(1));
+    if i_t == 0 || kind == TemporalMaskKind::None {
+        return TemporalMask { masked: Vec::new(), unmasked: (0..win_len).collect() };
+    }
+
+    let masked: Vec<usize> = match kind {
+        TemporalMaskKind::Cv => {
+            let stat = cv_statistic(values, win_len, dims, cv_window, use_fft);
+            sorted(top_k_indices(&stat, i_t))
+        }
+        TemporalMaskKind::Std => {
+            let stat = std_statistic(values, win_len, dims, cv_window, use_fft);
+            sorted(top_k_indices(&stat, i_t))
+        }
+        TemporalMaskKind::Random => {
+            let mut idx: Vec<usize> = (0..win_len).collect();
+            idx.shuffle(rng);
+            sorted(idx[..i_t].to_vec())
+        }
+        TemporalMaskKind::None => unreachable!(),
+    };
+
+    let mut is_masked = vec![false; win_len];
+    for &i in &masked {
+        is_masked[i] = true;
+    }
+    let unmasked = (0..win_len).filter(|&i| !is_masked[i]).collect();
+    TemporalMask { masked, unmasked }
+}
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}
+
+/// The summed per-feature coefficient of variation `V ∈ R^{win_len}` of
+/// Eq. 1/5.
+pub fn cv_statistic(
+    values: &[f32],
+    win_len: usize,
+    dims: usize,
+    cv_window: usize,
+    use_fft: bool,
+) -> Vec<f64> {
+    let channels: Vec<Vec<f64>> = (0..dims)
+        .map(|n| (0..win_len).map(|t| values[t * dims + n] as f64).collect())
+        .collect();
+    let refs: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
+    multivariate_cv(&refs, cv_window, use_fft)
+}
+
+/// The `w/ SMT` variant: summed per-feature trailing standard deviation.
+pub fn std_statistic(
+    values: &[f32],
+    win_len: usize,
+    dims: usize,
+    cv_window: usize,
+    use_fft: bool,
+) -> Vec<f64> {
+    let mut total = vec![0.0f64; win_len];
+    for n in 0..dims {
+        let ch: Vec<f64> = (0..win_len).map(|t| values[t * dims + n] as f64).collect();
+        let var = if use_fft {
+            sliding_var_fft(&ch, cv_window)
+        } else {
+            sliding_var_naive(&ch, cv_window)
+        };
+        for (acc, v) in total.iter_mut().zip(var.iter()) {
+            *acc += v.max(0.0).sqrt();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn window_with_spike(len: usize, spike_at: usize) -> Vec<f32> {
+        let mut v: Vec<f32> =
+            (0..len).map(|t| 1.0 + 0.1 * (t as f32 * 0.3).sin()).collect();
+        v[spike_at] = 15.0;
+        v
+    }
+
+    #[test]
+    fn cv_mask_targets_the_spike() {
+        let len = 64;
+        let vals = window_with_spike(len, 30);
+        let m = temporal_mask(&vals, len, 1, 8, 10, TemporalMaskKind::Cv, true, &mut rng());
+        // Trailing windows containing the spike are t = 30..40; all masked
+        // indices must fall in that band.
+        assert!(
+            m.masked.iter().all(|&i| (30..40).contains(&i)),
+            "mask leaked outside the spike band: {:?}",
+            m.masked
+        );
+        assert_eq!(m.masked.len(), 8);
+        assert_eq!(m.unmasked.len(), len - 8);
+    }
+
+    #[test]
+    fn fft_and_loop_paths_select_same_indices() {
+        let len = 100;
+        let vals: Vec<f32> = (0..len).map(|t| (t as f32 * 0.17).sin() + 0.01 * t as f32).collect();
+        let a = temporal_mask(&vals, len, 1, 25, 10, TemporalMaskKind::Cv, true, &mut rng());
+        let b = temporal_mask(&vals, len, 1, 25, 10, TemporalMaskKind::Cv, false, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn masked_and_unmasked_partition_the_window() {
+        let len = 50;
+        let vals = window_with_spike(len, 10);
+        for kind in [TemporalMaskKind::Cv, TemporalMaskKind::Std, TemporalMaskKind::Random] {
+            let m = temporal_mask(&vals, len, 1, 12, 10, kind, true, &mut rng());
+            let mut all: Vec<usize> = m.masked.iter().chain(m.unmasked.iter()).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..len).collect::<Vec<_>>(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn none_and_zero_count_disable_masking() {
+        let vals = window_with_spike(20, 5);
+        let m = temporal_mask(&vals, 20, 1, 0, 10, TemporalMaskKind::Cv, true, &mut rng());
+        assert!(m.masked.is_empty());
+        let m = temporal_mask(&vals, 20, 1, 5, 10, TemporalMaskKind::None, true, &mut rng());
+        assert!(m.masked.is_empty());
+        assert_eq!(m.unmasked.len(), 20);
+    }
+
+    #[test]
+    fn mask_count_clamped_below_window_length() {
+        let vals = window_with_spike(10, 3);
+        let m = temporal_mask(&vals, 10, 1, 99, 5, TemporalMaskKind::Cv, true, &mut rng());
+        assert_eq!(m.masked.len(), 9, "must leave at least one unmasked token");
+    }
+
+    #[test]
+    fn random_masks_differ_across_draws() {
+        let vals = window_with_spike(60, 7);
+        let mut r = rng();
+        let a = temporal_mask(&vals, 60, 1, 15, 10, TemporalMaskKind::Random, true, &mut r);
+        let b = temporal_mask(&vals, 60, 1, 15, 10, TemporalMaskKind::Random, true, &mut r);
+        assert_ne!(a.masked, b.masked);
+    }
+
+    #[test]
+    fn multivariate_spike_on_one_channel_is_found() {
+        let len = 40;
+        let dims = 3;
+        let mut vals = vec![1.0f32; len * dims];
+        for t in 0..len {
+            vals[t * dims] = (t as f32 * 0.2).sin();
+            vals[t * dims + 1] = 1.0;
+        }
+        vals[25 * dims + 2] = 30.0; // spike on channel 2
+        let m = temporal_mask(&vals, len, dims, 6, 10, TemporalMaskKind::Cv, true, &mut rng());
+        assert!(m.masked.contains(&25));
+    }
+}

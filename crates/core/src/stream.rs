@@ -1,0 +1,296 @@
+//! Online scoring for live telemetry (the observability setting the
+//! paper's introduction motivates).
+//!
+//! [`StreamingDetector`] wraps a fitted [`TfmaeDetector`] behind a ring
+//! buffer: observations are pushed one at a time, and every `hop` pushes
+//! the most recent window is scored, emitting verdicts for the `hop` newest
+//! observations. Amortized cost is one window forward per `hop`
+//! observations (hop = `win_len`/4 by default).
+
+use std::collections::VecDeque;
+
+use tfmae_data::{Detector, TimeSeries};
+
+use crate::detector::TfmaeDetector;
+
+/// One scored observation from the stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamVerdict {
+    /// Index of the observation in the stream (0-based from start).
+    pub t: u64,
+    /// Anomaly score (same scale as the offline detector).
+    pub score: f32,
+    /// Whether the score crossed the configured threshold.
+    pub is_anomaly: bool,
+}
+
+/// Online wrapper around a fitted detector.
+///
+/// **Score normalization:** with the default [`ScoreKind::Combined`]
+/// criterion the two score components are normalized by their means over
+/// the scored span. Offline scoring normalizes over the whole series; a
+/// lone hop window would normalize over itself, which makes every window
+/// average the same value and blinds the detector to anomalies that span
+/// a whole window. Call [`StreamingDetector::calibrate`] with the
+/// validation series to **freeze** the component normalization constants —
+/// online scores then live on the same scale as offline `score()` output,
+/// so a `threshold_for_ratio` δ from offline validation scores transfers
+/// directly. Without calibration the wrapper falls back to window-local
+/// normalization (adequate for point anomalies only).
+///
+/// [`ScoreKind::Combined`]: crate::config::ScoreKind
+pub struct StreamingDetector {
+    det: TfmaeDetector,
+    threshold: f32,
+    hop: usize,
+    dims: usize,
+    win_len: usize,
+    buffer: VecDeque<Vec<f32>>,
+    pushed: u64,
+    since_score: usize,
+    frozen_norms: Option<(f32, f32)>,
+}
+
+impl StreamingDetector {
+    /// Wraps a fitted detector.
+    ///
+    /// * `threshold` — the δ of Eq. 17 (take it from
+    ///   [`threshold_for_ratio`](tfmae_metrics::threshold_for_ratio) on
+    ///   validation scores);
+    /// * `hop` — observations between scoring passes (1 ≤ hop ≤ win_len).
+    ///
+    /// # Panics
+    /// Panics if the detector has not been fitted.
+    pub fn new(det: TfmaeDetector, threshold: f32, hop: usize) -> Self {
+        let model = det.model().expect("StreamingDetector requires a fitted detector");
+        let win_len = det.cfg.win_len;
+        let dims = model.dims();
+        assert!((1..=win_len).contains(&hop), "hop must be in 1..=win_len");
+        Self {
+            det,
+            threshold,
+            hop,
+            dims,
+            win_len,
+            buffer: VecDeque::with_capacity(win_len + 1),
+            pushed: 0,
+            since_score: 0,
+            frozen_norms: None,
+        }
+    }
+
+    /// Freezes the score-normalization constants from a reference series
+    /// (normally the validation split), so online scores match the scale of
+    /// offline [`Detector::score`] output. Only affects
+    /// [`ScoreKind::Combined`](crate::config::ScoreKind); the other
+    /// criteria are normalization-free.
+    pub fn calibrate(&mut self, series: &TimeSeries) {
+        let (kl, dual) = self.det.score_components(series);
+        let ma = kl.iter().sum::<f32>() / kl.len().max(1) as f32;
+        let mb = dual.iter().sum::<f32>() / dual.len().max(1) as f32;
+        self.frozen_norms = Some((ma, mb));
+    }
+
+    /// Convenience: hop = win_len / 4.
+    pub fn with_default_hop(det: TfmaeDetector, threshold: f32) -> Self {
+        let hop = (det.cfg.win_len / 4).max(1);
+        Self::new(det, threshold, hop)
+    }
+
+    /// Observations pushed so far.
+    pub fn len(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Whether the warm-up window has filled.
+    pub fn warmed_up(&self) -> bool {
+        self.buffer.len() >= self.win_len
+    }
+
+    /// Pushes one observation row (`dims` values). Returns verdicts for any
+    /// newly scored observations (empty during warm-up and between hops).
+    ///
+    /// # Panics
+    /// Panics if `row.len() != dims`.
+    pub fn push(&mut self, row: &[f32]) -> Vec<StreamVerdict> {
+        assert_eq!(row.len(), self.dims, "row width mismatch");
+        self.buffer.push_back(row.to_vec());
+        if self.buffer.len() > self.win_len {
+            self.buffer.pop_front();
+        }
+        self.pushed += 1;
+        self.since_score += 1;
+
+        if !self.warmed_up() || self.since_score < self.hop {
+            return Vec::new();
+        }
+        self.since_score = 0;
+
+        // Score the current window and report its newest `hop` positions.
+        let mut flat = Vec::with_capacity(self.win_len * self.dims);
+        for r in &self.buffer {
+            flat.extend_from_slice(r);
+        }
+        let window = TimeSeries::new(flat, self.win_len, self.dims);
+        let scores = match (self.frozen_norms, self.det.cfg.score) {
+            (Some((ma, mb)), crate::config::ScoreKind::Combined) => {
+                let (kl, dual) = self.det.score_components(&window);
+                kl.iter()
+                    .zip(dual.iter())
+                    .map(|(x, y)| x / (ma + 1e-12) + y / (mb + 1e-12))
+                    .collect()
+            }
+            _ => self.det.score(&window),
+        };
+        let newest = self.hop.min(self.win_len);
+        let base_t = self.pushed - newest as u64;
+        (0..newest)
+            .map(|i| {
+                let score = scores[self.win_len - newest + i];
+                StreamVerdict { t: base_t + i as u64, score, is_anomaly: score >= self.threshold }
+            })
+            .collect()
+    }
+
+    /// Pushes a batch of rows, collecting all verdicts.
+    pub fn push_many(&mut self, series: &TimeSeries) -> Vec<StreamVerdict> {
+        assert_eq!(series.dims(), self.dims);
+        let mut out = Vec::new();
+        for t in 0..series.len() {
+            out.extend(self.push(series.row(t)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TfmaeConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tfmae_data::{render, Component};
+    use tfmae_metrics::threshold_for_ratio;
+
+    fn series(len: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ch = render(
+            &[Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 }, Component::Noise { sigma: 0.05 }],
+            len,
+            &mut rng,
+        );
+        TimeSeries::from_channels(&[ch])
+    }
+
+    fn fitted() -> TfmaeDetector {
+        let train = series(512, 1);
+        let mut det = TfmaeDetector::new(TfmaeConfig { epochs: 4, ..TfmaeConfig::tiny() });
+        det.fit(&train, &train);
+        det
+    }
+
+    #[test]
+    fn warmup_emits_nothing_then_hops() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let mut s = StreamingDetector::new(det, f32::MAX, 4);
+        let data = series(win + 12, 2);
+        let mut verdicts = Vec::new();
+        for t in 0..data.len() {
+            let out = s.push(data.row(t));
+            if t + 1 < win {
+                assert!(out.is_empty(), "no verdicts during warm-up (t={t})");
+            }
+            verdicts.extend(out);
+        }
+        assert!(s.warmed_up());
+        // After warm-up, every hop of 4 pushes yields 4 verdicts.
+        assert!(!verdicts.is_empty());
+        assert_eq!(verdicts.len() % 4, 0);
+        // Verdict indices are contiguous and increasing.
+        for pair in verdicts.windows(2) {
+            assert!(pair[1].t > pair[0].t);
+        }
+    }
+
+    #[test]
+    fn spike_is_flagged_online() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        // Calibrate a threshold from validation scores.
+        let val = series(128, 3);
+        let delta = threshold_for_ratio(&det.score(&val), 0.02);
+        let mut s = StreamingDetector::new(det, delta, 1);
+
+        let mut data = series(win * 3, 4);
+        let spike_t = win * 2;
+        data.set(spike_t, 0, 12.0);
+        let verdicts = s.push_many(&data);
+        let hits: Vec<&StreamVerdict> =
+            verdicts.iter().filter(|v| v.is_anomaly).collect();
+        assert!(!hits.is_empty(), "online detector missed the spike");
+        assert!(
+            hits.iter().any(|v| (v.t as i64 - spike_t as i64).abs() <= 4),
+            "flag not near the spike: {:?}",
+            hits.iter().map(|v| v.t).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn streaming_matches_offline_on_last_window_positions() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let data = series(win, 5);
+        let offline = det.score(&data);
+        let mut s = StreamingDetector::new(det, f32::MAX, win);
+        let verdicts = s.push_many(&data);
+        assert_eq!(verdicts.len(), win);
+        for (v, &o) in verdicts.iter().zip(offline.iter()) {
+            assert!((v.score - o).abs() < 1e-5, "stream {} vs offline {o}", v.score);
+        }
+    }
+
+    #[test]
+    fn calibrated_stream_detects_sustained_anomaly() {
+        // A level shift spanning more than one full window: window-local
+        // normalization absorbs it, frozen calibration norms must not.
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let val = series(256, 7);
+        let delta = tfmae_metrics::threshold_for_ratio(&det.score(&val), 0.02);
+        let mut s = StreamingDetector::new(det, delta, 1);
+        s.calibrate(&val);
+
+        let mut data = series(win * 4, 8);
+        for t in win * 2..win * 3 + win / 2 {
+            let v = data.get(t, 0);
+            data.set(t, 0, v + 6.0); // sustained level shift
+        }
+        let verdicts = s.push_many(&data);
+        let hits = verdicts
+            .iter()
+            .filter(|v| v.is_anomaly && (win * 2..win * 3 + win / 2).contains(&(v.t as usize)))
+            .count();
+        assert!(hits > 0, "calibrated stream missed a sustained level shift");
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted")]
+    fn unfitted_detector_is_rejected() {
+        let det = TfmaeDetector::new(TfmaeConfig::tiny());
+        StreamingDetector::new(det, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_row_width_panics() {
+        let det = fitted();
+        let mut s = StreamingDetector::new(det, 0.0, 1);
+        s.push(&[1.0, 2.0, 3.0]);
+    }
+}

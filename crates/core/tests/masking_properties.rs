@@ -1,0 +1,100 @@
+//! Property-based tests for the two masking strategies.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_core::{frequency_mask, temporal_mask, FreqMaskKind, TemporalMaskKind};
+use tfmae_fft::{irfft, rfft, rfft_len, Complex64};
+
+fn window(len: usize, dims: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-50.0f32..50.0, len * dims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn temporal_mask_partitions_indices(
+        vals in window(40, 2),
+        i_t in 0usize..39,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for kind in [TemporalMaskKind::Cv, TemporalMaskKind::Std, TemporalMaskKind::Random, TemporalMaskKind::None] {
+            let m = temporal_mask(&vals, 40, 2, i_t, 10, kind, true, &mut rng);
+            let mut all: Vec<usize> = m.masked.iter().chain(m.unmasked.iter()).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..40).collect::<Vec<_>>());
+            if kind != TemporalMaskKind::None {
+                prop_assert_eq!(m.masked.len(), i_t.min(39));
+            }
+            // Sorted ascending (the model relies on it for PE lookup).
+            prop_assert!(m.masked.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(m.unmasked.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn cv_fft_and_loop_paths_pick_same_mask(
+        vals in window(64, 1),
+        i_t in 1usize..30,
+    ) {
+        let mut r1 = StdRng::seed_from_u64(0);
+        let mut r2 = StdRng::seed_from_u64(0);
+        let a = temporal_mask(&vals, 64, 1, i_t, 10, TemporalMaskKind::Cv, true, &mut r1);
+        let b = temporal_mask(&vals, 64, 1, i_t, 10, TemporalMaskKind::Cv, false, &mut r2);
+        // Allow tie-induced differences of at most one index.
+        let overlap = a.masked.iter().filter(|i| b.masked.contains(i)).count();
+        prop_assert!(overlap + 1 >= a.masked.len(), "{:?} vs {:?}", a.masked, b.masked);
+    }
+
+    #[test]
+    fn frequency_mask_base_never_contains_masked_energy(
+        vals in window(48, 1),
+        i_f in 1usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = frequency_mask(&vals, 48, 1, i_f, FreqMaskKind::Amplitude, &mut rng);
+        // rFFT of base must be (near) zero at every masked bin.
+        let base64: Vec<f64> = (0..48).map(|t| data.base[t] as f64).collect();
+        let spec = rfft(&base64);
+        for &i in &data.masked_bins[0] {
+            prop_assert!(spec[i].abs() < 1e-3, "bin {i} retains {:?}", spec[i]);
+        }
+    }
+
+    #[test]
+    fn frequency_linearity_holds_for_random_m(
+        vals in window(40, 1),
+        re in -3.0f32..3.0,
+        im in -3.0f32..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = frequency_mask(&vals, 40, 1, 8, FreqMaskKind::Amplitude, &mut rng);
+        // Direct: write m into the masked bins and invert.
+        let ch: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        let mut spec = rfft(&ch);
+        for &i in &data.masked_bins[0] {
+            spec[i] = Complex64::new(re as f64, im as f64);
+        }
+        let direct = irfft(&spec, 40);
+        for t in 0..40 {
+            let fast = data.base[t] + re * data.a[t] + im * data.b[t];
+            prop_assert!((direct[t] as f32 - fast).abs() < 1e-3,
+                "t={t}: {} vs {fast}", direct[t]);
+        }
+    }
+
+    #[test]
+    fn mask_kinds_mask_expected_bin_counts(vals in window(32, 3), i_f in 0usize..15) {
+        let mut rng = StdRng::seed_from_u64(5);
+        for kind in [FreqMaskKind::Amplitude, FreqMaskKind::HighFreq, FreqMaskKind::Random] {
+            let data = frequency_mask(&vals, 32, 3, i_f, kind, &mut rng);
+            for bins in &data.masked_bins {
+                prop_assert_eq!(bins.len(), i_f.min(rfft_len(32) - 1));
+                prop_assert!(bins.windows(2).all(|w| w[0] < w[1]), "sorted");
+                prop_assert!(bins.iter().all(|&b| b < rfft_len(32)));
+            }
+        }
+    }
+}

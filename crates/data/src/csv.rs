@@ -1,0 +1,221 @@
+//! Minimal CSV import/export for time series (no third-party parser).
+//!
+//! Format: one row per observation, one numeric column per channel,
+//! optional header row, optional trailing `label` column of 0/1. This is
+//! the on-disk interface of the `tfmae-cli` tool.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::series::TimeSeries;
+
+/// A parsed CSV dataset: values plus optional labels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsvData {
+    /// The time series (all non-label columns).
+    pub series: TimeSeries,
+    /// Per-observation labels, when a `label` column was present.
+    pub labels: Option<Vec<u8>>,
+    /// Column names (auto-generated `c0..` when no header).
+    pub columns: Vec<String>,
+}
+
+/// CSV parse errors.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Structural/parse failure with row context.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// File contains no observations.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            CsvError::Empty => write!(f, "csv contains no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn is_number(s: &str) -> bool {
+    s.trim().parse::<f64>().is_ok()
+}
+
+/// Parses CSV text. A first row with any non-numeric cell is treated as a
+/// header; a final column named `label` (case-insensitive) becomes labels.
+pub fn parse_csv(text: &str) -> Result<CsvData, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).peekable();
+    let Some(&(_, first)) = lines.peek() else {
+        return Err(CsvError::Empty);
+    };
+    let first_cells: Vec<&str> = first.split(',').collect();
+    let has_header = first_cells.iter().any(|c| !is_number(c));
+    let mut columns: Vec<String> = if has_header {
+        let (_, header) = lines.next().expect("peeked");
+        header.split(',').map(|c| c.trim().to_string()).collect()
+    } else {
+        (0..first_cells.len()).map(|i| format!("c{i}")).collect()
+    };
+
+    let has_label = columns
+        .last()
+        .map(|c| c.eq_ignore_ascii_case("label"))
+        .unwrap_or(false);
+    let value_cols = if has_label { columns.len() - 1 } else { columns.len() };
+    if value_cols == 0 {
+        return Err(CsvError::Parse { line: 1, message: "no value columns".into() });
+    }
+
+    let mut values: Vec<f32> = Vec::new();
+    let mut labels: Vec<u8> = Vec::new();
+    let mut rows = 0usize;
+    for (lineno, line) in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != columns.len() {
+            return Err(CsvError::Parse {
+                line: lineno + 1,
+                message: format!("expected {} cells, got {}", columns.len(), cells.len()),
+            });
+        }
+        for cell in &cells[..value_cols] {
+            let v: f64 = cell.trim().parse().map_err(|e| CsvError::Parse {
+                line: lineno + 1,
+                message: format!("bad number {cell:?}: {e}"),
+            })?;
+            if !v.is_finite() {
+                return Err(CsvError::Parse {
+                    line: lineno + 1,
+                    message: format!("non-finite value {cell:?} is not allowed"),
+                });
+            }
+            values.push(v as f32);
+        }
+        if has_label {
+            let l: f64 = cells[value_cols].trim().parse().map_err(|e| CsvError::Parse {
+                line: lineno + 1,
+                message: format!("bad label: {e}"),
+            })?;
+            labels.push(u8::from(l != 0.0));
+        }
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(CsvError::Empty);
+    }
+    if has_label {
+        columns.pop();
+    }
+    Ok(CsvData {
+        series: TimeSeries::new(values, rows, value_cols),
+        labels: if has_label { Some(labels) } else { None },
+        columns,
+    })
+}
+
+/// Reads and parses a CSV file.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<CsvData, CsvError> {
+    let text = fs::read_to_string(path)?;
+    parse_csv(&text)
+}
+
+/// Serializes a series (and optional labels) to CSV text with a header.
+pub fn to_csv(series: &TimeSeries, labels: Option<&[u8]>) -> String {
+    let mut out = String::new();
+    let mut header: Vec<String> = (0..series.dims()).map(|i| format!("c{i}")).collect();
+    if labels.is_some() {
+        header.push("label".into());
+    }
+    let _ = writeln!(out, "{}", header.join(","));
+    for t in 0..series.len() {
+        let row: Vec<String> = series.row(t).iter().map(|v| format!("{v}")).collect();
+        if let Some(ls) = labels {
+            let _ = writeln!(out, "{},{}", row.join(","), ls[t]);
+        } else {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+    }
+    out
+}
+
+/// Writes a series (and optional labels) to a CSV file.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    series: &TimeSeries,
+    labels: Option<&[u8]>,
+) -> Result<(), CsvError> {
+    fs::write(path, to_csv(series, labels))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_with_header_and_labels() {
+        let text = "a,b,label\n1.0,2.0,0\n3.0,4.0,1\n";
+        let data = parse_csv(text).unwrap();
+        assert_eq!(data.series.len(), 2);
+        assert_eq!(data.series.dims(), 2);
+        assert_eq!(data.labels, Some(vec![0, 1]));
+        assert_eq!(data.columns, vec!["a", "b"]);
+        assert_eq!(data.series.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn parse_headerless_numeric() {
+        let text = "1,2\n3,4\n5,6\n";
+        let data = parse_csv(text).unwrap();
+        assert_eq!(data.series.len(), 3);
+        assert_eq!(data.labels, None);
+        assert_eq!(data.columns, vec!["c0", "c1"]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = TimeSeries::from_channels(&[vec![1.5, -2.0], vec![0.25, 9.0]]);
+        let labels = vec![0u8, 1];
+        let text = to_csv(&s, Some(&labels));
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back.series, s);
+        assert_eq!(back.labels, Some(labels));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "a,b\n1.0\n";
+        match parse_csv(text) {
+            Err(CsvError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let text = "a,b\n1.0,x\n";
+        assert!(matches!(parse_csv(text), Err(CsvError::Parse { line: 2, .. })));
+        assert!(matches!(parse_csv(""), Err(CsvError::Empty)));
+        assert!(matches!(parse_csv("a,b\n"), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "1,2\n\n3,4\n\n";
+        let data = parse_csv(text).unwrap();
+        assert_eq!(data.series.len(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-channel z-score normalization fitted on the training split.
+//!
+//! All detectors in the reproduction (TFMAE and baselines) see the same
+//! normalized inputs, matching the common protocol of the paper's baselines.
+
+use crate::series::TimeSeries;
+
+/// Per-channel standardizer `x ↦ (x − μ)/σ` with σ floored at `MIN_STD`.
+#[derive(Clone, Debug)]
+pub struct ZScore {
+    /// Channel means (from the fit split).
+    pub mean: Vec<f32>,
+    /// Channel standard deviations (floored).
+    pub std: Vec<f32>,
+}
+
+/// Floor for standard deviations so constant channels stay finite.
+pub const MIN_STD: f32 = 1e-4;
+
+impl ZScore {
+    /// Fits on a (training) series.
+    pub fn fit(train: &TimeSeries) -> Self {
+        let mean = train.channel_means();
+        let std = train.channel_stds().into_iter().map(|s| s.max(MIN_STD)).collect();
+        Self { mean, std }
+    }
+
+    /// Applies the transform to any series with matching dims.
+    pub fn transform(&self, s: &TimeSeries) -> TimeSeries {
+        assert_eq!(s.dims(), self.mean.len(), "ZScore dims mismatch");
+        let mut out = s.clone();
+        for t in 0..s.len() {
+            for n in 0..s.dims() {
+                out.set(t, n, (s.get(t, n) - self.mean[n]) / self.std[n]);
+            }
+        }
+        out
+    }
+
+    /// Inverts the transform.
+    pub fn inverse(&self, s: &TimeSeries) -> TimeSeries {
+        let mut out = s.clone();
+        for t in 0..s.len() {
+            for n in 0..s.dims() {
+                out.set(t, n, s.get(t, n) * self.std[n] + self.mean[n]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitted_train_is_standardized() {
+        let train = TimeSeries::from_channels(&[vec![2.0, 4.0, 6.0], vec![-1.0, 0.0, 1.0]]);
+        let z = ZScore::fit(&train);
+        let out = z.transform(&train);
+        for n in 0..2 {
+            let m = out.channel_means()[n];
+            let s = out.channel_stds()[n];
+            assert!(m.abs() < 1e-6);
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_channel_stays_finite() {
+        let train = TimeSeries::from_channels(&[vec![3.0; 5]]);
+        let z = ZScore::fit(&train);
+        let out = z.transform(&train);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        assert!(out.data().iter().all(|&v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let train = TimeSeries::from_channels(&[vec![1.0, 5.0, 9.0]]);
+        let test = TimeSeries::from_channels(&[vec![2.0, 7.0]]);
+        let z = ZScore::fit(&train);
+        let back = z.inverse(&z.transform(&test));
+        for (a, b) in back.data().iter().zip(test.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transform_uses_train_statistics_not_targets() {
+        // Distribution-shifted test data keeps its shift after normalization
+        // (this is exactly the Fig. 1/9 phenomenon the paper studies).
+        let train = TimeSeries::from_channels(&[vec![0.0, 1.0, 0.0, 1.0]]);
+        let shifted = TimeSeries::from_channels(&[vec![10.0, 11.0, 10.0, 11.0]]);
+        let z = ZScore::fit(&train);
+        let out = z.transform(&shifted);
+        assert!(out.channel_means()[0] > 5.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Synthetic base-signal generators.
+//!
+//! Channels are composed from primitive components (sines, trends, square
+//! waves, AR(1) noise, random walks) so each benchmark simulator in
+//! [`crate::datasets`] can match the qualitative character of its real
+//! counterpart (see DESIGN.md §4).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A primitive signal component; components are summed per channel.
+#[derive(Clone, Debug)]
+pub enum Component {
+    /// `amp · sin(2πt/period + phase)`.
+    Sine {
+        /// Period in samples.
+        period: f64,
+        /// Amplitude.
+        amp: f64,
+        /// Phase offset (radians).
+        phase: f64,
+    },
+    /// Linear trend `slope · t`.
+    Trend {
+        /// Per-sample slope.
+        slope: f64,
+    },
+    /// Constant offset.
+    Level {
+        /// Offset value.
+        value: f64,
+    },
+    /// Square wave alternating ±amp with the given period and duty cycle.
+    Square {
+        /// Period in samples.
+        period: usize,
+        /// Amplitude.
+        amp: f64,
+        /// Fraction of the period spent at `+amp` (0..1).
+        duty: f64,
+    },
+    /// Sawtooth ramping 0→amp every period (actuator-style cycles).
+    Saw {
+        /// Period in samples.
+        period: usize,
+        /// Peak value.
+        amp: f64,
+    },
+    /// AR(1) noise `x_t = φ·x_{t-1} + ε`, ε ~ N(0, σ²).
+    Ar1 {
+        /// Autocorrelation φ in (-1, 1).
+        phi: f64,
+        /// Innovation standard deviation.
+        sigma: f64,
+    },
+    /// White Gaussian noise.
+    Noise {
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// Random walk with step standard deviation `sigma` (drift-free).
+    RandomWalk {
+        /// Step standard deviation.
+        sigma: f64,
+    },
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Renders the sum of `components` over `len` samples.
+pub fn render(components: &[Component], len: usize, rng: &mut StdRng) -> Vec<f32> {
+    let mut out = vec![0.0f64; len];
+    for c in components {
+        match c {
+            Component::Sine { period, amp, phase } => {
+                for (t, v) in out.iter_mut().enumerate() {
+                    *v += amp * (2.0 * std::f64::consts::PI * t as f64 / period + phase).sin();
+                }
+            }
+            Component::Trend { slope } => {
+                for (t, v) in out.iter_mut().enumerate() {
+                    *v += slope * t as f64;
+                }
+            }
+            Component::Level { value } => {
+                for v in out.iter_mut() {
+                    *v += value;
+                }
+            }
+            Component::Square { period, amp, duty } => {
+                let high = ((*period as f64) * duty) as usize;
+                for (t, v) in out.iter_mut().enumerate() {
+                    *v += if t % period < high.max(1) { *amp } else { -*amp };
+                }
+            }
+            Component::Saw { period, amp } => {
+                for (t, v) in out.iter_mut().enumerate() {
+                    *v += amp * (t % period) as f64 / *period as f64;
+                }
+            }
+            Component::Ar1 { phi, sigma } => {
+                let mut x = 0.0f64;
+                for v in out.iter_mut() {
+                    x = phi * x + sigma * gauss(rng);
+                    *v += x;
+                }
+            }
+            Component::Noise { sigma } => {
+                for v in out.iter_mut() {
+                    *v += sigma * gauss(rng);
+                }
+            }
+            Component::RandomWalk { sigma } => {
+                let mut x = 0.0f64;
+                for v in out.iter_mut() {
+                    x += sigma * gauss(rng);
+                    *v += x;
+                }
+            }
+        }
+    }
+    out.into_iter().map(|v| v as f32).collect()
+}
+
+/// Renders a channel as `base + mix·shared` — used by the server simulators
+/// (PSM/SMD) whose channels co-move through shared load factors.
+pub fn render_correlated(
+    own: &[Component],
+    shared: &[f32],
+    mix: f64,
+    len: usize,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    assert_eq!(shared.len(), len, "shared factor length mismatch");
+    let mut out = render(own, len, rng);
+    for (v, s) in out.iter_mut().zip(shared.iter()) {
+        *v += (mix * *s as f64) as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn sine_has_expected_period() {
+        let mut r = rng();
+        let x = render(&[Component::Sine { period: 10.0, amp: 1.0, phase: 0.0 }], 40, &mut r);
+        for t in 0..30 {
+            assert!((x[t] - x[t + 10]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn trend_is_linear() {
+        let mut r = rng();
+        let x = render(&[Component::Trend { slope: 0.5 }], 10, &mut r);
+        assert!((x[4] - 2.0).abs() < 1e-6);
+        assert!((x[9] - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn square_respects_duty() {
+        let mut r = rng();
+        let x = render(&[Component::Square { period: 10, amp: 1.0, duty: 0.3 }], 100, &mut r);
+        let high = x.iter().filter(|&&v| v > 0.0).count();
+        assert_eq!(high, 30);
+    }
+
+    #[test]
+    fn ar1_is_autocorrelated() {
+        let mut r = rng();
+        let x = render(&[Component::Ar1 { phi: 0.95, sigma: 1.0 }], 5000, &mut r);
+        let mean: f64 = x.iter().map(|&v| v as f64).sum::<f64>() / x.len() as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for t in 1..x.len() {
+            num += (x[t] as f64 - mean) * (x[t - 1] as f64 - mean);
+        }
+        for &v in &x {
+            den += (v as f64 - mean).powi(2);
+        }
+        let rho = num / den;
+        assert!(rho > 0.8, "AR(1) lag-1 autocorrelation was {rho}");
+    }
+
+    #[test]
+    fn noise_has_requested_scale() {
+        let mut r = rng();
+        let x = render(&[Component::Noise { sigma: 2.0 }], 20_000, &mut r);
+        let mean: f64 = x.iter().map(|&v| v as f64).sum::<f64>() / x.len() as f64;
+        let std: f64 =
+            (x.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / x.len() as f64).sqrt();
+        assert!((std - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn components_sum() {
+        let mut r = rng();
+        let x = render(
+            &[Component::Level { value: 5.0 }, Component::Trend { slope: 1.0 }],
+            4,
+            &mut r,
+        );
+        assert_eq!(x, vec![5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn correlated_channels_share_factor() {
+        let mut r = rng();
+        let shared = render(&[Component::Sine { period: 20.0, amp: 3.0, phase: 0.0 }], 200, &mut r);
+        let a = render_correlated(&[Component::Noise { sigma: 0.1 }], &shared, 1.0, 200, &mut r);
+        let b = render_correlated(&[Component::Noise { sigma: 0.1 }], &shared, 1.0, 200, &mut r);
+        // Correlation through the shared factor should dominate the noise.
+        let mean_a: f64 = a.iter().map(|&v| v as f64).sum::<f64>() / 200.0;
+        let mean_b: f64 = b.iter().map(|&v| v as f64).sum::<f64>() / 200.0;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for t in 0..200 {
+            let da = a[t] as f64 - mean_a;
+            let db = b[t] as f64 - mean_b;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        let rho = cov / (va.sqrt() * vb.sqrt());
+        assert!(rho > 0.9, "shared-factor correlation was {rho}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let comps = [Component::Ar1 { phi: 0.5, sigma: 1.0 }];
+        assert_eq!(render(&comps, 50, &mut a), render(&comps, 50, &mut b));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests on the benchmark simulators and windowing machinery.
+
+use proptest::prelude::*;
+use tfmae_data::{
+    batch_windows, extract_windows, fold_scores, generate, DatasetKind, TimeSeries, ZScore,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn windows_cover_every_observation(len in 1usize..500, win in 1usize..120, stride_frac in 0.1f64..1.0) {
+        // Coverage is guaranteed for stride <= win (the detectors' regime).
+        let stride = ((win as f64 * stride_frac) as usize).max(1);
+        let s = TimeSeries::univariate((0..len).map(|v| v as f32).collect());
+        let ws = extract_windows(&s, win, stride);
+        let mut covered = vec![false; len];
+        for w in &ws {
+            for i in 0..win {
+                if w.start + i < len {
+                    covered[w.start + i] = true;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "uncovered observations");
+    }
+
+    #[test]
+    fn window_values_match_source(len in 50usize..300, stride in 10usize..60) {
+        let s = TimeSeries::univariate((0..len).map(|v| (v as f32).sin()).collect());
+        for w in extract_windows(&s, 40.min(len), stride) {
+            for (i, &v) in w.values.iter().enumerate() {
+                prop_assert_eq!(v, s.get(w.start + i, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn batching_preserves_window_contents(len in 120usize..400, batch in 1usize..9) {
+        let s = TimeSeries::univariate((0..len).map(|v| v as f32 * 0.5).collect());
+        let ws = extract_windows(&s, 30, 30);
+        let batches = batch_windows(&ws, batch);
+        let mut idx = 0;
+        for (starts, values) in batches {
+            for (wi, &start) in starts.iter().enumerate() {
+                prop_assert_eq!(start, ws[idx].start);
+                prop_assert_eq!(&values[wi * 30..(wi + 1) * 30], ws[idx].values.as_slice());
+                idx += 1;
+            }
+        }
+        prop_assert_eq!(idx, ws.len());
+    }
+
+    #[test]
+    fn fold_of_constant_scores_is_constant(len in 50usize..300) {
+        let s = TimeSeries::univariate(vec![0.0; len]);
+        let ws = extract_windows(&s, 25.min(len), 25.min(len));
+        let per: Vec<(usize, Vec<f32>)> = ws.iter().map(|w| (w.start, vec![2.5; 25.min(len)])).collect();
+        let folded = fold_scores(len, 25.min(len), &per);
+        prop_assert!(folded.iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn zscore_statistics_respect_training_split(seed in 0u64..30) {
+        let b = generate(DatasetKind::Psm, seed, 3000);
+        let z = ZScore::fit(&b.train);
+        let tn = z.transform(&b.train);
+        for n in 0..tn.dims() {
+            prop_assert!(tn.channel_means()[n].abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn simulators_are_seed_deterministic_and_seed_sensitive(seed in 0u64..20) {
+        let a = generate(DatasetKind::Swat, seed, 4000);
+        let b = generate(DatasetKind::Swat, seed, 4000);
+        prop_assert_eq!(a.test.data(), b.test.data());
+        let c = generate(DatasetKind::Swat, seed + 1, 4000);
+        prop_assert_ne!(a.test.data(), c.test.data());
+    }
+
+    #[test]
+    fn anomalies_exist_and_are_bounded(seed in 0u64..20) {
+        for kind in [DatasetKind::Msl, DatasetKind::NipsTsSeasonal] {
+            let b = generate(kind, seed, 3000);
+            let count = b.test_labels.iter().filter(|&&l| l == 1).count();
+            prop_assert!(count > 0, "{} produced no anomalies", kind.name());
+            prop_assert!(count < b.test.len() / 2, "{} over-injected", kind.name());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Naïve O(n²) discrete Fourier transform.
+//!
+//! Used as the ground truth in tests and as the deliberately slow path of the
+//! paper's `w/o FFT` ablation (Fig. 10).
+
+use crate::complex::Complex64;
+
+/// Forward DFT: `X_k = Σ_t x_t e^{-2πi kt/n}` (Eq. 6 of the paper).
+pub fn dft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = vec![Complex64::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let base = -2.0 * std::f64::consts::PI / n as f64;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (t, &x) in input.iter().enumerate() {
+            // (k*t) mod n keeps the phase argument small and accurate.
+            acc += x * Complex64::cis(base * ((k * t) % n) as f64);
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Inverse DFT scaled by `1/n` (Eq. 10's synthesis sum).
+pub fn idft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = vec![Complex64::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let base = 2.0 * std::f64::consts::PI / n as f64;
+    let inv = 1.0 / n as f64;
+    for (t, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (k, &x) in input.iter().enumerate() {
+            acc += x * Complex64::cis(base * ((k * t) % n) as f64);
+        }
+        *slot = acc.scale(inv);
+    }
+    out
+}
+
+/// DFT of a real signal (convenience wrapper used by the slow ablation path).
+pub fn dft_real(input: &[f64]) -> Vec<Complex64> {
+    let buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_re(x)).collect();
+    dft(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_roundtrip() {
+        let x: Vec<Complex64> =
+            (0..13).map(|t| Complex64::new((t as f64).sin(), (t as f64 * 0.5).cos())).collect();
+        let back = idft(&dft(&x));
+        for (a, b) in x.iter().zip(back.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dft_of_single_tone() {
+        // A pure complex exponential at bin 3 concentrates all energy there.
+        let n = 16;
+        let x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64))
+            .collect();
+        let spec = dft(&x);
+        assert!((spec[3].re - n as f64).abs() < 1e-9);
+        for (k, z) in spec.iter().enumerate() {
+            if k != 3 {
+                assert!(z.abs() < 1e-9, "bin {k} leaked {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dft_real_matches_complex_dft() {
+        let x: Vec<f64> = (0..9).map(|t| (t as f64 * 1.3).cos()).collect();
+        let a = dft_real(&x);
+        let b = dft(&x.iter().map(|&v| Complex64::from_re(v)).collect::<Vec<_>>());
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((*p - *q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let x: Vec<f64> = (0..12).map(|t| (t as f64 * 0.7).sin() + 0.3).collect();
+        let spec = dft_real(&x);
+        for k in 1..x.len() {
+            let a = spec[k];
+            let b = spec[x.len() - k].conj();
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Real-input FFT and its inverse.
+//!
+//! The frequency-masking branch of TFMAE (Eq. 6–10) transforms each real
+//! feature channel, manipulates the half-spectrum, and synthesizes a real
+//! signal back. Working on the half-spectrum (`n/2 + 1` bins) keeps the
+//! conjugate-symmetry constraint explicit: whatever the model writes into a
+//! bin is mirrored into its conjugate twin on synthesis, so the inverse is
+//! always real-valued.
+
+use crate::complex::Complex64;
+use crate::fft::{fft, ifft};
+
+/// Number of half-spectrum bins for a real signal of length `n`.
+#[inline]
+pub fn rfft_len(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n / 2 + 1
+    }
+}
+
+/// Forward real FFT: returns the first `n/2 + 1` bins of the full DFT.
+pub fn rfft(input: &[f64]) -> Vec<Complex64> {
+    let buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_re(x)).collect();
+    let full = fft(&buf);
+    full[..rfft_len(input.len())].to_vec()
+}
+
+/// Inverse real FFT: reconstructs a length-`n` real signal from `n/2 + 1`
+/// half-spectrum bins, enforcing conjugate symmetry.
+///
+/// # Panics
+/// Panics if `half.len() != rfft_len(n)`.
+pub fn irfft(half: &[Complex64], n: usize) -> Vec<f64> {
+    assert_eq!(half.len(), rfft_len(n), "half-spectrum length mismatch for n={n}");
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut full = vec![Complex64::ZERO; n];
+    full[..half.len()].copy_from_slice(half);
+    for k in 1..n - half.len() + 1 {
+        // Mirror bins (n-k) = conj(bin k); covers k in 1..ceil(n/2).
+        full[n - k] = half[k].conj();
+    }
+    // DC must be real; for even n the Nyquist bin must be real too. Force
+    // them so arbitrary learnable spectra still synthesize real signals.
+    full[0].im = 0.0;
+    if n.is_multiple_of(2) {
+        full[n / 2].im = 0.0;
+    }
+    ifft(&full).into_iter().map(|z| z.re).collect()
+}
+
+/// Amplitudes `|X_k|` of the half-spectrum of a real signal (Eq. 7).
+pub fn amplitude_spectrum(input: &[f64]) -> Vec<f64> {
+    rfft(input).into_iter().map(|z| z.abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: usize) -> Vec<f64> {
+        (0..n).map(|t| (t as f64 * 0.13).sin() + 0.5 * (t as f64 * 0.71).cos() + 0.2).collect()
+    }
+
+    #[test]
+    fn roundtrip_even_and_odd_lengths() {
+        for &n in &[1usize, 2, 3, 4, 5, 16, 99, 100] {
+            let x = sig(n);
+            let back = irfft(&rfft(&x), n);
+            for (a, b) in x.iter().zip(back.iter()) {
+                assert!((a - b).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_len_formula() {
+        assert_eq!(rfft_len(0), 0);
+        assert_eq!(rfft_len(1), 1);
+        assert_eq!(rfft_len(2), 2);
+        assert_eq!(rfft_len(100), 51);
+        assert_eq!(rfft_len(101), 51);
+    }
+
+    #[test]
+    fn irfft_of_modified_spectrum_is_real_and_finite() {
+        let x = sig(100);
+        let mut spec = rfft(&x);
+        // Stomp arbitrary complex values into several bins, as the learnable
+        // frequency mask does (Eq. 9), and check synthesis stays well-formed.
+        spec[0] = Complex64::new(3.0, 9.0);
+        spec[10] = Complex64::new(-1.0, 2.0);
+        spec[50] = Complex64::new(0.5, -0.5);
+        let y = irfft(&spec, 100);
+        assert_eq!(y.len(), 100);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn amplitude_of_pure_tone_peaks_at_its_bin() {
+        let n = 64;
+        let f = 5;
+        let x: Vec<f64> =
+            (0..n).map(|t| (2.0 * std::f64::consts::PI * f as f64 * t as f64 / n as f64).sin()).collect();
+        let amp = amplitude_spectrum(&x);
+        let argmax = amp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(argmax, f);
+    }
+
+    #[test]
+    fn dc_only_signal() {
+        let x = vec![4.0; 10];
+        let amp = amplitude_spectrum(&x);
+        assert!((amp[0] - 40.0).abs() < 1e-9);
+        assert!(amp[1..].iter().all(|&a| a < 1e-9));
+    }
+}

@@ -1,0 +1,215 @@
+//! Sliding-window statistics for window-based temporal masking (Eq. 1–5).
+//!
+//! The paper scores every observation by the *coefficient of variation* of
+//! its trailing sub-sequence, then masks the top `r_T%`. Two equivalent
+//! implementations are provided:
+//!
+//! * [`sliding_cv_naive`] — the double loop of Eq. 1, O(|S|·W);
+//! * [`sliding_cv_fft`] — the Wiener–Khinchin form of Eq. 4–5, where both
+//!   `μ_t` and `μ⁽²⁾_t` come from FFT convolutions with a ones kernel,
+//!   O(|S| log |S|).
+//!
+//! Notes on fidelity:
+//! * Eq. 4 in the paper prints `μ⁽²⁾ + μ²`; the correct expectation identity
+//!   (and what makes Eq. 4 equal Eq. 1) is `var = μ⁽²⁾ − μ²`, which is what
+//!   we implement. Both paths use the same definition so they agree exactly.
+//! * The denominator uses `|μ_t| + ε`: the paper divides by the raw mean,
+//!   which is undefined at zero-mean windows (common after z-scoring). Note
+//!   that Eq. 1's statistic is variance/mean, so it scales *linearly* with
+//!   a uniform rescaling `c·s` — uniform scaling therefore preserves the
+//!   TopIndex ranking (what masking consumes), and differing per-channel
+//!   scales are neutralized by the z-score normalization the detector
+//!   applies before masking. The paper's §IV-A1 scale-robustness claim
+//!   holds in that ranking sense, not as `cv(c·s) = cv(s)` pointwise.
+
+use crate::conv::{sliding_sum_fft, sliding_sum_naive};
+
+/// Stabilizer for the mean denominator of the coefficient of variation.
+pub const CV_EPS: f64 = 1e-4;
+
+/// Trailing-window mean with head edge-padding, computed by FFT convolution.
+pub fn sliding_mean_fft(x: &[f64], w: usize) -> Vec<f64> {
+    let mut out = sliding_sum_fft(x, w);
+    let inv = 1.0 / w as f64;
+    for v in out.iter_mut() {
+        *v *= inv;
+    }
+    out
+}
+
+/// Trailing-window mean with head edge-padding, computed by loops.
+pub fn sliding_mean_naive(x: &[f64], w: usize) -> Vec<f64> {
+    let mut out = sliding_sum_naive(x, w);
+    let inv = 1.0 / w as f64;
+    for v in out.iter_mut() {
+        *v *= inv;
+    }
+    out
+}
+
+/// Trailing-window population variance via the FFT path of Eq. 5:
+/// `var_t = μ⁽²⁾_t − μ_t²`, clamped at zero against rounding.
+pub fn sliding_var_fft(x: &[f64], w: usize) -> Vec<f64> {
+    let sq: Vec<f64> = x.iter().map(|&v| v * v).collect();
+    let mu = sliding_mean_fft(x, w);
+    let mu2 = sliding_mean_fft(&sq, w);
+    mu.iter().zip(mu2.iter()).map(|(&m, &m2)| (m2 - m * m).max(0.0)).collect()
+}
+
+/// Trailing-window population variance with explicit loops (Eq. 1's inner sum
+/// normalized by `W`).
+pub fn sliding_var_naive(x: &[f64], w: usize) -> Vec<f64> {
+    let n = x.len();
+    let mut out = vec![0.0; n];
+    let mu = sliding_mean_naive(x, w);
+    for t in 0..n {
+        let mut acc = 0.0;
+        for k in 0..w {
+            let idx = t as isize - k as isize;
+            let v = if idx < 0 { x[0] } else { x[idx as usize] };
+            let d = v - mu[t];
+            acc += d * d;
+        }
+        out[t] = acc / w as f64;
+    }
+    out
+}
+
+/// Per-channel coefficient of variation `v̄_t = var_t / (|μ_t| + ε)` via FFT.
+pub fn sliding_cv_fft(x: &[f64], w: usize) -> Vec<f64> {
+    let mu = sliding_mean_fft(x, w);
+    let var = sliding_var_fft(x, w);
+    var.iter().zip(mu.iter()).map(|(&v, &m)| v / (m.abs() + CV_EPS)).collect()
+}
+
+/// Per-channel coefficient of variation via the looped reference path.
+pub fn sliding_cv_naive(x: &[f64], w: usize) -> Vec<f64> {
+    let mu = sliding_mean_naive(x, w);
+    let var = sliding_var_naive(x, w);
+    var.iter().zip(mu.iter()).map(|(&v, &m)| v / (m.abs() + CV_EPS)).collect()
+}
+
+/// Sums per-channel CVs into the multivariate score `V ∈ R^{|S|}` of Eq. 1/5.
+/// `channels` holds one slice per feature, all of equal length.
+pub fn multivariate_cv(channels: &[&[f64]], w: usize, use_fft: bool) -> Vec<f64> {
+    let Some(first) = channels.first() else {
+        return Vec::new();
+    };
+    let mut total = vec![0.0; first.len()];
+    for ch in channels {
+        assert_eq!(ch.len(), first.len(), "all channels must share a length");
+        let cv = if use_fft { sliding_cv_fft(ch, w) } else { sliding_cv_naive(ch, w) };
+        for (acc, v) in total.iter_mut().zip(cv.iter()) {
+            *acc += v;
+        }
+    }
+    total
+}
+
+/// Indices of the `k` largest values (the paper's `TopIndex`, Eq. 2), in
+/// descending value order. Ties break toward the earlier index so results are
+/// deterministic.
+pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx.truncate(k.min(values.len()));
+    idx
+}
+
+/// Indices of the `k` smallest values (used by amplitude masking, Eq. 8).
+pub fn bottom_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx.truncate(k.min(values.len()));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n).map(|t| 2.0 + (t as f64 * 0.21).sin() + 0.3 * (t as f64 * 1.7).cos()).collect()
+    }
+
+    #[test]
+    fn fft_and_naive_cv_agree() {
+        let x = wave(300);
+        for &w in &[2usize, 5, 10, 20] {
+            let fast = sliding_cv_fft(&x, w);
+            let slow = sliding_cv_naive(&x, w);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!((a - b).abs() < 1e-6, "w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_zero_cv() {
+        let x = vec![5.0; 100];
+        let cv = sliding_cv_fft(&x, 10);
+        assert!(cv.iter().all(|&v| v.abs() < 1e-8));
+    }
+
+    #[test]
+    fn spike_raises_cv_locally() {
+        let mut x = vec![1.0; 200];
+        x[100] = 25.0;
+        let cv = sliding_cv_fft(&x, 10);
+        let baseline = cv[50];
+        assert!(cv[100] > baseline + 1.0, "spike not reflected: {} vs {}", cv[100], baseline);
+        // The elevated region is confined to the trailing windows that
+        // contain the spike (indices 100..110).
+        assert!(cv[130] < cv[100] / 10.0);
+    }
+
+    #[test]
+    fn cv_is_scale_invariant() {
+        // §IV-A1: "our masking strategy is not affected by changes in the
+        // scale of the data". var scales with c², mean with c, so var/|mean|
+        // scales with c — but the *ranking* (what TopIndex consumes) is
+        // preserved; and for the normalized statistic the top indices match.
+        let x = wave(200);
+        let scaled: Vec<f64> = x.iter().map(|v| v * 37.0).collect();
+        let a = sliding_cv_fft(&x, 10);
+        let b = sliding_cv_fft(&scaled, 10);
+        assert_eq!(top_k_indices(&a, 20), top_k_indices(&b, 20));
+    }
+
+    #[test]
+    fn multivariate_cv_sums_channels() {
+        let a = wave(120);
+        let b: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        let total = multivariate_cv(&[&a, &b], 10, true);
+        let ca = sliding_cv_fft(&a, 10);
+        let cb = sliding_cv_fft(&b, 10);
+        for i in 0..120 {
+            assert!((total[i] - (ca[i] + cb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_and_bottom_k() {
+        let v = [1.0, 9.0, 3.0, 9.0, 0.5];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 3]);
+        assert_eq!(bottom_k_indices(&v, 2), vec![4, 0]);
+        assert_eq!(top_k_indices(&v, 99).len(), 5);
+        assert!(top_k_indices(&v, 0).is_empty());
+    }
+
+    #[test]
+    fn variance_matches_two_pass_definition() {
+        let x = wave(64);
+        let var = sliding_var_naive(&x, 8);
+        // Spot-check a window interior point against a direct computation.
+        let t = 40;
+        let win: Vec<f64> = (0..8).map(|k| x[t - k]).collect();
+        let mu: f64 = win.iter().sum::<f64>() / 8.0;
+        let v: f64 = win.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / 8.0;
+        assert!((var[t] - v).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the FFT substrate.
+
+use proptest::prelude::*;
+use tfmae_fft::{
+    convolve_full, convolve_naive, dft, fft, ifft, irfft, rfft, sliding_cv_fft, sliding_cv_naive,
+    top_k_indices, Complex64,
+};
+
+fn signal(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrip_is_identity(x in signal(1..200)) {
+        let z: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        let back = ifft(&fft(&z));
+        for (a, b) in z.iter().zip(back.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(x in signal(1..64)) {
+        let z: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        let fast = fft(&z);
+        let slow = dft(&z);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        x in signal(8..64),
+        alpha in -10.0f64..10.0,
+    ) {
+        let n = x.len();
+        let y: Vec<f64> = x.iter().rev().cloned().collect();
+        let zx: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        let zy: Vec<Complex64> = y.iter().map(|&v| Complex64::from_re(v)).collect();
+        let mixed: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_re(alpha * x[i] + y[i]))
+            .collect();
+        let lhs = fft(&mixed);
+        let fx = fft(&zx);
+        let fy = fft(&zy);
+        for k in 0..n {
+            let rhs = fx[k].scale(alpha) + fy[k];
+            prop_assert!((lhs[k] - rhs).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in signal(1..128)) {
+        let z: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        let spec = fft(&z);
+        let et: f64 = x.iter().map(|v| v * v).sum();
+        let ef: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((et - ef).abs() < 1e-5 * et.max(1.0));
+    }
+
+    #[test]
+    fn rfft_roundtrip(x in signal(1..150)) {
+        let n = x.len();
+        let back = irfft(&rfft(&x), n);
+        for (a, b) in x.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn convolution_fft_equals_naive(
+        a in signal(1..50),
+        b in signal(1..20),
+    ) {
+        let fast = convolve_full(&a, &b);
+        let slow = convolve_naive(&a, &b);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn convolution_commutes(a in signal(1..40), b in signal(1..40)) {
+        let ab = convolve_full(&a, &b);
+        let ba = convolve_full(&b, &a);
+        for (x, y) in ab.iter().zip(ba.iter()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cv_paths_agree(x in signal(12..300), w in 2usize..20) {
+        let fast = sliding_cv_fft(&x, w);
+        let slow = sliding_cv_naive(&x, w);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            // Relative tolerance: the FFT path subtracts large near-equal
+            // numbers (μ⁽²⁾ − μ²), so allow scale-aware error.
+            let tol = 1e-5 * (1.0 + a.abs().max(b.abs()));
+            prop_assert!((a - b).abs() < tol, "{a} vs {b} (w={w})");
+        }
+    }
+
+    #[test]
+    fn cv_top_indices_scale_invariant(x in signal(30..200), c in 0.1f64..50.0) {
+        let scaled: Vec<f64> = x.iter().map(|v| v * c).collect();
+        let a = sliding_cv_naive(&x, 10);
+        let b = sliding_cv_naive(&scaled, 10);
+        let k = x.len() / 5;
+        // Scale invariance is exact only away from the ε-stabilized
+        // denominator; compare rankings, which is what masking consumes.
+        let ta = top_k_indices(&a, k);
+        let tb = top_k_indices(&b, k);
+        let overlap = ta.iter().filter(|i| tb.contains(i)).count();
+        prop_assert!(overlap * 10 >= k * 8, "only {overlap}/{k} indices stable");
+    }
+
+    #[test]
+    fn top_k_returns_sorted_descending(x in signal(1..100), k in 0usize..50) {
+        let idx = top_k_indices(&x, k);
+        prop_assert_eq!(idx.len(), k.min(x.len()));
+        for pair in idx.windows(2) {
+            prop_assert!(x[pair[0]] >= x[pair[1]]);
+        }
+    }
+}

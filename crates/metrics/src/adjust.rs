@@ -1,0 +1,112 @@
+//! Point adjustment (§V-A2).
+//!
+//! "Consistent with literature settings, we apply the point adjustment
+//! strategy to obtain detection results, where continuous anomalies are
+//! identified if a single observation in the segment is detected." — i.e.
+//! if any observation inside a ground-truth anomaly segment is predicted
+//! anomalous, the whole segment counts as detected.
+
+/// Applies point adjustment: returns a copy of `pred` where every
+/// ground-truth anomaly segment containing at least one predicted point is
+/// fully set to 1. Predictions outside segments are untouched.
+pub fn point_adjust(pred: &[u8], truth: &[u8]) -> Vec<u8> {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    let n = pred.len();
+    let mut out = pred.to_vec();
+    let mut i = 0;
+    while i < n {
+        if truth[i] == 0 {
+            i += 1;
+            continue;
+        }
+        // Segment [i, j).
+        let mut j = i;
+        while j < n && truth[j] != 0 {
+            j += 1;
+        }
+        if pred[i..j].iter().any(|&p| p != 0) {
+            for slot in &mut out[i..j] {
+                *slot = 1;
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Ground-truth anomaly segments as half-open ranges.
+pub fn segments(truth: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < truth.len() {
+        if truth[i] != 0 {
+            let start = i;
+            while i < truth.len() && truth[i] != 0 {
+                i += 1;
+            }
+            out.push(start..i);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_hit_fills_segment() {
+        let truth = [0, 1, 1, 1, 0, 1, 1, 0];
+        let pred = [0, 0, 1, 0, 0, 0, 0, 0];
+        let adj = point_adjust(&pred, &truth);
+        assert_eq!(adj, vec![0, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn miss_leaves_segment_unfilled() {
+        let truth = [1, 1, 0, 0];
+        let pred = [0, 0, 1, 0];
+        let adj = point_adjust(&pred, &truth);
+        assert_eq!(adj, vec![0, 0, 1, 0], "false positives outside segments are kept");
+    }
+
+    #[test]
+    fn idempotent() {
+        let truth = [0, 1, 1, 0, 1];
+        let pred = [0, 1, 0, 1, 1];
+        let once = point_adjust(&pred, &truth);
+        let twice = point_adjust(&once, &truth);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn monotone_in_predictions() {
+        // Adding predicted points can only add adjusted points.
+        let truth = [0, 1, 1, 1, 0, 0, 1, 1];
+        let weak = [0, 0, 0, 0, 0, 0, 1, 0];
+        let strong = [0, 1, 0, 0, 0, 0, 1, 0];
+        let a = point_adjust(&weak, &truth);
+        let b = point_adjust(&strong, &truth);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(y >= x);
+        }
+    }
+
+    #[test]
+    fn segment_extraction() {
+        let truth = [1, 1, 0, 0, 1, 0, 1];
+        let segs = segments(&truth);
+        assert_eq!(segs, vec![0..2, 4..5, 6..7]);
+        assert!(segments(&[0, 0]).is_empty());
+        assert_eq!(segments(&[1]), vec![0..1]);
+    }
+
+    #[test]
+    fn boundary_segments() {
+        let truth = [1, 0, 1];
+        let pred = [1, 0, 0];
+        assert_eq!(point_adjust(&pred, &truth), vec![1, 0, 0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Threshold-free metrics: ROC-AUC and PR-AUC (average precision).
+//!
+//! Not reported in the paper's tables, but used by the reproduction's
+//! integration tests as threshold-independent sanity checks on detectors.
+
+/// Area under the ROC curve via the Mann–Whitney U statistic.
+/// Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f32], truth: &[u8]) -> f64 {
+    assert_eq!(scores.len(), truth.len());
+    let mut pairs: Vec<(f32, u8)> = scores.iter().copied().zip(truth.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = truth.iter().filter(|&&t| t != 0).count();
+    let neg = truth.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Rank sum with tie-averaged ranks.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j + 1) as f64 / 2.0; // 1-based average rank of the tie group
+        for p in &pairs[i..j] {
+            if p.1 != 0 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (pos as f64) * (pos as f64 + 1.0) / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Average precision (area under the precision-recall curve, step-wise).
+pub fn pr_auc(scores: &[f32], truth: &[u8]) -> f64 {
+    assert_eq!(scores.len(), truth.len());
+    let pos = truth.iter().filter(|&&t| t != 0).count();
+    if pos == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (rank, &i) in idx.iter().enumerate() {
+        if truth[i] != 0 {
+            tp += 1;
+            ap += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    ap / pos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_one() {
+        let scores = vec![0.1, 0.2, 0.9, 0.95];
+        let truth = vec![0, 0, 1, 1];
+        assert!((roc_auc(&scores, &truth) - 1.0).abs() < 1e-9);
+        assert!((pr_auc(&scores, &truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_scores_give_zero_auc() {
+        let scores = vec![0.9, 0.95, 0.1, 0.2];
+        let truth = vec![0, 0, 1, 1];
+        assert!(roc_auc(&scores, &truth) < 1e-9);
+    }
+
+    #[test]
+    fn random_like_ties_give_half() {
+        let scores = vec![1.0; 10];
+        let truth = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        assert!((roc_auc(&scores, &truth) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[0, 0]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[1, 1]), 0.5);
+        assert_eq!(pr_auc(&[1.0, 2.0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn pr_auc_hand_case() {
+        // Ranked: pos, neg, pos → AP = (1/1 + 2/3)/2 = 5/6.
+        let scores = vec![0.9, 0.8, 0.7];
+        let truth = vec![1, 0, 1];
+        assert!((pr_auc(&scores, &truth) - 5.0 / 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Empirical CDFs of anomaly scores (Figs. 1 and 9).
+//!
+//! The paper visualizes distribution shift by plotting the cumulative
+//! distribution of anomaly scores on the validation vs test sets: a
+//! reconstruction model shows a gap; TFMAE's contrastive criterion doesn't.
+
+/// An empirical cumulative distribution function over a score sample.
+#[derive(Clone, Debug)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f32>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF (non-finite scores are dropped).
+    pub fn new(scores: &[f32]) -> Self {
+        let mut sorted: Vec<f32> = scores.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted }
+    }
+
+    /// `P(score <= x)`.
+    pub fn eval(&self, x: f32) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (`0 <= q <= 1`).
+    pub fn quantile(&self, q: f64) -> f32 {
+        if self.sorted.is_empty() {
+            return f32::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Samples `(x, F(x))` pairs at `n` evenly spaced quantiles — the series
+    /// plotted in Figs. 1/9.
+    pub fn curve(&self, n: usize) -> Vec<(f32, f64)> {
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1).max(1) as f64;
+                let x = self.quantile(q);
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Kolmogorov–Smirnov distance `sup_x |F(x) − G(x)|` between two score
+/// samples — the quantitative size of the Fig. 9 gap.
+pub fn ks_distance(a: &[f32], b: &[f32]) -> f64 {
+    let fa = EmpiricalCdf::new(a);
+    let fb = EmpiricalCdf::new(b);
+    if fa.is_empty() || fb.is_empty() {
+        return 0.0;
+    }
+    let mut xs: Vec<f32> = fa.sorted.iter().chain(fb.sorted.iter()).copied().collect();
+    xs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    xs.dedup();
+    xs.iter().map(|&x| (fa.eval(x) - fb.eval(x)).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        let cdf = EmpiricalCdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(2.0), 0.5);
+        assert_eq!(cdf.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = EmpiricalCdf::new(&[5.0, 1.0, 3.0]);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(0.5), 3.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores: Vec<f32> = (0..100).map(|v| ((v * 37) % 100) as f32).collect();
+        let curve = EmpiricalCdf::new(&scores).curve(20);
+        for pair in curve.windows(2) {
+            assert!(pair[1].0 >= pair[0].0);
+            assert!(pair[1].1 >= pair[0].1);
+        }
+    }
+
+    #[test]
+    fn ks_zero_for_identical_and_one_for_disjoint() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert!(ks_distance(&a, &a) < 1e-12);
+        let b = vec![10.0, 20.0, 30.0];
+        assert!((ks_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_detects_shift() {
+        let a: Vec<f32> = (0..1000).map(|v| (v % 100) as f32 / 100.0).collect();
+        let shifted: Vec<f32> = a.iter().map(|v| v + 0.3).collect();
+        let d = ks_distance(&a, &shifted);
+        assert!(d > 0.25 && d < 0.4, "ks was {d}");
+    }
+
+    #[test]
+    fn non_finite_dropped() {
+        let cdf = EmpiricalCdf::new(&[f32::NAN, 1.0, f32::INFINITY]);
+        assert_eq!(cdf.len(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Precision / recall / F1 (the paper's metrics, §V-A2).
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Counts a prediction/label pair stream (1 = anomaly).
+    pub fn from_predictions(pred: &[u8], truth: &[u8]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &t) in pred.iter().zip(truth.iter()) {
+            match (p != 0, t != 0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `TP / (TP + FP)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 — harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// P/R/F1 triple in percent, as the paper reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Prf {
+    /// Precision (%).
+    pub precision: f64,
+    /// Recall (%).
+    pub recall: f64,
+    /// F1-score (%).
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Builds the percent triple from a confusion matrix.
+    pub fn from_confusion(c: &Confusion) -> Self {
+        Self { precision: c.precision() * 100.0, recall: c.recall() * 100.0, f1: c.f1() * 100.0 }
+    }
+
+    /// Convenience: predictions + labels → percent triple.
+    pub fn from_predictions(pred: &[u8], truth: &[u8]) -> Self {
+        Self::from_confusion(&Confusion::from_predictions(pred, truth))
+    }
+
+    /// Element-wise mean of several results (the paper's "Average" column).
+    pub fn mean(items: &[Prf]) -> Prf {
+        if items.is_empty() {
+            return Prf::default();
+        }
+        let n = items.len() as f64;
+        Prf {
+            precision: items.iter().map(|p| p.precision).sum::<f64>() / n,
+            recall: items.iter().map(|p| p.recall).sum::<f64>() / n,
+            f1: items.iter().map(|p| p.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let p = Prf::from_predictions(&[0, 1, 1, 0], &[0, 1, 1, 0]);
+        assert_eq!(p.precision, 100.0);
+        assert_eq!(p.recall, 100.0);
+        assert_eq!(p.f1, 100.0);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // tp=1, fp=1, fn=1, tn=1 → P=R=F1=0.5.
+        let c = Confusion::from_predictions(&[1, 1, 0, 0], &[1, 0, 1, 0]);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let never = Prf::from_predictions(&[0, 0], &[1, 1]);
+        assert_eq!(never.precision, 0.0);
+        assert_eq!(never.f1, 0.0);
+        let no_anomaly = Prf::from_predictions(&[0, 0], &[0, 0]);
+        assert_eq!(no_anomaly.recall, 0.0);
+    }
+
+    #[test]
+    fn mean_averages_componentwise() {
+        let a = Prf { precision: 100.0, recall: 0.0, f1: 0.0 };
+        let b = Prf { precision: 0.0, recall: 100.0, f1: 50.0 };
+        let m = Prf::mean(&[a, b]);
+        assert_eq!(m.precision, 50.0);
+        assert_eq!(m.recall, 50.0);
+        assert_eq!(m.f1, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_panics() {
+        Confusion::from_predictions(&[1], &[1, 0]);
+    }
+}

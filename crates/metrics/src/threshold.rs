@@ -1,0 +1,103 @@
+//! Thresholding (Eq. 17 and §V-A4).
+//!
+//! The paper pre-determines δ "by detecting r% data as anomalies", with the
+//! quantile computed over validation-set scores ("thresholds of all methods
+//! are calculated through the validation set", §V-A5).
+
+/// Threshold flagging the top `ratio` fraction of `scores` as anomalous
+/// (the `(1−ratio)`-quantile). `ratio` is clamped to `[0, 1]`.
+///
+/// Non-finite scores are ignored; returns `f32::INFINITY` when no finite
+/// score exists (nothing will be flagged).
+pub fn threshold_for_ratio(scores: &[f32], ratio: f64) -> f32 {
+    let mut finite: Vec<f32> = scores.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return f32::INFINITY;
+    }
+    let ratio = ratio.clamp(0.0, 1.0);
+    finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let k = ((finite.len() as f64) * (1.0 - ratio)).floor() as usize;
+    let k = k.min(finite.len() - 1);
+    finite[k]
+}
+
+/// Applies a threshold: `score >= δ → 1` (Eq. 17).
+pub fn apply_threshold(scores: &[f32], delta: f32) -> Vec<u8> {
+    scores.iter().map(|&s| u8::from(s >= delta)).collect()
+}
+
+/// Sweeps candidate thresholds (all unique score values, subsampled to at
+/// most `max_candidates`) and returns `(best_threshold, best_f1_percent)`
+/// under point-adjusted F1. Used for protocol ablations, not the headline
+/// numbers.
+pub fn best_f1_threshold(scores: &[f32], truth: &[u8], max_candidates: usize) -> (f32, f64) {
+    assert_eq!(scores.len(), truth.len());
+    let mut cands: Vec<f32> = scores.iter().copied().filter(|v| v.is_finite()).collect();
+    cands.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cands.dedup();
+    let step = (cands.len() / max_candidates.max(1)).max(1);
+    let mut best = (f32::INFINITY, 0.0f64);
+    for c in cands.iter().step_by(step) {
+        let pred = apply_threshold(scores, *c);
+        let adj = crate::adjust::point_adjust(&pred, truth);
+        let f1 = crate::prf::Prf::from_predictions(&adj, truth).f1;
+        if f1 > best.1 {
+            best = (*c, f1);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_flags_expected_fraction() {
+        let scores: Vec<f32> = (0..100).map(|v| v as f32).collect();
+        let delta = threshold_for_ratio(&scores, 0.10);
+        let flagged = apply_threshold(&scores, delta).iter().map(|&v| v as usize).sum::<usize>();
+        assert!((9..=11).contains(&flagged), "flagged {flagged}");
+    }
+
+    #[test]
+    fn ratio_zero_flags_only_max() {
+        let scores = vec![1.0, 5.0, 3.0];
+        let delta = threshold_for_ratio(&scores, 0.0);
+        assert_eq!(apply_threshold(&scores, delta), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn ratio_one_flags_everything() {
+        let scores = vec![1.0, 5.0, 3.0];
+        let delta = threshold_for_ratio(&scores, 1.0);
+        assert_eq!(apply_threshold(&scores, delta).iter().map(|&v| v as usize).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn non_finite_scores_are_ignored() {
+        let scores = vec![f32::NAN, 1.0, 2.0, f32::INFINITY];
+        let delta = threshold_for_ratio(&scores, 0.5);
+        assert!(delta.is_finite());
+        assert_eq!(threshold_for_ratio(&[f32::NAN], 0.5), f32::INFINITY);
+    }
+
+    #[test]
+    fn best_f1_finds_separating_threshold() {
+        // Scores perfectly separate: anomalies have score 10, normals 1.
+        let scores = vec![1.0, 1.0, 10.0, 1.0, 10.0, 10.0];
+        let truth = vec![0, 0, 1, 0, 1, 1];
+        let (thr, f1) = best_f1_threshold(&scores, &truth, 100);
+        assert!(thr > 1.0 && thr <= 10.0);
+        assert!((f1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_is_monotone_in_ratio() {
+        let scores: Vec<f32> = (0..1000).map(|v| (v as f32).sin()).collect();
+        let t1 = threshold_for_ratio(&scores, 0.01);
+        let t2 = threshold_for_ratio(&scores, 0.10);
+        let t3 = threshold_for_ratio(&scores, 0.50);
+        assert!(t1 >= t2 && t2 >= t3);
+    }
+}

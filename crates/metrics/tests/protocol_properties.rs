@@ -1,0 +1,97 @@
+//! Property tests for the evaluation protocol.
+
+use proptest::prelude::*;
+use tfmae_metrics::{
+    apply_threshold, best_f1_threshold, point_adjust, pr_auc, roc_auc, segments,
+    threshold_for_ratio, Confusion, EmpiricalCdf, Prf,
+};
+
+fn labels(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..2, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn confusion_counts_are_complete(pred in labels(1..200), seed in 0u64..50) {
+        let truth: Vec<u8> = pred.iter().enumerate()
+            .map(|(i, _)| u8::from((i as u64).wrapping_mul(seed + 1).is_multiple_of(3)))
+            .collect();
+        let c = Confusion::from_predictions(&pred, &truth);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, pred.len());
+    }
+
+    #[test]
+    fn f1_bounded_and_symmetric_in_perfect_case(truth in labels(1..100)) {
+        let prf = Prf::from_predictions(&truth, &truth);
+        if truth.contains(&1) {
+            prop_assert_eq!(prf.f1, 100.0);
+        } else {
+            prop_assert_eq!(prf.f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn point_adjust_output_is_union_of_pred_and_full_segments(
+        pred in labels(10..150),
+        truth in labels(10..150),
+    ) {
+        let n = pred.len().min(truth.len());
+        let (pred, truth) = (&pred[..n], &truth[..n]);
+        let adj = point_adjust(pred, truth);
+        for t in 0..n {
+            // Never removes a prediction.
+            prop_assert!(adj[t] >= pred[t]);
+            // Only adds inside ground-truth segments.
+            if adj[t] == 1 && pred[t] == 0 {
+                prop_assert_eq!(truth[t], 1);
+            }
+        }
+        // Each segment is all-or-original.
+        for seg in segments(truth) {
+            let any_pred = pred[seg.clone()].contains(&1);
+            if any_pred {
+                prop_assert!(adj[seg].iter().all(|&a| a == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn best_f1_threshold_dominates_ratio_threshold(
+        scores in proptest::collection::vec(0.0f32..1.0, 30..150),
+        truth in labels(30..150),
+    ) {
+        let n = scores.len().min(truth.len());
+        let (scores, truth) = (&scores[..n], &truth[..n]);
+        let (_, best) = best_f1_threshold(scores, truth, 200);
+        let delta = threshold_for_ratio(scores, 0.1);
+        let prf = Prf::from_predictions(&point_adjust(&apply_threshold(scores, delta), truth), truth);
+        prop_assert!(best + 1e-9 >= prf.f1, "best-F1 sweep must dominate: {} vs {}", best, prf.f1);
+    }
+
+    #[test]
+    fn roc_auc_bounded(scores in proptest::collection::vec(-5.0f32..5.0, 10..100), truth in labels(10..100)) {
+        let n = scores.len().min(truth.len());
+        let auc = roc_auc(&scores[..n], &truth[..n]);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let ap = pr_auc(&scores[..n], &truth[..n]);
+        prop_assert!((0.0..=1.0).contains(&ap));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized(scores in proptest::collection::vec(-10.0f32..10.0, 1..200)) {
+        let cdf = EmpiricalCdf::new(&scores);
+        let q0 = cdf.quantile(0.0);
+        let q1 = cdf.quantile(1.0);
+        prop_assert!(q0 <= q1);
+        prop_assert_eq!(cdf.eval(q1), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = q0 + (q1 - q0) * i as f32 / 20.0;
+            let v = cdf.eval(x);
+            prop_assert!(v + 1e-12 >= prev);
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Adam optimizer (Kingma & Ba, 2015) — the paper trains TFMAE with Adam at
+//! lr = 1e-4 (§V-A4).
+
+use tfmae_tensor::ParamStore;
+
+/// Adam with optional global gradient-norm clipping.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator stabilizer.
+    pub eps: f32,
+    /// If set, scales gradients so their global L2 norm is at most this.
+    pub clip_norm: Option<f32>,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for all parameters currently in `ps`.
+    pub fn new(ps: &ParamStore, lr: f32) -> Self {
+        let m = ps.params().iter().map(|p| vec![0.0; p.data.len()]).collect();
+        let v = ps.params().iter().map(|p| vec![0.0; p.data.len()]).collect();
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(5.0), m, v, t: 0 }
+    }
+
+    /// Step count so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update from the accumulated gradients, then zeroes them.
+    pub fn step(&mut self, ps: &mut ParamStore) {
+        assert_eq!(self.m.len(), ps.len(), "optimizer/store parameter count mismatch");
+        if let Some(max_norm) = self.clip_norm {
+            let norm = ps.grad_norm();
+            if norm > max_norm && norm.is_finite() {
+                let scale = max_norm / norm;
+                for p in ps.params_mut() {
+                    for g in &mut p.grad {
+                        *g *= scale;
+                    }
+                }
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (pi, p) in ps.params_mut().iter_mut().enumerate() {
+            let m = &mut self.m[pi];
+            let v = &mut self.v[pi];
+            for i in 0..p.data.len() {
+                let g = p.grad[i];
+                if !g.is_finite() {
+                    continue; // skip poisoned coordinates rather than corrupting weights
+                }
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+        ps.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfmae_tensor::Graph;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", vec![5.0, -4.0], vec![2]);
+        let mut opt = Adam::new(&ps, 0.1);
+        for _ in 0..500 {
+            ps.zero_grads();
+            let g = Graph::new();
+            let wv = g.param(&ps, w);
+            let t = g.constant(vec![1.0, 2.0], vec![2]);
+            let loss = g.mse(wv, t);
+            g.backward_params(loss, &mut ps);
+            opt.step(&mut ps);
+        }
+        assert!((ps.get(w).data[0] - 1.0).abs() < 1e-2);
+        assert!((ps.get(w).data[1] - 2.0).abs() < 1e-2);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", vec![0.0], vec![1]);
+        let mut opt = Adam::new(&ps, 0.001);
+        opt.clip_norm = Some(1.0);
+        ps.accumulate_grad(w, &[1e6]);
+        opt.step(&mut ps);
+        // With clipping the effective gradient is 1.0 → step ≈ lr.
+        assert!(ps.get(w).data[0].abs() < 0.002);
+    }
+
+    #[test]
+    fn non_finite_gradients_are_skipped() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", vec![1.0], vec![1]);
+        let mut opt = Adam::new(&ps, 0.1);
+        opt.clip_norm = None;
+        ps.accumulate_grad(w, &[f32::NAN]);
+        opt.step(&mut ps);
+        assert_eq!(ps.get(w).data[0], 1.0, "NaN grad must not move the weight");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", vec![1.0], vec![1]);
+        let mut opt = Adam::new(&ps, 0.01);
+        ps.accumulate_grad(w, &[2.0]);
+        opt.step(&mut ps);
+        assert_eq!(ps.get(w).grad[0], 0.0);
+    }
+}

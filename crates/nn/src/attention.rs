@@ -1,0 +1,181 @@
+//! Multi-head scaled-dot-product self-attention (Eq. 12).
+
+use rand::rngs::StdRng;
+use tfmae_tensor::{ParamStore, Var};
+
+use crate::ctx::Ctx;
+use crate::linear::Linear;
+
+/// Multi-head self-attention over `[B, T, D]` inputs.
+#[derive(Clone, Debug)]
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    /// Model width.
+    pub d_model: usize,
+    /// Head count (`d_model % heads == 0`).
+    pub heads: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Registers the four projections.
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        d_model: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(heads >= 1 && d_model.is_multiple_of(heads), "d_model {d_model} must divide into {heads} heads");
+        Self {
+            wq: Linear::new(ps, rng, &format!("{name}.wq"), d_model, d_model),
+            wk: Linear::new(ps, rng, &format!("{name}.wk"), d_model, d_model),
+            wv: Linear::new(ps, rng, &format!("{name}.wv"), d_model, d_model),
+            wo: Linear::new(ps, rng, &format!("{name}.wo"), d_model, d_model),
+            d_model,
+            heads,
+        }
+    }
+
+    /// `[B, T, D] → [B, T, D]` self-attention (Eq. 12, bidirectional).
+    pub fn forward(&self, ctx: &Ctx, x: Var) -> Var {
+        let g = ctx.g;
+        let shape = g.shape(x);
+        assert_eq!(shape.len(), 3, "attention expects [B,T,D]");
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.d_model, "attention width mismatch");
+        let h = self.heads;
+        let dh = d / h;
+
+        // Project and split into heads: [B,T,D] → [B*H, T, Dh].
+        let split = |v: Var| {
+            let v4 = g.reshape(v, &[b, t, h, dh]);
+            let v4 = g.permute(v4, &[0, 2, 1, 3]);
+            g.reshape(v4, &[b * h, t, dh])
+        };
+        let q = split(self.wq.forward_3d(ctx, x));
+        let k = split(self.wk.forward_3d(ctx, x));
+        let v = split(self.wv.forward_3d(ctx, x));
+
+        // Scores [B*H, T, T], softmax over keys, weighted values.
+        let kt = g.transpose_last(k);
+        let scores = g.scale(g.bmm(q, kt), 1.0 / (dh as f32).sqrt());
+        let weights = g.softmax_last(scores);
+        let ctxv = g.bmm(weights, v);
+
+        // Merge heads back: [B*H, T, Dh] → [B, T, D].
+        let merged = g.reshape(ctxv, &[b, h, t, dh]);
+        let merged = g.permute(merged, &[0, 2, 1, 3]);
+        let merged = g.reshape(merged, &[b, t, d]);
+        self.wo.forward_3d(ctx, merged)
+    }
+
+    /// Attention weights `[B*H, T, T]` only — used by contrastive baselines
+    /// (AnomalyTransformer/DCdetector families) that score association maps.
+    pub fn attention_weights(&self, ctx: &Ctx, x: Var) -> Var {
+        let g = ctx.g;
+        let shape = g.shape(x);
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let h = self.heads;
+        let dh = d / h;
+        let split = |v: Var| {
+            let v4 = g.reshape(v, &[b, t, h, dh]);
+            let v4 = g.permute(v4, &[0, 2, 1, 3]);
+            g.reshape(v4, &[b * h, t, dh])
+        };
+        let q = split(self.wq.forward_3d(ctx, x));
+        let k = split(self.wk.forward_3d(ctx, x));
+        let kt = g.transpose_last(k);
+        let scores = g.scale(g.bmm(q, kt), 1.0 / (dh as f32).sqrt());
+        g.softmax_last(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tfmae_tensor::check::assert_grads_close;
+    use tfmae_tensor::Graph;
+
+    fn toy_input(g: &Graph, b: usize, t: usize, d: usize) -> Var {
+        let data: Vec<f32> = (0..b * t * d).map(|i| ((i as f32 * 0.7).sin()) * 0.5).collect();
+        g.constant(data, vec![b, t, d])
+    }
+
+    #[test]
+    fn output_shape_preserved() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let attn = MultiHeadSelfAttention::new(&mut ps, &mut rng, "a", 8, 2);
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let x = toy_input(&g, 2, 5, 8);
+        let y = attn.forward(&ctx, x);
+        assert_eq!(g.shape(y), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn attention_weights_are_row_stochastic() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = MultiHeadSelfAttention::new(&mut ps, &mut rng, "a", 8, 4);
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let x = toy_input(&g, 1, 6, 8);
+        let w = attn.attention_weights(&ctx, x);
+        assert_eq!(g.shape(w), vec![4, 6, 6]);
+        for row in g.value(w).chunks(6) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn batch_elements_do_not_interact() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = MultiHeadSelfAttention::new(&mut ps, &mut rng, "a", 4, 2);
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        // Same sequence twice in a batch → identical outputs per element.
+        let seq: Vec<f32> = (0..3 * 4).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut both = seq.clone();
+        both.extend_from_slice(&seq);
+        let x = g.constant(both, vec![2, 3, 4]);
+        let y = g.value(attn.forward(&ctx, x));
+        let (a, b) = y.split_at(12);
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_check_out_single_head() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let attn = MultiHeadSelfAttention::new(&mut ps, &mut rng, "a", 4, 1);
+        assert_grads_close(&mut ps, 1e-2, 3e-2, |g, ps| {
+            let ctx = Ctx::eval(g, ps);
+            let x = toy_input(g, 1, 3, 4);
+            let y = attn.forward(&ctx, x);
+            g.mean_all(g.square(y))
+        });
+    }
+
+    #[test]
+    fn gradients_check_out_multi_head() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let attn = MultiHeadSelfAttention::new(&mut ps, &mut rng, "a", 4, 2);
+        assert_grads_close(&mut ps, 1e-2, 3e-2, |g, ps| {
+            let ctx = Ctx::eval(g, ps);
+            let x = toy_input(g, 2, 3, 4);
+            let y = attn.forward(&ctx, x);
+            g.mean_all(g.square(y))
+        });
+    }
+}

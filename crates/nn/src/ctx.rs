@@ -1,0 +1,44 @@
+//! Forward-pass context threading the tape, weights and mode through layers.
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_tensor::{Graph, ParamStore};
+
+/// Everything a layer needs during one forward pass.
+pub struct Ctx<'a> {
+    /// The autograd tape being built.
+    pub g: &'a Graph,
+    /// The parameter store the layers read their weights from.
+    pub ps: &'a ParamStore,
+    /// Training mode (enables dropout).
+    pub training: bool,
+    /// Per-pass RNG (dropout masks); seeded deterministically per step.
+    pub rng: RefCell<StdRng>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Training-mode context with a step-derived dropout seed.
+    pub fn train(g: &'a Graph, ps: &'a ParamStore, seed: u64) -> Self {
+        Self { g, ps, training: true, rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Inference-mode context (dropout disabled, no randomness consumed).
+    pub fn eval(g: &'a Graph, ps: &'a ParamStore) -> Self {
+        Self { g, ps, training: false, rng: RefCell::new(StdRng::seed_from_u64(0)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes() {
+        let g = Graph::new();
+        let ps = ParamStore::new();
+        assert!(Ctx::train(&g, &ps, 3).training);
+        assert!(!Ctx::eval(&g, &ps).training);
+    }
+}

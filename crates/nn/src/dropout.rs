@@ -1,0 +1,91 @@
+//! Inverted dropout.
+
+use rand::Rng;
+use tfmae_tensor::Var;
+
+use crate::ctx::Ctx;
+
+/// Inverted dropout: at train time zeroes each element with probability `p`
+/// and scales survivors by `1/(1-p)`; identity at eval time.
+#[derive(Clone, Copy, Debug)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        Self { p }
+    }
+
+    /// Applies dropout according to the context mode.
+    pub fn forward(&self, ctx: &Ctx, x: Var) -> Var {
+        if !ctx.training || self.p == 0.0 {
+            return x;
+        }
+        let g = ctx.g;
+        let shape = g.shape(x);
+        let n: usize = shape.iter().product();
+        let keep = 1.0 - self.p;
+        let inv = 1.0 / keep;
+        let mask: Vec<f32> = {
+            let mut rng = ctx.rng.borrow_mut();
+            (0..n).map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 }).collect()
+        };
+        let m = g.constant(mask, shape);
+        g.mul(x, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfmae_tensor::{Graph, ParamStore};
+
+    #[test]
+    fn eval_is_identity() {
+        let g = Graph::new();
+        let ps = ParamStore::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let x = g.constant(vec![1.0, 2.0, 3.0], vec![3]);
+        let y = Dropout::new(0.5).forward(&ctx, x);
+        assert_eq!(g.value(y), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn train_preserves_expectation_and_zeroes() {
+        let g = Graph::new();
+        let ps = ParamStore::new();
+        let ctx = Ctx::train(&g, &ps, 11);
+        let n = 10_000;
+        let x = g.constant(vec![1.0; n], vec![n]);
+        let y = g.value(Dropout::new(0.3).forward(&ctx, x));
+        let zeros = y.iter().filter(|&&v| v == 0.0).count();
+        let mean: f32 = y.iter().sum::<f32>() / n as f32;
+        assert!((zeros as f32 / n as f32 - 0.3).abs() < 0.03);
+        assert!((mean - 1.0).abs() < 0.05, "inverted scaling keeps E[y]=x");
+        // Survivors are exactly scaled.
+        assert!(y.iter().all(|&v| v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_in_train() {
+        let g = Graph::new();
+        let ps = ParamStore::new();
+        let ctx = Ctx::train(&g, &ps, 1);
+        let x = g.constant(vec![5.0; 4], vec![4]);
+        let y = Dropout::new(0.0).forward(&ctx, x);
+        assert_eq!(g.value(y), vec![5.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn invalid_p_panics() {
+        Dropout::new(1.0);
+    }
+}

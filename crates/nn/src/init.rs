@@ -1,0 +1,71 @@
+//! Weight initializers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Vec<f32> {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+/// Uniform in `(-bound, bound)`.
+pub fn uniform(rng: &mut StdRng, n: usize, bound: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+/// All zeros.
+pub fn zeros(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}
+
+/// All ones.
+pub fn ones(n: usize) -> Vec<f32> {
+    vec![1.0; n]
+}
+
+/// Standard normal scaled by `std` (Box–Muller).
+pub fn normal(rng: &mut StdRng, n: usize, std: f32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            let u1: f32 = rng.gen_range(1e-7..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(&mut rng, 64, 64);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert_eq!(w.len(), 64 * 64);
+        assert!(w.iter().all(|&v| v > -a && v < a));
+        // Mean should be near zero.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = normal(&mut rng, 20_000, 2.0);
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        let var: f32 = w.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.1);
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(xavier_uniform(&mut a, 8, 8), xavier_uniform(&mut b, 8, 8));
+    }
+}

@@ -1,0 +1,124 @@
+//! Fully-connected layer `y = xW + b` (Eq. 3/10's projections).
+
+use rand::rngs::StdRng;
+use tfmae_tensor::{ParamId, ParamStore, Var};
+
+use crate::ctx::Ctx;
+use crate::init;
+
+/// A dense linear layer.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight handle, shape `[in_dim, out_dim]`.
+    pub w: ParamId,
+    /// Optional bias handle, shape `[out_dim]`.
+    pub b: Option<ParamId>,
+    /// Input feature count.
+    pub in_dim: usize,
+    /// Output feature count.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialized layer (with bias) in `ps`.
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        Self::with_bias(ps, rng, name, in_dim, out_dim, true)
+    }
+
+    /// Registers a layer, optionally without bias.
+    pub fn with_bias(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = ps.add(
+            format!("{name}.w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+            vec![in_dim, out_dim],
+        );
+        let b = bias.then(|| ps.add(format!("{name}.b"), init::zeros(out_dim), vec![out_dim]));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer to a 2-D input `[n, in_dim] → [n, out_dim]`.
+    pub fn forward(&self, ctx: &Ctx, x: Var) -> Var {
+        let g = ctx.g;
+        let w = g.param(ctx.ps, self.w);
+        let mut y = g.matmul(x, w);
+        if let Some(b) = self.b {
+            let bv = g.param(ctx.ps, b);
+            y = g.add(y, bv);
+        }
+        y
+    }
+
+    /// Applies the layer along the trailing axis of a 3-D input
+    /// `[B, T, in_dim] → [B, T, out_dim]`.
+    pub fn forward_3d(&self, ctx: &Ctx, x: Var) -> Var {
+        let g = ctx.g;
+        let shape = g.shape(x);
+        assert_eq!(shape.len(), 3, "forward_3d expects [B,T,D]");
+        let (b, t) = (shape[0], shape[1]);
+        let flat = g.reshape(x, &[b * t, self.in_dim]);
+        let y = self.forward(ctx, flat);
+        g.reshape(y, &[b, t, self.out_dim])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tfmae_tensor::check::assert_grads_close;
+    use tfmae_tensor::Graph;
+
+    #[test]
+    fn shapes_and_bias() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut ps, &mut rng, "l", 3, 5);
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let x = g.constant(vec![1.0; 6], vec![2, 3]);
+        let y = lin.forward(&ctx, x);
+        assert_eq!(g.shape(y), vec![2, 5]);
+        let x3 = g.constant(vec![1.0; 12], vec![2, 2, 3]);
+        let y3 = lin.forward_3d(&ctx, x3);
+        assert_eq!(g.shape(y3), vec![2, 2, 5]);
+    }
+
+    #[test]
+    fn identity_weight_passthrough() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", vec![1.0, 0.0, 0.0, 1.0], vec![2, 2]);
+        let b = ps.add("b", vec![10.0, 20.0], vec![2]);
+        let lin = Linear { w, b: Some(b), in_dim: 2, out_dim: 2 };
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let x = g.constant(vec![1.0, 2.0], vec![1, 2]);
+        let y = lin.forward(&ctx, x);
+        assert_eq!(g.value(y), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut ps, &mut rng, "l", 4, 3);
+        assert_grads_close(&mut ps, 1e-2, 2e-2, |g, ps| {
+            let ctx = Ctx::eval(g, ps);
+            let x = g.constant((0..8).map(|i| i as f32 * 0.1).collect(), vec![2, 4]);
+            let y = lin.forward(&ctx, x);
+            g.mean_all(g.square(y))
+        });
+    }
+}

@@ -1,0 +1,102 @@
+//! Layer normalization over the trailing axis (the `LN(·)` of Eq. 13).
+
+use rand::rngs::StdRng;
+use tfmae_tensor::{ParamId, ParamStore, Var};
+
+use crate::ctx::Ctx;
+use crate::init;
+
+/// Layer normalization with learnable gain/bias.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Gain handle, shape `[dim]`.
+    pub gain: ParamId,
+    /// Bias handle, shape `[dim]`.
+    pub bias: ParamId,
+    /// Normalized feature count.
+    pub dim: usize,
+    /// Variance stabilizer.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers a LayerNorm (gain = 1, bias = 0).
+    pub fn new(ps: &mut ParamStore, _rng: &mut StdRng, name: &str, dim: usize) -> Self {
+        let gain = ps.add(format!("{name}.gain"), init::ones(dim), vec![dim]);
+        let bias = ps.add(format!("{name}.bias"), init::zeros(dim), vec![dim]);
+        Self { gain, bias, dim, eps: 1e-5 }
+    }
+
+    /// Normalizes the trailing axis: `(x − μ)/√(σ² + ε) · g + b`.
+    pub fn forward(&self, ctx: &Ctx, x: Var) -> Var {
+        let g = ctx.g;
+        debug_assert_eq!(*g.shape(x).last().unwrap(), self.dim, "LayerNorm dim mismatch");
+        let mean = g.mean_last(x, true);
+        let centered = g.sub(x, mean);
+        let var = g.mean_last(g.square(centered), true);
+        let std = g.sqrt(g.add_scalar(var, self.eps));
+        let normed = g.div(centered, std);
+        let gain = g.param(ctx.ps, self.gain);
+        let bias = g.param(ctx.ps, self.bias);
+        g.add(g.mul(normed, gain), bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tfmae_tensor::check::assert_grads_close;
+    use tfmae_tensor::Graph;
+
+    #[test]
+    fn output_is_standardized() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let ln = LayerNorm::new(&mut ps, &mut rng, "ln", 4);
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let x = g.constant(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], vec![2, 4]);
+        let y = g.value(ln.forward(&ctx, x));
+        for row in y.chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+        // Rows with identical relative structure normalize identically.
+        for i in 0..4 {
+            assert!((y[i] - y[4 + i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_row_maps_to_bias() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let ln = LayerNorm::new(&mut ps, &mut rng, "ln", 3);
+        ps.get_mut(ln.bias).data = vec![5.0, 6.0, 7.0];
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let x = g.constant(vec![2.0, 2.0, 2.0], vec![1, 3]);
+        let y = g.value(ln.forward(&ctx, x));
+        for (v, b) in y.iter().zip([5.0, 6.0, 7.0]) {
+            assert!((v - b).abs() < 1e-2, "constant row should collapse to bias");
+        }
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let ln = LayerNorm::new(&mut ps, &mut rng, "ln", 3);
+        let x_id = ps.add("x", vec![0.3, -0.8, 1.2, 0.1, 0.9, -0.4], vec![2, 3]);
+        assert_grads_close(&mut ps, 1e-2, 3e-2, |g, ps| {
+            let ctx = Ctx::eval(g, ps);
+            let x = g.param(ps, x_id);
+            let y = ln.forward(&ctx, x);
+            let t = g.constant(vec![0.5; 6], vec![2, 3]);
+            g.mse(y, t)
+        });
+    }
+}

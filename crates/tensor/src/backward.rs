@@ -1,0 +1,447 @@
+//! Reverse-mode differentiation over the tape.
+
+use crate::graph::{Graph, Op, Var, LN_EPS};
+use crate::kernels;
+use crate::shape::{broadcast_strides, numel, strides, StridedIter};
+use crate::store::ParamStore;
+
+/// Per-node gradients produced by [`Graph::backward`].
+pub struct Gradients {
+    pub(crate) grads: Vec<Option<Vec<f32>>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `v`, if it participated in the loss.
+    pub fn grad(&self, v: Var) -> Option<&[f32]> {
+        self.grads.get(v.id).and_then(|g| g.as_deref())
+    }
+
+    /// Routes parameter-leaf gradients into the store's accumulators.
+    pub fn accumulate_into(&self, graph: &Graph, store: &mut ParamStore) {
+        let nodes = graph.nodes.borrow();
+        for (id, node) in nodes.iter().enumerate() {
+            if let Op::Param(pid) = node.op {
+                if let Some(g) = self.grads[id].as_ref() {
+                    store.accumulate_grad(pid, g);
+                }
+            }
+        }
+    }
+}
+
+fn acc(grads: &mut [Option<Vec<f32>>], id: usize, size: usize) -> &mut [f32] {
+    grads[id].get_or_insert_with(|| vec![0.0; size])
+}
+
+impl Graph {
+    /// Runs reverse-mode autodiff from the scalar `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        let nodes = self.nodes.borrow();
+        let mut grads: Vec<Option<Vec<f32>>> = (0..nodes.len()).map(|_| None).collect();
+        assert_eq!(nodes[loss.id].value.len(), 1, "backward requires a scalar loss");
+        grads[loss.id] = Some(vec![1.0]);
+
+        for id in (0..=loss.id).rev() {
+            if !nodes[id].needs_grad {
+                grads[id] = None;
+                continue;
+            }
+            let Some(gout) = grads[id].take() else { continue };
+            let node = &nodes[id];
+            match &node.op {
+                Op::Const => {}
+                Op::Param(_) => {
+                    // Leaf: retain the gradient for accumulate_into.
+                    grads[id] = Some(gout);
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    self.binary_backward(&nodes, &mut grads, *a, *b, &node.shape, &gout, |g, _, _| (g, g));
+                }
+                Op::Sub(a, b) => {
+                    self.binary_backward(&nodes, &mut grads, *a, *b, &node.shape, &gout, |g, _, _| (g, -g));
+                }
+                Op::Mul(a, b) => {
+                    self.binary_backward(&nodes, &mut grads, *a, *b, &node.shape, &gout, |g, x, y| {
+                        (g * y, g * x)
+                    });
+                }
+                Op::Div(a, b) => {
+                    self.binary_backward(&nodes, &mut grads, *a, *b, &node.shape, &gout, |g, x, y| {
+                        (g / y, -g * x / (y * y))
+                    });
+                }
+                Op::Neg(a) => {
+                    if nodes[*a].needs_grad {
+                        let ga = acc(&mut grads, *a, gout.len());
+                        for (s, g) in ga.iter_mut().zip(gout.iter()) {
+                            *s -= g;
+                        }
+                    }
+                }
+                Op::Exp(a) => self.unary_backward(&nodes, &mut grads, *a, &gout, |g, _x, y| g * y, &node.value),
+                Op::LnEps(a) => {
+                    self.unary_backward(&nodes, &mut grads, *a, &gout, |g, x, _y| g / (x + LN_EPS), &node.value)
+                }
+                Op::Sqrt(a) => self.unary_backward(&nodes, &mut grads, *a, &gout, |g, _x, y| {
+                    if y > 0.0 { g * 0.5 / y } else { 0.0 }
+                }, &node.value),
+                Op::Relu(a) => {
+                    self.unary_backward(&nodes, &mut grads, *a, &gout, |g, x, _y| if x > 0.0 { g } else { 0.0 }, &node.value)
+                }
+                Op::Gelu(a) => {
+                    self.unary_backward(&nodes, &mut grads, *a, &gout, |g, x, _y| g * kernels::gelu_grad(x), &node.value)
+                }
+                Op::Sigmoid(a) => {
+                    self.unary_backward(&nodes, &mut grads, *a, &gout, |g, _x, y| g * y * (1.0 - y), &node.value)
+                }
+                Op::Tanh(a) => {
+                    self.unary_backward(&nodes, &mut grads, *a, &gout, |g, _x, y| g * (1.0 - y * y), &node.value)
+                }
+                Op::Square(a) => {
+                    self.unary_backward(&nodes, &mut grads, *a, &gout, |g, x, _y| g * 2.0 * x, &node.value)
+                }
+                Op::Scale(a, c) => {
+                    let c = *c;
+                    self.unary_backward(&nodes, &mut grads, *a, &gout, move |g, _x, _y| g * c, &node.value)
+                }
+                Op::AddScalar(a, _) => {
+                    self.unary_backward(&nodes, &mut grads, *a, &gout, |g, _x, _y| g, &node.value)
+                }
+                Op::Matmul(a, b) => {
+                    let (m, k) = (nodes[*a].shape[0], nodes[*a].shape[1]);
+                    let n = nodes[*b].shape[1];
+                    if nodes[*a].needs_grad {
+                        let bval = &nodes[*b].value;
+                        let ga = acc(&mut grads, *a, m * k);
+                        kernels::matmul_acc_nt(&gout, bval, m, n, k, ga);
+                    }
+                    if nodes[*b].needs_grad {
+                        let aval = &nodes[*a].value;
+                        let gb = acc(&mut grads, *b, k * n);
+                        kernels::matmul_acc_tn(aval, &gout, m, k, n, gb);
+                    }
+                }
+                Op::Bmm(a, b) => {
+                    let (bsz, m, k) = (nodes[*a].shape[0], nodes[*a].shape[1], nodes[*a].shape[2]);
+                    let n = nodes[*b].shape[2];
+                    if nodes[*a].needs_grad {
+                        let bval = nodes[*b].value.clone();
+                        let ga = acc(&mut grads, *a, bsz * m * k);
+                        for i in 0..bsz {
+                            kernels::matmul_acc_nt(
+                                &gout[i * m * n..(i + 1) * m * n],
+                                &bval[i * k * n..(i + 1) * k * n],
+                                m,
+                                n,
+                                k,
+                                &mut ga[i * m * k..(i + 1) * m * k],
+                            );
+                        }
+                    }
+                    if nodes[*b].needs_grad {
+                        let aval = nodes[*a].value.clone();
+                        let gb = acc(&mut grads, *b, bsz * k * n);
+                        for i in 0..bsz {
+                            kernels::matmul_acc_tn(
+                                &aval[i * m * k..(i + 1) * m * k],
+                                &gout[i * m * n..(i + 1) * m * n],
+                                m,
+                                k,
+                                n,
+                                &mut gb[i * k * n..(i + 1) * k * n],
+                            );
+                        }
+                    }
+                }
+                Op::TransposeLast(a) => {
+                    if nodes[*a].needs_grad {
+                        let in_shape = nodes[*a].shape.clone();
+                        let r = in_shape.len();
+                        let (bsz, m, n) = if r == 2 {
+                            (1, in_shape[0], in_shape[1])
+                        } else {
+                            (in_shape[0], in_shape[1], in_shape[2])
+                        };
+                        let ga = acc(&mut grads, *a, bsz * m * n);
+                        // out[b][j][i] corresponds to in[b][i][j].
+                        for bi in 0..bsz {
+                            let go = &gout[bi * m * n..(bi + 1) * m * n];
+                            let gi = &mut ga[bi * m * n..(bi + 1) * m * n];
+                            for i in 0..m {
+                                for j in 0..n {
+                                    gi[i * n + j] += go[j * m + i];
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Permute(a, axes) => {
+                    if nodes[*a].needs_grad {
+                        let in_shape = nodes[*a].shape.clone();
+                        let in_strides = strides(&in_shape);
+                        let view: Vec<usize> = axes.iter().map(|&ax| in_strides[ax]).collect();
+                        let out_shape = node.shape.clone();
+                        let ga = acc(&mut grads, *a, numel(&in_shape));
+                        for (pos, off) in StridedIter::new(&out_shape, &view).enumerate() {
+                            ga[off] += gout[pos];
+                        }
+                    }
+                }
+                Op::Reshape(a) => {
+                    if nodes[*a].needs_grad {
+                        let ga = acc(&mut grads, *a, gout.len());
+                        for (s, g) in ga.iter_mut().zip(gout.iter()) {
+                            *s += g;
+                        }
+                    }
+                }
+                Op::BroadcastTo(a) => {
+                    if nodes[*a].needs_grad {
+                        let in_shape = nodes[*a].shape.clone();
+                        let vs = broadcast_strides(&in_shape, &node.shape);
+                        let out_shape = node.shape.clone();
+                        let ga = acc(&mut grads, *a, numel(&in_shape));
+                        for (pos, off) in StridedIter::new(&out_shape, &vs).enumerate() {
+                            ga[off] += gout[pos];
+                        }
+                    }
+                }
+                Op::SoftmaxLast(a) => {
+                    if nodes[*a].needs_grad {
+                        let d = *node.shape.last().unwrap();
+                        let y = node.value.clone();
+                        let ga = acc(&mut grads, *a, y.len());
+                        kernels::softmax_rows_backward(&y, &gout, d, ga);
+                    }
+                }
+                Op::SumLast(a, _) | Op::MeanLast(a, _) => {
+                    if nodes[*a].needs_grad {
+                        let d = *nodes[*a].shape.last().unwrap();
+                        let scale = if matches!(node.op, Op::MeanLast(_, _)) { 1.0 / d as f32 } else { 1.0 };
+                        let in_len = nodes[*a].value.len();
+                        let ga = acc(&mut grads, *a, in_len);
+                        for (r, &g) in gout.iter().enumerate() {
+                            let gr = g * scale;
+                            for slot in &mut ga[r * d..(r + 1) * d] {
+                                *slot += gr;
+                            }
+                        }
+                    }
+                }
+                Op::SumAll(a) | Op::MeanAll(a) => {
+                    if nodes[*a].needs_grad {
+                        let in_len = nodes[*a].value.len();
+                        let scale = if matches!(node.op, Op::MeanAll(_)) {
+                            1.0 / in_len.max(1) as f32
+                        } else {
+                            1.0
+                        };
+                        let g = gout[0] * scale;
+                        let ga = acc(&mut grads, *a, in_len);
+                        for slot in ga.iter_mut() {
+                            *slot += g;
+                        }
+                    }
+                }
+                Op::GatherRows { src, idx, k } => {
+                    if nodes[*src].needs_grad {
+                        let (bsz, t, d) =
+                            (nodes[*src].shape[0], nodes[*src].shape[1], nodes[*src].shape[2]);
+                        let idx = idx.clone();
+                        let k = *k;
+                        let ga = acc(&mut grads, *src, bsz * t * d);
+                        for b in 0..bsz {
+                            for ki in 0..k {
+                                let row = idx[b * k + ki];
+                                let src_off = (b * k + ki) * d;
+                                let dst_off = (b * t + row) * d;
+                                for j in 0..d {
+                                    ga[dst_off + j] += gout[src_off + j];
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::ScatterRows { src, idx, out_t } => {
+                    if nodes[*src].needs_grad {
+                        let (bsz, k, d) =
+                            (nodes[*src].shape[0], nodes[*src].shape[1], nodes[*src].shape[2]);
+                        let idx = idx.clone();
+                        let out_t = *out_t;
+                        let ga = acc(&mut grads, *src, bsz * k * d);
+                        for b in 0..bsz {
+                            for ki in 0..k {
+                                let row = idx[b * k + ki];
+                                let dst_off = (b * k + ki) * d;
+                                let src_off = (b * out_t + row) * d;
+                                for j in 0..d {
+                                    ga[dst_off + j] += gout[src_off + j];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Gradients { grads }
+    }
+
+    /// Backward pass that also routes parameter gradients into `store`.
+    pub fn backward_params(&self, loss: Var, store: &mut ParamStore) -> Gradients {
+        let grads = self.backward(loss);
+        grads.accumulate_into(self, store);
+        grads
+    }
+
+    fn unary_backward(
+        &self,
+        nodes: &[crate::graph::Node],
+        grads: &mut [Option<Vec<f32>>],
+        a: usize,
+        gout: &[f32],
+        f: impl Fn(f32, f32, f32) -> f32,
+        out_value: &[f32],
+    ) {
+        if !nodes[a].needs_grad {
+            return;
+        }
+        let xs = &nodes[a].value;
+        let ga = acc(grads, a, xs.len());
+        for i in 0..xs.len() {
+            ga[i] += f(gout[i], xs[i], out_value[i]);
+        }
+    }
+
+    /// Shared backward for broadcasting binary ops. `f(g, x, y)` returns the
+    /// per-element `(dL/dx, dL/dy)` contributions.
+    #[allow(clippy::too_many_arguments)]
+    fn binary_backward(
+        &self,
+        nodes: &[crate::graph::Node],
+        grads: &mut [Option<Vec<f32>>],
+        a: usize,
+        b: usize,
+        out_shape: &[usize],
+        gout: &[f32],
+        f: impl Fn(f32, f32, f32) -> (f32, f32),
+    ) {
+        let need_a = nodes[a].needs_grad;
+        let need_b = nodes[b].needs_grad;
+        if !need_a && !need_b {
+            return;
+        }
+        let av = &nodes[a].value;
+        let bv = &nodes[b].value;
+        let same = nodes[a].shape == nodes[b].shape;
+
+        if same {
+            if need_a {
+                let ga = acc(grads, a, av.len());
+                for i in 0..av.len() {
+                    ga[i] += f(gout[i], av[i], bv[i]).0;
+                }
+            }
+            if need_b {
+                let gb = acc(grads, b, bv.len());
+                for i in 0..bv.len() {
+                    gb[i] += f(gout[i], av[i], bv[i]).1;
+                }
+            }
+            return;
+        }
+
+        // Hot path: `[..., D] ⊕ [D]` (bias/gain) — chunked accumulation.
+        if out_shape == nodes[a].shape
+            && nodes[b].shape.len() <= nodes[a].shape.len()
+            && !nodes[b].shape.is_empty()
+            && nodes[a].shape[nodes[a].shape.len() - nodes[b].shape.len()..] == nodes[b].shape[..]
+        {
+            let m = bv.len().max(1);
+            if need_a {
+                let ga = acc(grads, a, av.len());
+                for (ci, chunk) in ga.chunks_mut(m).enumerate() {
+                    let base = ci * m;
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot += f(gout[base + j], av[base + j], bv[j]).0;
+                    }
+                }
+            }
+            if need_b {
+                let gb = acc(grads, b, bv.len());
+                for (ci, chunk) in gout.chunks(m).enumerate() {
+                    let base = ci * m;
+                    for (j, &g) in chunk.iter().enumerate() {
+                        gb[j] += f(g, av[base + j], bv[j]).1;
+                    }
+                }
+            }
+            return;
+        }
+        // Hot path: `[..., D] ⊕ [..., 1]` (keepdim row scalar, LayerNorm).
+        if out_shape == nodes[a].shape
+            && nodes[b].shape.len() == nodes[a].shape.len()
+            && !nodes[a].shape.is_empty()
+            && nodes[b].shape[..nodes[b].shape.len() - 1]
+                == nodes[a].shape[..nodes[a].shape.len() - 1]
+            && *nodes[b].shape.last().unwrap() == 1
+        {
+            let d = *nodes[a].shape.last().unwrap();
+            if need_a {
+                let ga = acc(grads, a, av.len());
+                for (r, chunk) in ga.chunks_mut(d).enumerate() {
+                    let y = bv[r];
+                    let base = r * d;
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot += f(gout[base + j], av[base + j], y).0;
+                    }
+                }
+            }
+            if need_b {
+                let gb = acc(grads, b, bv.len());
+                for (r, slot) in gb.iter_mut().enumerate() {
+                    let y = bv[r];
+                    let base = r * d;
+                    let mut acc_v = 0.0f32;
+                    for j in 0..d {
+                        acc_v += f(gout[base + j], av[base + j], y).1;
+                    }
+                    *slot += acc_v;
+                }
+            }
+            return;
+        }
+
+        let sa = broadcast_strides(&nodes[a].shape, out_shape);
+        let sb = broadcast_strides(&nodes[b].shape, out_shape);
+        let ia = StridedIter::new(out_shape, &sa);
+        let ib = StridedIter::new(out_shape, &sb);
+        // Two temporary accumulators so one strided sweep feeds both inputs.
+        let mut ta = if need_a { Some(vec![0.0f32; av.len()]) } else { None };
+        let mut tb = if need_b { Some(vec![0.0f32; bv.len()]) } else { None };
+        for (pos, (oa, ob)) in ia.zip(ib).enumerate() {
+            let (da, db) = f(gout[pos], av[oa], bv[ob]);
+            if let Some(t) = ta.as_mut() {
+                t[oa] += da;
+            }
+            if let Some(t) = tb.as_mut() {
+                t[ob] += db;
+            }
+        }
+        if let Some(t) = ta {
+            let ga = acc(grads, a, t.len());
+            for (s, v) in ga.iter_mut().zip(t.iter()) {
+                *s += v;
+            }
+        }
+        if let Some(t) = tb {
+            let gb = acc(grads, b, t.len());
+            for (s, v) in gb.iter_mut().zip(t.iter()) {
+                *s += v;
+            }
+        }
+    }
+}

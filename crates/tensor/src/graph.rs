@@ -1,0 +1,715 @@
+//! The autograd tape.
+//!
+//! A [`Graph`] is an append-only arena of [`Node`]s; every operation pushes
+//! one node holding its forward value, its operand ids, and enough metadata
+//! for the backward pass. [`Var`] is a copyable handle into the arena.
+//! Parameters live in a [`ParamStore`](crate::ParamStore) outside the graph
+//! and are *leafed in* per forward pass with [`Graph::param`]; this is what
+//! lets one weight set drive a fresh tape every training step, and it makes
+//! the paper's stop-gradient (`detach`) trivial — a detached value is just a
+//! fresh constant leaf.
+
+use std::cell::RefCell;
+
+use crate::kernels;
+use crate::shape::{
+    broadcast_shapes, broadcast_strides, broadcastable_to, fmt_shape, numel, strides, StridedIter,
+};
+use crate::store::{ParamId, ParamStore};
+
+/// Whether `b` equals the trailing axes of `a` (right-aligned exact match).
+fn is_suffix(b: &[usize], a: &[usize]) -> bool {
+    b.len() <= a.len() && !b.is_empty() && a[a.len() - b.len()..] == *b
+}
+
+/// Whether `b` is `a` with the trailing axis replaced by 1 (keepdim shape).
+fn is_row_scalar(b: &[usize], a: &[usize]) -> bool {
+    !a.is_empty()
+        && b.len() == a.len()
+        && b[..b.len() - 1] == a[..a.len() - 1]
+        && *b.last().unwrap() == 1
+}
+
+/// Epsilon used inside [`Graph::ln_eps`] (KL-divergence stability).
+pub const LN_EPS: f32 = 1e-12;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var {
+    pub(crate) id: usize,
+}
+
+#[derive(Debug)]
+#[allow(dead_code)] // payloads like keepdim flags are kept for tape debuggability
+pub(crate) enum Op {
+    Const,
+    Param(ParamId),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+    Neg(usize),
+    Exp(usize),
+    LnEps(usize),
+    Sqrt(usize),
+    Relu(usize),
+    Gelu(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Square(usize),
+    Scale(usize, f32),
+    AddScalar(usize, f32),
+    Matmul(usize, usize),
+    Bmm(usize, usize),
+    TransposeLast(usize),
+    Permute(usize, Vec<usize>),
+    Reshape(usize),
+    SoftmaxLast(usize),
+    SumLast(usize, bool),
+    MeanLast(usize, bool),
+    SumAll(usize),
+    MeanAll(usize),
+    BroadcastTo(usize),
+    /// Gather rows along axis 1 of a `[B, T, D]` tensor; `idx` holds `B*K`
+    /// row indices (`K` per batch element).
+    GatherRows { src: usize, idx: Vec<usize>, k: usize },
+    /// Scatter rows along axis 1 into a zeroed `[B, T, D]` output; inverse
+    /// access pattern of `GatherRows`. Duplicate indices accumulate.
+    ScatterRows { src: usize, idx: Vec<usize>, out_t: usize },
+}
+
+pub(crate) struct Node {
+    pub value: Vec<f32>,
+    pub shape: Vec<usize>,
+    pub op: Op,
+    pub needs_grad: bool,
+}
+
+/// Append-only autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: RefCell::new(Vec::with_capacity(256)) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Total activation bytes held by the tape (Fig. 10 memory accounting).
+    pub fn activation_bytes(&self) -> usize {
+        self.nodes.borrow().iter().map(|n| n.value.len() * std::mem::size_of::<f32>()).sum()
+    }
+
+    fn push(&self, value: Vec<f32>, shape: Vec<usize>, op: Op, needs_grad: bool) -> Var {
+        debug_assert_eq!(value.len(), numel(&shape), "node value/shape mismatch");
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, shape, op, needs_grad });
+        Var { id: nodes.len() - 1 }
+    }
+
+    /// The forward value of `v` (cloned out of the tape).
+    pub fn value(&self, v: Var) -> Vec<f32> {
+        self.nodes.borrow()[v.id].value.clone()
+    }
+
+    /// The shape of `v`.
+    pub fn shape(&self, v: Var) -> Vec<usize> {
+        self.nodes.borrow()[v.id].shape.clone()
+    }
+
+    /// The scalar value of a one-element node.
+    ///
+    /// # Panics
+    /// Panics if `v` has more than one element.
+    pub fn scalar_value(&self, v: Var) -> f32 {
+        let nodes = self.nodes.borrow();
+        let n = &nodes[v.id];
+        assert_eq!(n.value.len(), 1, "scalar_value on non-scalar {}", fmt_shape(&n.shape));
+        n.value[0]
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// A constant (non-trainable) leaf.
+    pub fn constant(&self, data: Vec<f32>, shape: Vec<usize>) -> Var {
+        assert_eq!(data.len(), numel(&shape), "constant data/shape mismatch");
+        self.push(data, shape, Op::Const, false)
+    }
+
+    /// A scalar constant leaf (shape `[]`).
+    pub fn scalar(&self, v: f32) -> Var {
+        self.push(vec![v], vec![], Op::Const, false)
+    }
+
+    /// Leafs a trainable parameter into the graph; gradients flow back into
+    /// the store on [`Graph::backward`](crate::Gradients).
+    pub fn param(&self, store: &ParamStore, id: ParamId) -> Var {
+        let p = store.get(id);
+        self.push(p.data.clone(), p.shape.clone(), Op::Param(id), true)
+    }
+
+    /// Stop-gradient: a constant copy of `v` (the paper's `sg`, Eq. 15).
+    pub fn detach(&self, v: Var) -> Var {
+        let (value, shape) = {
+            let nodes = self.nodes.borrow();
+            (nodes[v.id].value.clone(), nodes[v.id].shape.clone())
+        };
+        self.push(value, shape, Op::Const, false)
+    }
+
+    // ------------------------------------------------------- elementwise ops
+
+    fn broadcast_binary(
+        &self,
+        a: Var,
+        b: Var,
+        f: impl Fn(f32, f32) -> f32,
+        make_op: impl Fn(usize, usize) -> Op,
+        name: &str,
+    ) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            let nb = &nodes[b.id];
+            let out_shape = broadcast_shapes(&na.shape, &nb.shape).unwrap_or_else(|| {
+                panic!("{name}: shapes {} and {} do not broadcast", fmt_shape(&na.shape), fmt_shape(&nb.shape))
+            });
+            let n = numel(&out_shape);
+            let mut value = Vec::with_capacity(n);
+            if na.shape == nb.shape {
+                for (x, y) in na.value.iter().zip(nb.value.iter()) {
+                    value.push(f(*x, *y));
+                }
+            } else if out_shape == na.shape && is_suffix(&nb.shape, &na.shape) {
+                // Hot path: bias/gain broadcast `[..., D] ⊕ [D]`.
+                let m = nb.value.len().max(1);
+                for chunk in na.value.chunks(m) {
+                    for (x, y) in chunk.iter().zip(nb.value.iter()) {
+                        value.push(f(*x, *y));
+                    }
+                }
+            } else if out_shape == na.shape && is_row_scalar(&nb.shape, &na.shape) {
+                // Hot path: per-row scalar `[..., D] ⊕ [..., 1]` (LayerNorm).
+                let d = *na.shape.last().unwrap();
+                for (r, chunk) in na.value.chunks(d).enumerate() {
+                    let y = nb.value[r];
+                    for x in chunk {
+                        value.push(f(*x, y));
+                    }
+                }
+            } else {
+                let sa = broadcast_strides(&na.shape, &out_shape);
+                let sb = broadcast_strides(&nb.shape, &out_shape);
+                let ia = StridedIter::new(&out_shape, &sa);
+                let ib = StridedIter::new(&out_shape, &sb);
+                for (oa, ob) in ia.zip(ib) {
+                    value.push(f(na.value[oa], nb.value[ob]));
+                }
+            }
+            (value, out_shape, na.needs_grad || nb.needs_grad)
+        };
+        self.push(value, out_shape, make_op(a.id, b.id), needs)
+    }
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, a: Var, b: Var) -> Var {
+        self.broadcast_binary(a, b, |x, y| x + y, Op::Add, "add")
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, a: Var, b: Var) -> Var {
+        self.broadcast_binary(a, b, |x, y| x - y, Op::Sub, "sub")
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, a: Var, b: Var) -> Var {
+        self.broadcast_binary(a, b, |x, y| x * y, Op::Mul, "mul")
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, a: Var, b: Var) -> Var {
+        self.broadcast_binary(a, b, |x, y| x / y, Op::Div, "div")
+    }
+
+    fn unary(&self, a: Var, f: impl Fn(f32) -> f32, op: Op) -> Var {
+        let (value, shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            (na.value.iter().map(|&x| f(x)).collect(), na.shape.clone(), na.needs_grad)
+        };
+        self.push(value, shape, op, needs)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self, a: Var) -> Var {
+        self.unary(a, |x| -x, Op::Neg(a.id))
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&self, a: Var) -> Var {
+        self.unary(a, f32::exp, Op::Exp(a.id))
+    }
+
+    /// Elementwise `ln(x + ε)` with ε = [`LN_EPS`] (safe log for KL terms).
+    pub fn ln_eps(&self, a: Var) -> Var {
+        self.unary(a, |x| (x + LN_EPS).ln(), Op::LnEps(a.id))
+    }
+
+    /// Elementwise `sqrt(max(x, 0))`.
+    pub fn sqrt(&self, a: Var) -> Var {
+        self.unary(a, |x| x.max(0.0).sqrt(), Op::Sqrt(a.id))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self, a: Var) -> Var {
+        self.unary(a, |x| x.max(0.0), Op::Relu(a.id))
+    }
+
+    /// Elementwise GELU (tanh approximation).
+    pub fn gelu(&self, a: Var) -> Var {
+        self.unary(a, kernels::gelu, Op::Gelu(a.id))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self, a: Var) -> Var {
+        self.unary(a, |x| 1.0 / (1.0 + (-x).exp()), Op::Sigmoid(a.id))
+    }
+
+    /// Elementwise `tanh`.
+    pub fn tanh(&self, a: Var) -> Var {
+        self.unary(a, f32::tanh, Op::Tanh(a.id))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self, a: Var) -> Var {
+        self.unary(a, |x| x * x, Op::Square(a.id))
+    }
+
+    /// Multiplies by a compile-time scalar.
+    pub fn scale(&self, a: Var, c: f32) -> Var {
+        self.unary(a, |x| x * c, Op::Scale(a.id, c))
+    }
+
+    /// Adds a compile-time scalar.
+    pub fn add_scalar(&self, a: Var, c: f32) -> Var {
+        self.unary(a, |x| x + c, Op::AddScalar(a.id, c))
+    }
+
+    // --------------------------------------------------------- linear algebra
+
+    /// 2-D matrix product `[m,k] × [k,n] → [m,n]`.
+    pub fn matmul(&self, a: Var, b: Var) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            let nb = &nodes[b.id];
+            assert_eq!(na.shape.len(), 2, "matmul lhs must be 2-D, got {}", fmt_shape(&na.shape));
+            assert_eq!(nb.shape.len(), 2, "matmul rhs must be 2-D, got {}", fmt_shape(&nb.shape));
+            let (m, k) = (na.shape[0], na.shape[1]);
+            let (k2, n) = (nb.shape[0], nb.shape[1]);
+            assert_eq!(k, k2, "matmul inner dims: {} vs {}", fmt_shape(&na.shape), fmt_shape(&nb.shape));
+            let mut value = vec![0.0; m * n];
+            kernels::matmul(&na.value, &nb.value, m, k, n, &mut value);
+            (value, vec![m, n], na.needs_grad || nb.needs_grad)
+        };
+        self.push(value, out_shape, Op::Matmul(a.id, b.id), needs)
+    }
+
+    /// Batched 3-D matrix product `[B,m,k] × [B,k,n] → [B,m,n]`.
+    pub fn bmm(&self, a: Var, b: Var) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            let nb = &nodes[b.id];
+            assert_eq!(na.shape.len(), 3, "bmm lhs must be 3-D, got {}", fmt_shape(&na.shape));
+            assert_eq!(nb.shape.len(), 3, "bmm rhs must be 3-D, got {}", fmt_shape(&nb.shape));
+            let (bsz, m, k) = (na.shape[0], na.shape[1], na.shape[2]);
+            let (b2, k2, n) = (nb.shape[0], nb.shape[1], nb.shape[2]);
+            assert!(bsz == b2 && k == k2, "bmm shapes: {} vs {}", fmt_shape(&na.shape), fmt_shape(&nb.shape));
+            let mut value = vec![0.0; bsz * m * n];
+            for i in 0..bsz {
+                kernels::matmul(
+                    &na.value[i * m * k..(i + 1) * m * k],
+                    &nb.value[i * k * n..(i + 1) * k * n],
+                    m,
+                    k,
+                    n,
+                    &mut value[i * m * n..(i + 1) * m * n],
+                );
+            }
+            (value, vec![bsz, m, n], na.needs_grad || nb.needs_grad)
+        };
+        self.push(value, out_shape, Op::Bmm(a.id, b.id), needs)
+    }
+
+    /// Swaps the last two axes of a 2-D or 3-D tensor.
+    pub fn transpose_last(&self, a: Var) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            let r = na.shape.len();
+            assert!(r == 2 || r == 3, "transpose_last needs rank 2/3, got {}", fmt_shape(&na.shape));
+            let (bsz, m, n) = if r == 2 {
+                (1, na.shape[0], na.shape[1])
+            } else {
+                (na.shape[0], na.shape[1], na.shape[2])
+            };
+            let mut value = vec![0.0; bsz * m * n];
+            for i in 0..bsz {
+                kernels::transpose2d(
+                    &na.value[i * m * n..(i + 1) * m * n],
+                    m,
+                    n,
+                    &mut value[i * m * n..(i + 1) * m * n],
+                );
+            }
+            let out_shape =
+                if r == 2 { vec![n, m] } else { vec![bsz, n, m] };
+            (value, out_shape, na.needs_grad)
+        };
+        self.push(value, out_shape, Op::TransposeLast(a.id), needs)
+    }
+
+    /// General axis permutation with data movement.
+    pub fn permute(&self, a: Var, axes: &[usize]) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            assert_eq!(axes.len(), na.shape.len(), "permute axes rank mismatch");
+            let mut seen = vec![false; axes.len()];
+            for &ax in axes {
+                assert!(ax < axes.len() && !seen[ax], "permute axes must be a permutation");
+                seen[ax] = true;
+            }
+            let out_shape: Vec<usize> = axes.iter().map(|&ax| na.shape[ax]).collect();
+            let in_strides = strides(&na.shape);
+            let view: Vec<usize> = axes.iter().map(|&ax| in_strides[ax]).collect();
+            let mut value = Vec::with_capacity(na.value.len());
+            for off in StridedIter::new(&out_shape, &view) {
+                value.push(na.value[off]);
+            }
+            (value, out_shape, na.needs_grad)
+        };
+        self.push(value, out_shape, Op::Permute(a.id, axes.to_vec()), needs)
+    }
+
+    /// Reinterprets the (contiguous) data with a new shape of equal size.
+    pub fn reshape(&self, a: Var, shape: &[usize]) -> Var {
+        let (value, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            assert_eq!(
+                numel(&na.shape),
+                numel(shape),
+                "reshape {} -> {} changes element count",
+                fmt_shape(&na.shape),
+                fmt_shape(shape)
+            );
+            (na.value.clone(), na.needs_grad)
+        };
+        self.push(value, shape.to_vec(), Op::Reshape(a.id), needs)
+    }
+
+    /// Explicitly broadcasts `a` to `shape` (right-aligned).
+    pub fn broadcast_to(&self, a: Var, shape: &[usize]) -> Var {
+        let (value, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            assert!(
+                broadcastable_to(&na.shape, shape),
+                "cannot broadcast {} to {}",
+                fmt_shape(&na.shape),
+                fmt_shape(shape)
+            );
+            let vs = broadcast_strides(&na.shape, shape);
+            let mut value = Vec::with_capacity(numel(shape));
+            for off in StridedIter::new(shape, &vs) {
+                value.push(na.value[off]);
+            }
+            (value, na.needs_grad)
+        };
+        self.push(value, shape.to_vec(), Op::BroadcastTo(a.id), needs)
+    }
+
+    // ------------------------------------------------------------ reductions
+
+    /// Softmax over the trailing axis.
+    pub fn softmax_last(&self, a: Var) -> Var {
+        let (value, shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            let d = *na.shape.last().expect("softmax_last needs rank >= 1");
+            let mut value = na.value.clone();
+            kernels::softmax_rows(&mut value, d);
+            (value, na.shape.clone(), na.needs_grad)
+        };
+        self.push(value, shape, Op::SoftmaxLast(a.id), needs)
+    }
+
+    fn reduce_last(&self, a: Var, keepdim: bool, mean: bool) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            let d = *na.shape.last().expect("reduce over trailing axis needs rank >= 1");
+            let rows = na.value.len() / d.max(1);
+            let scale = if mean { 1.0 / d as f32 } else { 1.0 };
+            let mut value = Vec::with_capacity(rows);
+            for row in na.value.chunks(d) {
+                value.push(row.iter().sum::<f32>() * scale);
+            }
+            let mut out_shape = na.shape.clone();
+            if keepdim {
+                *out_shape.last_mut().unwrap() = 1;
+            } else {
+                out_shape.pop();
+            }
+            (value, out_shape, na.needs_grad)
+        };
+        let op = if mean { Op::MeanLast(a.id, keepdim) } else { Op::SumLast(a.id, keepdim) };
+        self.push(value, out_shape, op, needs)
+    }
+
+    /// Sum over the trailing axis.
+    pub fn sum_last(&self, a: Var, keepdim: bool) -> Var {
+        self.reduce_last(a, keepdim, false)
+    }
+
+    /// Mean over the trailing axis.
+    pub fn mean_last(&self, a: Var, keepdim: bool) -> Var {
+        self.reduce_last(a, keepdim, true)
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&self, a: Var) -> Var {
+        let (value, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            (vec![na.value.iter().sum::<f32>()], na.needs_grad)
+        };
+        self.push(value, vec![], Op::SumAll(a.id), needs)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&self, a: Var) -> Var {
+        let (value, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            let n = na.value.len().max(1);
+            (vec![na.value.iter().sum::<f32>() / n as f32], na.needs_grad)
+        };
+        self.push(value, vec![], Op::MeanAll(a.id), needs)
+    }
+
+    // --------------------------------------------------------- gather/scatter
+
+    /// Gathers rows along axis 1 of a `[B, T, D]` tensor. `idx` is flattened
+    /// `[B, K]` (row indices per batch element); output is `[B, K, D]`.
+    pub fn gather_rows(&self, a: Var, idx: &[usize], k: usize) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            assert_eq!(na.shape.len(), 3, "gather_rows needs [B,T,D], got {}", fmt_shape(&na.shape));
+            let (bsz, t, d) = (na.shape[0], na.shape[1], na.shape[2]);
+            assert_eq!(idx.len(), bsz * k, "gather_rows index count mismatch");
+            let mut value = Vec::with_capacity(bsz * k * d);
+            for b in 0..bsz {
+                for ki in 0..k {
+                    let row = idx[b * k + ki];
+                    assert!(row < t, "gather_rows index {row} out of range (T={t})");
+                    let base = (b * t + row) * d;
+                    value.extend_from_slice(&na.value[base..base + d]);
+                }
+            }
+            (value, vec![bsz, k, d], na.needs_grad)
+        };
+        self.push(value, out_shape, Op::GatherRows { src: a.id, idx: idx.to_vec(), k }, needs)
+    }
+
+    /// Scatters rows of a `[B, K, D]` tensor into a zeroed `[B, T, D]`
+    /// output along axis 1. Duplicate indices accumulate.
+    pub fn scatter_rows(&self, a: Var, idx: &[usize], out_t: usize) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            assert_eq!(na.shape.len(), 3, "scatter_rows needs [B,K,D], got {}", fmt_shape(&na.shape));
+            let (bsz, k, d) = (na.shape[0], na.shape[1], na.shape[2]);
+            assert_eq!(idx.len(), bsz * k, "scatter_rows index count mismatch");
+            let mut value = vec![0.0; bsz * out_t * d];
+            for b in 0..bsz {
+                for ki in 0..k {
+                    let row = idx[b * k + ki];
+                    assert!(row < out_t, "scatter_rows index {row} out of range (T={out_t})");
+                    let src = (b * k + ki) * d;
+                    let dst = (b * out_t + row) * d;
+                    for j in 0..d {
+                        value[dst + j] += na.value[src + j];
+                    }
+                }
+            }
+            (value, vec![bsz, out_t, d], na.needs_grad)
+        };
+        self.push(value, out_shape, Op::ScatterRows { src: a.id, idx: idx.to_vec(), out_t }, needs)
+    }
+
+    // -------------------------------------------------------------- composites
+
+    /// Row-stochastic symmetric KL divergence over the trailing axis:
+    /// `Σ_d p·(ln p − ln q) + q·(ln q − ln p)`, reduced over the last dim.
+    ///
+    /// Inputs must already lie on the simplex (e.g. via
+    /// [`Graph::softmax_last`]). Output drops the trailing axis. This is the
+    /// contrastive discrepancy of Eq. 14/16.
+    pub fn sym_kl_last(&self, p: Var, q: Var) -> Var {
+        let lp = self.ln_eps(p);
+        let lq = self.ln_eps(q);
+        let diff = self.sub(lp, lq);
+        let kl_pq = self.sum_last(self.mul(p, diff), false);
+        let diff_qp = self.neg(diff);
+        let kl_qp = self.sum_last(self.mul(q, diff_qp), false);
+        self.add(kl_pq, kl_qp)
+    }
+
+    /// Mean squared error between two same-shaped tensors (scalar output).
+    pub fn mse(&self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        self.mean_all(self.square(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_scalar_leaves() {
+        let g = Graph::new();
+        let c = g.constant(vec![1.0, 2.0], vec![2]);
+        assert_eq!(g.value(c), vec![1.0, 2.0]);
+        assert_eq!(g.shape(c), vec![2]);
+        let s = g.scalar(3.5);
+        assert_eq!(g.scalar_value(s), 3.5);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_add_bias() {
+        let g = Graph::new();
+        let x = g.constant(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let b = g.constant(vec![10.0, 20.0, 30.0], vec![3]);
+        let y = g.add(x, b);
+        assert_eq!(g.value(y), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let g = Graph::new();
+        let a = g.constant(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let b = g.constant(vec![5.0, 6.0, 7.0, 8.0], vec![2, 2]);
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn bmm_batches_independently() {
+        let g = Graph::new();
+        let a = g.constant(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], vec![2, 2, 2]);
+        let b = g.constant(vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], vec![2, 2, 2]);
+        let c = g.bmm(a, b);
+        assert_eq!(g.value(c), vec![1.0, 2.0, 3.0, 4.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn permute_and_transpose_agree_on_3d() {
+        let g = Graph::new();
+        let data: Vec<f32> = (0..24).map(|v| v as f32).collect();
+        let x = g.constant(data, vec![2, 3, 4]);
+        let a = g.transpose_last(x);
+        let b = g.permute(x, &[0, 2, 1]);
+        assert_eq!(g.value(a), g.value(b));
+        assert_eq!(g.shape(a), vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn softmax_rows_on_tensor() {
+        let g = Graph::new();
+        let x = g.constant(vec![0.0, 0.0, 1.0, 1.0], vec![2, 2]);
+        let y = g.softmax_last(x);
+        let v = g.value(y);
+        assert!((v[0] - 0.5).abs() < 1e-6 && (v[3] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reductions() {
+        let g = Graph::new();
+        let x = g.constant(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        assert_eq!(g.value(g.sum_last(x, false)), vec![3.0, 7.0]);
+        assert_eq!(g.value(g.mean_last(x, true)), vec![1.5, 3.5]);
+        assert_eq!(g.shape(g.mean_last(x, true)), vec![2, 1]);
+        assert_eq!(g.scalar_value(g.sum_all(x)), 10.0);
+        assert_eq!(g.scalar_value(g.mean_all(x)), 2.5);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let g = Graph::new();
+        let data: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let x = g.constant(data.clone(), vec![1, 4, 3]);
+        let gathered = g.gather_rows(x, &[1, 3], 2);
+        assert_eq!(g.value(gathered), vec![3.0, 4.0, 5.0, 9.0, 10.0, 11.0]);
+        let scattered = g.scatter_rows(gathered, &[1, 3], 4);
+        let v = g.value(scattered);
+        assert_eq!(&v[3..6], &data[3..6]);
+        assert_eq!(&v[9..12], &data[9..12]);
+        assert!(v[0..3].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn sym_kl_zero_for_identical_distributions() {
+        let g = Graph::new();
+        let x = g.constant(vec![0.2, 0.8, 0.5, 0.5], vec![2, 2]);
+        let kl = g.sym_kl_last(x, x);
+        for v in g.value(kl) {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sym_kl_positive_and_symmetric() {
+        let g = Graph::new();
+        let p = g.constant(vec![0.9, 0.1], vec![1, 2]);
+        let q = g.constant(vec![0.1, 0.9], vec![1, 2]);
+        let a = g.scalar_value(g.sum_all(g.sym_kl_last(p, q)));
+        let b = g.scalar_value(g.sum_all(g.sym_kl_last(q, p)));
+        assert!(a > 0.1);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast")]
+    fn incompatible_broadcast_panics() {
+        let g = Graph::new();
+        let a = g.constant(vec![0.0; 2], vec![2]);
+        let b = g.constant(vec![0.0; 3], vec![3]);
+        g.add(a, b);
+    }
+
+    #[test]
+    fn detach_copies_value() {
+        let g = Graph::new();
+        let x = g.constant(vec![1.0, 2.0], vec![2]);
+        let d = g.detach(x);
+        assert_eq!(g.value(d), vec![1.0, 2.0]);
+    }
+}

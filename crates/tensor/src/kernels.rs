@@ -1,0 +1,265 @@
+//! Dense compute kernels shared by the forward and backward passes.
+//!
+//! All matrices are row-major slices. The matmul family uses the i-k-j loop
+//! order (rank-1 row updates) so the inner loops auto-vectorize.
+
+/// `out = A·B` where `A` is `m×k`, `B` is `k×n`. `out` must be zeroed.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let brow = &b[l * n..(l + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `out += A·Bᵀ` where `A` is `m×n`, `B` is `k×n`, `out` is `m×k`.
+/// (Used for `dA += dC·Bᵀ` in matmul backward.)
+pub fn matmul_acc_nt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * k);
+    for i in 0..m {
+        let arow = &a[i * n..(i + 1) * n];
+        let orow = &mut out[i * k..(i + 1) * k];
+        for (l, slot) in orow.iter_mut().enumerate() {
+            let brow = &b[l * n..(l + 1) * n];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            *slot += acc;
+        }
+    }
+}
+
+/// `out += Aᵀ·B` where `A` is `m×k`, `B` is `m×n`, `out` is `k×n`.
+/// (Used for `dB += Aᵀ·dC` in matmul backward.)
+pub fn matmul_acc_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(out.len(), k * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let brow = &b[i * n..(i + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let orow = &mut out[l * n..(l + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Transposes an `m×n` row-major matrix into `n×m`.
+pub fn transpose2d(a: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+}
+
+/// Numerically stable softmax over contiguous rows of width `d`, in place.
+pub fn softmax_rows(data: &mut [f32], d: usize) {
+    debug_assert!(d > 0 && data.len().is_multiple_of(d));
+    for row in data.chunks_mut(d) {
+        let mut mx = f32::NEG_INFINITY;
+        for &v in row.iter() {
+            mx = mx.max(v);
+        }
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - mx).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Backward of row softmax: `dx = (dy − Σ(dy·y)) ⊙ y`, accumulated into `dx`.
+pub fn softmax_rows_backward(y: &[f32], dy: &[f32], d: usize, dx: &mut [f32]) {
+    debug_assert_eq!(y.len(), dy.len());
+    debug_assert_eq!(y.len(), dx.len());
+    for ((yr, dyr), dxr) in y.chunks(d).zip(dy.chunks(d)).zip(dx.chunks_mut(d)) {
+        let mut dot = 0.0f32;
+        for (a, b) in yr.iter().zip(dyr.iter()) {
+            dot += a * b;
+        }
+        for ((x, &yv), &dyv) in dxr.iter_mut().zip(yr.iter()).zip(dyr.iter()) {
+            *x += yv * (dyv - dot);
+        }
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
+const GELU_A: f32 = 0.044_715;
+
+/// GELU activation (tanh approximation).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+#[inline]
+pub fn gelu_grad(x: f32) -> f32 {
+    let u = GELU_C * (x + GELU_A * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * GELU_A * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a[i * k + l] * b[l * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn rndvec(n: usize, seed: u32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32 * 12.9898 + seed as f32) .sin() * 43758.547).fract() - 0.5).collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let (m, k, n) = (7, 5, 9);
+        let a = rndvec(m * k, 1);
+        let b = rndvec(k * n, 2);
+        let mut out = vec![0.0; m * n];
+        matmul(&a, &b, m, k, n, &mut out);
+        let want = naive_matmul(&a, &b, m, k, n);
+        for (x, y) in out.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn nt_variant_matches_transposed_naive() {
+        // out += A(m×n) · Bᵀ where B is k×n.
+        let (m, n, k) = (4, 6, 3);
+        let a = rndvec(m * n, 3);
+        let b = rndvec(k * n, 4);
+        let mut bt = vec![0.0; n * k];
+        transpose2d(&b, k, n, &mut bt);
+        let want = naive_matmul(&a, &bt, m, n, k);
+        let mut out = vec![0.0; m * k];
+        matmul_acc_nt(&a, &b, m, n, k, &mut out);
+        for (x, y) in out.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn tn_variant_matches_transposed_naive() {
+        // out += Aᵀ(k×m) · B(m×n) where A is m×k.
+        let (m, k, n) = (5, 4, 3);
+        let a = rndvec(m * k, 5);
+        let b = rndvec(m * n, 6);
+        let mut at = vec![0.0; k * m];
+        transpose2d(&a, m, k, &mut at);
+        let want = naive_matmul(&at, &b, k, m, n);
+        let mut out = vec![0.0; k * n];
+        matmul_acc_tn(&a, &b, m, k, n, &mut out);
+        for (x, y) in out.iter().zip(want.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn acc_variants_accumulate() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut out = vec![10.0; 4];
+        matmul_acc_nt(&a, &a, 2, 2, 2, &mut out);
+        assert_eq!(out, vec![11.0, 10.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, -1.0, -1.0];
+        softmax_rows(&mut x, 3);
+        let s1: f32 = x[..3].iter().sum();
+        let s2: f32 = x[3..].iter().sum();
+        assert!((s1 - 1.0).abs() < 1e-6);
+        assert!((s2 - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+        assert!((x[3] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1000.0, 1001.0, 1002.0];
+        let mut b = vec![0.0, 1.0, 2.0];
+        softmax_rows(&mut a, 3);
+        softmax_rows(&mut b, 3);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_orthogonal_to_ones() {
+        // The softmax Jacobian maps constant dy to zero dx.
+        let mut y = vec![0.2f32, 1.0, -0.5, 0.7];
+        softmax_rows(&mut y, 4);
+        let dy = vec![3.0f32; 4];
+        let mut dx = vec![0.0f32; 4];
+        softmax_rows_backward(&y, &dy, 4, &mut dx);
+        for v in dx {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gelu_matches_finite_difference() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0] {
+            let h = 1e-3;
+            let num = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((gelu_grad(x) - num).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-4);
+        assert!(gelu(-10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = rndvec(12, 9);
+        let mut t = vec![0.0; 12];
+        let mut back = vec![0.0; 12];
+        transpose2d(&a, 3, 4, &mut t);
+        transpose2d(&t, 4, 3, &mut back);
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shape and broadcasting utilities for row-major dense tensors.
+
+/// Number of elements implied by a shape (empty shape = scalar = 1 element).
+#[inline]
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a shape.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut s = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// NumPy-style right-aligned broadcast of two shapes.
+///
+/// Returns `None` when the shapes are incompatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Whether `from` broadcasts to `to` under right alignment.
+pub fn broadcastable_to(from: &[usize], to: &[usize]) -> bool {
+    if from.len() > to.len() {
+        return false;
+    }
+    let off = to.len() - from.len();
+    from.iter().enumerate().all(|(i, &d)| d == 1 || d == to[off + i])
+}
+
+/// Strides of `from` viewed inside the broadcast shape `to` (0 for broadcast
+/// axes). Caller must ensure `broadcastable_to(from, to)`.
+pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
+    let off = to.len() - from.len();
+    let fs = strides(from);
+    let mut out = vec![0usize; to.len()];
+    for i in 0..from.len() {
+        out[off + i] = if from[i] == 1 { 0 } else { fs[i] };
+    }
+    out
+}
+
+/// An odometer over the indices of `shape`, yielding the flat offset of a
+/// strided view alongside the dense row-major position.
+pub struct StridedIter {
+    shape: Vec<usize>,
+    view_strides: Vec<usize>,
+    idx: Vec<usize>,
+    offset: usize,
+    remaining: usize,
+}
+
+impl StridedIter {
+    /// Iterates the dense positions of `shape` producing the offsets of a
+    /// view with the given (possibly zero) strides.
+    pub fn new(shape: &[usize], view_strides: &[usize]) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            view_strides: view_strides.to_vec(),
+            idx: vec![0; shape.len()],
+            offset: 0,
+            remaining: numel(shape),
+        }
+    }
+}
+
+impl Iterator for StridedIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let current = self.offset;
+        self.remaining -= 1;
+        // Advance the odometer from the trailing axis.
+        for ax in (0..self.shape.len()).rev() {
+            self.idx[ax] += 1;
+            self.offset += self.view_strides[ax];
+            if self.idx[ax] < self.shape[ax] {
+                break;
+            }
+            self.offset -= self.view_strides[ax] * self.shape[ax];
+            self.idx[ax] = 0;
+        }
+        Some(current)
+    }
+}
+
+/// Pretty-prints a shape as `[a, b, c]` for error messages.
+pub fn fmt_shape(shape: &[usize]) -> String {
+    format!("{shape:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_strides() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 1, 4], &[3, 1]), Some(vec![2, 3, 4]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[4]), None);
+        assert_eq!(broadcast_shapes(&[], &[7]), Some(vec![7]));
+    }
+
+    #[test]
+    fn broadcastable_and_strides() {
+        assert!(broadcastable_to(&[3], &[2, 3]));
+        assert!(broadcastable_to(&[1, 3], &[5, 3]));
+        assert!(!broadcastable_to(&[2], &[2, 3]));
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[1, 3], &[5, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[5, 1], &[5, 3]), vec![1, 0]);
+    }
+
+    #[test]
+    fn strided_iteration_matches_broadcast_semantics() {
+        // Broadcasting [3] over [2,3] repeats offsets 0,1,2 twice.
+        let vs = broadcast_strides(&[3], &[2, 3]);
+        let offsets: Vec<usize> = StridedIter::new(&[2, 3], &vs).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn strided_iteration_dense() {
+        let s = strides(&[2, 2, 2]);
+        let offsets: Vec<usize> = StridedIter::new(&[2, 2, 2], &s).collect();
+        assert_eq!(offsets, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scalar_iteration() {
+        let offsets: Vec<usize> = StridedIter::new(&[], &[]).collect();
+        assert_eq!(offsets, vec![0]);
+    }
+}

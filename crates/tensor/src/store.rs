@@ -1,0 +1,171 @@
+//! Trainable parameters live outside the autograd tape in a [`ParamStore`],
+//! so one set of weights can be re-leafed into a fresh graph every step.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::numel;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// A named trainable tensor with its gradient accumulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Diagnostic name, e.g. `"temporal.enc.0.attn.wq"`.
+    pub name: String,
+    /// Row-major values.
+    pub data: Vec<f32>,
+    /// Gradient accumulator, same layout as `data`.
+    pub grad: Vec<f32>,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+}
+
+/// Flat registry of all trainable parameters of a model.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` disagrees with `shape`.
+    pub fn add(&mut self, name: impl Into<String>, data: Vec<f32>, shape: Vec<usize>) -> ParamId {
+        assert_eq!(data.len(), numel(&shape), "parameter data/shape mismatch");
+        let grad = vec![0.0; data.len()];
+        self.params.push(Param { name: name.into(), data, grad, shape });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Immutable access to a parameter.
+    pub fn get(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// All parameters in registration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Mutable view over all parameters.
+    pub fn params_mut(&mut self) -> &mut [Param] {
+        &mut self.params
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.data.len()).sum()
+    }
+
+    /// Approximate resident bytes (data + grad), used by the Fig. 10
+    /// memory-footprint accounting.
+    pub fn bytes(&self) -> usize {
+        self.num_scalars() * 2 * std::mem::size_of::<f32>()
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            for g in &mut p.grad {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Adds `delta` into the gradient accumulator of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &[f32]) {
+        let p = &mut self.params[id.0];
+        assert_eq!(p.grad.len(), delta.len(), "gradient size mismatch for {}", p.name);
+        for (g, d) in p.grad.iter_mut().zip(delta.iter()) {
+            *g += d;
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .flat_map(|p| p.grad.iter())
+            .map(|g| (*g as f64) * (*g as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Serializes all parameters to JSON (checkpointing).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore serializes")
+    }
+
+    /// Restores a store from [`ParamStore::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        assert_eq!(ps.get(id).name, "w");
+        assert_eq!(ps.get(id).shape, vec![2, 2]);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.num_scalars(), 4);
+        assert_eq!(ps.bytes(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        let mut ps = ParamStore::new();
+        ps.add("w", vec![1.0; 3], vec![2, 2]);
+    }
+
+    #[test]
+    fn grad_accumulation_and_zeroing() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("b", vec![0.0; 2], vec![2]);
+        ps.accumulate_grad(id, &[1.0, -2.0]);
+        ps.accumulate_grad(id, &[0.5, 0.5]);
+        assert_eq!(ps.get(id).grad, vec![1.5, -1.5]);
+        let expect = (1.5f64 * 1.5 + 1.5 * 1.5).sqrt() as f32;
+        assert!((ps.grad_norm() - expect).abs() < 1e-6);
+        ps.zero_grads();
+        assert_eq!(ps.get(id).grad, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut ps = ParamStore::new();
+        ps.add("w", vec![1.5, -0.25], vec![2]);
+        let json = ps.to_json();
+        let back = ParamStore::from_json(&json).unwrap();
+        assert_eq!(back.get(ParamId(0)).data, vec![1.5, -0.25]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Edge-case and contract tests for the tensor engine.
+
+use tfmae_tensor::{Graph, ParamStore};
+
+#[test]
+fn empty_tensors_flow_through_ops() {
+    let g = Graph::new();
+    let x = g.constant(vec![], vec![0, 3]);
+    let y = g.relu(x);
+    assert_eq!(g.value(y), Vec::<f32>::new());
+    let r = g.reshape(y, &[3, 0]);
+    assert_eq!(g.shape(r), vec![3, 0]);
+    // Gather zero rows.
+    let z = g.constant(vec![1.0; 6], vec![1, 2, 3]);
+    let picked = g.gather_rows(z, &[], 0);
+    assert_eq!(g.shape(picked), vec![1, 0, 3]);
+}
+
+#[test]
+fn scalar_graph_backward() {
+    let mut ps = ParamStore::new();
+    let w = ps.add("w", vec![3.0], vec![1]);
+    let g = Graph::new();
+    let x = g.param(&ps, w);
+    // loss = (2x + 1)² → d/dx = 2·(2x+1)·2 = 28 at x=3.
+    let y = g.square(g.add_scalar(g.scale(x, 2.0), 1.0));
+    let loss = g.sum_all(y);
+    g.backward_params(loss, &mut ps);
+    assert!((ps.get(w).grad[0] - 28.0).abs() < 1e-4);
+}
+
+#[test]
+#[should_panic(expected = "scalar loss")]
+fn backward_rejects_vector_loss() {
+    let g = Graph::new();
+    let x = g.constant(vec![1.0, 2.0], vec![2]);
+    g.backward(x);
+}
+
+#[test]
+#[should_panic(expected = "matmul inner dims")]
+fn matmul_shape_mismatch_panics() {
+    let g = Graph::new();
+    let a = g.constant(vec![0.0; 6], vec![2, 3]);
+    let b = g.constant(vec![0.0; 8], vec![4, 2]);
+    g.matmul(a, b);
+}
+
+#[test]
+#[should_panic(expected = "permutation")]
+fn permute_rejects_non_permutation() {
+    let g = Graph::new();
+    let x = g.constant(vec![0.0; 6], vec![2, 3]);
+    g.permute(x, &[0, 0]);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn gather_rejects_bad_index() {
+    let g = Graph::new();
+    let x = g.constant(vec![0.0; 6], vec![1, 2, 3]);
+    g.gather_rows(x, &[5], 1);
+}
+
+#[test]
+fn detach_inside_deep_chain_blocks_only_its_branch() {
+    let mut ps = ParamStore::new();
+    let w = ps.add("w", vec![1.0, 2.0], vec![2]);
+    let g = Graph::new();
+    let x = g.param(&ps, w);
+    // loss = mean(x² + detach(x²)) → only the live branch contributes.
+    let live = g.square(x);
+    let frozen = g.detach(g.square(x));
+    let loss = g.mean_all(g.add(live, frozen));
+    g.backward_params(loss, &mut ps);
+    // d/dx mean(x²) = 2x/2 = x.
+    assert!((ps.get(w).grad[0] - 1.0).abs() < 1e-5);
+    assert!((ps.get(w).grad[1] - 2.0).abs() < 1e-5);
+}
+
+#[test]
+fn activation_bytes_grows_with_ops() {
+    let g = Graph::new();
+    let before = g.activation_bytes();
+    let x = g.constant(vec![0.0; 1000], vec![1000]);
+    let _ = g.relu(x);
+    assert!(g.activation_bytes() >= before + 2 * 1000 * 4);
+}
+
+#[test]
+fn softmax_of_extreme_logits_stays_finite() {
+    let g = Graph::new();
+    let x = g.constant(vec![1e30, -1e30, 0.0, 700.0], vec![1, 4]);
+    let y = g.value(g.softmax_last(x));
+    assert!(y.iter().all(|v| v.is_finite()));
+    let sum: f32 = y.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-5);
+}
+
+#[test]
+fn ln_eps_handles_zero() {
+    let g = Graph::new();
+    let x = g.constant(vec![0.0, 1.0], vec![2]);
+    let y = g.value(g.ln_eps(x));
+    assert!(y[0].is_finite());
+    assert!(y[1].abs() < 1e-6);
+}
+
+#[test]
+fn broadcast_scalar_to_tensor() {
+    let g = Graph::new();
+    let s = g.scalar(2.0);
+    let x = g.constant(vec![1.0, 2.0, 3.0], vec![3]);
+    let y = g.value(g.mul(x, s));
+    assert_eq!(y, vec![2.0, 4.0, 6.0]);
+}
+
+#[test]
+fn sym_kl_is_nonnegative_for_random_simplex_pairs() {
+    let g = Graph::new();
+    for seed in 0..20 {
+        let raw: Vec<f32> = (0..8).map(|i| ((seed * 31 + i * 17) % 13) as f32 / 3.0).collect();
+        let a = g.softmax_last(g.constant(raw.clone(), vec![2, 4]));
+        let b = g.softmax_last(g.constant(raw.iter().rev().cloned().collect(), vec![2, 4]));
+        for v in g.value(g.sym_kl_last(a, b)) {
+            assert!(v >= -1e-6, "symmetric KL must be non-negative, got {v}");
+        }
+    }
+}

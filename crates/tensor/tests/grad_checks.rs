@@ -1,0 +1,287 @@
+//! Finite-difference gradient checks for every differentiable op.
+//!
+//! Each test builds a tiny graph whose inputs are parameters, computes a
+//! scalar loss, and compares analytic vs central-difference gradients.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfmae_tensor::check::assert_grads_close;
+use tfmae_tensor::{Graph, ParamId, ParamStore, Var};
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+fn param(ps: &mut ParamStore, name: &str, shape: &[usize], rng: &mut StdRng) -> ParamId {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    ps.add(name, data, shape.to_vec())
+}
+
+/// Positive-valued parameter (for div/sqrt/ln denominators).
+fn pos_param(ps: &mut ParamStore, name: &str, shape: &[usize], rng: &mut StdRng) -> ParamId {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
+    ps.add(name, data, shape.to_vec())
+}
+
+fn check(ps: &mut ParamStore, build: impl Fn(&Graph, &ParamStore) -> Var) {
+    assert_grads_close(ps, 1e-2, 2e-2, build);
+}
+
+#[test]
+fn add_sub_same_shape() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[2, 3], &mut r);
+    let b = param(&mut ps, "b", &[2, 3], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let y = g.param(ps, b);
+        g.mean_all(g.square(g.sub(g.add(x, y), g.mul(x, y))))
+    });
+}
+
+#[test]
+fn broadcast_add_bias_grad() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let x = param(&mut ps, "x", &[2, 4], &mut r);
+    let b = param(&mut ps, "b", &[4], &mut r);
+    check(&mut ps, |g, ps| {
+        let xv = g.param(ps, x);
+        let bv = g.param(ps, b);
+        g.mean_all(g.square(g.add(xv, bv)))
+    });
+}
+
+#[test]
+fn broadcast_mul_per_row() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let x = param(&mut ps, "x", &[3, 2], &mut r);
+    let s = param(&mut ps, "s", &[3, 1], &mut r);
+    check(&mut ps, |g, ps| {
+        let xv = g.param(ps, x);
+        let sv = g.param(ps, s);
+        g.mean_all(g.square(g.mul(xv, sv)))
+    });
+}
+
+#[test]
+fn div_grad() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[2, 3], &mut r);
+    let b = pos_param(&mut ps, "b", &[3], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let y = g.param(ps, b);
+        g.mean_all(g.square(g.div(x, y)))
+    });
+}
+
+#[test]
+fn unary_chain_grads() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[6], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let y = g.tanh(g.gelu(g.scale(x, 1.3)));
+        let z = g.sigmoid(g.add_scalar(g.neg(y), 0.1));
+        g.mean_all(g.square(z))
+    });
+}
+
+#[test]
+fn exp_ln_sqrt_grads() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = pos_param(&mut ps, "a", &[5], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let y = g.ln_eps(g.add_scalar(g.exp(x), 1.0));
+        g.mean_all(g.mul(y, g.sqrt(x)))
+    });
+}
+
+#[test]
+fn relu_grad_away_from_kink() {
+    let mut ps = ParamStore::new();
+    // Values far from 0 so the finite difference doesn't straddle the kink.
+    ps.add("a", vec![-2.0, -1.0, 1.5, 3.0], vec![4]);
+    let id = ParamId(0);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, id);
+        g.mean_all(g.square(g.relu(x)))
+    });
+}
+
+#[test]
+fn matmul_grads_both_sides() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[3, 4], &mut r);
+    let b = param(&mut ps, "b", &[4, 2], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let y = g.param(ps, b);
+        g.mean_all(g.square(g.matmul(x, y)))
+    });
+}
+
+#[test]
+fn bmm_grads() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[2, 3, 2], &mut r);
+    let b = param(&mut ps, "b", &[2, 2, 3], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let y = g.param(ps, b);
+        g.mean_all(g.square(g.bmm(x, y)))
+    });
+}
+
+#[test]
+fn transpose_and_permute_grads() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[2, 3, 4], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let t = g.transpose_last(x);
+        let p = g.permute(x, &[2, 0, 1]);
+        let tp = g.reshape(t, &[24]);
+        let pp = g.reshape(p, &[24]);
+        g.mean_all(g.mul(tp, pp))
+    });
+}
+
+#[test]
+fn reshape_broadcast_to_grads() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[3], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let b = g.broadcast_to(x, &[4, 3]);
+        g.mean_all(g.square(b))
+    });
+}
+
+#[test]
+fn softmax_grad() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[2, 5], &mut r);
+    let t = param(&mut ps, "t", &[2, 5], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let target = g.softmax_last(g.param(ps, t));
+        let y = g.softmax_last(x);
+        g.mse(y, target)
+    });
+}
+
+#[test]
+fn reduction_grads() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[3, 4], &mut r);
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let m = g.mean_last(x, true);
+        let centered = g.sub(x, m);
+        let v = g.mean_last(g.square(centered), false);
+        g.mean_all(g.mul(v, g.sum_last(x, false)))
+    });
+}
+
+#[test]
+fn gather_scatter_grads() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[2, 5, 3], &mut r);
+    let m = param(&mut ps, "m", &[2, 2, 3], &mut r);
+    let gather_idx = vec![0usize, 3, 1, 4];
+    let scatter_idx = vec![2usize, 4, 0, 3];
+    check(&mut ps, |g, ps| {
+        let x = g.param(ps, a);
+        let tok = g.param(ps, m);
+        let picked = g.gather_rows(x, &gather_idx, 2);
+        let spread = g.scatter_rows(tok, &scatter_idx, 5);
+        let spread2 = g.gather_rows(spread, &gather_idx, 2);
+        g.mean_all(g.square(g.add(picked, spread2)))
+    });
+}
+
+#[test]
+fn sym_kl_grad() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[2, 4], &mut r);
+    let b = param(&mut ps, "b", &[2, 4], &mut r);
+    check(&mut ps, |g, ps| {
+        let p = g.softmax_last(g.param(ps, a));
+        let q = g.softmax_last(g.param(ps, b));
+        g.mean_all(g.sym_kl_last(p, q))
+    });
+}
+
+#[test]
+fn detach_blocks_gradient() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[4], &mut r);
+    ps.zero_grads();
+    let g = Graph::new();
+    let x = g.param(&ps, a);
+    let d = g.detach(x);
+    let loss = g.mean_all(g.square(d));
+    g.backward_params(loss, &mut ps);
+    assert!(ps.get(a).grad.iter().all(|&v| v == 0.0), "detach leaked gradient");
+
+    // Mixed: loss = mean(x * detach(x)) → grad is detach(x)/n, not 2x/n.
+    ps.zero_grads();
+    let g = Graph::new();
+    let x = g.param(&ps, a);
+    let d = g.detach(x);
+    let loss = g.mean_all(g.mul(x, d));
+    g.backward_params(loss, &mut ps);
+    let vals = &ps.get(a).data;
+    for (i, gr) in ps.get(a).grad.iter().enumerate() {
+        assert!((gr - vals[i] / 4.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn grad_accumulates_across_multiple_uses() {
+    let mut ps = ParamStore::new();
+    let a = ps.add("a", vec![2.0], vec![1]);
+    let g = Graph::new();
+    let x = g.param(&ps, a);
+    // loss = x² + 3x → d = 2x + 3 = 7 at x=2.
+    let loss = g.sum_all(g.add(g.square(x), g.scale(x, 3.0)));
+    g.backward_params(loss, &mut ps);
+    assert!((ps.get(a).grad[0] - 7.0).abs() < 1e-5);
+}
+
+#[test]
+fn second_backward_on_fresh_graph_matches() {
+    let mut r = rng();
+    let mut ps = ParamStore::new();
+    let a = param(&mut ps, "a", &[3], &mut r);
+    let run = |ps: &mut ParamStore| {
+        ps.zero_grads();
+        let g = Graph::new();
+        let x = g.param(ps, a);
+        let loss = g.mean_all(g.square(x));
+        g.backward_params(loss, ps);
+        ps.get(a).grad.clone()
+    };
+    let g1 = run(&mut ps);
+    let g2 = run(&mut ps);
+    assert_eq!(g1, g2, "gradients must be deterministic across fresh tapes");
+}

@@ -1,0 +1,67 @@
+//! Run the entire Table III roster plus TFMAE on one simulated benchmark
+//! and print a mini leaderboard — a small-scale preview of
+//! `cargo run -p tfmae-bench --bin table3_main`.
+//!
+//! ```text
+//! cargo run --release --example baseline_shootout [dataset] [divisor]
+//! ```
+//! where `dataset` is one of `msl|psm|smd|swat|smap|global|seasonal`
+//! (default `seasonal`) and `divisor` scales the published lengths
+//! (default 200 — bigger is faster).
+
+use tfmae::prelude::*;
+
+fn parse_kind(s: &str) -> DatasetKind {
+    match s.to_ascii_lowercase().as_str() {
+        "msl" => DatasetKind::Msl,
+        "psm" => DatasetKind::Psm,
+        "smd" => DatasetKind::Smd,
+        "swat" => DatasetKind::Swat,
+        "smap" => DatasetKind::Smap,
+        "global" => DatasetKind::NipsTsGlobal,
+        "seasonal" => DatasetKind::NipsTsSeasonal,
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = parse_kind(args.get(1).map(String::as_str).unwrap_or("seasonal"));
+    let divisor: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    let bench = generate(kind, 7, divisor);
+    let hp = kind.paper_hparams();
+    println!(
+        "benchmark {} (divisor {divisor}): {} dims, {}/{}/{} split, AR {:.1}%\n",
+        kind.name(),
+        bench.train.dims(),
+        bench.train.len(),
+        bench.val.len(),
+        bench.test.len(),
+        bench.realized_anomaly_ratio() * 100.0
+    );
+
+    let mut rows: Vec<(String, Prf, f64)> = Vec::new();
+
+    for mut det in table3_roster(DeepProtocol::default()) {
+        let start = std::time::Instant::now();
+        let prf = evaluate(det.as_mut(), &bench, hp.r);
+        rows.push((det.name(), prf, start.elapsed().as_secs_f64()));
+        eprintln!("  finished {}", det.name());
+    }
+
+    let cfg = TfmaeConfig { r_temporal: hp.r_t, r_frequency: hp.r_f, ..TfmaeConfig::default() };
+    let mut tfmae = TfmaeDetector::new(cfg);
+    let start = std::time::Instant::now();
+    let prf = evaluate(&mut tfmae, &bench, hp.r);
+    rows.push(("TFMAE".into(), prf, start.elapsed().as_secs_f64()));
+
+    rows.sort_by(|a, b| b.1.f1.partial_cmp(&a.1.f1).unwrap());
+    println!("\n{:<12} {:>8} {:>8} {:>8} {:>9}", "method", "P%", "R%", "F1%", "time(s)");
+    for (name, prf, secs) in &rows {
+        println!(
+            "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>9.2}",
+            name, prf.precision, prf.recall, prf.f1, secs
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Integration-test crate for the TFMAE reproduction.
+//!
+//! The library target is intentionally empty — all content lives in
+//! `tests/` and exercises the public APIs of every workspace crate
+//! together (train → score → threshold → point-adjusted F1 pipelines,
+//! ablations, and cross-method sanity orderings).

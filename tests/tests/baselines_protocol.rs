@@ -1,0 +1,84 @@
+//! Cross-method integration: every baseline runs under the identical
+//! protocol, and family-level sanity orderings hold on benchmarks tailored
+//! to each mechanism.
+
+use tfmae::baselines::*;
+use tfmae::prelude::*;
+
+#[test]
+fn whole_roster_runs_on_a_multivariate_benchmark() {
+    let bench = generate(DatasetKind::Smd, 7, 2000);
+    let hp = DatasetKind::Smd.paper_hparams();
+    for mut det in table3_roster(DeepProtocol::tiny()) {
+        let prf = evaluate(det.as_mut(), &bench, hp.r);
+        assert!(prf.f1.is_finite(), "{} produced non-finite F1", det.name());
+        let scores = det.score(&bench.test);
+        assert_eq!(scores.len(), bench.test.len(), "{}", det.name());
+        assert!(scores.iter().all(|s| s.is_finite()), "{} non-finite scores", det.name());
+    }
+}
+
+#[test]
+fn iforest_finds_global_point_anomalies() {
+    let bench = generate(DatasetKind::NipsTsGlobal, 11, 200);
+    let mut det = IsolationForest::new(100, 256, 11);
+    det.fit(&bench.train, &bench.val);
+    let scores = det.score(&bench.test);
+    let auc = roc_auc(&scores, &bench.test_labels);
+    assert!(auc > 0.8, "IForest should easily rank global spikes, AUC={auc}");
+}
+
+#[test]
+fn lof_finds_global_point_anomalies() {
+    let bench = generate(DatasetKind::NipsTsGlobal, 12, 400);
+    let mut det = Lof::new(10, 1000, 12);
+    det.fit(&bench.train, &bench.val);
+    let scores = det.score(&bench.test);
+    let auc = roc_auc(&scores, &bench.test_labels);
+    assert!(auc > 0.7, "LOF should rank global spikes, AUC={auc}");
+}
+
+#[test]
+fn timesnet_lite_beats_pointwise_methods_on_seasonal_anomalies() {
+    // Seasonal anomalies keep values in range — pointwise density methods
+    // are blind to them, while the period-folding reconstructor sees the
+    // broken phase structure (the paper's "advantages of frequency
+    // learning" finding).
+    let bench = generate(DatasetKind::NipsTsSeasonal, 13, 200);
+    let mut tn = TimesNetLite::new(DeepProtocol { epochs: 6, ..DeepProtocol::default() });
+    tn.fit(&bench.train, &bench.val);
+    let tn_auc = roc_auc(&tn.score(&bench.test), &bench.test_labels);
+
+    let mut iforest = IsolationForest::new(100, 256, 13);
+    iforest.fit(&bench.train, &bench.val);
+    let if_auc = roc_auc(&iforest.score(&bench.test), &bench.test_labels);
+
+    assert!(
+        tn_auc > if_auc,
+        "period-aware recon ({tn_auc:.3}) should beat pointwise trees ({if_auc:.3}) on seasonal data"
+    );
+}
+
+#[test]
+fn deep_recon_detects_spikes_better_after_training() {
+    let bench = generate(DatasetKind::NipsTsGlobal, 14, 400);
+    let mut short = DenseAutoencoder::new("AE", DeepProtocol { epochs: 1, ..DeepProtocol::tiny() }, 8);
+    short.fit(&bench.train, &bench.val);
+    let mut long = DenseAutoencoder::new("AE", DeepProtocol { epochs: 12, ..DeepProtocol::tiny() }, 8);
+    long.fit(&bench.train, &bench.val);
+    let a1 = roc_auc(&short.score(&bench.test), &bench.test_labels);
+    let a2 = roc_auc(&long.score(&bench.test), &bench.test_labels);
+    assert!(a2 >= a1 - 0.05, "training should not destroy ranking: {a1:.3} -> {a2:.3}");
+}
+
+#[test]
+fn thresholding_protocol_respects_validation_quantile() {
+    let bench = generate(DatasetKind::Psm, 15, 2000);
+    let mut det = IsolationForest::new(50, 128, 15);
+    det.fit(&bench.train, &bench.val);
+    let val_scores = det.score(&bench.val);
+    let delta = threshold_for_ratio(&val_scores, 0.10);
+    let flagged = val_scores.iter().filter(|&&s| s >= delta).count();
+    let frac = flagged as f64 / val_scores.len() as f64;
+    assert!((0.05..=0.15).contains(&frac), "validation flag rate {frac}");
+}

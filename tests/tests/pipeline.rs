@@ -1,0 +1,101 @@
+//! End-to-end pipelines: simulator → detector → protocol → metrics.
+
+use tfmae::prelude::*;
+
+fn fast_cfg() -> TfmaeConfig {
+    TfmaeConfig { epochs: 4, ..TfmaeConfig::tiny() }
+}
+
+#[test]
+fn tfmae_full_protocol_on_every_dataset() {
+    for kind in DatasetKind::all() {
+        let bench = generate(kind, 7, 800);
+        let hp = kind.paper_hparams();
+        let mut cfg = fast_cfg();
+        cfg.r_temporal = hp.r_t.min(0.5);
+        cfg.r_frequency = hp.r_f;
+        let mut det = TfmaeDetector::new(cfg);
+        let prf = evaluate(&mut det, &bench, hp.r);
+        assert!(prf.f1.is_finite(), "{}", kind.name());
+        assert!((0.0..=100.0).contains(&prf.precision), "{}", kind.name());
+        assert!((0.0..=100.0).contains(&prf.recall), "{}", kind.name());
+        let scores = det.score(&bench.test);
+        assert_eq!(scores.len(), bench.test.len(), "{}", kind.name());
+        assert!(scores.iter().all(|s| s.is_finite()), "{}", kind.name());
+    }
+}
+
+#[test]
+fn tfmae_detects_seasonal_and_global_anomalies() {
+    // Mirrors the harness configuration (divisor 100, epochs 5, the
+    // paper's per-dataset masking ratios) and checks the protocol metric
+    // the paper reports: point-adjusted F1.
+    for (kind, min_f1) in
+        [(DatasetKind::NipsTsSeasonal, 40.0), (DatasetKind::NipsTsGlobal, 60.0)]
+    {
+        let bench = generate(kind, 7, 100);
+        let hp = kind.paper_hparams();
+        let cfg = TfmaeConfig {
+            r_temporal: hp.r_t,
+            r_frequency: hp.r_f,
+            epochs: 5,
+            ..TfmaeConfig::default()
+        };
+        let mut det = TfmaeDetector::new(cfg);
+        let prf = evaluate(&mut det, &bench, hp.r);
+        assert!(
+            prf.f1 > min_f1,
+            "{}: point-adjusted F1 {:.1} below the {min_f1} floor",
+            kind.name(),
+            prf.f1
+        );
+    }
+}
+
+#[test]
+fn every_model_ablation_trains_and_scores() {
+    let bench = generate(DatasetKind::NipsTsGlobal, 3, 800);
+    for ab in ModelAblation::all() {
+        let cfg = ab.apply(fast_cfg());
+        let mut det = TfmaeDetector::new(cfg);
+        det.fit(&bench.train, &bench.val);
+        let scores = det.score(&bench.test);
+        assert_eq!(scores.len(), bench.test.len(), "{}", ab.label());
+        assert!(scores.iter().all(|s| s.is_finite()), "{}", ab.label());
+    }
+}
+
+#[test]
+fn every_mask_ablation_trains_and_scores() {
+    let bench = generate(DatasetKind::NipsTsGlobal, 4, 800);
+    for ab in MaskAblation::all() {
+        let cfg = ab.apply(fast_cfg());
+        let mut det = TfmaeDetector::new(cfg);
+        det.fit(&bench.train, &bench.val);
+        let scores = det.score(&bench.test);
+        assert_eq!(scores.len(), bench.test.len(), "{}", ab.label());
+        assert!(scores.iter().all(|s| s.is_finite()), "{}", ab.label());
+    }
+}
+
+#[test]
+fn full_pipeline_is_seed_reproducible() {
+    let run = |seed: u64| {
+        let bench = generate(DatasetKind::Smd, seed, 2000);
+        let mut det = TfmaeDetector::new(fast_cfg());
+        evaluate(&mut det, &bench, 0.01)
+    };
+    assert_eq!(run(5), run(5));
+}
+
+#[test]
+fn fit_report_accounts_resources() {
+    let bench = generate(DatasetKind::NipsTsGlobal, 9, 800);
+    let mut det = TfmaeDetector::new(fast_cfg());
+    det.fit(&bench.train, &bench.val);
+    let r = det.fit_report;
+    assert!(r.steps > 0);
+    assert!(r.seconds > 0.0);
+    assert!(r.bytes > 1000, "memory accounting looks wrong: {}", r.bytes);
+    assert!(r.final_loss.is_finite());
+}

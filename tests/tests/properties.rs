@@ -1,0 +1,84 @@
+//! Cross-crate property tests on protocol invariants.
+
+use proptest::prelude::*;
+use tfmae::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn point_adjustment_never_reduces_f1(
+        scores in proptest::collection::vec(0.0f32..1.0, 50..200),
+        seed in 0u64..1000,
+    ) {
+        // Random labels with a few segments.
+        let n = scores.len();
+        let mut truth = vec![0u8; n];
+        let mut s = seed;
+        for _ in 0..3 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let start = (s as usize) % n;
+            let len = 1 + (s as usize / 7) % 10;
+            for t in start..(start + len).min(n) {
+                truth[t] = 1;
+            }
+        }
+        let delta = threshold_for_ratio(&scores, 0.1);
+        let pred = apply_threshold(&scores, delta);
+        let raw = Prf::from_predictions(&pred, &truth);
+        let adj = Prf::from_predictions(&point_adjust(&pred, &truth), &truth);
+        prop_assert!(adj.f1 + 1e-9 >= raw.f1, "PA must not reduce F1: {} -> {}", raw.f1, adj.f1);
+    }
+
+    #[test]
+    fn threshold_flag_fraction_tracks_ratio(
+        scores in proptest::collection::vec(-100.0f32..100.0, 100..500),
+        ratio in 0.01f64..0.5,
+    ) {
+        let delta = threshold_for_ratio(&scores, ratio);
+        let flagged = scores.iter().filter(|&&s| s >= delta).count() as f64 / scores.len() as f64;
+        // Ties can push the fraction up; it must never be far below.
+        prop_assert!(flagged >= ratio - 0.02, "flagged {flagged} for ratio {ratio}");
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_score_transforms(
+        scores in proptest::collection::vec(0.1f32..10.0, 30..100),
+        seed in 0u64..100,
+    ) {
+        let n = scores.len();
+        let truth: Vec<u8> = (0..n).map(|i| u8::from((i as u64 * 7 + seed).is_multiple_of(5))).collect();
+        let a = roc_auc(&scores, &truth);
+        let transformed: Vec<f32> = scores.iter().map(|&s| s.ln() * 3.0 + 1.0).collect();
+        let b = roc_auc(&transformed, &truth);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_benchmarks_are_internally_consistent(seed in 0u64..50) {
+        let bench = generate(DatasetKind::Smd, seed, 4000);
+        prop_assert_eq!(bench.test_labels.len(), bench.test.len());
+        prop_assert_eq!(bench.train.dims(), bench.test.dims());
+        prop_assert!(bench.train.data().iter().all(|v| v.is_finite()));
+        prop_assert!(bench.test.data().iter().all(|v| v.is_finite()));
+        let ratio = bench.realized_anomaly_ratio();
+        prop_assert!(ratio > 0.0 && ratio < 0.5, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn zscore_normalization_is_idempotent_on_ranking(
+        seed in 0u64..50,
+    ) {
+        // Normalizing twice with refit must preserve per-channel ordering.
+        let bench = generate(DatasetKind::NipsTsGlobal, seed, 4000);
+        let z1 = ZScore::fit(&bench.train);
+        let once = z1.transform(&bench.train);
+        let z2 = ZScore::fit(&once);
+        let twice = z2.transform(&once);
+        for t in 1..once.len() {
+            let d1 = once.get(t, 0) - once.get(t - 1, 0);
+            let d2 = twice.get(t, 0) - twice.get(t - 1, 0);
+            prop_assert!(d1.signum() == d2.signum() || d1.abs() < 1e-6);
+        }
+    }
+}
