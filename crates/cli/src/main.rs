@@ -11,7 +11,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tfmae_core::{TfmaeConfig, TfmaeDetector};
-use tfmae_data::{generate, read_csv, write_csv, DatasetKind, Detector, TimeSeries};
+use tfmae_data::{
+    generate, read_csv, read_csv_lenient, write_csv, DatasetKind, Detector, TimeSeries,
+};
 use tfmae_metrics::{apply_threshold, point_adjust, pr_auc, roc_auc, threshold_for_ratio, Prf};
 
 fn usage() -> &'static str {
@@ -19,14 +21,56 @@ fn usage() -> &'static str {
 
 USAGE:
   tfmae simulate --dataset <msl|psm|smd|swat|smap|global|seasonal> [--divisor N] [--seed N] --out-dir DIR
-  tfmae train    --train FILE.csv [--val FILE.csv] --model OUT.json
+  tfmae train    --train FILE.csv [--val FILE.csv] --model OUT.json [--lenient]
                  [--epochs N] [--win N] [--d-model N] [--layers N] [--rt F] [--rf F] [--seed N]
-  tfmae score    --model FILE.json --input FILE.csv --out FILE.csv
-  tfmae evaluate --model FILE.json --input FILE.csv (--ratio F | --val FILE.csv --ratio F)
+  tfmae score    --model FILE.json --input FILE.csv --out FILE.csv [--lenient]
+  tfmae evaluate --model FILE.json --input FILE.csv (--ratio F | --val FILE.csv --ratio F) [--lenient]
   tfmae help
 
 CSV format: one row per observation, one numeric column per channel, optional
-header, optional trailing `label` column (needed by `evaluate`)."
+header, optional trailing `label` column (needed by `evaluate`). With
+--lenient, malformed CSV rows are skipped with a warning on stderr instead of
+aborting.
+
+EXIT CODES:
+  0  success
+  2  usage error (bad flags, bad values, unknown command)
+  3  data error (unreadable/malformed CSV, channel mismatch, missing labels)
+  4  checkpoint error (missing, corrupt, or incompatible model file)
+  5  internal error"
+}
+
+/// Typed CLI failure; the variant fixes the process exit code so scripts
+/// can distinguish operator mistakes from bad data and bad checkpoints.
+enum CliError {
+    /// Bad invocation: exit code 2.
+    Usage(String),
+    /// Input data problem: exit code 3.
+    Data(String),
+    /// Checkpoint problem: exit code 4.
+    Checkpoint(String),
+    /// Unexpected internal failure: exit code 5.
+    Internal(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 3,
+            CliError::Checkpoint(_) => 4,
+            CliError::Internal(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Data(m)
+            | CliError::Checkpoint(m)
+            | CliError::Internal(m) => m,
+        }
+    }
 }
 
 struct Args {
@@ -39,9 +83,18 @@ impl Args {
         let mut i = 0;
         while i < args.len() {
             if let Some(key) = args[i].strip_prefix("--") {
-                let value = args.get(i + 1).cloned().unwrap_or_default();
-                flags.push((key.to_string(), value));
-                i += 2;
+                // A flag followed by another flag (or by nothing) is a
+                // boolean switch; only a plain token is consumed as a value.
+                match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        flags.push((key.to_string(), next.clone()));
+                        i += 2;
+                    }
+                    _ => {
+                        flags.push((key.to_string(), String::new()));
+                        i += 1;
+                    }
+                }
             } else {
                 i += 1;
             }
@@ -53,19 +106,29 @@ impl Args {
         self.flags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
-    fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    /// Whether a boolean switch was passed (with or without a value).
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
-    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        match self.get(key) {
+            Some(v) if !v.is_empty() => Ok(v),
+            _ => Err(CliError::Usage(format!("missing required flag --{key}"))),
+        }
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+            Some(v) => {
+                v.parse().map_err(|_| CliError::Usage(format!("bad value for --{key}: {v:?}")))
+            }
         }
     }
 }
 
-fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+fn parse_dataset(name: &str) -> Result<DatasetKind, CliError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "msl" => DatasetKind::Msl,
         "psm" => DatasetKind::Psm,
@@ -74,22 +137,24 @@ fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
         "smap" => DatasetKind::Smap,
         "global" | "nips-ts-global" => DatasetKind::NipsTsGlobal,
         "seasonal" | "nips-ts-seasonal" => DatasetKind::NipsTsSeasonal,
-        other => return Err(format!("unknown dataset {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown dataset {other:?}"))),
     })
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), String> {
+fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     let kind = parse_dataset(args.require("dataset")?)?;
     let divisor: usize = args.num("divisor", 100)?;
     let seed: u64 = args.num("seed", 7)?;
     let out_dir = PathBuf::from(args.require("out-dir")?);
-    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out_dir).map_err(|e| CliError::Data(e.to_string()))?;
 
     let bench = generate(kind, seed, divisor);
-    write_csv(out_dir.join("train.csv"), &bench.train, None).map_err(|e| e.to_string())?;
-    write_csv(out_dir.join("val.csv"), &bench.val, None).map_err(|e| e.to_string())?;
+    write_csv(out_dir.join("train.csv"), &bench.train, None)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    write_csv(out_dir.join("val.csv"), &bench.val, None)
+        .map_err(|e| CliError::Data(e.to_string()))?;
     write_csv(out_dir.join("test.csv"), &bench.test, Some(&bench.test_labels))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Data(e.to_string()))?;
     let hp = kind.paper_hparams();
     println!(
         "wrote {} simulator (dims={}, train={}, val={}, test={}, AR={:.1}%) to {}",
@@ -108,16 +173,29 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_series(path: &str) -> Result<(TimeSeries, Option<Vec<u8>>), String> {
-    let data = read_csv(path).map_err(|e| e.to_string())?;
-    Ok((data.series, data.labels))
+fn load_series(path: &str, lenient: bool) -> Result<(TimeSeries, Option<Vec<u8>>), CliError> {
+    if lenient {
+        let (data, warnings) =
+            read_csv_lenient(path).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+        for w in &warnings {
+            eprintln!("warning: {path}: {w}");
+        }
+        if !warnings.is_empty() {
+            eprintln!("warning: {path}: skipped {} malformed row(s)", warnings.len());
+        }
+        Ok((data.series, data.labels))
+    } else {
+        let data = read_csv(path).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+        Ok((data.series, data.labels))
+    }
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
-    let (train, _) = load_series(args.require("train")?)?;
+fn cmd_train(args: &Args) -> Result<(), CliError> {
+    let lenient = args.has("lenient");
+    let (train, _) = load_series(args.require("train")?, lenient)?;
     let val = match args.get("val") {
-        Some(p) => load_series(p)?.0,
-        None => train.clone(),
+        Some(p) if !p.is_empty() => load_series(p, lenient)?.0,
+        _ => train.clone(),
     };
     let cfg = TfmaeConfig {
         epochs: args.num("epochs", 5)?,
@@ -129,7 +207,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         seed: args.num("seed", 7)?,
         ..TfmaeConfig::default()
     };
-    cfg.validate()?;
+    cfg.validate().map_err(CliError::Usage)?;
     let model_path = args.require("model")?.to_string();
     let mut det = TfmaeDetector::new(cfg);
     det.fit(&train, &val);
@@ -141,49 +219,68 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         det.fit_report.seconds,
         det.fit_report.final_loss
     );
-    det.save(&model_path).map_err(|e| e.to_string())?;
+    let report = &det.train_report;
+    if report.rollbacks > 0 || report.skipped_batches > 0 {
+        eprintln!(
+            "warning: training hit faults: {} rollback(s), {} skipped batch(es), final lr {:.2e}{}",
+            report.rollbacks,
+            report.skipped_batches,
+            report.final_lr,
+            if report.aborted { " — aborted early on last good parameters" } else { "" }
+        );
+    }
+    det.save(&model_path).map_err(|e| CliError::Checkpoint(e.to_string()))?;
     println!("saved checkpoint to {model_path}");
     Ok(())
 }
 
-fn check_dims(det: &TfmaeDetector, input: &TimeSeries) -> Result<(), String> {
+fn check_dims(det: &TfmaeDetector, input: &TimeSeries) -> Result<(), CliError> {
     let model_dims = det.model().map(|m| m.dims()).unwrap_or(0);
     if input.dims() != model_dims {
-        return Err(format!(
+        return Err(CliError::Data(format!(
             "input has {} channels but the model was trained on {model_dims}",
             input.dims()
-        ));
+        )));
     }
     Ok(())
 }
 
-fn cmd_score(args: &Args) -> Result<(), String> {
-    let det = TfmaeDetector::load(args.require("model")?).map_err(|e| e.to_string())?;
-    let (input, _) = load_series(args.require("input")?)?;
+fn load_model(args: &Args) -> Result<TfmaeDetector, CliError> {
+    let path = args.require("model")?;
+    TfmaeDetector::load(path).map_err(|e| CliError::Checkpoint(format!("{path}: {e}")))
+}
+
+fn cmd_score(args: &Args) -> Result<(), CliError> {
+    let lenient = args.has("lenient");
+    let det = load_model(args)?;
+    let (input, _) = load_series(args.require("input")?, lenient)?;
     check_dims(&det, &input)?;
     let scores = det.score(&input);
     let out = args.require("out")?;
     let series = TimeSeries::new(scores.clone(), scores.len(), 1);
-    write_csv(out, &series, None).map_err(|e| e.to_string())?;
+    write_csv(out, &series, None).map_err(|e| CliError::Data(e.to_string()))?;
     println!("wrote {} scores to {out}", scores.len());
     Ok(())
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let det = TfmaeDetector::load(args.require("model")?).map_err(|e| e.to_string())?;
-    let (input, labels) = load_series(args.require("input")?)?;
+fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
+    let lenient = args.has("lenient");
+    let det = load_model(args)?;
+    let (input, labels) = load_series(args.require("input")?, lenient)?;
     check_dims(&det, &input)?;
-    let labels = labels.ok_or("evaluate requires a `label` column in the input CSV")?;
+    let labels = labels.ok_or_else(|| {
+        CliError::Data("evaluate requires a `label` column in the input CSV".into())
+    })?;
     let ratio: f64 = args.num("ratio", 0.01)?;
 
     let scores = det.score(&input);
     let threshold_scores = match args.get("val") {
-        Some(p) => {
-            let (val, _) = load_series(p)?;
+        Some(p) if !p.is_empty() => {
+            let (val, _) = load_series(p, lenient)?;
             check_dims(&det, &val)?;
             det.score(&val)
         }
-        None => scores.clone(),
+        _ => scores.clone(),
     };
     let delta = threshold_for_ratio(&threshold_scores, ratio);
     let pred = apply_threshold(&scores, delta);
@@ -202,7 +299,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().map(String::as_str) else {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let args = Args::parse(&argv[1..]);
     let result = match cmd {
@@ -214,13 +311,13 @@ fn main() -> ExitCode {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+        other => Err(CliError::Usage(format!("unknown command {other:?}\n\n{}", usage()))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -27,14 +27,14 @@ fn help_prints_usage() {
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().arg("frobnicate").output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 }
 
 #[test]
 fn missing_flags_are_reported() {
     let out = bin().args(["simulate"]).output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("--dataset"));
 }
 
@@ -127,7 +127,7 @@ fn score_with_wrong_channel_count_fails_cleanly() {
         .arg(dir.join("s.csv"))
         .output()
         .unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3), "data errors exit with 3");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("channels"), "unhelpful error: {err}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -158,7 +158,84 @@ fn evaluate_without_labels_fails_cleanly() {
         .arg(data.join("train.csv"))
         .output()
         .unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3), "data errors exit with 3");
     assert!(String::from_utf8_lossy(&out.stderr).contains("label"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exit_codes_and_lenient_mode() {
+    let dir = tmpdir("lenient");
+    let data = dir.join("data");
+    let model = dir.join("model.json");
+    bin()
+        .args(["simulate", "--dataset", "global", "--divisor", "200", "--out-dir"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["train", "--epochs", "1", "--win", "32", "--train"])
+        .arg(data.join("train.csv"))
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // A corrupt checkpoint is a checkpoint error: exit code 4.
+    let bad_model = dir.join("bad_model.json");
+    std::fs::write(&bad_model, "{definitely not a checkpoint").unwrap();
+    let out = bin()
+        .args(["score", "--model"])
+        .arg(&bad_model)
+        .arg("--input")
+        .arg(data.join("test.csv"))
+        .arg("--out")
+        .arg(dir.join("s.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "checkpoint errors exit with 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("corrupt"));
+
+    // An input with a malformed row: strict fails with 3, --lenient skips it.
+    let mut dirty = String::from("c0\n");
+    for i in 0..48 {
+        dirty.push_str(&format!("{}.0\n", i % 7));
+        if i == 20 {
+            dirty.push_str("oops\n");
+        }
+    }
+    let dirty_path = dir.join("dirty.csv");
+    std::fs::write(&dirty_path, dirty).unwrap();
+
+    let strict = bin()
+        .args(["score", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(&dirty_path)
+        .arg("--out")
+        .arg(dir.join("s.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(strict.status.code(), Some(3), "malformed CSV exits with 3");
+
+    let lenient = bin()
+        .args(["score", "--lenient", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(&dirty_path)
+        .arg("--out")
+        .arg(dir.join("s.csv"))
+        .output()
+        .unwrap();
+    assert!(
+        lenient.status.success(),
+        "--lenient should skip the bad row: {}",
+        String::from_utf8_lossy(&lenient.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&lenient.stderr).contains("skipped 1 malformed row"),
+        "lenient mode must warn about skipped rows"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,11 +1,17 @@
 //! Checkpointing: save and restore a trained [`TfmaeDetector`].
 //!
-//! The checkpoint is a single JSON document holding the config, the
-//! normalization statistics and every parameter tensor — enough to resume
-//! scoring on another machine with bit-identical results.
+//! Since format version 2 a checkpoint is a JSON **envelope**
+//! `{version, crc32, payload}` where `payload` is the inner checkpoint
+//! document as a string and `crc32` is the IEEE CRC-32 of the payload
+//! bytes — enough to catch truncation and bit rot at load time instead of
+//! scoring with silently-poisoned weights. Writes are atomic (temp file +
+//! rename) and the previous checkpoint is kept as a `.bak` sibling, which
+//! [`TfmaeDetector::load`] falls back to when the primary is corrupt.
+//! Version-1 checkpoints (bare document, no CRC) still load, with a
+//! warning.
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 use tfmae_data::ZScore;
@@ -15,7 +21,7 @@ use crate::config::TfmaeConfig;
 use crate::detector::TfmaeDetector;
 use crate::model::TfmaeModel;
 
-/// Serializable snapshot of a trained detector.
+/// Serializable snapshot of a trained detector (the envelope payload).
 #[derive(Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
@@ -32,20 +38,50 @@ pub struct Checkpoint {
     pub params: ParamStore,
 }
 
+/// On-disk envelope wrapping the payload with an integrity checksum. The
+/// payload is kept as a string so the CRC is over well-defined bytes
+/// (JSON serializers do not promise key order).
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    version: u32,
+    crc32: u32,
+    payload: String,
+}
+
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// IEEE CRC-32 (polynomial `0xEDB88320`, as used by zip/PNG/Ethernet).
+pub fn crc32_ieee(bytes: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, entry) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *entry = c;
+    }
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ u32::MAX
+}
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// Malformed JSON or schema mismatch.
+    /// Structurally valid checkpoint with inconsistent contents.
     Parse(String),
     /// Detector has not been fitted yet.
     NotFitted,
     /// Version from a newer incompatible writer.
     Version(u32),
+    /// The file is damaged: checksum mismatch, truncation, or not a
+    /// checkpoint at all.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -55,6 +91,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
             CheckpointError::NotFitted => write!(f, "detector must be fitted before saving"),
             CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Corrupt(e) => write!(f, "checkpoint corrupt: {e}"),
         }
     }
 }
@@ -67,8 +104,16 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+/// `model.json` → `model.json.bak` / `model.json.tmp`.
+fn sibling(path: &Path, ext: &str) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".");
+    name.push(ext);
+    path.with_file_name(name)
+}
+
 impl TfmaeDetector {
-    /// Serializes the fitted detector to JSON.
+    /// Serializes the fitted detector to a checkpoint value.
     pub fn to_checkpoint(&self) -> Result<Checkpoint, CheckpointError> {
         let model = self.model().ok_or(CheckpointError::NotFitted)?;
         let norm = self.norm().ok_or(CheckpointError::NotFitted)?;
@@ -82,12 +127,30 @@ impl TfmaeDetector {
         })
     }
 
-    /// Saves the fitted detector to a JSON file.
+    /// Saves the fitted detector to a CRC-protected JSON file.
+    ///
+    /// The write is atomic (temp file + rename), so a crash mid-save never
+    /// leaves a half-written checkpoint at `path`; if `path` already
+    /// exists, its previous contents survive as a `.bak` sibling.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
         let ckpt = self.to_checkpoint()?;
-        let json =
+        let payload =
             serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
-        fs::write(path, json)?;
+        let envelope = Envelope {
+            version: CHECKPOINT_VERSION,
+            crc32: crc32_ieee(payload.as_bytes()),
+            payload,
+        };
+        let json =
+            serde_json::to_string(&envelope).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        let tmp = sibling(path, "tmp");
+        fs::write(&tmp, json)?;
+        if path.exists() {
+            // Best-effort: losing the backup must not fail the save.
+            let _ = fs::rename(path, sibling(path, "bak"));
+        }
+        fs::rename(&tmp, path)?;
         Ok(())
     }
 
@@ -123,12 +186,74 @@ impl TfmaeDetector {
         Ok(TfmaeDetector::from_parts(ckpt.config, model, norm))
     }
 
-    /// Loads a detector from a JSON checkpoint file.
+    /// Parses checkpoint JSON: a v2 envelope (CRC-verified) or a legacy v1
+    /// bare document (accepted with a warning).
+    pub fn from_checkpoint_json(json: &str) -> Result<Self, CheckpointError> {
+        match serde_json::from_str::<Envelope>(json) {
+            Ok(env) => {
+                if env.version > CHECKPOINT_VERSION {
+                    return Err(CheckpointError::Version(env.version));
+                }
+                let computed = crc32_ieee(env.payload.as_bytes());
+                if computed != env.crc32 {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "CRC32 mismatch: stored {:08x}, computed {computed:08x}",
+                        env.crc32
+                    )));
+                }
+                let ckpt: Checkpoint = serde_json::from_str(&env.payload)
+                    .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+                Self::from_checkpoint(ckpt)
+            }
+            Err(env_err) => match serde_json::from_str::<Checkpoint>(json) {
+                Ok(ckpt) => {
+                    eprintln!(
+                        "warning: loading legacy v{} checkpoint (no integrity envelope); \
+                         CRC check skipped",
+                        ckpt.version
+                    );
+                    Self::from_checkpoint(ckpt)
+                }
+                Err(_) => Err(CheckpointError::Corrupt(format!(
+                    "not a valid checkpoint envelope or legacy checkpoint: {env_err}"
+                ))),
+            },
+        }
+    }
+
+    /// Loads one checkpoint file, CRC-verified, no fallback.
+    fn load_strict(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = fs::read(path)?;
+        let json = String::from_utf8(bytes)
+            .map_err(|_| CheckpointError::Corrupt("checkpoint is not valid UTF-8".into()))?;
+        Self::from_checkpoint_json(&json)
+    }
+
+    /// Loads a detector from a checkpoint file.
+    ///
+    /// If the primary file is corrupt (CRC mismatch, truncation, garbage)
+    /// and a `.bak` sibling from a previous [`TfmaeDetector::save`] exists,
+    /// recovery from the backup is attempted before giving up; the original
+    /// error is returned if the backup is unusable too.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
-        let json = fs::read_to_string(path)?;
-        let ckpt: Checkpoint =
-            serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
-        Self::from_checkpoint(ckpt)
+        let path = path.as_ref();
+        match Self::load_strict(path) {
+            Ok(det) => Ok(det),
+            Err(primary @ (CheckpointError::Corrupt(_) | CheckpointError::Parse(_))) => {
+                let bak = sibling(path, "bak");
+                if bak.exists() {
+                    eprintln!(
+                        "warning: checkpoint {} unusable ({primary}); recovering from {}",
+                        path.display(),
+                        bak.display()
+                    );
+                    Self::load_strict(&bak).map_err(|_| primary)
+                } else {
+                    Err(primary)
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -149,21 +274,40 @@ mod tests {
         TimeSeries::from_channels(&[ch])
     }
 
-    #[test]
-    fn roundtrip_preserves_scores_exactly() {
-        let train = series(256, 1);
-        let test = series(96, 2);
+    fn fitted(seed: u64) -> TfmaeDetector {
+        let train = series(256, seed);
         let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
         det.fit(&train, &train);
+        det
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tfmae_ckpt_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 test vector.
+        assert_eq!(crc32_ieee(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_ieee(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_scores_exactly() {
+        let det = fitted(1);
+        let test = series(96, 2);
         let want = det.score(&test);
 
-        let dir = std::env::temp_dir().join("tfmae_ckpt_test");
-        let _ = std::fs::create_dir_all(&dir);
+        let dir = tmp_dir("roundtrip");
         let path = dir.join("model.json");
         det.save(&path).unwrap();
+        assert!(!sibling(&path, "tmp").exists(), "temp file must be renamed away");
         let restored = TfmaeDetector::load(&path).unwrap();
         assert_eq!(restored.score(&test), want, "checkpoint must restore bit-identical scoring");
-        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -174,10 +318,7 @@ mod tests {
 
     #[test]
     fn newer_version_is_rejected() {
-        let train = series(128, 3);
-        let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
-        det.fit(&train, &train);
-        let mut ckpt = det.to_checkpoint().unwrap();
+        let mut ckpt = fitted(3).to_checkpoint().unwrap();
         ckpt.version = CHECKPOINT_VERSION + 1;
         assert!(matches!(
             TfmaeDetector::from_checkpoint(ckpt),
@@ -186,12 +327,77 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_file_reports_parse_error() {
-        let dir = std::env::temp_dir().join("tfmae_ckpt_test2");
-        let _ = std::fs::create_dir_all(&dir);
+    fn garbage_file_reports_corrupt() {
+        let dir = tmp_dir("garbage");
         let path = dir.join("bad.json");
         std::fs::write(&path, "{not json").unwrap();
-        assert!(matches!(TfmaeDetector::load(&path), Err(CheckpointError::Parse(_))));
-        let _ = std::fs::remove_file(&path);
+        assert!(matches!(TfmaeDetector::load(&path), Err(CheckpointError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_detected_by_crc() {
+        let det = fitted(4);
+        let dir = tmp_dir("bitflip");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Either the flip lands in the payload (CRC catches it) or it
+        // breaks the envelope JSON itself — both must surface as Corrupt.
+        assert!(matches!(TfmaeDetector::load(&path), Err(CheckpointError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_primary_recovers_from_bak() {
+        let det = fitted(5);
+        let test = series(96, 6);
+        let want = det.score(&test);
+        let dir = tmp_dir("bak");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap(); // becomes the .bak on the second save
+        det.save(&path).unwrap();
+        assert!(sibling(&path, "bak").exists());
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap(); // truncate
+
+        let restored = TfmaeDetector::load(&path).unwrap();
+        assert_eq!(restored.score(&test), want, "recovery from .bak must be exact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_without_bak_is_an_error() {
+        let det = fitted(7);
+        let dir = tmp_dir("nobak");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(TfmaeDetector::load(&path), Err(CheckpointError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_checkpoint_still_loads() {
+        let det = fitted(8);
+        let test = series(96, 9);
+        let want = det.score(&test);
+        let mut ckpt = det.to_checkpoint().unwrap();
+        ckpt.version = 1;
+        let legacy_json = serde_json::to_string(&ckpt).unwrap();
+
+        let dir = tmp_dir("legacy");
+        let path = dir.join("model.json");
+        std::fs::write(&path, legacy_json).unwrap();
+        let restored = TfmaeDetector::load(&path).unwrap();
+        assert_eq!(restored.score(&test), want, "legacy v1 checkpoints must keep loading");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

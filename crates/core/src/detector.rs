@@ -11,23 +11,39 @@ use tfmae_nn::{Adam, Ctx};
 
 use crate::config::TfmaeConfig;
 use crate::model::TfmaeModel;
+use crate::robust::{RobustnessConfig, TrainGuard, TrainReport};
 
 /// TFMAE wrapped as a [`Detector`] with the paper's training protocol.
 pub struct TfmaeDetector {
     /// Hyper-parameters (frozen at `fit` time).
     pub cfg: TfmaeConfig,
+    /// Training guardrails (divergence rollback + LR backoff); on by
+    /// default, see [`RobustnessConfig`].
+    pub robust: RobustnessConfig,
     model: Option<TfmaeModel>,
     norm: Option<ZScore>,
     /// Resource accounting from the last `fit` (Fig. 10).
     pub fit_report: FitReport,
-    /// Per-step training losses from the last `fit` (diagnostics).
+    /// Guardrail outcome of the last `fit` (rollbacks, skipped batches,
+    /// final learning rate).
+    pub train_report: TrainReport,
+    /// Per-step training losses from the last `fit` (diagnostics; only
+    /// certified steps appear here).
     pub loss_curve: Vec<f32>,
 }
 
 impl TfmaeDetector {
     /// Creates an untrained detector.
     pub fn new(cfg: TfmaeConfig) -> Self {
-        Self { cfg, model: None, norm: None, fit_report: FitReport::default(), loss_curve: Vec::new() }
+        Self {
+            cfg,
+            robust: RobustnessConfig::default(),
+            model: None,
+            norm: None,
+            fit_report: FitReport::default(),
+            train_report: TrainReport::default(),
+            loss_curve: Vec::new(),
+        }
     }
 
     /// Access to the trained model (after `fit`).
@@ -45,9 +61,11 @@ impl TfmaeDetector {
     pub fn from_parts(cfg: TfmaeConfig, model: TfmaeModel, norm: ZScore) -> Self {
         Self {
             cfg,
+            robust: RobustnessConfig::default(),
             model: Some(model),
             norm: Some(norm),
             fit_report: FitReport::default(),
+            train_report: TrainReport::default(),
             loss_curve: Vec::new(),
         }
     }
@@ -126,11 +144,16 @@ impl Detector for TfmaeDetector {
                 Vec::new()
             };
 
+        let mut guard = TrainGuard::new(self.robust.clone(), &model.ps, &opt);
+        let max_retries = self.robust.max_retries_per_batch;
+        let mut aborted = false;
+
         let mut losses = Vec::new();
         let mut max_activation = 0usize;
         let mut step: u64 = 0;
+        let mut last_batch: Option<crate::model::BatchInputs> = None;
         let mut order: Vec<usize> = (0..windows.len()).collect();
-        for _epoch in 0..cfg.epochs {
+        'epochs: for _epoch in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch) {
                 let b = chunk.len();
@@ -148,19 +171,61 @@ impl Detector for TfmaeDetector {
                 } else {
                     model.prepare_batch(values, b, &mut rng)
                 };
+                // Guarded step: a batch whose loss/gradients are non-finite
+                // (or whose loss diverges) is rolled back to the last
+                // certified parameters and retried at a reduced LR; batches
+                // that keep failing are skipped, and an exhausted rollback
+                // budget aborts training on the last certified state.
+                let mut retries = 0u32;
+                let mut applied = false;
+                loop {
+                    let g = tfmae_tensor::Graph::new();
+                    let ctx = Ctx::train(&g, &model.ps, cfg.seed ^ step);
+                    let out = model.forward(&ctx, &batch);
+                    let loss = model.training_loss(&ctx, &out);
+                    let loss_val = g.scalar_value(loss);
+                    g.backward_params(loss, &mut model.ps);
+                    if guard.inspect(loss_val, &model.ps).is_none() {
+                        guard.certify(loss_val, &model.ps, &opt);
+                        opt.step(&mut model.ps);
+                        max_activation = max_activation.max(g.activation_bytes());
+                        losses.push(loss_val);
+                        step += 1;
+                        applied = true;
+                        break;
+                    }
+                    model.ps.zero_grads();
+                    if !guard.rollback(&mut model.ps, &mut opt) {
+                        aborted = true;
+                        break 'epochs;
+                    }
+                    retries += 1;
+                    if retries > max_retries {
+                        guard.report.skipped_batches += 1;
+                        break;
+                    }
+                }
+                last_batch = if applied { Some(batch) } else { None };
+            }
+        }
+        mask_cache.clear();
+
+        // The guard certifies parameters *before* each update, so the very
+        // last optimizer step is never covered by an in-loop check. Validate
+        // it with one extra forward pass and roll back if it poisoned the
+        // model (e.g. a huge-LR blow-up on the final batch).
+        if guard.enabled() && !aborted {
+            if let Some(batch) = last_batch.take() {
                 let g = tfmae_tensor::Graph::new();
                 let ctx = Ctx::train(&g, &model.ps, cfg.seed ^ step);
                 let out = model.forward(&ctx, &batch);
                 let loss = model.training_loss(&ctx, &out);
                 let loss_val = g.scalar_value(loss);
-                g.backward_params(loss, &mut model.ps);
-                opt.step(&mut model.ps);
-                max_activation = max_activation.max(g.activation_bytes());
-                losses.push(loss_val);
-                step += 1;
+                if !model.ps.values_finite() || guard.inspect(loss_val, &model.ps).is_some() {
+                    guard.rollback(&mut model.ps, &mut opt);
+                }
             }
         }
-        mask_cache.clear();
 
         self.fit_report = FitReport {
             seconds: start.elapsed().as_secs_f64(),
@@ -168,6 +233,7 @@ impl Detector for TfmaeDetector {
             steps: step,
             final_loss: losses.last().copied().unwrap_or(0.0) as f64,
         };
+        self.train_report = guard.finish(step, aborted, opt.lr);
         self.loss_curve = losses;
         self.model = Some(model);
         self.norm = Some(norm);
@@ -252,6 +318,48 @@ mod tests {
     fn scoring_before_fit_panics() {
         let det = TfmaeDetector::new(TfmaeConfig::tiny());
         det.score(&tiny_series(64, 0));
+    }
+
+    #[test]
+    fn nan_training_data_recovers_with_rollbacks() {
+        // Poison a stretch of the training series with NaNs: the guard must
+        // record the faults and still hand back a usable (finite) model.
+        let mut train = tiny_series(256, 10);
+        for t in 100..110 {
+            train.set(t, 0, f32::NAN);
+        }
+        let val = tiny_series(64, 11);
+        let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+        det.fit(&train, &val);
+        let report = det.train_report.clone();
+        assert!(
+            report.rollbacks > 0 || report.skipped_batches > 0,
+            "NaN batches should trip the guard: {report:?}"
+        );
+        assert!(det.loss_curve.iter().all(|l| l.is_finite()));
+        let scores = det.score(&tiny_series(96, 12));
+        assert!(scores.iter().all(|s| s.is_finite()), "scores must stay finite");
+    }
+
+    #[test]
+    fn disabled_guard_matches_default_on_clean_data() {
+        // On clean data the guard only observes, so scores are bit-identical
+        // with and without it.
+        let train = tiny_series(256, 13);
+        let val = tiny_series(64, 14);
+        let test = tiny_series(96, 15);
+        let run = |robust: RobustnessConfig| {
+            let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+            det.robust = robust;
+            det.fit(&train, &val);
+            (det.score(&test), det.train_report.clone())
+        };
+        let (guarded, report) = run(RobustnessConfig::default());
+        let (unguarded, _) = run(RobustnessConfig::disabled());
+        assert_eq!(guarded, unguarded);
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.skipped_batches, 0);
+        assert!(!report.aborted);
     }
 
     #[test]

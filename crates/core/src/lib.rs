@@ -31,6 +31,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ablation;
 pub mod checkpoint;
@@ -38,6 +39,7 @@ pub mod config;
 pub mod detector;
 pub mod masking;
 pub mod model;
+pub mod robust;
 pub mod stream;
 
 pub use ablation::{MaskAblation, ModelAblation};
@@ -47,4 +49,7 @@ pub use detector::TfmaeDetector;
 pub use masking::frequency::{frequency_mask, FrequencyMaskData};
 pub use masking::temporal::{cv_statistic, temporal_mask, TemporalMask};
 pub use model::{combine_scores, BatchInputs, BranchOutputs, TfmaeModel};
-pub use stream::{StreamVerdict, StreamingDetector};
+pub use robust::{RobustnessConfig, StepFault, TrainGuard, TrainReport};
+pub use stream::{
+    DataQuality, DegradedModeConfig, StreamHealth, StreamMode, StreamVerdict, StreamingDetector,
+};

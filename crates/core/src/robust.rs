@@ -1,0 +1,247 @@
+//! Training guardrails: divergence detection, parameter rollback and
+//! learning-rate backoff for [`TfmaeDetector::fit`](crate::TfmaeDetector).
+//!
+//! Live telemetry is exactly the setting where training data contains the
+//! pathologies the detector exists to find — NaN sensor readings, huge
+//! spikes, dead channels. Without guardrails a single non-finite loss
+//! silently poisons every parameter through Adam's moment estimates and the
+//! run "completes" with a useless model. The [`TrainGuard`] certifies each
+//! step *before* the optimizer applies it: the last certified parameter
+//! state (plus the optimizer's moments) is kept as a snapshot, and any step
+//! whose loss or gradients are non-finite — or whose loss explodes past a
+//! configurable multiple of the best certified loss — is rolled back and
+//! retried at a reduced learning rate. Outcomes are reported in a
+//! structured [`TrainReport`] instead of being silently swallowed.
+
+use tfmae_nn::Adam;
+use tfmae_tensor::{ParamSnapshot, ParamStore};
+
+/// Guardrail configuration (on by default; disable for the ablation that
+/// reproduces the unguarded seed behaviour bit-for-bit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustnessConfig {
+    /// Master switch. When `false`, `fit` behaves exactly as the unguarded
+    /// training loop (no snapshots, no checks, no extra cost).
+    pub enabled: bool,
+    /// Multiplied into the learning rate after every rollback.
+    pub lr_backoff: f32,
+    /// Total rollback budget for one `fit`; once exhausted training aborts
+    /// with the last certified parameters ([`TrainReport::aborted`]). Note a
+    /// persistently bad batch burns `max_retries_per_batch + 1` rollbacks
+    /// before it is skipped, so keep this a healthy multiple of that.
+    pub max_rollbacks: u32,
+    /// How often one batch is retried after a rollback before it is skipped
+    /// (a batch that keeps producing non-finite losses is data-poisoned,
+    /// not a transient divergence).
+    pub max_retries_per_batch: u32,
+    /// A *finite* loss exceeding `divergence_factor ×` the best certified
+    /// loss counts as divergence. Large by default so healthy training
+    /// never trips it.
+    pub divergence_factor: f32,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            lr_backoff: 0.5,
+            max_rollbacks: 32,
+            max_retries_per_batch: 2,
+            divergence_factor: 1e3,
+        }
+    }
+}
+
+impl RobustnessConfig {
+    /// Guardrails disabled: bit-identical to the pre-guardrail trainer.
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+}
+
+/// Structured outcome of one guarded `fit` (all zeros on a clean run).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrainReport {
+    /// Optimizer steps successfully applied.
+    pub steps: u64,
+    /// Rollbacks to the last certified snapshot.
+    pub rollbacks: u32,
+    /// Batches abandoned after exhausting their retry budget.
+    pub skipped_batches: u64,
+    /// Learning rate in effect when training finished.
+    pub final_lr: f32,
+    /// Whether the rollback budget ran out and training stopped early (the
+    /// model holds the last certified parameters).
+    pub aborted: bool,
+}
+
+/// Why a step was rejected (see [`TrainGuard::inspect`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepFault {
+    /// The batch loss was NaN or ±Inf.
+    NonFiniteLoss,
+    /// Backpropagation produced a NaN or ±Inf gradient.
+    NonFiniteGrad,
+    /// The loss was finite but exploded past `divergence_factor ×` the best
+    /// certified loss.
+    Diverged,
+}
+
+/// The guard itself: owns the last certified snapshot and the report.
+pub struct TrainGuard {
+    cfg: RobustnessConfig,
+    snapshot: ParamSnapshot,
+    opt_snapshot: Adam,
+    current_lr: f32,
+    best_loss: f64,
+    /// Running outcome; copied into the detector after `fit`.
+    pub report: TrainReport,
+}
+
+impl TrainGuard {
+    /// Starts guarding: the initial parameters and optimizer state are the
+    /// first certified snapshot.
+    pub fn new(cfg: RobustnessConfig, ps: &ParamStore, opt: &Adam) -> Self {
+        Self {
+            cfg,
+            snapshot: ps.snapshot(),
+            opt_snapshot: opt.clone(),
+            current_lr: opt.lr,
+            best_loss: f64::INFINITY,
+            report: TrainReport { final_lr: opt.lr, ..TrainReport::default() },
+        }
+    }
+
+    /// Whether guarding is active.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Inspects a just-computed step (loss and accumulated gradients,
+    /// *before* the optimizer update). `None` means the step is safe.
+    pub fn inspect(&self, loss: f32, ps: &ParamStore) -> Option<StepFault> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        if !loss.is_finite() {
+            return Some(StepFault::NonFiniteLoss);
+        }
+        if self.best_loss.is_finite()
+            && (loss as f64) > self.cfg.divergence_factor as f64 * (self.best_loss + 1e-9)
+        {
+            return Some(StepFault::Diverged);
+        }
+        if !ps.grads_finite() {
+            return Some(StepFault::NonFiniteGrad);
+        }
+        None
+    }
+
+    /// Certifies the *current* (pre-update) state as good: it becomes the
+    /// rollback target. Call right before `opt.step`.
+    pub fn certify(&mut self, loss: f32, ps: &ParamStore, opt: &Adam) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.best_loss = self.best_loss.min(loss as f64);
+        self.snapshot = ps.snapshot();
+        self.opt_snapshot = opt.clone();
+    }
+
+    /// Rolls parameters and optimizer back to the last certified snapshot
+    /// and cuts the learning rate. Returns `false` once the rollback budget
+    /// is exhausted (training should abort; the model already holds the
+    /// last certified parameters).
+    pub fn rollback(&mut self, ps: &mut ParamStore, opt: &mut Adam) -> bool {
+        self.report.rollbacks += 1;
+        ps.restore(&self.snapshot);
+        *opt = self.opt_snapshot.clone();
+        self.current_lr *= self.cfg.lr_backoff;
+        opt.lr = self.current_lr;
+        self.report.final_lr = self.current_lr;
+        self.report.rollbacks <= self.cfg.max_rollbacks
+    }
+
+    /// Finalizes the report after training.
+    pub fn finish(mut self, steps: u64, aborted: bool, final_lr: f32) -> TrainReport {
+        self.report.steps = steps;
+        self.report.aborted = aborted;
+        self.report.final_lr = final_lr;
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (ParamStore, Adam) {
+        let mut ps = ParamStore::new();
+        ps.add("w", vec![1.0, -2.0], vec![2]);
+        let opt = Adam::new(&ps, 0.1);
+        (ps, opt)
+    }
+
+    #[test]
+    fn clean_steps_pass_inspection() {
+        let (ps, opt) = store();
+        let guard = TrainGuard::new(RobustnessConfig::default(), &ps, &opt);
+        assert_eq!(guard.inspect(0.5, &ps), None);
+    }
+
+    #[test]
+    fn non_finite_loss_is_flagged() {
+        let (ps, opt) = store();
+        let guard = TrainGuard::new(RobustnessConfig::default(), &ps, &opt);
+        assert_eq!(guard.inspect(f32::NAN, &ps), Some(StepFault::NonFiniteLoss));
+        assert_eq!(guard.inspect(f32::INFINITY, &ps), Some(StepFault::NonFiniteLoss));
+    }
+
+    #[test]
+    fn non_finite_grad_is_flagged() {
+        let (mut ps, opt) = store();
+        let guard = TrainGuard::new(RobustnessConfig::default(), &ps, &opt);
+        let id = tfmae_tensor::ParamId(0);
+        ps.accumulate_grad(id, &[f32::NAN, 0.0]);
+        assert_eq!(guard.inspect(0.5, &ps), Some(StepFault::NonFiniteGrad));
+    }
+
+    #[test]
+    fn divergence_past_factor_is_flagged() {
+        let (ps, opt) = store();
+        let mut guard = TrainGuard::new(RobustnessConfig::default(), &ps, &opt);
+        guard.certify(1.0, &ps, &opt);
+        assert_eq!(guard.inspect(2.0, &ps), None, "small fluctuation is fine");
+        assert_eq!(guard.inspect(2000.0, &ps), Some(StepFault::Diverged));
+    }
+
+    #[test]
+    fn rollback_restores_params_and_cuts_lr() {
+        let (mut ps, mut opt) = store();
+        let mut guard = TrainGuard::new(RobustnessConfig::default(), &ps, &opt);
+        guard.certify(1.0, &ps, &opt);
+        let id = tfmae_tensor::ParamId(0);
+        ps.get_mut(id).data[0] = f32::NAN;
+        assert!(guard.rollback(&mut ps, &mut opt));
+        assert_eq!(ps.get(id).data, vec![1.0, -2.0]);
+        assert!((opt.lr - 0.05).abs() < 1e-9, "lr halved, got {}", opt.lr);
+        assert_eq!(guard.report.rollbacks, 1);
+    }
+
+    #[test]
+    fn rollback_budget_is_bounded() {
+        let cfg = RobustnessConfig { max_rollbacks: 2, ..RobustnessConfig::default() };
+        let (mut ps, mut opt) = store();
+        let mut guard = TrainGuard::new(cfg, &ps, &opt);
+        assert!(guard.rollback(&mut ps, &mut opt));
+        assert!(guard.rollback(&mut ps, &mut opt));
+        assert!(!guard.rollback(&mut ps, &mut opt), "third rollback exceeds the budget");
+    }
+
+    #[test]
+    fn disabled_guard_never_flags() {
+        let (ps, opt) = store();
+        let guard = TrainGuard::new(RobustnessConfig::disabled(), &ps, &opt);
+        assert_eq!(guard.inspect(f32::NAN, &ps), None);
+    }
+}

@@ -6,12 +6,101 @@
 //! the most recent window is scored, emitting verdicts for the `hop` newest
 //! observations. Amortized cost is one window forward per `hop`
 //! observations (hop = `win_len`/4 by default).
+//!
+//! **Degraded mode.** Live feeds drop samples, emit NaN/±Inf and glitch
+//! row widths; a panic or a NaN score from the detector is the worst
+//! possible response in exactly those moments. With
+//! [`DegradedModeConfig::enabled`] (the default) each incoming row is
+//! sanitized: non-finite channels are imputed by carrying the last good
+//! value forward, up to a per-channel staleness budget; a wrong-width row
+//! counts as all-bad. Every verdict carries a [`DataQuality`] flag so
+//! downstream consumers can distinguish a real anomaly from a broken
+//! sensor, and `Degraded` verdicts never set `is_anomaly` (don't page on a
+//! dead feed). A long run of consecutive bad rows trips quarantine: the
+//! poisoned buffer is discarded and the stream re-warms automatically on
+//! the next clean data. [`StreamingDetector::health`] reports counters for
+//! all of this.
 
 use std::collections::VecDeque;
 
 use tfmae_data::{Detector, TimeSeries};
 
 use crate::detector::TfmaeDetector;
+
+/// Quality of the data behind one verdict (worst over its channels).
+///
+/// Ordered: `Clean < Imputed < Degraded`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DataQuality {
+    /// All channels were finite, as received.
+    Clean,
+    /// At least one channel was non-finite and replaced by its last good
+    /// value within the staleness budget. Scores remain meaningful;
+    /// anomalies are still reported.
+    Imputed,
+    /// At least one channel had no usable value (staleness budget blown or
+    /// never-seen channel), or the row was emitted from quarantine. The
+    /// score is a placeholder and `is_anomaly` is forced `false`.
+    Degraded,
+}
+
+/// Configuration for the stream's fault handling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradedModeConfig {
+    /// Master switch. When `false` the stream is strict: a wrong-width row
+    /// panics and non-finite values flow straight into the model.
+    pub enabled: bool,
+    /// How many consecutive non-finite samples a channel may impute via
+    /// last-observation-carried-forward before its rows are marked
+    /// [`DataQuality::Degraded`].
+    pub staleness_budget: usize,
+    /// Consecutive bad rows (any channel non-finite) before the stream
+    /// enters quarantine and discards its buffer.
+    pub quarantine_after: usize,
+}
+
+impl Default for DegradedModeConfig {
+    fn default() -> Self {
+        Self { enabled: true, staleness_budget: 8, quarantine_after: 16 }
+    }
+}
+
+/// Stream operating mode (see [`StreamHealth`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Scoring normally.
+    Normal,
+    /// Too many consecutive bad rows: buffer discarded, all verdicts
+    /// `Degraded` until clean data returns.
+    Quarantine,
+}
+
+/// Running fault counters for one stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamHealth {
+    /// Current mode.
+    pub mode: StreamMode,
+    /// Rows accepted with at least one imputed channel.
+    pub imputed_rows: u64,
+    /// Rows accepted past the staleness budget (scores untrustworthy).
+    pub degraded_rows: u64,
+    /// Rows swallowed while quarantined.
+    pub quarantined_rows: u64,
+    /// Times the stream entered quarantine.
+    pub quarantine_entries: u64,
+}
+
+impl Default for StreamHealth {
+    fn default() -> Self {
+        Self {
+            mode: StreamMode::Normal,
+            imputed_rows: 0,
+            degraded_rows: 0,
+            quarantined_rows: 0,
+            quarantine_entries: 0,
+        }
+    }
+}
 
 /// One scored observation from the stream.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,8 +109,11 @@ pub struct StreamVerdict {
     pub t: u64,
     /// Anomaly score (same scale as the offline detector).
     pub score: f32,
-    /// Whether the score crossed the configured threshold.
+    /// Whether the score crossed the configured threshold (never `true`
+    /// for [`DataQuality::Degraded`] observations).
     pub is_anomaly: bool,
+    /// Quality of the data behind this verdict.
+    pub quality: DataQuality,
 }
 
 /// Online wrapper around a fitted detector.
@@ -46,9 +138,15 @@ pub struct StreamingDetector {
     dims: usize,
     win_len: usize,
     buffer: VecDeque<Vec<f32>>,
+    qualities: VecDeque<DataQuality>,
     pushed: u64,
     since_score: usize,
     frozen_norms: Option<(f32, f32)>,
+    degraded: DegradedModeConfig,
+    last_good: Vec<Option<f32>>,
+    staleness: Vec<usize>,
+    consecutive_bad: usize,
+    health: StreamHealth,
 }
 
 impl StreamingDetector {
@@ -73,10 +171,22 @@ impl StreamingDetector {
             dims,
             win_len,
             buffer: VecDeque::with_capacity(win_len + 1),
+            qualities: VecDeque::with_capacity(win_len + 1),
             pushed: 0,
             since_score: 0,
             frozen_norms: None,
+            degraded: DegradedModeConfig::default(),
+            last_good: vec![None; dims],
+            staleness: vec![0; dims],
+            consecutive_bad: 0,
+            health: StreamHealth::default(),
         }
+    }
+
+    /// Replaces the degraded-mode configuration (builder style).
+    pub fn with_degraded_mode(mut self, cfg: DegradedModeConfig) -> Self {
+        self.degraded = cfg;
+        self
     }
 
     /// Freezes the score-normalization constants from a reference series
@@ -89,6 +199,22 @@ impl StreamingDetector {
         let ma = kl.iter().sum::<f32>() / kl.len().max(1) as f32;
         let mb = dual.iter().sum::<f32>() / dual.len().max(1) as f32;
         self.frozen_norms = Some((ma, mb));
+    }
+
+    /// Drops frozen calibration constants, reverting to window-local
+    /// normalization (inverse of [`StreamingDetector::calibrate`]).
+    pub fn thaw(&mut self) {
+        self.frozen_norms = None;
+    }
+
+    /// Whether [`StreamingDetector::calibrate`] constants are frozen in.
+    pub fn is_calibrated(&self) -> bool {
+        self.frozen_norms.is_some()
+    }
+
+    /// Fault counters and current mode.
+    pub fn health(&self) -> &StreamHealth {
+        &self.health
     }
 
     /// Convenience: hop = win_len / 4.
@@ -113,15 +239,91 @@ impl StreamingDetector {
     }
 
     /// Pushes one observation row (`dims` values). Returns verdicts for any
-    /// newly scored observations (empty during warm-up and between hops).
+    /// newly scored observations (empty during warm-up and between hops;
+    /// one immediate `Degraded` verdict per row while quarantined).
+    ///
+    /// With degraded mode on (default) any row is accepted: non-finite
+    /// values are imputed or flagged, and a wrong-width row counts as
+    /// all-channels-bad.
     ///
     /// # Panics
-    /// Panics if `row.len() != dims`.
+    /// Panics if `row.len() != dims` **and** degraded mode is disabled.
     pub fn push(&mut self, row: &[f32]) -> Vec<StreamVerdict> {
-        assert_eq!(row.len(), self.dims, "row width mismatch");
-        self.buffer.push_back(row.to_vec());
+        if !self.degraded.enabled {
+            assert_eq!(row.len(), self.dims, "row width mismatch");
+            return self.push_sanitized(row.to_vec(), DataQuality::Clean);
+        }
+
+        let width_ok = row.len() == self.dims;
+        let mut clean = vec![0.0f32; self.dims];
+        let mut quality = DataQuality::Clean;
+        for n in 0..self.dims {
+            let v = if width_ok { row[n] } else { f32::NAN };
+            if v.is_finite() {
+                self.last_good[n] = Some(v);
+                self.staleness[n] = 0;
+                clean[n] = v;
+            } else {
+                self.staleness[n] += 1;
+                // Impute with the last good value; a channel that has never
+                // produced one falls back to 0.0 (finite by construction).
+                clean[n] = self.last_good[n].unwrap_or(0.0);
+                let q = if self.last_good[n].is_some()
+                    && self.staleness[n] <= self.degraded.staleness_budget
+                {
+                    DataQuality::Imputed
+                } else {
+                    DataQuality::Degraded
+                };
+                quality = quality.max(q);
+            }
+        }
+
+        if quality == DataQuality::Clean {
+            self.consecutive_bad = 0;
+            if self.health.mode == StreamMode::Quarantine {
+                // Clean data ends quarantine; re-warm from an empty buffer.
+                self.health.mode = StreamMode::Normal;
+            }
+        } else {
+            self.consecutive_bad += 1;
+            if self.health.mode == StreamMode::Normal
+                && self.consecutive_bad >= self.degraded.quarantine_after
+            {
+                self.health.mode = StreamMode::Quarantine;
+                self.health.quarantine_entries += 1;
+                self.buffer.clear();
+                self.qualities.clear();
+                self.since_score = 0;
+            }
+        }
+
+        if self.health.mode == StreamMode::Quarantine {
+            self.health.quarantined_rows += 1;
+            self.pushed += 1;
+            return vec![StreamVerdict {
+                t: self.pushed - 1,
+                score: 0.0,
+                is_anomaly: false,
+                quality: DataQuality::Degraded,
+            }];
+        }
+
+        self.push_sanitized(clean, quality)
+    }
+
+    /// Buffers an already-sanitized row and scores when a hop completes.
+    fn push_sanitized(&mut self, row: Vec<f32>, quality: DataQuality) -> Vec<StreamVerdict> {
+        match quality {
+            DataQuality::Clean => {}
+            DataQuality::Imputed => self.health.imputed_rows += 1,
+            DataQuality::Degraded => self.health.degraded_rows += 1,
+        }
+        self.buffer.push_back(row);
+        self.qualities.push_back(quality);
         if self.buffer.len() > self.win_len {
             self.buffer.pop_front();
+            self.qualities.pop_front();
         }
         self.pushed += 1;
         self.since_score += 1;
@@ -151,8 +353,19 @@ impl StreamingDetector {
         let base_t = self.pushed - newest as u64;
         (0..newest)
             .map(|i| {
-                let score = scores[self.win_len - newest + i];
-                StreamVerdict { t: base_t + i as u64, score, is_anomaly: score >= self.threshold }
+                let mut score = scores[self.win_len - newest + i];
+                let mut quality = self.qualities[self.win_len - newest + i];
+                if !score.is_finite() {
+                    // Last line of defense: never emit a non-finite score.
+                    score = 0.0;
+                    quality = DataQuality::Degraded;
+                }
+                StreamVerdict {
+                    t: base_t + i as u64,
+                    score,
+                    is_anomaly: score >= self.threshold && quality != DataQuality::Degraded,
+                    quality,
+                }
             })
             .collect()
     }
@@ -216,6 +429,7 @@ mod tests {
         for pair in verdicts.windows(2) {
             assert!(pair[1].t > pair[0].t);
         }
+        assert!(verdicts.iter().all(|v| v.quality == DataQuality::Clean));
     }
 
     #[test]
@@ -280,6 +494,29 @@ mod tests {
     }
 
     #[test]
+    fn calibrate_then_thaw_restores_fallback_scoring() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let val = series(128, 20);
+        let data = series(win, 21);
+
+        let mut plain = StreamingDetector::new(fitted(), f32::MAX, win);
+        assert!(!plain.is_calibrated());
+        let baseline = plain.push_many(&data);
+
+        let mut s = StreamingDetector::new(det, f32::MAX, win);
+        s.calibrate(&val);
+        assert!(s.is_calibrated());
+        s.thaw();
+        assert!(!s.is_calibrated());
+        let thawed = s.push_many(&data);
+        assert_eq!(thawed.len(), baseline.len());
+        for (a, b) in thawed.iter().zip(baseline.iter()) {
+            assert!((a.score - b.score).abs() < 1e-6, "thawed stream should use fallback path");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "fitted")]
     fn unfitted_detector_is_rejected() {
         let det = TfmaeDetector::new(TfmaeConfig::tiny());
@@ -288,9 +525,111 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "row width")]
-    fn wrong_row_width_panics() {
+    fn strict_mode_rejects_wrong_row_width() {
         let det = fitted();
-        let mut s = StreamingDetector::new(det, 0.0, 1);
+        let mut s = StreamingDetector::new(det, 0.0, 1)
+            .with_degraded_mode(DegradedModeConfig { enabled: false, ..Default::default() });
         s.push(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn wrong_row_width_is_tolerated_in_degraded_mode() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let mut s = StreamingDetector::new(det, f32::MAX, 1);
+        let data = series(win, 9);
+        for t in 0..win {
+            s.push(data.row(t));
+        }
+        let out = s.push(&[1.0, 2.0, 3.0]); // wrong width: imputed, not fatal
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].quality, DataQuality::Imputed);
+        assert!(out[0].score.is_finite());
+        assert_eq!(s.health().imputed_rows, 1);
+    }
+
+    #[test]
+    fn nan_rows_are_imputed_and_flagged() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let mut s = StreamingDetector::new(det, f32::MAX, 1);
+        let data = series(win * 2, 10);
+        let mut verdicts = Vec::new();
+        for t in 0..data.len() {
+            // ~10% NaN storm in the second window.
+            let row = if t >= win && t % 10 == 0 { vec![f32::NAN] } else { data.row(t).to_vec() };
+            verdicts.extend(s.push(&row));
+        }
+        assert!(!verdicts.is_empty());
+        assert!(verdicts.iter().all(|v| v.score.is_finite()), "no NaN may escape");
+        let imputed: Vec<&StreamVerdict> =
+            verdicts.iter().filter(|v| v.quality == DataQuality::Imputed).collect();
+        assert!(!imputed.is_empty(), "NaN rows must be flagged as imputed");
+        assert!(imputed.iter().all(|v| v.t >= win as u64 && v.t % 10 == 0));
+        // Clean rows between the faults stay Clean.
+        assert!(verdicts
+            .iter()
+            .any(|v| v.t > win as u64 && v.quality == DataQuality::Clean));
+        assert_eq!(s.health().mode, StreamMode::Normal);
+        assert!(s.health().imputed_rows > 0);
+    }
+
+    #[test]
+    fn staleness_budget_escalates_to_degraded() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let budget = 3;
+        let mut s = StreamingDetector::new(det, f32::MAX, 1).with_degraded_mode(
+            DegradedModeConfig { staleness_budget: budget, quarantine_after: 1000, ..Default::default() },
+        );
+        let data = series(win, 11);
+        for t in 0..win {
+            s.push(data.row(t));
+        }
+        let mut qualities = Vec::new();
+        for _ in 0..budget + 2 {
+            let out = s.push(&[f32::NAN]);
+            qualities.push(out[0].quality);
+        }
+        assert!(qualities[..budget].iter().all(|&q| q == DataQuality::Imputed));
+        assert!(qualities[budget..].iter().all(|&q| q == DataQuality::Degraded));
+    }
+
+    #[test]
+    fn quarantine_trips_and_recovers() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let quarantine_after = 6;
+        let mut s = StreamingDetector::new(det, f32::MAX, 1).with_degraded_mode(
+            DegradedModeConfig { staleness_budget: 2, quarantine_after, ..Default::default() },
+        );
+        let data = series(win * 3, 12);
+        for t in 0..win {
+            s.push(data.row(t));
+        }
+        // A dead feed: all-NaN until quarantine trips.
+        for i in 0..quarantine_after + 4 {
+            let out = s.push(&[f32::NAN]);
+            assert_eq!(out.len(), 1);
+            if i + 1 >= quarantine_after {
+                assert_eq!(out[0].quality, DataQuality::Degraded);
+            }
+            assert!(!out[0].is_anomaly, "a dead feed must never page");
+            assert!(out[0].score.is_finite());
+        }
+        assert_eq!(s.health().mode, StreamMode::Quarantine);
+        assert_eq!(s.health().quarantine_entries, 1);
+        assert!(s.health().quarantined_rows > 0);
+        assert!(!s.warmed_up(), "quarantine discards the buffer");
+
+        // Clean data returns: stream leaves quarantine and re-warms.
+        let mut recovered = Vec::new();
+        for t in win..win * 2 + 4 {
+            recovered.extend(s.push(data.row(t)));
+        }
+        assert_eq!(s.health().mode, StreamMode::Normal);
+        assert!(!recovered.is_empty(), "stream must score again after recovery");
+        assert!(recovered.iter().all(|v| v.quality == DataQuality::Clean));
+        assert!(recovered.iter().all(|v| v.score.is_finite()));
     }
 }

@@ -55,13 +55,67 @@ impl From<std::io::Error> for CsvError {
     }
 }
 
+/// A row skipped by lenient parsing, with its line number and reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvWarning {
+    /// 1-based line number of the skipped row.
+    pub line: usize,
+    /// Why the row was rejected.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {} (row skipped)", self.line, self.message)
+    }
+}
+
 fn is_number(s: &str) -> bool {
     s.trim().parse::<f64>().is_ok()
 }
 
-/// Parses CSV text. A first row with any non-numeric cell is treated as a
-/// header; a final column named `label` (case-insensitive) becomes labels.
-pub fn parse_csv(text: &str) -> Result<CsvData, CsvError> {
+/// Parses one data row into `(values, label)`.
+fn parse_row(
+    line: &str,
+    lineno: usize,
+    n_cols: usize,
+    value_cols: usize,
+    has_label: bool,
+) -> Result<(Vec<f32>, Option<u8>), CsvError> {
+    let cells: Vec<&str> = line.split(',').collect();
+    if cells.len() != n_cols {
+        return Err(CsvError::Parse {
+            line: lineno + 1,
+            message: format!("expected {} cells, got {}", n_cols, cells.len()),
+        });
+    }
+    let mut values = Vec::with_capacity(value_cols);
+    for cell in &cells[..value_cols] {
+        let v: f64 = cell.trim().parse().map_err(|e| CsvError::Parse {
+            line: lineno + 1,
+            message: format!("bad number {cell:?}: {e}"),
+        })?;
+        if !v.is_finite() {
+            return Err(CsvError::Parse {
+                line: lineno + 1,
+                message: format!("non-finite value {cell:?} is not allowed"),
+            });
+        }
+        values.push(v as f32);
+    }
+    let label = if has_label {
+        let l: f64 = cells[value_cols].trim().parse().map_err(|e| CsvError::Parse {
+            line: lineno + 1,
+            message: format!("bad label: {e}"),
+        })?;
+        Some(u8::from(l != 0.0))
+    } else {
+        None
+    };
+    Ok((values, label))
+}
+
+fn parse_impl(text: &str, lenient: bool) -> Result<(CsvData, Vec<CsvWarning>), CsvError> {
     let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()).peekable();
     let Some(&(_, first)) = lines.peek() else {
         return Err(CsvError::Empty);
@@ -69,8 +123,10 @@ pub fn parse_csv(text: &str) -> Result<CsvData, CsvError> {
     let first_cells: Vec<&str> = first.split(',').collect();
     let has_header = first_cells.iter().any(|c| !is_number(c));
     let mut columns: Vec<String> = if has_header {
-        let (_, header) = lines.next().expect("peeked");
-        header.split(',').map(|c| c.trim().to_string()).collect()
+        match lines.next() {
+            Some((_, header)) => header.split(',').map(|c| c.trim().to_string()).collect(),
+            None => return Err(CsvError::Empty),
+        }
     } else {
         (0..first_cells.len()).map(|i| format!("c{i}")).collect()
     };
@@ -86,36 +142,22 @@ pub fn parse_csv(text: &str) -> Result<CsvData, CsvError> {
 
     let mut values: Vec<f32> = Vec::new();
     let mut labels: Vec<u8> = Vec::new();
+    let mut warnings: Vec<CsvWarning> = Vec::new();
     let mut rows = 0usize;
     for (lineno, line) in lines {
-        let cells: Vec<&str> = line.split(',').collect();
-        if cells.len() != columns.len() {
-            return Err(CsvError::Parse {
-                line: lineno + 1,
-                message: format!("expected {} cells, got {}", columns.len(), cells.len()),
-            });
-        }
-        for cell in &cells[..value_cols] {
-            let v: f64 = cell.trim().parse().map_err(|e| CsvError::Parse {
-                line: lineno + 1,
-                message: format!("bad number {cell:?}: {e}"),
-            })?;
-            if !v.is_finite() {
-                return Err(CsvError::Parse {
-                    line: lineno + 1,
-                    message: format!("non-finite value {cell:?} is not allowed"),
-                });
+        match parse_row(line, lineno, columns.len(), value_cols, has_label) {
+            Ok((row_values, row_label)) => {
+                values.extend(row_values);
+                if let Some(l) = row_label {
+                    labels.push(l);
+                }
+                rows += 1;
             }
-            values.push(v as f32);
+            Err(CsvError::Parse { line, message }) if lenient => {
+                warnings.push(CsvWarning { line, message });
+            }
+            Err(e) => return Err(e),
         }
-        if has_label {
-            let l: f64 = cells[value_cols].trim().parse().map_err(|e| CsvError::Parse {
-                line: lineno + 1,
-                message: format!("bad label: {e}"),
-            })?;
-            labels.push(u8::from(l != 0.0));
-        }
-        rows += 1;
     }
     if rows == 0 {
         return Err(CsvError::Empty);
@@ -123,17 +165,43 @@ pub fn parse_csv(text: &str) -> Result<CsvData, CsvError> {
     if has_label {
         columns.pop();
     }
-    Ok(CsvData {
-        series: TimeSeries::new(values, rows, value_cols),
-        labels: if has_label { Some(labels) } else { None },
-        columns,
-    })
+    Ok((
+        CsvData {
+            series: TimeSeries::new(values, rows, value_cols),
+            labels: if has_label { Some(labels) } else { None },
+            columns,
+        },
+        warnings,
+    ))
 }
 
-/// Reads and parses a CSV file.
+/// Parses CSV text. A first row with any non-numeric cell is treated as a
+/// header; a final column named `label` (case-insensitive) becomes labels.
+///
+/// Strict: the first malformed row aborts the parse with its line number.
+/// See [`parse_csv_lenient`] for the skip-with-warning variant.
+pub fn parse_csv(text: &str) -> Result<CsvData, CsvError> {
+    parse_impl(text, false).map(|(data, _)| data)
+}
+
+/// Like [`parse_csv`], but malformed rows (wrong cell count, unparsable or
+/// non-finite numbers, bad labels) are **skipped** and reported as
+/// [`CsvWarning`]s instead of failing the whole file. Structural problems
+/// (empty file, no value columns, zero usable rows) still error.
+pub fn parse_csv_lenient(text: &str) -> Result<(CsvData, Vec<CsvWarning>), CsvError> {
+    parse_impl(text, true)
+}
+
+/// Reads and parses a CSV file (strict).
 pub fn read_csv(path: impl AsRef<Path>) -> Result<CsvData, CsvError> {
     let text = fs::read_to_string(path)?;
     parse_csv(&text)
+}
+
+/// Reads and parses a CSV file, skipping malformed rows with warnings.
+pub fn read_csv_lenient(path: impl AsRef<Path>) -> Result<(CsvData, Vec<CsvWarning>), CsvError> {
+    let text = fs::read_to_string(path)?;
+    parse_csv_lenient(&text)
 }
 
 /// Serializes a series (and optional labels) to CSV text with a header.
@@ -210,6 +278,34 @@ mod tests {
         assert!(matches!(parse_csv(text), Err(CsvError::Parse { line: 2, .. })));
         assert!(matches!(parse_csv(""), Err(CsvError::Empty)));
         assert!(matches!(parse_csv("a,b\n"), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn lenient_skips_bad_rows_with_warnings() {
+        let text = "a,b\n1.0,2.0\n3.0\nx,4.0\n5.0,nan\n7.0,8.0\n";
+        let (data, warnings) = parse_csv_lenient(text).unwrap();
+        assert_eq!(data.series.len(), 2, "only the two good rows survive");
+        assert_eq!(data.series.get(0, 0), 1.0);
+        assert_eq!(data.series.get(1, 1), 8.0);
+        let lines: Vec<usize> = warnings.iter().map(|w| w.line).collect();
+        assert_eq!(lines, vec![3, 4, 5], "each skipped row is reported with its line");
+        // Strict mode still fails on the same input.
+        assert!(matches!(parse_csv(text), Err(CsvError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn lenient_with_no_good_rows_is_empty() {
+        let text = "a,b\nx,y\nz\n";
+        assert!(matches!(parse_csv_lenient(text), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn lenient_on_clean_input_matches_strict() {
+        let text = "a,b,label\n1.0,2.0,0\n3.0,4.0,1\n";
+        let strict = parse_csv(text).unwrap();
+        let (lenient, warnings) = parse_csv_lenient(text).unwrap();
+        assert_eq!(strict, lenient);
+        assert!(warnings.is_empty());
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod synth;
 pub mod window;
 
 pub use anomaly::{inject, AnomalyKind, InjectionPlan};
-pub use csv::{parse_csv, read_csv, to_csv, write_csv, CsvData, CsvError};
+pub use csv::{
+    parse_csv, parse_csv_lenient, read_csv, read_csv_lenient, to_csv, write_csv, CsvData,
+    CsvError, CsvWarning,
+};
 pub use detector::{Detector, FitReport};
 pub use datasets::{generate, Benchmark, DatasetKind, DatasetSpec, PaperHparams};
 pub use normalize::{ZScore, MIN_STD};

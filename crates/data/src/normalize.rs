@@ -19,9 +19,40 @@ pub const MIN_STD: f32 = 1e-4;
 
 impl ZScore {
     /// Fits on a (training) series.
+    ///
+    /// Non-finite values (NaN/±Inf — routine in raw telemetry) are excluded
+    /// from the statistics so one bad reading cannot poison a whole channel;
+    /// a channel with no finite values at all gets `μ = 0, σ = MIN_STD`. On
+    /// fully-finite data this matches the plain population statistics.
     pub fn fit(train: &TimeSeries) -> Self {
-        let mean = train.channel_means();
-        let std = train.channel_stds().into_iter().map(|s| s.max(MIN_STD)).collect();
+        let dims = train.dims();
+        let mut mean = vec![0.0f32; dims];
+        let mut std = vec![MIN_STD; dims];
+        for n in 0..dims {
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            for t in 0..train.len() {
+                let v = train.get(t, n);
+                if v.is_finite() {
+                    sum += v as f64;
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                continue;
+            }
+            let m = sum / count as f64;
+            let mut var = 0.0f64;
+            for t in 0..train.len() {
+                let v = train.get(t, n);
+                if v.is_finite() {
+                    let d = v as f64 - m;
+                    var += d * d;
+                }
+            }
+            mean[n] = m as f32;
+            std[n] = ((var / count as f64).sqrt() as f32).max(MIN_STD);
+        }
         Self { mean, std }
     }
 
@@ -73,6 +104,25 @@ mod tests {
         let out = z.transform(&train);
         assert!(out.data().iter().all(|v| v.is_finite()));
         assert!(out.data().iter().all(|&v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn fit_ignores_non_finite_values() {
+        let clean = TimeSeries::from_channels(&[vec![2.0, 4.0, 6.0]]);
+        let dirty = TimeSeries::from_channels(&[vec![2.0, f32::NAN, 4.0, f32::INFINITY, 6.0]]);
+        let zc = ZScore::fit(&clean);
+        let zd = ZScore::fit(&dirty);
+        assert!((zc.mean[0] - zd.mean[0]).abs() < 1e-6);
+        assert!((zc.std[0] - zd.std[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_nan_channel_gets_safe_statistics() {
+        let train = TimeSeries::from_channels(&[vec![f32::NAN; 4], vec![1.0, 2.0, 3.0, 4.0]]);
+        let z = ZScore::fit(&train);
+        assert_eq!(z.mean[0], 0.0);
+        assert_eq!(z.std[0], MIN_STD);
+        assert!(z.mean[1].is_finite() && z.std[1].is_finite());
     }
 
     #[test]

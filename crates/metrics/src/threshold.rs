@@ -7,15 +7,20 @@
 /// Threshold flagging the top `ratio` fraction of `scores` as anomalous
 /// (the `(1−ratio)`-quantile). `ratio` is clamped to `[0, 1]`.
 ///
-/// Non-finite scores are ignored; returns `f32::INFINITY` when no finite
-/// score exists (nothing will be flagged).
+/// Non-finite scores are ignored; returns `f32::INFINITY` (nothing will be
+/// flagged — the fail-safe direction) when no finite score exists, when
+/// `scores` is empty, or when `ratio` is NaN. All-equal scores yield that
+/// value as the threshold, so everything is flagged for any `ratio > 0`.
 pub fn threshold_for_ratio(scores: &[f32], ratio: f64) -> f32 {
+    if ratio.is_nan() {
+        return f32::INFINITY;
+    }
     let mut finite: Vec<f32> = scores.iter().copied().filter(|v| v.is_finite()).collect();
     if finite.is_empty() {
         return f32::INFINITY;
     }
     let ratio = ratio.clamp(0.0, 1.0);
-    finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    finite.sort_by(f32::total_cmp);
     let k = ((finite.len() as f64) * (1.0 - ratio)).floor() as usize;
     let k = k.min(finite.len() - 1);
     finite[k]
@@ -33,7 +38,7 @@ pub fn apply_threshold(scores: &[f32], delta: f32) -> Vec<u8> {
 pub fn best_f1_threshold(scores: &[f32], truth: &[u8], max_candidates: usize) -> (f32, f64) {
     assert_eq!(scores.len(), truth.len());
     let mut cands: Vec<f32> = scores.iter().copied().filter(|v| v.is_finite()).collect();
-    cands.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cands.sort_by(f32::total_cmp);
     cands.dedup();
     let step = (cands.len() / max_candidates.max(1)).max(1);
     let mut best = (f32::INFINITY, 0.0f64);
@@ -80,6 +85,31 @@ mod tests {
         let delta = threshold_for_ratio(&scores, 0.5);
         assert!(delta.is_finite());
         assert_eq!(threshold_for_ratio(&[f32::NAN], 0.5), f32::INFINITY);
+    }
+
+    #[test]
+    fn empty_scores_flag_nothing() {
+        let delta = threshold_for_ratio(&[], 0.1);
+        assert_eq!(delta, f32::INFINITY);
+        assert!(apply_threshold(&[1.0, 2.0], delta).iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn all_equal_scores_have_stable_threshold() {
+        let scores = vec![3.5f32; 10];
+        let delta = threshold_for_ratio(&scores, 0.1);
+        assert_eq!(delta, 3.5);
+        // `>= δ` flags every (equal) score — degenerate input, but finite
+        // and deterministic rather than a panic or an arbitrary subset.
+        assert_eq!(apply_threshold(&scores, delta).iter().map(|&v| v as usize).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn nan_ratio_flags_nothing() {
+        let scores = vec![1.0, 2.0, 3.0];
+        let delta = threshold_for_ratio(&scores, f64::NAN);
+        assert_eq!(delta, f32::INFINITY);
+        assert!(apply_threshold(&scores, delta).iter().all(|&p| p == 0));
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub mod store;
 
 pub use backward::Gradients;
 pub use graph::{Graph, Var, LN_EPS};
-pub use store::{Param, ParamId, ParamStore};
+pub use store::{Param, ParamId, ParamSnapshot, ParamStore};

@@ -28,6 +28,26 @@ pub struct ParamStore {
     params: Vec<Param>,
 }
 
+/// A point-in-time copy of all parameter *values* (no gradients) of a
+/// [`ParamStore`], used by training guardrails to roll a model back to the
+/// last known-good state after a divergent or non-finite step.
+#[derive(Clone, Debug)]
+pub struct ParamSnapshot {
+    data: Vec<Vec<f32>>,
+}
+
+impl ParamSnapshot {
+    /// Number of parameter tensors captured.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
 impl ParamStore {
     /// Creates an empty store.
     pub fn new() -> Self {
@@ -104,6 +124,34 @@ impl ParamStore {
         }
     }
 
+    /// Captures the current parameter values (not gradients).
+    pub fn snapshot(&self) -> ParamSnapshot {
+        ParamSnapshot { data: self.params.iter().map(|p| p.data.clone()).collect() }
+    }
+
+    /// Restores parameter values from a snapshot taken on this store.
+    ///
+    /// # Panics
+    /// Panics if the snapshot layout disagrees with the store (it was taken
+    /// from a differently-shaped model).
+    pub fn restore(&mut self, snap: &ParamSnapshot) {
+        assert_eq!(snap.data.len(), self.params.len(), "snapshot/store parameter count mismatch");
+        for (p, s) in self.params.iter_mut().zip(snap.data.iter()) {
+            assert_eq!(p.data.len(), s.len(), "snapshot size mismatch for {}", p.name);
+            p.data.copy_from_slice(s);
+        }
+    }
+
+    /// Whether every parameter value is finite.
+    pub fn values_finite(&self) -> bool {
+        self.params.iter().all(|p| p.data.iter().all(|v| v.is_finite()))
+    }
+
+    /// Whether every gradient entry is finite.
+    pub fn grads_finite(&self) -> bool {
+        self.params.iter().all(|p| p.grad.iter().all(|v| v.is_finite()))
+    }
+
     /// Global L2 norm of all gradients (for clipping diagnostics).
     pub fn grad_norm(&self) -> f32 {
         self.params
@@ -158,6 +206,46 @@ mod tests {
         assert!((ps.grad_norm() - expect).abs() < 1e-6);
         ps.zero_grads();
         assert_eq!(ps.get(id).grad, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_restores_values_not_grads() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", vec![1.0, 2.0], vec![2]);
+        let snap = ps.snapshot();
+        assert_eq!(snap.len(), 1);
+        ps.get_mut(id).data[0] = f32::NAN;
+        ps.accumulate_grad(id, &[3.0, 4.0]);
+        assert!(!ps.values_finite());
+        ps.restore(&snap);
+        assert_eq!(ps.get(id).data, vec![1.0, 2.0]);
+        assert!(ps.values_finite());
+        // Gradients are untouched by restore.
+        assert_eq!(ps.get(id).grad, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn finiteness_checks() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", vec![0.5], vec![1]);
+        assert!(ps.values_finite() && ps.grads_finite());
+        ps.accumulate_grad(id, &[f32::INFINITY]);
+        assert!(!ps.grads_finite());
+        ps.zero_grads();
+        ps.get_mut(id).data[0] = f32::NEG_INFINITY;
+        assert!(!ps.values_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn restore_rejects_foreign_snapshot() {
+        let mut a = ParamStore::new();
+        a.add("w", vec![1.0], vec![1]);
+        let snap = a.snapshot();
+        let mut b = ParamStore::new();
+        b.add("w", vec![1.0], vec![1]);
+        b.add("b", vec![0.0], vec![1]);
+        b.restore(&snap);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Deterministic fault injectors for robustness testing: corrupt time
+//! series in memory and checkpoint files on disk the way real telemetry
+//! pipelines and real disks do.
+
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfmae_data::TimeSeries;
+
+/// Replaces roughly `ratio` of all values with NaN (deterministic in
+/// `seed`). Returns how many values were hit.
+pub fn inject_nan(series: &mut TimeSeries, ratio: f64, seed: u64) -> usize {
+    inject(series, f32::NAN, ratio, seed)
+}
+
+/// Replaces roughly `ratio` of all values with +Inf (deterministic in
+/// `seed`). Returns how many values were hit.
+pub fn inject_inf(series: &mut TimeSeries, ratio: f64, seed: u64) -> usize {
+    inject(series, f32::INFINITY, ratio, seed)
+}
+
+fn inject(series: &mut TimeSeries, value: f32, ratio: f64, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hit = 0usize;
+    for t in 0..series.len() {
+        for n in 0..series.dims() {
+            if rng.gen_bool(ratio.clamp(0.0, 1.0)) {
+                series.set(t, n, value);
+                hit += 1;
+            }
+        }
+    }
+    hit
+}
+
+/// Flips `nflips` random bits in the file (deterministic in `seed`).
+pub fn bit_flip_file(path: &Path, nflips: usize, seed: u64) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..nflips {
+        let i = rng.gen_range(0..bytes.len());
+        let bit = rng.gen_range(0..8u32);
+        bytes[i] ^= 1 << bit;
+    }
+    std::fs::write(path, bytes)
+}
+
+/// Truncates the file to `keep_fraction` of its length (simulating a crash
+/// mid-write or a torn copy).
+pub fn truncate_file(path: &Path, keep_fraction: f64) -> std::io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    let keep = ((bytes.len() as f64) * keep_fraction.clamp(0.0, 1.0)) as usize;
+    std::fs::write(path, &bytes[..keep.min(bytes.len())])
+}

@@ -1,6 +1,9 @@
 //! Integration-test crate for the TFMAE reproduction.
 //!
-//! The library target is intentionally empty — all content lives in
-//! `tests/` and exercises the public APIs of every workspace crate
-//! together (train → score → threshold → point-adjusted F1 pipelines,
-//! ablations, and cross-method sanity orderings).
+//! The library target carries only the [`faults`] helpers (data and file
+//! corruption injectors); all test content lives in `tests/` and exercises
+//! the public APIs of every workspace crate together (train → score →
+//! threshold → point-adjusted F1 pipelines, ablations, fault-tolerance,
+//! and cross-method sanity orderings).
+
+pub mod faults;

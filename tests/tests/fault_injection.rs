@@ -1,0 +1,281 @@
+//! Fault-injection harness: drive the training, checkpoint and streaming
+//! layers through realistic failure modes — NaN/Inf telemetry, truncated
+//! and bit-flipped checkpoint files, forced optimizer divergence — and
+//! assert the system recovers instead of panicking or emitting NaN scores.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_core::{
+    CheckpointError, DataQuality, DegradedModeConfig, StreamMode, StreamingDetector,
+    TfmaeConfig, TfmaeDetector,
+};
+use tfmae_data::{render, Component, Detector, TimeSeries};
+use tfmae_tests::faults;
+
+fn series(len: usize, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = render(
+        &[
+            Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 },
+            Component::Noise { sigma: 0.05 },
+        ],
+        len,
+        &mut rng,
+    );
+    let b = render(
+        &[
+            Component::Sine { period: 8.0, amp: 0.5, phase: 1.0 },
+            Component::Noise { sigma: 0.05 },
+        ],
+        len,
+        &mut rng,
+    );
+    TimeSeries::from_channels(&[a, b])
+}
+
+fn fitted(seed: u64) -> TfmaeDetector {
+    let train = series(256, seed);
+    let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+    det.fit(&train, &train);
+    det
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfmae_faults_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------- training
+
+#[test]
+fn training_survives_nan_storm() {
+    let mut train = series(384, 1);
+    let hit = faults::inject_nan(&mut train, 0.02, 99);
+    assert!(hit > 0, "injector must actually corrupt something");
+
+    let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+    det.fit(&train, &train);
+    let report = &det.train_report;
+    assert!(
+        report.rollbacks > 0 || report.skipped_batches > 0,
+        "guard must notice poisoned batches: {report:?}"
+    );
+    assert!(det.loss_curve.iter().all(|l| l.is_finite()), "certified losses stay finite");
+
+    let scores = det.score(&series(128, 2));
+    assert_eq!(scores.len(), 128);
+    assert!(scores.iter().all(|s| s.is_finite()), "model must stay usable after NaN training");
+}
+
+#[test]
+fn training_survives_inf_injection() {
+    let mut train = series(384, 3);
+    let hit = faults::inject_inf(&mut train, 0.01, 100);
+    assert!(hit > 0);
+
+    let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+    det.fit(&train, &train);
+    assert!(det.loss_curve.iter().all(|l| l.is_finite()));
+    let scores = det.score(&series(128, 4));
+    assert!(scores.iter().all(|s| s.is_finite()));
+}
+
+#[test]
+fn forced_divergence_rolls_back_and_backs_off() {
+    let train = series(256, 5);
+    let mut cfg = TfmaeConfig::tiny();
+    let base_lr = cfg.lr;
+    cfg.lr = 1e6; // guaranteed blow-up
+    let mut det = TfmaeDetector::new(cfg);
+    det.fit(&train, &train);
+
+    let report = &det.train_report;
+    assert!(report.rollbacks > 0, "divergence must trigger rollbacks: {report:?}");
+    assert!(
+        report.final_lr < 1e6,
+        "learning rate must back off from the divergent value, got {}",
+        report.final_lr
+    );
+    assert!(det.loss_curve.iter().all(|l| l.is_finite()));
+    let scores = det.score(&series(128, 6));
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "scores must stay finite even after forced divergence (base lr was {base_lr})"
+    );
+}
+
+#[test]
+fn clean_training_reports_no_faults() {
+    let det = fitted(7);
+    let report = &det.train_report;
+    assert_eq!(report.rollbacks, 0);
+    assert_eq!(report.skipped_batches, 0);
+    assert!(!report.aborted);
+    assert!(report.steps > 0);
+}
+
+// -------------------------------------------------------------- checkpoints
+
+#[test]
+fn truncated_checkpoint_is_detected_and_bak_recovers() {
+    let det = fitted(8);
+    let test = series(96, 9);
+    let want = det.score(&test);
+    let dir = tmp_dir("trunc");
+    let path = dir.join("model.json");
+
+    det.save(&path).unwrap();
+    det.save(&path).unwrap(); // first copy becomes model.json.bak
+    faults::truncate_file(&path, 0.35).unwrap();
+
+    let restored = TfmaeDetector::load(&path).expect("recovery from .bak must succeed");
+    assert_eq!(restored.score(&test), want, ".bak recovery must be bit-exact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_checkpoint_without_bak_errors_cleanly() {
+    let det = fitted(10);
+    let dir = tmp_dir("trunc_nobak");
+    let path = dir.join("model.json");
+    det.save(&path).unwrap();
+    faults::truncate_file(&path, 0.5).unwrap();
+    match TfmaeDetector::load(&path) {
+        Err(CheckpointError::Corrupt(_)) => {}
+        other => panic!("expected Corrupt, got {other:?}", other = other.err()),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_checkpoint_never_loads_silently() {
+    let det = fitted(11);
+    let dir = tmp_dir("bitflip");
+    for seed in 0..8u64 {
+        let path = dir.join(format!("model_{seed}.json"));
+        det.save(&path).unwrap();
+        faults::bit_flip_file(&path, 4, seed).unwrap();
+        // Any typed error is acceptable detection; silently loading damaged
+        // weights (or panicking) is not.
+        assert!(
+            TfmaeDetector::load(&path).is_err(),
+            "flip seed {seed} produced a load from a damaged file"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn random_truncation_never_panics() {
+    let det = fitted(12);
+    let test = series(64, 13);
+    let want = det.score(&test);
+    let dir = tmp_dir("trunc_sweep");
+    for pct in 0..=10usize {
+        let path = dir.join(format!("model_{pct}.json"));
+        det.save(&path).unwrap();
+        faults::truncate_file(&path, pct as f64 / 10.0).unwrap();
+        match TfmaeDetector::load(&path) {
+            Ok(restored) => {
+                // Only an intact file may load — and then it must be exact.
+                assert_eq!(pct, 10, "a truncated checkpoint (kept {pct}0%) must not load");
+                assert_eq!(restored.score(&test), want);
+            }
+            Err(_) => assert!(pct < 10, "the untouched file must load"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------- streaming
+
+#[test]
+fn streaming_nan_storm_emits_only_finite_flagged_scores() {
+    let det = fitted(14);
+    let win = det.cfg.win_len;
+    let mut s = StreamingDetector::new(det, f32::MAX, 1);
+
+    let clean = series(win * 3, 15);
+    let mut noisy = clean.clone();
+    // ~10% NaN across the middle third only.
+    let mut rng = StdRng::seed_from_u64(16);
+    use rand::Rng;
+    for t in win..win * 2 {
+        if rng.gen_bool(0.10) {
+            noisy.set(t, 0, f32::NAN);
+        }
+    }
+
+    let verdicts = s.push_many(&noisy);
+    assert!(!verdicts.is_empty());
+    assert!(verdicts.iter().all(|v| v.score.is_finite()), "no NaN score may escape");
+    assert!(
+        verdicts.iter().any(|v| v.quality == DataQuality::Imputed),
+        "imputed rows must be flagged"
+    );
+    // The final third is clean again: quality recovers.
+    let tail: Vec<_> =
+        verdicts.iter().filter(|v| v.t >= (win * 2 + win / 2) as u64).collect();
+    assert!(!tail.is_empty());
+    assert!(
+        tail.iter().all(|v| v.quality == DataQuality::Clean),
+        "stream must report Clean again once the fault clears"
+    );
+    assert_eq!(s.health().mode, StreamMode::Normal, "a 10% storm must not quarantine");
+}
+
+#[test]
+fn dead_feed_quarantines_and_recovers() {
+    let det = fitted(17);
+    let win = det.cfg.win_len;
+    let quarantine_after = 8;
+    // staleness_budget 0: a dead feed is Degraded from its first NaN row.
+    let mut s = StreamingDetector::new(det, f32::NEG_INFINITY, 1).with_degraded_mode(
+        DegradedModeConfig { staleness_budget: 0, quarantine_after, ..Default::default() },
+    );
+    let data = series(win * 3, 18);
+
+    for t in 0..win {
+        s.push(data.row(t));
+    }
+    // Dead feed: every row all-NaN, well past the quarantine threshold.
+    for _ in 0..quarantine_after * 3 {
+        let out = s.push(&[f32::NAN, f32::NAN]);
+        for v in &out {
+            assert!(v.score.is_finite());
+            assert!(!v.is_anomaly, "degraded rows must never page, even at threshold -inf");
+        }
+    }
+    assert_eq!(s.health().mode, StreamMode::Quarantine);
+    assert!(s.health().quarantine_entries >= 1);
+
+    // Feed comes back: stream re-warms and serves Clean verdicts again.
+    let mut recovered = Vec::new();
+    for t in win..win * 2 + 8 {
+        recovered.extend(s.push(data.row(t)));
+    }
+    assert_eq!(s.health().mode, StreamMode::Normal);
+    assert!(!recovered.is_empty(), "stream must resume scoring after recovery");
+    assert!(recovered.iter().all(|v| v.quality == DataQuality::Clean));
+    assert!(recovered.iter().all(|v| v.score.is_finite()));
+}
+
+#[test]
+fn streaming_inf_values_are_sanitized_too() {
+    let det = fitted(19);
+    let win = det.cfg.win_len;
+    let mut s = StreamingDetector::new(det, f32::MAX, 1);
+    let data = series(win * 2, 20);
+    let mut verdicts = Vec::new();
+    for t in 0..data.len() {
+        let mut row = data.row(t).to_vec();
+        if t >= win && t % 7 == 0 {
+            row[1] = f32::INFINITY;
+        }
+        verdicts.extend(s.push(&row));
+    }
+    assert!(verdicts.iter().all(|v| v.score.is_finite()));
+    assert!(verdicts.iter().any(|v| v.quality == DataQuality::Imputed));
+}
