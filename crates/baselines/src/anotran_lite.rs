@@ -138,17 +138,18 @@ impl Detector for AnomalyTransformerLite {
             heads,
         };
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             for (starts, values) in training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64) {
                 let b = starts.len();
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
-                let x = g.constant(values.clone(), vec![b, p.win_len, dims]);
+                let x = g.constant_from(&values, vec![b, p.win_len, dims]);
                 let (rec, assoc) = Self::forward(&state, &ctx, x, b, p.win_len);
                 let mse = g.mse(rec, x);
                 let dis = g.mean_all(Self::assoc_discrepancy(&state, &g, assoc, b, p.win_len));
                 let loss = g.add(mse, g.scale(dis, self.lambda));
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -159,10 +160,11 @@ impl Detector for AnomalyTransformerLite {
         let state = self.state.as_ref().expect("fit before score");
         let p = self.proto;
         let s = state.norm.transform(series);
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
-            let x = g.constant(values.to_vec(), vec![b, p.win_len, state.dims]);
+            let x = g.constant_from(values, vec![b, p.win_len, state.dims]);
             let (rec, assoc) = Self::forward(state, &ctx, x, b, p.win_len);
             let err = g.value(g.mean_last(g.square(g.sub(rec, x)), false)); // [B, T]
             let dis =

@@ -133,18 +133,19 @@ impl Dagmm {
 
     fn forward(state: &State, ctx: &Ctx, values: &[f32], rows: usize) -> (Var, Var) {
         let g = ctx.g;
-        let x = g.constant(values.to_vec(), vec![rows, state.dims]);
+        let x = g.constant_from(values, vec![rows, state.dims]);
         let z = state.enc2.forward(ctx, g.relu(state.enc.forward(ctx, x)));
         let rec = state.dec2.forward(ctx, g.relu(state.dec.forward(ctx, z)));
         (z, rec)
     }
 
-    /// `[code..., recon_error]` feature rows for the GMM.
-    fn features(state: &State, values: &[f32], rows: usize) -> Vec<f64> {
-        let g = Graph::new();
-        let ctx = Ctx::eval(&g, &state.ps);
+    /// `[code..., recon_error]` feature rows for the GMM (clears `g` first
+    /// so batch loops reuse one pooled tape).
+    fn features(state: &State, g: &Graph, values: &[f32], rows: usize) -> Vec<f64> {
+        g.reset();
+        let ctx = Ctx::eval(g, &state.ps);
         let (z, rec) = Self::forward(state, &ctx, values, rows);
-        let x = g.constant(values.to_vec(), vec![rows, state.dims]);
+        let x = g.constant_from(values, vec![rows, state.dims]);
         let err = g.mean_last(g.square(g.sub(rec, x)), false);
         let zv = g.value(z);
         let ev = g.value(err);
@@ -186,22 +187,23 @@ impl Detector for Dagmm {
 
         // Phase 1: autoencoder training.
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             for (starts, values) in training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64) {
                 let rows = starts.len() * p.win_len;
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
                 let (_, rec) = Self::forward(&state, &ctx, &values, rows);
-                let x = g.constant(values.clone(), vec![rows, dims]);
+                let x = g.constant_from(&values, vec![rows, dims]);
                 let loss = g.mse(rec, x);
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
 
         // Phase 2: GMM on [code, recon-error] features of (subsampled) train.
         let rows = tn.len().min(4096);
-        let feats = Self::features(&state, &tn.data()[..rows * dims], rows);
+        let feats = Self::features(&state, &g, &tn.data()[..rows * dims], rows);
         state.gmm = GaussianMixture::fit(&feats, rows, self.code + 1, self.components, 30, p.seed);
         self.state = Some(state);
     }
@@ -210,9 +212,10 @@ impl Detector for Dagmm {
         let state = self.state.as_ref().expect("fit before score");
         let p = self.proto;
         let s = state.norm.transform(series);
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
             let rows = b * p.win_len;
-            let feats = Self::features(state, values, rows);
+            let feats = Self::features(state, &g, values, rows);
             let d = state.code + 1;
             (0..rows).map(|r| state.gmm.energy(&feats[r * d..(r + 1) * d]) as f32).collect()
         })

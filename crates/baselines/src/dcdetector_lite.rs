@@ -111,10 +111,11 @@ impl Detector for DcDetectorLite {
             patch: self.patch,
         };
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             for (starts, values) in training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64) {
                 let b = starts.len();
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
                 let (v1, v2) = views(&state, &ctx, &values, b, p.win_len);
                 // Dual-sided stop-gradient positive-pair loss (original's
@@ -122,7 +123,7 @@ impl Detector for DcDetectorLite {
                 let a = g.mean_all(g.sym_kl_last(g.detach(v1), v2));
                 let c = g.mean_all(g.sym_kl_last(g.detach(v2), v1));
                 let loss = g.add(a, c);
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -133,8 +134,9 @@ impl Detector for DcDetectorLite {
         let state = self.state.as_ref().expect("fit before score");
         let p = self.proto;
         let s = state.norm.transform(series);
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
             let (v1, v2) = views(state, &ctx, values, b, p.win_len);
             g.value(g.sym_kl_last(v1, v2))
@@ -146,7 +148,7 @@ impl Detector for DcDetectorLite {
 fn views(state: &State, ctx: &Ctx, values: &[f32], b: usize, t: usize) -> (Var, Var) {
     let g = ctx.g;
     let d = state.proj.out_dim;
-    let x = g.constant(values.to_vec(), vec![b, t, state.dims]);
+    let x = g.constant_from(values, vec![b, t, state.dims]);
     let h = state.proj.forward_3d(ctx, x);
     let mut pe = Vec::with_capacity(b * t * d);
     for _ in 0..b {

@@ -99,15 +99,16 @@ impl Detector for DeepSvdd {
         }
 
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             for (starts, values) in training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64) {
                 let rows = starts.len() * p.win_len;
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
                 let z = Self::embed(&state, &ctx, &values, rows);
                 let d = Self::distances(&state, &g, z, rows);
                 let loss = g.mean_all(d);
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -118,9 +119,10 @@ impl Detector for DeepSvdd {
         let state = self.state.as_ref().expect("fit before score");
         let p = self.proto;
         let s = state.norm.transform(series);
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
             let rows = b * p.win_len;
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
             let z = Self::embed(state, &ctx, values, rows);
             g.value(Self::distances(state, &g, z, rows))

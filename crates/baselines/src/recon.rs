@@ -46,7 +46,7 @@ impl DenseAutoencoder {
     fn forward(state: &DenseState, ctx: &Ctx, values: &[f32], b: usize, t: usize) -> tfmae_tensor::Var {
         let g = ctx.g;
         let n = state.dims;
-        let x = g.constant(values.to_vec(), vec![b, t * n]);
+        let x = g.constant_from(values, vec![b, t * n]);
         let h = g.relu(state.enc1.forward(ctx, x));
         let z = state.enc2.forward(ctx, h);
         let h = g.relu(state.dec1.forward(ctx, z));
@@ -79,17 +79,18 @@ impl Detector for DenseAutoencoder {
         };
         let mut state = state;
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             for (bi, (starts, values)) in
                 training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64).into_iter().enumerate()
             {
                 let b = starts.len();
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ (epoch * 1000 + bi) as u64);
                 let rec = Self::forward(&state, &ctx, &values, b, p.win_len);
-                let x = g.constant(values.clone(), vec![b, p.win_len * state.dims]);
+                let x = g.constant_from(&values, vec![b, p.win_len * state.dims]);
                 let loss = g.mse(rec, x);
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -100,11 +101,12 @@ impl Detector for DenseAutoencoder {
         let state = self.state.as_ref().expect("fit before score");
         let p = self.proto;
         let s = state.norm.transform(series);
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
             let rec = Self::forward(state, &ctx, values, b, p.win_len);
-            let x = g.constant(values.to_vec(), vec![b, p.win_len * state.dims]);
+            let x = g.constant_from(values, vec![b, p.win_len * state.dims]);
             let err3 = g.reshape(g.square(g.sub(rec, x)), &[b, p.win_len, state.dims]);
             g.value(g.mean_last(err3, false))
         })
@@ -141,7 +143,7 @@ impl TransformerRecon {
         let g = ctx.g;
         let n = state.dims;
         let d = state.proj.out_dim;
-        let x = g.constant(values.to_vec(), vec![b, t, n]);
+        let x = g.constant_from(values, vec![b, t, n]);
         let h = state.proj.forward_3d(ctx, x);
         let mut pe = Vec::with_capacity(b * t * d);
         for _ in 0..b {
@@ -183,17 +185,18 @@ impl Detector for TransformerRecon {
             dims,
         };
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             for (bi, (starts, values)) in
                 training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64).into_iter().enumerate()
             {
                 let b = starts.len();
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ (epoch * 977 + bi) as u64);
                 let rec = Self::forward(&state, &ctx, &values, b, p.win_len);
-                let x = g.constant(values.clone(), vec![b, p.win_len, state.dims]);
+                let x = g.constant_from(&values, vec![b, p.win_len, state.dims]);
                 let loss = g.mse(rec, x);
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -204,11 +207,12 @@ impl Detector for TransformerRecon {
         let state = self.state.as_ref().expect("fit before score");
         let p = self.proto;
         let s = state.norm.transform(series);
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
             let rec = Self::forward(state, &ctx, values, b, p.win_len);
-            let x = g.constant(values.to_vec(), vec![b, p.win_len, state.dims]);
+            let x = g.constant_from(values, vec![b, p.win_len, state.dims]);
             let err = g.square(g.sub(rec, x));
             g.value(g.mean_last(err, false))
         })

@@ -94,15 +94,16 @@ impl Detector for ThocLite {
             State { ps, scales, centers, norm, dims, hidden: self.hidden, clusters: self.clusters };
 
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             for (starts, values) in
                 training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64)
             {
                 let b = starts.len();
                 let rows = b * p.win_len;
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
-                let x = g.constant(values.clone(), vec![b, p.win_len, dims]);
+                let x = g.constant_from(&values, vec![b, p.win_len, dims]);
                 let mut loss = g.scalar(0.0);
                 for (si, gru) in state.scales.iter().enumerate() {
                     let reps = g.reshape(gru.forward(&ctx, x), &[rows, state.hidden]);
@@ -110,7 +111,7 @@ impl Detector for ThocLite {
                     let d = Self::soft_min_distance(&g, reps, centers, rows, state.clusters);
                     loss = g.add(loss, g.mean_all(d));
                 }
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -121,11 +122,12 @@ impl Detector for ThocLite {
         let state = self.state.as_ref().expect("fit before score");
         let p = self.proto;
         let s = state.norm.transform(series);
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
             let rows = b * p.win_len;
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
-            let x = g.constant(values.to_vec(), vec![b, p.win_len, state.dims]);
+            let x = g.constant_from(values, vec![b, p.win_len, state.dims]);
             let mut total = vec![0.0f32; rows];
             for (si, gru) in state.scales.iter().enumerate() {
                 let reps = g.reshape(gru.forward(&ctx, x), &[rows, state.hidden]);

@@ -127,17 +127,18 @@ impl Detector for TimesNetLite {
             dims,
         };
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             for (starts, values) in training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64) {
                 let b = starts.len();
                 let rows = b * p.win_len * dims;
                 let feats = Self::lag_features(&values, b, p.win_len, dims, state.period);
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
                 let pred = Self::forward(&state, &ctx, feats, rows);
                 let y = g.constant(Self::targets(&values), vec![rows, 1]);
                 let loss = g.mse(pred, y);
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -149,10 +150,11 @@ impl Detector for TimesNetLite {
         let p = self.proto;
         let s = state.norm.transform(series);
         let dims = state.dims;
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
             let rows = b * p.win_len * dims;
             let feats = Self::lag_features(values, b, p.win_len, dims, state.period);
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
             let pred = Self::forward(state, &ctx, feats, rows);
             let y = g.constant(Self::targets(values), vec![rows, 1]);

@@ -93,14 +93,15 @@ impl Detector for TranAdLite {
             dims,
         };
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             let n = (epoch + 1) as f32;
             let (w1, w2) = (1.0 / n, 1.0 - 1.0 / n);
             for (starts, values) in training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64) {
                 let b = starts.len();
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
-                let x = g.constant(values.clone(), vec![b, p.win_len, dims]);
+                let x = g.constant_from(&values, vec![b, p.win_len, dims]);
 
                 // Phase 1: no focus.
                 let (o1, _) = Self::forward(&state, &ctx, x, None, b, p.win_len);
@@ -114,7 +115,7 @@ impl Detector for TranAdLite {
                 // Original schedule: the plain phase-1 term decays (ε^{-n})
                 // while the self-conditioned phase-2 term grows (1 − ε^{-n}).
                 let loss = g.add(g.scale(e1, w1), g.scale(e2, w2.max(w1)));
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -125,10 +126,11 @@ impl Detector for TranAdLite {
         let state = self.state.as_ref().expect("fit before score");
         let p = self.proto;
         let s = state.norm.transform(series);
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
-            let x = g.constant(values.to_vec(), vec![b, p.win_len, state.dims]);
+            let x = g.constant_from(values, vec![b, p.win_len, state.dims]);
             let (o1, _) = Self::forward(state, &ctx, x, None, b, p.win_len);
             let focus = g.square(g.sub(o1, x));
             let (_, o2) = Self::forward(state, &ctx, x, Some(focus), b, p.win_len);

@@ -90,14 +90,15 @@ impl Detector for Usad {
         };
         let mut state = state;
         let mut opt = Adam::new(&state.ps, p.lr);
+        let g = Graph::from_env();
         for epoch in 0..p.epochs {
             let n = (epoch + 1) as f32;
             let (w1, w2) = (1.0 / n, 1.0 - 1.0 / n);
             for (starts, values) in training_batches_strided(&tn, p.win_len, p.train_stride, p.batch, p.seed ^ epoch as u64) {
                 let b = starts.len();
-                let g = Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &state.ps, p.seed ^ epoch as u64);
-                let x = g.constant(values.clone(), vec![b, in_dim]);
+                let x = g.constant_from(&values, vec![b, in_dim]);
                 let z = Self::encode(&state, &ctx, x);
                 let r1 = Self::dec1(&state, &ctx, z);
                 let r2 = Self::dec2(&state, &ctx, z);
@@ -122,7 +123,7 @@ impl Detector for Usad {
                 let l1 = g.add(g.scale(e1, w1), g.scale(e12, w2));
                 let l2 = g.sub(g.scale(e2, w1), g.scale(e12f, w2));
                 let loss = g.add(l1, l2);
-                g.backward_params(loss, &mut state.ps);
+                g.backward_params_pooled(loss, &mut state.ps);
                 opt.step(&mut state.ps);
             }
         }
@@ -134,10 +135,11 @@ impl Detector for Usad {
         let p = self.proto;
         let s = state.norm.transform(series);
         let in_dim = p.win_len * state.dims;
+        let g = Graph::from_env();
         score_windows(&s, p.win_len, p.batch, |values, b| {
-            let g = Graph::new();
+            g.reset();
             let ctx = Ctx::eval(&g, &state.ps);
-            let x = g.constant(values.to_vec(), vec![b, in_dim]);
+            let x = g.constant_from(values, vec![b, in_dim]);
             let z = Self::encode(state, &ctx, x);
             let r1 = Self::dec1(state, &ctx, z);
             let z2 = Self::encode(state, &ctx, r1);

@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the execution layer: the same workload on a
+//! serial executor and on worker pools of 2/4 threads.
+//!
+//! * `matmul` / `bmm` — the row-sharded parallel kernels;
+//! * `attention` — multi-head self-attention forward (matmul + bmm +
+//!   softmax dispatch mix);
+//! * `epoch` — one full TFMAE training epoch end-to-end.
+//!
+//! Results are bitwise identical across thread counts by construction
+//! (each output row is computed entirely by one worker), so these measure
+//! pure dispatch overhead vs parallel speedup.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfmae_tensor::{Executor, Graph};
+
+fn executor(threads: usize) -> Arc<Executor> {
+    Arc::new(if threads <= 1 { Executor::serial() } else { Executor::with_threads(threads) })
+}
+
+fn randn(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (m, k, n) = (192usize, 160usize, 176usize);
+    let a = randn(&mut rng, m * k);
+    let b = randn(&mut rng, k * n);
+    let mut group = c.benchmark_group("exec_matmul");
+    for &threads in &[1usize, 2, 4] {
+        let g = Graph::with_executor(executor(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| {
+                g.reset();
+                let av = g.constant_from(&a, vec![m, k]);
+                let bv = g.constant_from(&b, vec![k, n]);
+                black_box(g.scalar_value(g.sum_all(g.matmul(av, bv))))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (bsz, m, k, n) = (8usize, 64usize, 64usize, 64usize);
+    let a = randn(&mut rng, bsz * m * k);
+    let b = randn(&mut rng, bsz * k * n);
+    let mut group = c.benchmark_group("exec_bmm");
+    for &threads in &[1usize, 2, 4] {
+        let g = Graph::with_executor(executor(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| {
+                g.reset();
+                let av = g.constant_from(&a, vec![bsz, m, k]);
+                let bv = g.constant_from(&b, vec![bsz, k, n]);
+                black_box(g.scalar_value(g.sum_all(g.bmm(av, bv))))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    use tfmae_nn::{Ctx, MultiHeadSelfAttention};
+    use tfmae_tensor::ParamStore;
+
+    let (b, t, d) = (4usize, 64usize, 64usize);
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let attn = MultiHeadSelfAttention::new(&mut ps, &mut rng, "bench.attn", d, 4);
+    let x = randn(&mut rng, b * t * d);
+    let mut group = c.benchmark_group("exec_attention");
+    for &threads in &[1usize, 2, 4] {
+        let g = Graph::with_executor(executor(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| {
+                g.reset();
+                let ctx = Ctx::eval(&g, &ps);
+                let xv = g.constant_from(&x, vec![b, t, d]);
+                black_box(g.scalar_value(g.sum_all(attn.forward(&ctx, xv))))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    use tfmae_core::{TfmaeConfig, TfmaeDetector};
+    use tfmae_data::{render, Component, Detector, TimeSeries};
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let ch = render(
+        &[Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 }, Component::Noise { sigma: 0.05 }],
+        512,
+        &mut rng,
+    );
+    let train = TimeSeries::from_channels(&[ch]);
+    let mut group = c.benchmark_group("exec_epoch");
+    group.sample_size(10);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &threads| {
+            bch.iter(|| {
+                let cfg = TfmaeConfig { epochs: 1, ..TfmaeConfig::tiny() };
+                let mut det = TfmaeDetector::new(cfg);
+                det.set_executor(executor(threads));
+                det.fit(&train, &train);
+                black_box(det.loss_curve.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_bmm, bench_attention, bench_epoch);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Execution-layer speedup harness: times the row-sharded parallel kernels
+//! and one end-to-end training epoch at several worker counts, and writes
+//! `BENCH_exec.json` (threads, ns/iter, speedup vs serial) plus the
+//! executor's pool statistics.
+//!
+//! ```text
+//! cargo run --release -p tfmae-bench --bin bench_exec -- [--threads N] [--quick]
+//! ```
+//!
+//! Results are bitwise identical across thread counts (each output row is
+//! computed entirely by one worker), so the harness also asserts that the
+//! parallel checksums match the serial ones before reporting any speedup.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfmae_bench::Options;
+use tfmae_core::{TfmaeConfig, TfmaeDetector};
+use tfmae_data::{render, Component, Detector, TimeSeries};
+use tfmae_tensor::{Executor, Graph};
+
+struct Entry {
+    bench: String,
+    threads: usize,
+    ns_per_iter: f64,
+    speedup: f64,
+}
+
+fn executor(threads: usize) -> Arc<Executor> {
+    Arc::new(if threads <= 1 { Executor::serial() } else { Executor::with_threads(threads) })
+}
+
+fn randn(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Times `f` over `iters` iterations after `warmup` discarded ones;
+/// returns (ns/iter, checksum of the last iteration).
+fn time_ns(warmup: usize, iters: usize, mut f: impl FnMut() -> f32) -> (f64, f32) {
+    let mut checksum = 0.0;
+    for _ in 0..warmup {
+        checksum = f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        checksum = f();
+    }
+    (start.elapsed().as_nanos() as f64 / iters as f64, checksum)
+}
+
+fn main() {
+    let opts = Options::parse();
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&opts.threads) {
+        counts.push(opts.threads);
+    }
+    let iters = if opts.quick { 20 } else { 100 };
+    let mut entries: Vec<Entry> = Vec::new();
+
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Kernel workloads: (name, per-iteration graph program).
+    let (m, k, n) = (192usize, 160usize, 176usize);
+    let a = randn(&mut rng, m * k);
+    let b = randn(&mut rng, k * n);
+    let (bsz, bm, bk, bn) = (8usize, 64usize, 64usize, 64usize);
+    let ba = randn(&mut rng, bsz * bm * bk);
+    let bb = randn(&mut rng, bsz * bk * bn);
+
+    for &threads in &counts {
+        let g = Graph::with_executor(executor(threads));
+
+        let (ns, sum) = time_ns(3, iters, || {
+            g.reset();
+            let av = g.constant_from(&a, vec![m, k]);
+            let bv = g.constant_from(&b, vec![k, n]);
+            g.scalar_value(g.sum_all(g.matmul(av, bv)))
+        });
+        push(&mut entries, format!("matmul_{m}x{k}x{n}"), threads, ns, sum);
+
+        let (ns, sum) = time_ns(3, iters, || {
+            g.reset();
+            let av = g.constant_from(&ba, vec![bsz, bm, bk]);
+            let bv = g.constant_from(&bb, vec![bsz, bk, bn]);
+            g.scalar_value(g.sum_all(g.bmm(av, bv)))
+        });
+        push(&mut entries, format!("bmm_{bsz}x{bm}x{bk}x{bn}"), threads, ns, sum);
+
+        let stats = g.executor().stats();
+        eprintln!(
+            "[threads={threads}] pool hit-rate {:.1}% ({} hits / {} misses), {} bytes recycled",
+            stats.hit_rate() * 100.0,
+            stats.pool_hits,
+            stats.pool_misses,
+            stats.bytes_recycled,
+        );
+    }
+
+    // End-to-end: one training epoch on a small synthetic series.
+    let ch = render(
+        &[Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 }, Component::Noise { sigma: 0.05 }],
+        512,
+        &mut rng,
+    );
+    let train = TimeSeries::from_channels(&[ch]);
+    let epoch_iters = if opts.quick { 1 } else { 3 };
+    for &threads in &counts {
+        let (ns, sum) = time_ns(1, epoch_iters, || {
+            let cfg = TfmaeConfig { epochs: 1, ..TfmaeConfig::tiny() };
+            let mut det = TfmaeDetector::new(cfg);
+            det.set_executor(executor(threads));
+            det.fit(&train, &train);
+            det.loss_curve.last().copied().unwrap_or(0.0)
+        });
+        push(&mut entries, "train_epoch_tiny".to_string(), threads, ns, sum);
+    }
+
+    let json = render_json(host, &entries);
+    let path = "BENCH_exec.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("[json] {path}");
+    }
+    println!("{json}");
+}
+
+/// Records an entry, asserting its checksum matches the serial run of the
+/// same benchmark (bitwise determinism across thread counts).
+fn push(entries: &mut Vec<Entry>, bench: String, threads: usize, ns: f64, checksum: f32) {
+    let speedup = entries
+        .iter()
+        .find(|e| e.bench == bench && e.threads == 1)
+        .map(|e| e.ns_per_iter / ns)
+        .unwrap_or(1.0);
+    // The serial run of each benchmark lands first; later thread counts
+    // must reproduce its result bit-for-bit.
+    CHECKSUMS.with(|c| {
+        let mut c = c.borrow_mut();
+        match c.iter().find(|(b, _)| *b == bench) {
+            Some((_, s)) => assert_eq!(
+                s.to_bits(),
+                checksum.to_bits(),
+                "parallel result diverged from serial on {bench} at {threads} threads"
+            ),
+            None => c.push((bench.clone(), checksum)),
+        }
+    });
+    entries.push(Entry { bench, threads, ns_per_iter: ns, speedup });
+}
+
+thread_local! {
+    static CHECKSUMS: std::cell::RefCell<Vec<(String, f32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn render_json(host: usize, entries: &[Entry]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"host_parallelism\": {host},");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"bench\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.0}, \"speedup\": {:.3}}}{comma}",
+            e.bench, e.threads, e.ns_per_iter, e.speedup
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}

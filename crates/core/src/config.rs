@@ -196,7 +196,7 @@ impl TfmaeConfig {
         if self.win_len < 4 {
             return Err(format!("win_len must be >= 4, got {}", self.win_len));
         }
-        if !self.d_model.is_multiple_of(self.heads) {
+        if self.d_model % self.heads != 0 {
             return Err(format!("d_model {} must divide into {} heads", self.d_model, self.heads));
         }
         if !(0.0..1.0).contains(&self.r_temporal) || !(0.0..1.0).contains(&self.r_frequency) {

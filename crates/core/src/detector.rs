@@ -1,6 +1,7 @@
 //! End-to-end TFMAE detector: normalization → windowing → training loop →
 //! per-observation scoring (§IV-D).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -8,6 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tfmae_data::{batch_windows, extract_windows, fold_scores, Detector, FitReport, TimeSeries, ZScore};
 use tfmae_nn::{Adam, Ctx};
+use tfmae_tensor::{ExecStats, Executor, Graph};
 
 use crate::config::TfmaeConfig;
 use crate::model::TfmaeModel;
@@ -22,6 +24,10 @@ pub struct TfmaeDetector {
     pub robust: RobustnessConfig,
     model: Option<TfmaeModel>,
     norm: Option<ZScore>,
+    /// Execution backend: worker pool + recycled tape buffers, shared by
+    /// every graph this detector builds (thread count honours
+    /// [`tfmae_tensor::THREADS_ENV`]).
+    exec: Arc<Executor>,
     /// Resource accounting from the last `fit` (Fig. 10).
     pub fit_report: FitReport,
     /// Guardrail outcome of the last `fit` (rollbacks, skipped batches,
@@ -40,10 +46,29 @@ impl TfmaeDetector {
             robust: RobustnessConfig::default(),
             model: None,
             norm: None,
+            exec: Arc::new(Executor::from_env()),
             fit_report: FitReport::default(),
             train_report: TrainReport::default(),
             loss_curve: Vec::new(),
         }
+    }
+
+    /// Replaces the execution backend (thread count / buffer pool). Useful
+    /// for determinism tests that pin an explicit worker count instead of
+    /// the environment default.
+    pub fn set_executor(&mut self, exec: Arc<Executor>) {
+        self.exec = exec;
+    }
+
+    /// The execution backend in use.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.exec
+    }
+
+    /// Execution-layer counters (tasks dispatched, pool hit rate, bytes
+    /// recycled) accumulated across everything this detector has run.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec.stats()
     }
 
     /// Access to the trained model (after `fit`).
@@ -64,6 +89,7 @@ impl TfmaeDetector {
             robust: RobustnessConfig::default(),
             model: Some(model),
             norm: Some(norm),
+            exec: Arc::new(Executor::from_env()),
             fit_report: FitReport::default(),
             train_report: TrainReport::default(),
             loss_curve: Vec::new(),
@@ -95,10 +121,13 @@ impl TfmaeDetector {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5c0e);
         let mut kl_windows: Vec<(usize, Vec<f32>)> = Vec::with_capacity(windows.len());
         let mut dual_windows: Vec<(usize, Vec<f32>)> = Vec::with_capacity(windows.len());
+        // One tape for every batch: `reset` drains the nodes back into the
+        // executor's buffer pool so steady-state scoring allocates nothing.
+        let g = Graph::with_executor(self.exec.clone());
         for (starts, values) in batch_windows(&windows, self.cfg.batch) {
+            g.reset();
             let b = starts.len();
             let batch = model.prepare_batch(values, b, &mut rng);
-            let g = tfmae_tensor::Graph::new();
             let ctx = Ctx::eval(&g, &model.ps);
             let out = model.forward(&ctx, &batch);
             let (kl, dual) = model.anomaly_score_components(&ctx, &out);
@@ -153,6 +182,10 @@ impl Detector for TfmaeDetector {
         let mut step: u64 = 0;
         let mut last_batch: Option<crate::model::BatchInputs> = None;
         let mut order: Vec<usize> = (0..windows.len()).collect();
+        // One persistent tape for the whole fit: `reset` returns every node
+        // buffer to the executor's pool, so after the first batch warms it
+        // up the training loop performs zero per-step tape allocations.
+        let g = Graph::with_executor(self.exec.clone());
         'epochs: for _epoch in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch) {
@@ -179,12 +212,12 @@ impl Detector for TfmaeDetector {
                 let mut retries = 0u32;
                 let mut applied = false;
                 loop {
-                    let g = tfmae_tensor::Graph::new();
+                    g.reset();
                     let ctx = Ctx::train(&g, &model.ps, cfg.seed ^ step);
                     let out = model.forward(&ctx, &batch);
                     let loss = model.training_loss(&ctx, &out);
                     let loss_val = g.scalar_value(loss);
-                    g.backward_params(loss, &mut model.ps);
+                    g.backward_params_pooled(loss, &mut model.ps);
                     if guard.inspect(loss_val, &model.ps).is_none() {
                         guard.certify(loss_val, &model.ps, &opt);
                         opt.step(&mut model.ps);
@@ -216,7 +249,7 @@ impl Detector for TfmaeDetector {
         // model (e.g. a huge-LR blow-up on the final batch).
         if guard.enabled() && !aborted {
             if let Some(batch) = last_batch.take() {
-                let g = tfmae_tensor::Graph::new();
+                g.reset();
                 let ctx = Ctx::train(&g, &model.ps, cfg.seed ^ step);
                 let out = model.forward(&ctx, &batch);
                 let loss = model.training_loss(&ctx, &out);
@@ -234,6 +267,7 @@ impl Detector for TfmaeDetector {
             final_loss: losses.last().copied().unwrap_or(0.0) as f64,
         };
         self.train_report = guard.finish(step, aborted, opt.lr);
+        self.train_report.exec = self.exec.stats();
         self.loss_curve = losses;
         self.model = Some(model);
         self.norm = Some(norm);

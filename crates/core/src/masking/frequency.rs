@@ -98,7 +98,7 @@ pub fn frequency_mask(
         // masked bin. Mirror bins double all but DC and (even-n) Nyquist;
         // the imaginary part of DC/Nyquist cancels under conjugate symmetry.
         for &i in &masked {
-            let dc_or_nyquist = i == 0 || (win_len.is_multiple_of(2) && i == win_len / 2);
+            let dc_or_nyquist = i == 0 || (win_len % 2 == 0 && i == win_len / 2);
             let c = if dc_or_nyquist { 1.0 } else { 2.0 };
             let w = 2.0 * std::f64::consts::PI * i as f64 / win_len as f64;
             for t in 0..win_len {

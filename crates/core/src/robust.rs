@@ -14,7 +14,7 @@
 //! structured [`TrainReport`] instead of being silently swallowed.
 
 use tfmae_nn::Adam;
-use tfmae_tensor::{ParamSnapshot, ParamStore};
+use tfmae_tensor::{ExecStats, ParamSnapshot, ParamStore};
 
 /// Guardrail configuration (on by default; disable for the ablation that
 /// reproduces the unguarded seed behaviour bit-for-bit).
@@ -73,6 +73,12 @@ pub struct TrainReport {
     /// Whether the rollback budget ran out and training stopped early (the
     /// model holds the last certified parameters).
     pub aborted: bool,
+    /// Execution-layer counters from the detector's [`Executor`]
+    /// (worker threads, dispatched tasks, buffer-pool hit rate, recycled
+    /// bytes) sampled when `fit` finished.
+    ///
+    /// [`Executor`]: tfmae_tensor::Executor
+    pub exec: ExecStats,
 }
 
 /// Why a step was rejected (see [`TrainGuard::inspect`]).

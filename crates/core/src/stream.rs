@@ -217,6 +217,14 @@ impl StreamingDetector {
         &self.health
     }
 
+    /// Execution-layer counters of the wrapped detector's executor. Every
+    /// hop's scoring pass recycles its tape through the same buffer pool,
+    /// so after the first scored window `pool_misses` stops growing —
+    /// steady-state streaming performs no per-hop tape allocations.
+    pub fn exec_stats(&self) -> tfmae_tensor::ExecStats {
+        self.det.exec_stats()
+    }
+
     /// Convenience: hop = win_len / 4.
     pub fn with_default_hop(det: TfmaeDetector, threshold: f32) -> Self {
         let hop = (det.cfg.win_len / 4).max(1);

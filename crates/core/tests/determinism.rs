@@ -1,0 +1,127 @@
+//! Execution-layer determinism: training and scoring must be **bitwise**
+//! identical at any worker count, and the pooled tape must stop allocating
+//! once warm.
+//!
+//! The parallel kernels shard work by output row — each row is computed
+//! entirely by one worker with the exact serial per-row code — so thread
+//! count can change scheduling but never a single bit of any result. These
+//! tests pin that contract end-to-end through `TfmaeDetector`. Worker
+//! counts are injected via [`TfmaeDetector::set_executor`] (the programmatic
+//! equivalent of setting the `TFMAE_THREADS` environment variable, which
+//! `Executor::from_env` reads at construction).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_core::{TfmaeConfig, TfmaeDetector};
+use tfmae_data::{render, Component, Detector, TimeSeries};
+use tfmae_tensor::Executor;
+
+fn series(len: usize, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = render(
+        &[Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 }, Component::Noise { sigma: 0.05 }],
+        len,
+        &mut rng,
+    );
+    let b = render(
+        &[Component::Sine { period: 8.0, amp: 0.5, phase: 1.0 }, Component::Noise { sigma: 0.05 }],
+        len,
+        &mut rng,
+    );
+    TimeSeries::from_channels(&[a, b])
+}
+
+fn fit_and_score(threads: usize) -> (Vec<f32>, Vec<f32>, TfmaeDetector) {
+    let train = series(256, 1);
+    let val = series(64, 2);
+    let test = series(96, 3);
+    let mut det = TfmaeDetector::new(TfmaeConfig { epochs: 2, ..TfmaeConfig::tiny() });
+    det.set_executor(Arc::new(if threads <= 1 {
+        Executor::serial()
+    } else {
+        Executor::with_threads(threads)
+    }));
+    det.fit(&train, &val);
+    let losses = det.loss_curve.clone();
+    let scores = det.score(&test);
+    (losses, scores, det)
+}
+
+#[test]
+fn training_losses_bitwise_identical_across_thread_counts() {
+    let (serial_losses, serial_scores, _) = fit_and_score(1);
+    assert!(!serial_losses.is_empty());
+    for threads in [2usize, 4] {
+        let (losses, scores, _) = fit_and_score(threads);
+        let exact = |a: &[f32], b: &[f32]| {
+            a.len() == b.len()
+                && a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        assert!(
+            exact(&serial_losses, &losses),
+            "loss trajectory diverged from serial at {threads} threads"
+        );
+        assert!(
+            exact(&serial_scores, &scores),
+            "anomaly scores diverged from serial at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pool_warmup_eliminates_per_step_allocations() {
+    // Train once (several steps over several epochs): after the first
+    // step has populated the buffer pool, every later tape rebuild must be
+    // served entirely from it. A second fit on the same detector runs with
+    // an already-warm pool, so its steps contribute hits but no misses.
+    let train = series(256, 4);
+    let val = series(64, 5);
+    let mut det = TfmaeDetector::new(TfmaeConfig { epochs: 2, ..TfmaeConfig::tiny() });
+    det.fit(&train, &val);
+    let warm = det.exec_stats();
+    assert!(warm.pool_hits > 0, "pooled training must reuse buffers: {warm:?}");
+    assert!(warm.bytes_recycled > 0);
+
+    det.fit(&train, &val);
+    let after = det.exec_stats();
+    assert_eq!(
+        after.pool_misses, warm.pool_misses,
+        "a warm pool must serve every allocation (zero new misses)"
+    );
+    assert!(after.pool_hits > warm.pool_hits);
+}
+
+#[test]
+fn scoring_reuses_the_training_arena() {
+    let train = series(256, 6);
+    let val = series(64, 7);
+    let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+    det.fit(&train, &val);
+    let fitted = det.exec_stats();
+    // Scoring the same shapes twice: the second pass must be miss-free.
+    let test = series(96, 8);
+    det.score(&test);
+    let once = det.exec_stats();
+    det.score(&test);
+    let twice = det.exec_stats();
+    assert_eq!(
+        twice.pool_misses, once.pool_misses,
+        "repeat scoring must not allocate: {fitted:?} -> {once:?} -> {twice:?}"
+    );
+}
+
+#[test]
+fn train_report_carries_exec_stats() {
+    let train = series(256, 9);
+    let val = series(64, 10);
+    let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+    det.set_executor(Arc::new(Executor::with_threads(2)));
+    det.fit(&train, &val);
+    let exec = det.train_report.exec;
+    assert_eq!(exec.threads, 2);
+    assert!(exec.tasks_dispatched > 0);
+    assert!(exec.pool_hits > 0);
+    assert!(exec.peak_arena_bytes > 0);
+}

@@ -46,7 +46,7 @@ pub fn irfft(half: &[Complex64], n: usize) -> Vec<f64> {
     // DC must be real; for even n the Nyquist bin must be real too. Force
     // them so arbitrary learnable spectra still synthesize real signals.
     full[0].im = 0.0;
-    if n.is_multiple_of(2) {
+    if n % 2 == 0 {
         full[n / 2].im = 0.0;
     }
     ifft(&full).into_iter().map(|z| z.re).collect()

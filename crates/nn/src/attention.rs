@@ -28,7 +28,10 @@ impl MultiHeadSelfAttention {
         d_model: usize,
         heads: usize,
     ) -> Self {
-        assert!(heads >= 1 && d_model.is_multiple_of(heads), "d_model {d_model} must divide into {heads} heads");
+        assert!(
+            heads >= 1 && d_model % heads == 0,
+            "d_model {d_model} must divide into {heads} heads"
+        );
         Self {
             wq: Linear::new(ps, rng, &format!("{name}.wq"), d_model, d_model),
             wk: Linear::new(ps, rng, &format!("{name}.wk"), d_model, d_model),

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tfmae_tensor::{Graph, ParamStore};
+use tfmae_tensor::{Executor, Graph, ParamStore};
 
 /// Everything a layer needs during one forward pass.
 pub struct Ctx<'a> {
@@ -16,17 +16,31 @@ pub struct Ctx<'a> {
     pub training: bool,
     /// Per-pass RNG (dropout masks); seeded deterministically per step.
     pub rng: RefCell<StdRng>,
+    /// The execution backend (worker pool + buffer pool) the graph runs on.
+    pub exec: &'a Executor,
 }
 
 impl<'a> Ctx<'a> {
     /// Training-mode context with a step-derived dropout seed.
     pub fn train(g: &'a Graph, ps: &'a ParamStore, seed: u64) -> Self {
-        Self { g, ps, training: true, rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+        Self {
+            g,
+            ps,
+            training: true,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            exec: g.executor(),
+        }
     }
 
     /// Inference-mode context (dropout disabled, no randomness consumed).
     pub fn eval(g: &'a Graph, ps: &'a ParamStore) -> Self {
-        Self { g, ps, training: false, rng: RefCell::new(StdRng::seed_from_u64(0)) }
+        Self {
+            g,
+            ps,
+            training: false,
+            rng: RefCell::new(StdRng::seed_from_u64(0)),
+            exec: g.executor(),
+        }
     }
 }
 

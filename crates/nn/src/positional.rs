@@ -6,9 +6,9 @@
 /// for odd `i` — exactly Eq. 11 of the paper.
 #[inline]
 pub fn encoding_at(t: usize, i: usize, d: usize) -> f32 {
-    let exponent = if i.is_multiple_of(2) { i as f32 } else { (i - 1) as f32 } / d as f32;
+    let exponent = if i % 2 == 0 { i as f32 } else { (i - 1) as f32 } / d as f32;
     let angle = t as f32 / 10000f32.powf(exponent);
-    if i.is_multiple_of(2) {
+    if i % 2 == 0 {
         angle.sin()
     } else {
         angle.cos()

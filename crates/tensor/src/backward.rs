@@ -1,5 +1,10 @@
 //! Reverse-mode differentiation over the tape.
+//!
+//! Gradient buffers come from the graph executor's buffer pool and the
+//! heavy backward kernels (matmul family, bmm, softmax) dispatch row-sharded
+//! to its worker pool — bitwise identical to serial at any thread count.
 
+use crate::exec::Executor;
 use crate::graph::{Graph, Op, Var, LN_EPS};
 use crate::kernels;
 use crate::shape::{broadcast_strides, numel, strides, StridedIter};
@@ -29,12 +34,17 @@ impl Gradients {
     }
 }
 
-fn acc(grads: &mut [Option<Vec<f32>>], id: usize, size: usize) -> &mut [f32] {
-    grads[id].get_or_insert_with(|| vec![0.0; size])
+fn acc<'g>(exec: &Executor, grads: &'g mut [Option<Vec<f32>>], id: usize, size: usize) -> &'g mut [f32] {
+    grads[id].get_or_insert_with(|| exec.alloc_zeroed(size))
 }
 
 impl Graph {
     /// Runs reverse-mode autodiff from the scalar `loss`.
+    ///
+    /// The returned per-node gradient buffers are pool-allocated; hand them
+    /// back with [`Graph::recycle_gradients`] (or use
+    /// [`Graph::backward_params_pooled`]) to keep steady-state training
+    /// allocation-free.
     ///
     /// # Panics
     /// Panics if `loss` is not a single-element tensor.
@@ -42,11 +52,15 @@ impl Graph {
         let nodes = self.nodes.borrow();
         let mut grads: Vec<Option<Vec<f32>>> = (0..nodes.len()).map(|_| None).collect();
         assert_eq!(nodes[loss.id].value.len(), 1, "backward requires a scalar loss");
-        grads[loss.id] = Some(vec![1.0]);
+        let mut seed = self.exec.alloc_empty(1);
+        seed.push(1.0);
+        grads[loss.id] = Some(seed);
 
         for id in (0..=loss.id).rev() {
             if !nodes[id].needs_grad {
-                grads[id] = None;
+                if let Some(buf) = grads[id].take() {
+                    self.exec.recycle(buf);
+                }
                 continue;
             }
             let Some(gout) = grads[id].take() else { continue };
@@ -76,7 +90,7 @@ impl Graph {
                 }
                 Op::Neg(a) => {
                     if nodes[*a].needs_grad {
-                        let ga = acc(&mut grads, *a, gout.len());
+                        let ga = acc(&self.exec, &mut grads, *a, gout.len());
                         for (s, g) in ga.iter_mut().zip(gout.iter()) {
                             *s -= g;
                         }
@@ -116,45 +130,27 @@ impl Graph {
                     let n = nodes[*b].shape[1];
                     if nodes[*a].needs_grad {
                         let bval = &nodes[*b].value;
-                        let ga = acc(&mut grads, *a, m * k);
-                        kernels::matmul_acc_nt(&gout, bval, m, n, k, ga);
+                        let ga = acc(&self.exec, &mut grads, *a, m * k);
+                        kernels::par_matmul_acc_nt(&self.exec, &gout, bval, m, n, k, ga);
                     }
                     if nodes[*b].needs_grad {
                         let aval = &nodes[*a].value;
-                        let gb = acc(&mut grads, *b, k * n);
-                        kernels::matmul_acc_tn(aval, &gout, m, k, n, gb);
+                        let gb = acc(&self.exec, &mut grads, *b, k * n);
+                        kernels::par_matmul_acc_tn(&self.exec, aval, &gout, m, k, n, gb);
                     }
                 }
                 Op::Bmm(a, b) => {
                     let (bsz, m, k) = (nodes[*a].shape[0], nodes[*a].shape[1], nodes[*a].shape[2]);
                     let n = nodes[*b].shape[2];
                     if nodes[*a].needs_grad {
-                        let bval = nodes[*b].value.clone();
-                        let ga = acc(&mut grads, *a, bsz * m * k);
-                        for i in 0..bsz {
-                            kernels::matmul_acc_nt(
-                                &gout[i * m * n..(i + 1) * m * n],
-                                &bval[i * k * n..(i + 1) * k * n],
-                                m,
-                                n,
-                                k,
-                                &mut ga[i * m * k..(i + 1) * m * k],
-                            );
-                        }
+                        let bval = &nodes[*b].value;
+                        let ga = acc(&self.exec, &mut grads, *a, bsz * m * k);
+                        kernels::par_bmm_acc_nt(&self.exec, &gout, bval, bsz, m, k, n, ga);
                     }
                     if nodes[*b].needs_grad {
-                        let aval = nodes[*a].value.clone();
-                        let gb = acc(&mut grads, *b, bsz * k * n);
-                        for i in 0..bsz {
-                            kernels::matmul_acc_tn(
-                                &aval[i * m * k..(i + 1) * m * k],
-                                &gout[i * m * n..(i + 1) * m * n],
-                                m,
-                                k,
-                                n,
-                                &mut gb[i * k * n..(i + 1) * k * n],
-                            );
-                        }
+                        let aval = &nodes[*a].value;
+                        let gb = acc(&self.exec, &mut grads, *b, bsz * k * n);
+                        kernels::par_bmm_acc_tn(&self.exec, aval, &gout, bsz, m, k, n, gb);
                     }
                 }
                 Op::TransposeLast(a) => {
@@ -166,7 +162,7 @@ impl Graph {
                         } else {
                             (in_shape[0], in_shape[1], in_shape[2])
                         };
-                        let ga = acc(&mut grads, *a, bsz * m * n);
+                        let ga = acc(&self.exec, &mut grads, *a, bsz * m * n);
                         // out[b][j][i] corresponds to in[b][i][j].
                         for bi in 0..bsz {
                             let go = &gout[bi * m * n..(bi + 1) * m * n];
@@ -185,7 +181,7 @@ impl Graph {
                         let in_strides = strides(&in_shape);
                         let view: Vec<usize> = axes.iter().map(|&ax| in_strides[ax]).collect();
                         let out_shape = node.shape.clone();
-                        let ga = acc(&mut grads, *a, numel(&in_shape));
+                        let ga = acc(&self.exec, &mut grads, *a, numel(&in_shape));
                         for (pos, off) in StridedIter::new(&out_shape, &view).enumerate() {
                             ga[off] += gout[pos];
                         }
@@ -193,7 +189,7 @@ impl Graph {
                 }
                 Op::Reshape(a) => {
                     if nodes[*a].needs_grad {
-                        let ga = acc(&mut grads, *a, gout.len());
+                        let ga = acc(&self.exec, &mut grads, *a, gout.len());
                         for (s, g) in ga.iter_mut().zip(gout.iter()) {
                             *s += g;
                         }
@@ -204,7 +200,7 @@ impl Graph {
                         let in_shape = nodes[*a].shape.clone();
                         let vs = broadcast_strides(&in_shape, &node.shape);
                         let out_shape = node.shape.clone();
-                        let ga = acc(&mut grads, *a, numel(&in_shape));
+                        let ga = acc(&self.exec, &mut grads, *a, numel(&in_shape));
                         for (pos, off) in StridedIter::new(&out_shape, &vs).enumerate() {
                             ga[off] += gout[pos];
                         }
@@ -213,9 +209,9 @@ impl Graph {
                 Op::SoftmaxLast(a) => {
                     if nodes[*a].needs_grad {
                         let d = *node.shape.last().unwrap();
-                        let y = node.value.clone();
-                        let ga = acc(&mut grads, *a, y.len());
-                        kernels::softmax_rows_backward(&y, &gout, d, ga);
+                        let y = &node.value;
+                        let ga = acc(&self.exec, &mut grads, *a, y.len());
+                        kernels::par_softmax_rows_backward(&self.exec, y, &gout, d, ga);
                     }
                 }
                 Op::SumLast(a, _) | Op::MeanLast(a, _) => {
@@ -223,7 +219,7 @@ impl Graph {
                         let d = *nodes[*a].shape.last().unwrap();
                         let scale = if matches!(node.op, Op::MeanLast(_, _)) { 1.0 / d as f32 } else { 1.0 };
                         let in_len = nodes[*a].value.len();
-                        let ga = acc(&mut grads, *a, in_len);
+                        let ga = acc(&self.exec, &mut grads, *a, in_len);
                         for (r, &g) in gout.iter().enumerate() {
                             let gr = g * scale;
                             for slot in &mut ga[r * d..(r + 1) * d] {
@@ -241,7 +237,7 @@ impl Graph {
                             1.0
                         };
                         let g = gout[0] * scale;
-                        let ga = acc(&mut grads, *a, in_len);
+                        let ga = acc(&self.exec, &mut grads, *a, in_len);
                         for slot in ga.iter_mut() {
                             *slot += g;
                         }
@@ -253,7 +249,7 @@ impl Graph {
                             (nodes[*src].shape[0], nodes[*src].shape[1], nodes[*src].shape[2]);
                         let idx = idx.clone();
                         let k = *k;
-                        let ga = acc(&mut grads, *src, bsz * t * d);
+                        let ga = acc(&self.exec, &mut grads, *src, bsz * t * d);
                         for b in 0..bsz {
                             for ki in 0..k {
                                 let row = idx[b * k + ki];
@@ -272,7 +268,7 @@ impl Graph {
                             (nodes[*src].shape[0], nodes[*src].shape[1], nodes[*src].shape[2]);
                         let idx = idx.clone();
                         let out_t = *out_t;
-                        let ga = acc(&mut grads, *src, bsz * k * d);
+                        let ga = acc(&self.exec, &mut grads, *src, bsz * k * d);
                         for b in 0..bsz {
                             for ki in 0..k {
                                 let row = idx[b * k + ki];
@@ -286,6 +282,8 @@ impl Graph {
                     }
                 }
             }
+            // The upstream gradient is consumed; pool it for the next node.
+            self.exec.recycle(gout);
         }
         Gradients { grads }
     }
@@ -295,6 +293,22 @@ impl Graph {
         let grads = self.backward(loss);
         grads.accumulate_into(self, store);
         grads
+    }
+
+    /// Backward pass that routes parameter gradients into `store` and then
+    /// returns every gradient buffer to the executor's pool. The
+    /// allocation-free training-loop variant of [`Graph::backward_params`].
+    pub fn backward_params_pooled(&self, loss: Var, store: &mut ParamStore) {
+        let grads = self.backward(loss);
+        grads.accumulate_into(self, store);
+        self.recycle_gradients(grads);
+    }
+
+    /// Returns the gradient buffers of a finished backward pass to the pool.
+    pub fn recycle_gradients(&self, grads: Gradients) {
+        for g in grads.grads.into_iter().flatten() {
+            self.exec.recycle(g);
+        }
     }
 
     fn unary_backward(
@@ -310,7 +324,7 @@ impl Graph {
             return;
         }
         let xs = &nodes[a].value;
-        let ga = acc(grads, a, xs.len());
+        let ga = acc(&self.exec, grads,a, xs.len());
         for i in 0..xs.len() {
             ga[i] += f(gout[i], xs[i], out_value[i]);
         }
@@ -340,13 +354,13 @@ impl Graph {
 
         if same {
             if need_a {
-                let ga = acc(grads, a, av.len());
+                let ga = acc(&self.exec, grads,a, av.len());
                 for i in 0..av.len() {
                     ga[i] += f(gout[i], av[i], bv[i]).0;
                 }
             }
             if need_b {
-                let gb = acc(grads, b, bv.len());
+                let gb = acc(&self.exec, grads,b, bv.len());
                 for i in 0..bv.len() {
                     gb[i] += f(gout[i], av[i], bv[i]).1;
                 }
@@ -362,7 +376,7 @@ impl Graph {
         {
             let m = bv.len().max(1);
             if need_a {
-                let ga = acc(grads, a, av.len());
+                let ga = acc(&self.exec, grads,a, av.len());
                 for (ci, chunk) in ga.chunks_mut(m).enumerate() {
                     let base = ci * m;
                     for (j, slot) in chunk.iter_mut().enumerate() {
@@ -371,7 +385,7 @@ impl Graph {
                 }
             }
             if need_b {
-                let gb = acc(grads, b, bv.len());
+                let gb = acc(&self.exec, grads,b, bv.len());
                 for (ci, chunk) in gout.chunks(m).enumerate() {
                     let base = ci * m;
                     for (j, &g) in chunk.iter().enumerate() {
@@ -391,7 +405,7 @@ impl Graph {
         {
             let d = *nodes[a].shape.last().unwrap();
             if need_a {
-                let ga = acc(grads, a, av.len());
+                let ga = acc(&self.exec, grads,a, av.len());
                 for (r, chunk) in ga.chunks_mut(d).enumerate() {
                     let y = bv[r];
                     let base = r * d;
@@ -401,7 +415,7 @@ impl Graph {
                 }
             }
             if need_b {
-                let gb = acc(grads, b, bv.len());
+                let gb = acc(&self.exec, grads,b, bv.len());
                 for (r, slot) in gb.iter_mut().enumerate() {
                     let y = bv[r];
                     let base = r * d;
@@ -420,8 +434,8 @@ impl Graph {
         let ia = StridedIter::new(out_shape, &sa);
         let ib = StridedIter::new(out_shape, &sb);
         // Two temporary accumulators so one strided sweep feeds both inputs.
-        let mut ta = if need_a { Some(vec![0.0f32; av.len()]) } else { None };
-        let mut tb = if need_b { Some(vec![0.0f32; bv.len()]) } else { None };
+        let mut ta = if need_a { Some(self.exec.alloc_zeroed(av.len())) } else { None };
+        let mut tb = if need_b { Some(self.exec.alloc_zeroed(bv.len())) } else { None };
         for (pos, (oa, ob)) in ia.zip(ib).enumerate() {
             let (da, db) = f(gout[pos], av[oa], bv[ob]);
             if let Some(t) = ta.as_mut() {
@@ -432,16 +446,18 @@ impl Graph {
             }
         }
         if let Some(t) = ta {
-            let ga = acc(grads, a, t.len());
+            let ga = acc(&self.exec, grads, a, t.len());
             for (s, v) in ga.iter_mut().zip(t.iter()) {
                 *s += v;
             }
+            self.exec.recycle(t);
         }
         if let Some(t) = tb {
-            let gb = acc(grads, b, t.len());
+            let gb = acc(&self.exec, grads, b, t.len());
             for (s, v) in gb.iter_mut().zip(t.iter()) {
                 *s += v;
             }
+            self.exec.recycle(t);
         }
     }
 }

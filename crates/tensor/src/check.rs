@@ -4,6 +4,9 @@
 //! (`tfmae-nn`, `tfmae-core`) can verify the gradients of composite layers
 //! against the same oracle.
 
+use std::sync::Arc;
+
+use crate::exec::Executor;
 use crate::graph::{Graph, Var};
 use crate::store::ParamStore;
 
@@ -50,8 +53,31 @@ pub fn analytic_param_grads(
     store.params().iter().map(|p| p.grad.clone()).collect()
 }
 
+/// Analytic gradients through the pooled execution path: one persistent
+/// graph, [`Graph::reset`] between passes, an executor with `threads`
+/// workers, and pool-recycled gradient buffers. Runs `passes` times so the
+/// later passes exercise a warm pool (pure buffer reuse).
+pub fn analytic_param_grads_pooled(
+    store: &mut ParamStore,
+    threads: usize,
+    passes: usize,
+    build: impl Fn(&Graph, &ParamStore) -> Var,
+) -> Vec<Vec<f32>> {
+    let g = Graph::with_executor(Arc::new(Executor::with_threads(threads)));
+    for _ in 0..passes.max(1) {
+        g.reset();
+        store.zero_grads();
+        let loss = build(&g, store);
+        g.backward_params_pooled(loss, store);
+    }
+    store.params().iter().map(|p| p.grad.clone()).collect()
+}
+
 /// Asserts that analytic and numeric gradients agree within `tol`
-/// (relative-plus-absolute). Panics with a diagnostic on the first mismatch.
+/// (relative-plus-absolute), and that the pooled path (graph reuse via
+/// `reset`, recycled buffers, 1 and 4 worker threads) reproduces the
+/// fresh-graph analytic gradients **bitwise**. Panics with a diagnostic on
+/// the first mismatch.
 pub fn assert_grads_close(
     store: &mut ParamStore,
     eps: f32,
@@ -59,6 +85,13 @@ pub fn assert_grads_close(
     build: impl Fn(&Graph, &ParamStore) -> Var,
 ) {
     let analytic = analytic_param_grads(store, &build);
+    for threads in [1usize, 4] {
+        let pooled = analytic_param_grads_pooled(store, threads, 3, &build);
+        assert_eq!(
+            analytic, pooled,
+            "pooled/parallel gradients diverged from fresh-graph serial (threads={threads})"
+        );
+    }
     let numeric = numeric_param_grads(store, eps, &build);
     for (pi, (a, n)) in analytic.iter().zip(numeric.iter()).enumerate() {
         for (i, (&ga, &gn)) in a.iter().zip(n.iter()).enumerate() {

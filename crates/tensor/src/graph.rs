@@ -10,7 +10,9 @@
 //! fresh constant leaf.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
+use crate::exec::{Executor, SendPtr};
 use crate::kernels;
 use crate::shape::{
     broadcast_shapes, broadcast_strides, broadcastable_to, fmt_shape, numel, strides, StridedIter,
@@ -85,16 +87,72 @@ pub(crate) struct Node {
     pub needs_grad: bool,
 }
 
+/// Minimum elements before an elementwise/reduction op fans out to the
+/// worker pool (below this the dispatch overhead dominates).
+const MIN_PAR_ELEMS: usize = 4096;
+
 /// Append-only autograd tape.
-#[derive(Default)]
+///
+/// Node-value buffers come from (and return to) the buffer pool of the
+/// graph's [`Executor`]; [`Graph::reset`] clears the tape for the next step
+/// while keeping the arena warm, so steady-state training allocates no new
+/// node buffers (see [`Executor::stats`]).
 pub struct Graph {
     pub(crate) nodes: RefCell<Vec<Node>>,
+    pub(crate) exec: Arc<Executor>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        // Hand the node buffers back so per-call graphs sharing an executor
+        // (e.g. scoring inside a streaming detector) still recycle.
+        self.reset();
+    }
 }
 
 impl Graph {
-    /// Creates an empty tape.
+    /// Creates an empty tape with a private serial executor (no threads).
     pub fn new() -> Self {
-        Self { nodes: RefCell::new(Vec::with_capacity(256)) }
+        Self::with_executor(Arc::new(Executor::serial()))
+    }
+
+    /// Creates an empty tape backed by a shared executor: kernels dispatch
+    /// to its worker pool and node buffers recycle through its buffer pool.
+    pub fn with_executor(exec: Arc<Executor>) -> Self {
+        Self { nodes: RefCell::new(Vec::with_capacity(256)), exec }
+    }
+
+    /// Creates an empty tape with a private executor sized from the
+    /// environment ([`crate::exec::THREADS_ENV`], falling back to the
+    /// machine's parallelism). Use with [`Graph::reset`] for long-lived
+    /// training/scoring loops.
+    pub fn from_env() -> Self {
+        Self::with_executor(Arc::new(Executor::from_env()))
+    }
+
+    /// The executor backing this graph.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// A clone of the executor handle (for sharing with another graph).
+    pub fn executor_arc(&self) -> Arc<Executor> {
+        self.exec.clone()
+    }
+
+    /// Clears the tape, returning every node-value buffer to the executor's
+    /// pool. The next step reuses the same arena instead of allocating.
+    pub fn reset(&self) {
+        let mut nodes = self.nodes.borrow_mut();
+        for node in nodes.drain(..) {
+            self.exec.recycle(node.value);
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -142,29 +200,48 @@ impl Graph {
 
     // ---------------------------------------------------------------- leaves
 
-    /// A constant (non-trainable) leaf.
+    /// A constant (non-trainable) leaf taking ownership of `data`. Prefer
+    /// [`Graph::constant_from`] in steady-state loops so the buffer comes
+    /// from the pool.
     pub fn constant(&self, data: Vec<f32>, shape: Vec<usize>) -> Var {
         assert_eq!(data.len(), numel(&shape), "constant data/shape mismatch");
         self.push(data, shape, Op::Const, false)
     }
 
+    /// A constant leaf copied from a slice through the buffer pool — the
+    /// allocation-free alternative to `constant(data.to_vec(), ..)` once
+    /// the pool is warm.
+    pub fn constant_from(&self, data: &[f32], shape: Vec<usize>) -> Var {
+        assert_eq!(data.len(), numel(&shape), "constant data/shape mismatch");
+        let mut value = self.exec.alloc_empty(data.len());
+        value.extend_from_slice(data);
+        self.push(value, shape, Op::Const, false)
+    }
+
     /// A scalar constant leaf (shape `[]`).
     pub fn scalar(&self, v: f32) -> Var {
-        self.push(vec![v], vec![], Op::Const, false)
+        let mut value = self.exec.alloc_empty(1);
+        value.push(v);
+        self.push(value, vec![], Op::Const, false)
     }
 
     /// Leafs a trainable parameter into the graph; gradients flow back into
     /// the store on [`Graph::backward`](crate::Gradients).
     pub fn param(&self, store: &ParamStore, id: ParamId) -> Var {
         let p = store.get(id);
-        self.push(p.data.clone(), p.shape.clone(), Op::Param(id), true)
+        let mut value = self.exec.alloc_empty(p.data.len());
+        value.extend_from_slice(&p.data);
+        self.push(value, p.shape.clone(), Op::Param(id), true)
     }
 
     /// Stop-gradient: a constant copy of `v` (the paper's `sg`, Eq. 15).
     pub fn detach(&self, v: Var) -> Var {
         let (value, shape) = {
             let nodes = self.nodes.borrow();
-            (nodes[v.id].value.clone(), nodes[v.id].shape.clone())
+            let n = &nodes[v.id];
+            let mut value = self.exec.alloc_empty(n.value.len());
+            value.extend_from_slice(&n.value);
+            (value, n.shape.clone())
         };
         self.push(value, shape, Op::Const, false)
     }
@@ -175,7 +252,7 @@ impl Graph {
         &self,
         a: Var,
         b: Var,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
         make_op: impl Fn(usize, usize) -> Op,
         name: &str,
     ) -> Var {
@@ -187,37 +264,100 @@ impl Graph {
                 panic!("{name}: shapes {} and {} do not broadcast", fmt_shape(&na.shape), fmt_shape(&nb.shape))
             });
             let n = numel(&out_shape);
-            let mut value = Vec::with_capacity(n);
-            if na.shape == nb.shape {
-                for (x, y) in na.value.iter().zip(nb.value.iter()) {
-                    value.push(f(*x, *y));
+            let par = self.exec.parallel_beneficial(n, MIN_PAR_ELEMS);
+            let value = if na.shape == nb.shape {
+                if par {
+                    let av = &na.value;
+                    let bv = &nb.value;
+                    let mut out = self.exec.alloc_zeroed(n);
+                    let p = SendPtr(out.as_mut_ptr());
+                    self.exec.parallel_for(n, MIN_PAR_ELEMS, &|s, e| {
+                        let dst = unsafe { std::slice::from_raw_parts_mut(p.get().add(s), e - s) };
+                        for ((o, x), y) in dst.iter_mut().zip(&av[s..e]).zip(&bv[s..e]) {
+                            *o = f(*x, *y);
+                        }
+                    });
+                    out
+                } else {
+                    let mut out = self.exec.alloc_empty(n);
+                    for (x, y) in na.value.iter().zip(nb.value.iter()) {
+                        out.push(f(*x, *y));
+                    }
+                    out
                 }
             } else if out_shape == na.shape && is_suffix(&nb.shape, &na.shape) {
                 // Hot path: bias/gain broadcast `[..., D] ⊕ [D]`.
                 let m = nb.value.len().max(1);
-                for chunk in na.value.chunks(m) {
-                    for (x, y) in chunk.iter().zip(nb.value.iter()) {
-                        value.push(f(*x, *y));
+                if par {
+                    let av = &na.value;
+                    let bv = &nb.value;
+                    let rows = n / m;
+                    let mut out = self.exec.alloc_zeroed(n);
+                    let p = SendPtr(out.as_mut_ptr());
+                    self.exec.parallel_for(rows, (MIN_PAR_ELEMS / m).max(1), &|r0, r1| {
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(p.get().add(r0 * m), (r1 - r0) * m)
+                        };
+                        for (chunk, src) in dst.chunks_mut(m).zip(av[r0 * m..r1 * m].chunks(m)) {
+                            for ((o, x), y) in chunk.iter_mut().zip(src).zip(bv.iter()) {
+                                *o = f(*x, *y);
+                            }
+                        }
+                    });
+                    out
+                } else {
+                    let mut out = self.exec.alloc_empty(n);
+                    for chunk in na.value.chunks(m) {
+                        for (x, y) in chunk.iter().zip(nb.value.iter()) {
+                            out.push(f(*x, *y));
+                        }
                     }
+                    out
                 }
             } else if out_shape == na.shape && is_row_scalar(&nb.shape, &na.shape) {
                 // Hot path: per-row scalar `[..., D] ⊕ [..., 1]` (LayerNorm).
                 let d = *na.shape.last().unwrap();
-                for (r, chunk) in na.value.chunks(d).enumerate() {
-                    let y = nb.value[r];
-                    for x in chunk {
-                        value.push(f(*x, y));
+                if par && d > 0 {
+                    let av = &na.value;
+                    let bv = &nb.value;
+                    let rows = n / d;
+                    let mut out = self.exec.alloc_zeroed(n);
+                    let p = SendPtr(out.as_mut_ptr());
+                    self.exec.parallel_for(rows, (MIN_PAR_ELEMS / d).max(1), &|r0, r1| {
+                        let dst = unsafe {
+                            std::slice::from_raw_parts_mut(p.get().add(r0 * d), (r1 - r0) * d)
+                        };
+                        for (r, (chunk, src)) in
+                            dst.chunks_mut(d).zip(av[r0 * d..r1 * d].chunks(d)).enumerate()
+                        {
+                            let y = bv[r0 + r];
+                            for (o, x) in chunk.iter_mut().zip(src) {
+                                *o = f(*x, y);
+                            }
+                        }
+                    });
+                    out
+                } else {
+                    let mut out = self.exec.alloc_empty(n);
+                    for (r, chunk) in na.value.chunks(d).enumerate() {
+                        let y = nb.value[r];
+                        for x in chunk {
+                            out.push(f(*x, y));
+                        }
                     }
+                    out
                 }
             } else {
                 let sa = broadcast_strides(&na.shape, &out_shape);
                 let sb = broadcast_strides(&nb.shape, &out_shape);
                 let ia = StridedIter::new(&out_shape, &sa);
                 let ib = StridedIter::new(&out_shape, &sb);
+                let mut out = self.exec.alloc_empty(n);
                 for (oa, ob) in ia.zip(ib) {
-                    value.push(f(na.value[oa], nb.value[ob]));
+                    out.push(f(na.value[oa], nb.value[ob]));
                 }
-            }
+                out
+            };
             (value, out_shape, na.needs_grad || nb.needs_grad)
         };
         self.push(value, out_shape, make_op(a.id, b.id), needs)
@@ -243,11 +383,28 @@ impl Graph {
         self.broadcast_binary(a, b, |x, y| x / y, Op::Div, "div")
     }
 
-    fn unary(&self, a: Var, f: impl Fn(f32) -> f32, op: Op) -> Var {
+    fn unary(&self, a: Var, f: impl Fn(f32) -> f32 + Sync, op: Op) -> Var {
         let (value, shape, needs) = {
             let nodes = self.nodes.borrow();
             let na = &nodes[a.id];
-            (na.value.iter().map(|&x| f(x)).collect(), na.shape.clone(), na.needs_grad)
+            let n = na.value.len();
+            let value = if self.exec.parallel_beneficial(n, MIN_PAR_ELEMS) {
+                let src = &na.value;
+                let mut out = self.exec.alloc_zeroed(n);
+                let p = SendPtr(out.as_mut_ptr());
+                self.exec.parallel_for(n, MIN_PAR_ELEMS, &|s, e| {
+                    let dst = unsafe { std::slice::from_raw_parts_mut(p.get().add(s), e - s) };
+                    for (o, &x) in dst.iter_mut().zip(&src[s..e]) {
+                        *o = f(x);
+                    }
+                });
+                out
+            } else {
+                let mut out = self.exec.alloc_empty(n);
+                out.extend(na.value.iter().map(|&x| f(x)));
+                out
+            };
+            (value, na.shape.clone(), na.needs_grad)
         };
         self.push(value, shape, op, needs)
     }
@@ -320,8 +477,8 @@ impl Graph {
             let (m, k) = (na.shape[0], na.shape[1]);
             let (k2, n) = (nb.shape[0], nb.shape[1]);
             assert_eq!(k, k2, "matmul inner dims: {} vs {}", fmt_shape(&na.shape), fmt_shape(&nb.shape));
-            let mut value = vec![0.0; m * n];
-            kernels::matmul(&na.value, &nb.value, m, k, n, &mut value);
+            let mut value = self.exec.alloc_zeroed(m * n);
+            kernels::par_matmul(&self.exec, &na.value, &nb.value, m, k, n, &mut value);
             (value, vec![m, n], na.needs_grad || nb.needs_grad)
         };
         self.push(value, out_shape, Op::Matmul(a.id, b.id), needs)
@@ -338,17 +495,8 @@ impl Graph {
             let (bsz, m, k) = (na.shape[0], na.shape[1], na.shape[2]);
             let (b2, k2, n) = (nb.shape[0], nb.shape[1], nb.shape[2]);
             assert!(bsz == b2 && k == k2, "bmm shapes: {} vs {}", fmt_shape(&na.shape), fmt_shape(&nb.shape));
-            let mut value = vec![0.0; bsz * m * n];
-            for i in 0..bsz {
-                kernels::matmul(
-                    &na.value[i * m * k..(i + 1) * m * k],
-                    &nb.value[i * k * n..(i + 1) * k * n],
-                    m,
-                    k,
-                    n,
-                    &mut value[i * m * n..(i + 1) * m * n],
-                );
-            }
+            let mut value = self.exec.alloc_zeroed(bsz * m * n);
+            kernels::par_bmm(&self.exec, &na.value, &nb.value, bsz, m, k, n, &mut value);
             (value, vec![bsz, m, n], na.needs_grad || nb.needs_grad)
         };
         self.push(value, out_shape, Op::Bmm(a.id, b.id), needs)
@@ -366,15 +514,8 @@ impl Graph {
             } else {
                 (na.shape[0], na.shape[1], na.shape[2])
             };
-            let mut value = vec![0.0; bsz * m * n];
-            for i in 0..bsz {
-                kernels::transpose2d(
-                    &na.value[i * m * n..(i + 1) * m * n],
-                    m,
-                    n,
-                    &mut value[i * m * n..(i + 1) * m * n],
-                );
-            }
+            let mut value = self.exec.alloc_zeroed(bsz * m * n);
+            kernels::par_transpose(&self.exec, &na.value, bsz, m, n, &mut value);
             let out_shape =
                 if r == 2 { vec![n, m] } else { vec![bsz, n, m] };
             (value, out_shape, na.needs_grad)
@@ -396,7 +537,7 @@ impl Graph {
             let out_shape: Vec<usize> = axes.iter().map(|&ax| na.shape[ax]).collect();
             let in_strides = strides(&na.shape);
             let view: Vec<usize> = axes.iter().map(|&ax| in_strides[ax]).collect();
-            let mut value = Vec::with_capacity(na.value.len());
+            let mut value = self.exec.alloc_empty(na.value.len());
             for off in StridedIter::new(&out_shape, &view) {
                 value.push(na.value[off]);
             }
@@ -417,7 +558,9 @@ impl Graph {
                 fmt_shape(&na.shape),
                 fmt_shape(shape)
             );
-            (na.value.clone(), na.needs_grad)
+            let mut value = self.exec.alloc_empty(na.value.len());
+            value.extend_from_slice(&na.value);
+            (value, na.needs_grad)
         };
         self.push(value, shape.to_vec(), Op::Reshape(a.id), needs)
     }
@@ -434,7 +577,7 @@ impl Graph {
                 fmt_shape(shape)
             );
             let vs = broadcast_strides(&na.shape, shape);
-            let mut value = Vec::with_capacity(numel(shape));
+            let mut value = self.exec.alloc_empty(numel(shape));
             for off in StridedIter::new(shape, &vs) {
                 value.push(na.value[off]);
             }
@@ -451,8 +594,9 @@ impl Graph {
             let nodes = self.nodes.borrow();
             let na = &nodes[a.id];
             let d = *na.shape.last().expect("softmax_last needs rank >= 1");
-            let mut value = na.value.clone();
-            kernels::softmax_rows(&mut value, d);
+            let mut value = self.exec.alloc_empty(na.value.len());
+            value.extend_from_slice(&na.value);
+            kernels::par_softmax_rows(&self.exec, &mut value, d);
             (value, na.shape.clone(), na.needs_grad)
         };
         self.push(value, shape, Op::SoftmaxLast(a.id), needs)
@@ -465,10 +609,24 @@ impl Graph {
             let d = *na.shape.last().expect("reduce over trailing axis needs rank >= 1");
             let rows = na.value.len() / d.max(1);
             let scale = if mean { 1.0 / d as f32 } else { 1.0 };
-            let mut value = Vec::with_capacity(rows);
-            for row in na.value.chunks(d) {
-                value.push(row.iter().sum::<f32>() * scale);
-            }
+            let value = if d > 0 && self.exec.parallel_beneficial(na.value.len(), MIN_PAR_ELEMS) {
+                let src = &na.value;
+                let mut out = self.exec.alloc_zeroed(rows);
+                let p = SendPtr(out.as_mut_ptr());
+                self.exec.parallel_for(rows, (MIN_PAR_ELEMS / d).max(1), &|r0, r1| {
+                    let dst = unsafe { std::slice::from_raw_parts_mut(p.get().add(r0), r1 - r0) };
+                    for (o, row) in dst.iter_mut().zip(src[r0 * d..r1 * d].chunks(d)) {
+                        *o = row.iter().sum::<f32>() * scale;
+                    }
+                });
+                out
+            } else {
+                let mut out = self.exec.alloc_empty(rows);
+                for row in na.value.chunks(d) {
+                    out.push(row.iter().sum::<f32>() * scale);
+                }
+                out
+            };
             let mut out_shape = na.shape.clone();
             if keepdim {
                 *out_shape.last_mut().unwrap() = 1;
@@ -496,7 +654,9 @@ impl Graph {
         let (value, needs) = {
             let nodes = self.nodes.borrow();
             let na = &nodes[a.id];
-            (vec![na.value.iter().sum::<f32>()], na.needs_grad)
+            let mut value = self.exec.alloc_empty(1);
+            value.push(na.value.iter().sum::<f32>());
+            (value, na.needs_grad)
         };
         self.push(value, vec![], Op::SumAll(a.id), needs)
     }
@@ -507,7 +667,9 @@ impl Graph {
             let nodes = self.nodes.borrow();
             let na = &nodes[a.id];
             let n = na.value.len().max(1);
-            (vec![na.value.iter().sum::<f32>() / n as f32], na.needs_grad)
+            let mut value = self.exec.alloc_empty(1);
+            value.push(na.value.iter().sum::<f32>() / n as f32);
+            (value, na.needs_grad)
         };
         self.push(value, vec![], Op::MeanAll(a.id), needs)
     }
@@ -523,7 +685,7 @@ impl Graph {
             assert_eq!(na.shape.len(), 3, "gather_rows needs [B,T,D], got {}", fmt_shape(&na.shape));
             let (bsz, t, d) = (na.shape[0], na.shape[1], na.shape[2]);
             assert_eq!(idx.len(), bsz * k, "gather_rows index count mismatch");
-            let mut value = Vec::with_capacity(bsz * k * d);
+            let mut value = self.exec.alloc_empty(bsz * k * d);
             for b in 0..bsz {
                 for ki in 0..k {
                     let row = idx[b * k + ki];
@@ -546,7 +708,9 @@ impl Graph {
             assert_eq!(na.shape.len(), 3, "scatter_rows needs [B,K,D], got {}", fmt_shape(&na.shape));
             let (bsz, k, d) = (na.shape[0], na.shape[1], na.shape[2]);
             assert_eq!(idx.len(), bsz * k, "scatter_rows index count mismatch");
-            let mut value = vec![0.0; bsz * out_t * d];
+            // Serial: duplicate indices may target the same output row, so
+            // row-sharding over the *source* would race.
+            let mut value = self.exec.alloc_zeroed(bsz * out_t * d);
             for b in 0..bsz {
                 for ki in 0..k {
                     let row = idx[b * k + ki];
@@ -711,5 +875,55 @@ mod tests {
         let x = g.constant(vec![1.0, 2.0], vec![2]);
         let d = g.detach(x);
         assert_eq!(g.value(d), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn reset_clears_tape_and_reuses_buffers() {
+        let g = Graph::new();
+        let run = |g: &Graph| {
+            let a = g.constant_from(&[1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+            let b = g.constant_from(&[5.0, 6.0, 7.0, 8.0], vec![2, 2]);
+            g.value(g.matmul(a, b))
+        };
+        let first = run(&g);
+        let misses = g.executor().stats().pool_misses;
+        g.reset();
+        assert!(g.is_empty());
+        // Identical tape after reset: same values, zero new allocations.
+        let second = run(&g);
+        assert_eq!(first, second);
+        let st = g.executor().stats();
+        assert_eq!(st.pool_misses, misses, "steady state must be allocation-free");
+        assert!(st.pool_hits >= 3);
+    }
+
+    #[test]
+    fn graphs_sharing_an_executor_share_the_pool() {
+        let ex = std::sync::Arc::new(crate::exec::Executor::serial());
+        {
+            let g1 = Graph::with_executor(ex.clone());
+            g1.constant_from(&[0.0; 100], vec![100]);
+        } // dropped: buffer returns to the pool
+        let g2 = Graph::with_executor(ex.clone());
+        g2.constant_from(&[1.0; 100], vec![100]);
+        let st = ex.stats();
+        assert_eq!(st.pool_misses, 1);
+        assert_eq!(st.pool_hits, 1);
+    }
+
+    #[test]
+    fn parallel_graph_matches_serial_bitwise() {
+        let serial = Graph::new();
+        let par = Graph::with_executor(std::sync::Arc::new(crate::exec::Executor::with_threads(4)));
+        let data: Vec<f32> = (0..6000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let run = |g: &Graph| {
+            let x = g.constant_from(&data, vec![30, 200]);
+            let y = g.gelu(x);
+            let s = g.softmax_last(y);
+            let m = g.mean_last(s, true);
+            let c = g.sub(s, m);
+            g.value(g.sum_last(c, false))
+        };
+        assert_eq!(run(&serial), run(&par));
     }
 }

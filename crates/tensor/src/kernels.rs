@@ -2,15 +2,46 @@
 //!
 //! All matrices are row-major slices. The matmul family uses the i-k-j loop
 //! order (rank-1 row updates) so the inner loops auto-vectorize.
+//!
+//! Every kernel has a *row-range core* (`*_rows`) that computes a contiguous
+//! range of output rows into a row-relative slice, and a `par_*` wrapper
+//! that shards the row range across an [`Executor`]. The serial entry points
+//! are exactly the core applied to the full range, and each output row is
+//! produced entirely by one worker with the serial per-row code — so the
+//! per-element accumulation order never changes and parallel results are
+//! bitwise identical to serial at any thread count (the determinism
+//! contract of DESIGN.md §11).
 
-/// `out = A·B` where `A` is `m×k`, `B` is `k×n`. `out` must be zeroed.
-pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
+use crate::exec::{Executor, SendPtr};
+
+/// Minimum per-chunk work (inner-loop iterations) before a kernel fans out;
+/// below this the dispatch overhead dominates.
+const MIN_PAR_WORK: usize = 16 * 1024;
+
+/// Rows per chunk so that each chunk carries at least [`MIN_PAR_WORK`].
+fn min_rows(per_row_work: usize) -> usize {
+    (MIN_PAR_WORK / per_row_work.max(1)).max(1)
+}
+
+/// Reconstructs the disjoint `&mut` row range `[r0, r1)` of an output
+/// buffer with `width` elements per row.
+///
+/// # Safety
+/// Caller must guarantee ranges handed to concurrent workers are disjoint
+/// and the underlying buffer outlives the call (both hold for
+/// `Executor::parallel_for` chunks over one output buffer).
+unsafe fn rows_mut<'a>(p: SendPtr, r0: usize, r1: usize, width: usize) -> &'a mut [f32] {
+    std::slice::from_raw_parts_mut(p.get().add(r0 * width), (r1 - r0) * width)
+}
+
+// ------------------------------------------------------------------ matmul
+
+/// Computes output rows `[i0, i1)` of `A·B` into the row-relative `out_rows`
+/// (`(i1-i0) × n`, zeroed). `A` is `m×k`, `B` is `k×n`.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize, i1: usize, out_rows: &mut [f32]) {
+    for (r, i) in (i0..i1).enumerate() {
         let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
+        let orow = &mut out_rows[r * n..(r + 1) * n];
         for (l, &av) in arow.iter().enumerate() {
             if av != 0.0 {
                 let brow = &b[l * n..(l + 1) * n];
@@ -22,15 +53,32 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32
     }
 }
 
-/// `out += A·Bᵀ` where `A` is `m×n`, `B` is `k×n`, `out` is `m×k`.
-/// (Used for `dA += dC·Bᵀ` in matmul backward.)
-pub fn matmul_acc_nt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * n);
+/// `out = A·B` where `A` is `m×k`, `B` is `k×n`. `out` must be zeroed.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * k);
-    for i in 0..m {
+    debug_assert_eq!(out.len(), m * n);
+    matmul_rows(a, b, k, n, 0, m, out);
+}
+
+/// Row-sharded [`matmul`]; bitwise identical to the serial path.
+pub fn par_matmul(exec: &Executor, a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let p = SendPtr(out.as_mut_ptr());
+    exec.parallel_for(m, min_rows(k * n), &|i0, i1| {
+        let rows = unsafe { rows_mut(p, i0, i1, n) };
+        matmul_rows(a, b, k, n, i0, i1, rows);
+    });
+}
+
+/// Computes output rows `[i0, i1)` of `A·Bᵀ`, *accumulated* into the
+/// row-relative `out_rows`. `A` is `m×n`, `B` is `k×n`, `out` is `m×k`.
+fn matmul_acc_nt_rows(a: &[f32], b: &[f32], n: usize, k: usize, i0: usize, i1: usize, out_rows: &mut [f32]) {
+    for (r, i) in (i0..i1).enumerate() {
         let arow = &a[i * n..(i + 1) * n];
-        let orow = &mut out[i * k..(i + 1) * k];
+        let orow = &mut out_rows[r * k..(r + 1) * k];
         for (l, slot) in orow.iter_mut().enumerate() {
             let brow = &b[l * n..(l + 1) * n];
             let mut acc = 0.0f32;
@@ -42,18 +90,39 @@ pub fn matmul_acc_nt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &m
     }
 }
 
-/// `out += Aᵀ·B` where `A` is `m×k`, `B` is `m×n`, `out` is `k×n`.
-/// (Used for `dB += Aᵀ·dC` in matmul backward.)
-pub fn matmul_acc_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), m * n);
-    debug_assert_eq!(out.len(), k * n);
+/// `out += A·Bᵀ` where `A` is `m×n`, `B` is `k×n`, `out` is `m×k`.
+/// (Used for `dA += dC·Bᵀ` in matmul backward.)
+pub fn matmul_acc_nt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * k);
+    matmul_acc_nt_rows(a, b, n, k, 0, m, out);
+}
+
+/// Row-sharded [`matmul_acc_nt`]; bitwise identical to the serial path.
+pub fn par_matmul_acc_nt(exec: &Executor, a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * k);
+    let p = SendPtr(out.as_mut_ptr());
+    exec.parallel_for(m, min_rows(n * k), &|i0, i1| {
+        let rows = unsafe { rows_mut(p, i0, i1, k) };
+        matmul_acc_nt_rows(a, b, n, k, i0, i1, rows);
+    });
+}
+
+/// Computes output rows `[l0, l1)` of `Aᵀ·B`, *accumulated* into the
+/// row-relative `out_rows`. `A` is `m×k`, `B` is `m×n`, `out` is `k×n`.
+/// For each output element the accumulation runs over `i = 0..m` ascending,
+/// exactly like the serial kernel, so sharding over `l` is bitwise safe.
+fn matmul_acc_tn_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, l0: usize, l1: usize, out_rows: &mut [f32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let brow = &b[i * n..(i + 1) * n];
-        for (l, &av) in arow.iter().enumerate() {
+        for l in l0..l1 {
+            let av = arow[l];
             if av != 0.0 {
-                let orow = &mut out[l * n..(l + 1) * n];
+                let orow = &mut out_rows[(l - l0) * n..(l - l0 + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                     *o += av * bv;
                 }
@@ -62,21 +131,199 @@ pub fn matmul_acc_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &m
     }
 }
 
-/// Transposes an `m×n` row-major matrix into `n×m`.
-pub fn transpose2d(a: &[f32], m: usize, n: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = a[i * n + j];
+/// `out += Aᵀ·B` where `A` is `m×k`, `B` is `m×n`, `out` is `k×n`.
+/// (Used for `dB += Aᵀ·dC` in matmul backward.)
+pub fn matmul_acc_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(out.len(), k * n);
+    matmul_acc_tn_rows(a, b, m, k, n, 0, k, out);
+}
+
+/// Row-sharded [`matmul_acc_tn`]; bitwise identical to the serial path.
+pub fn par_matmul_acc_tn(exec: &Executor, a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(out.len(), k * n);
+    let p = SendPtr(out.as_mut_ptr());
+    exec.parallel_for(k, min_rows(m * n), &|l0, l1| {
+        let rows = unsafe { rows_mut(p, l0, l1, n) };
+        matmul_acc_tn_rows(a, b, m, k, n, l0, l1, rows);
+    });
+}
+
+// -------------------------------------------------------------------- bmm
+
+/// Computes global output rows `[r0, r1)` of the batched product
+/// `[B,m,k] × [B,k,n]` into row-relative `out_rows`. Global row `r` maps to
+/// batch `r / m`, local row `r % m`.
+fn bmm_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, r0: usize, r1: usize, out_rows: &mut [f32]) {
+    for (rr, r) in (r0..r1).enumerate() {
+        let bi = r / m;
+        let arow = &a[r * k..(r + 1) * k];
+        let bmat = &b[bi * k * n..(bi + 1) * k * n];
+        let orow = &mut out_rows[rr * n..(rr + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let brow = &bmat[l * n..(l + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
         }
     }
 }
 
-/// Numerically stable softmax over contiguous rows of width `d`, in place.
-pub fn softmax_rows(data: &mut [f32], d: usize) {
-    debug_assert!(d > 0 && data.len().is_multiple_of(d));
-    for row in data.chunks_mut(d) {
+/// Batched `out = A·B` over `[B,m,k] × [B,k,n] → [B,m,n]`. `out` zeroed.
+pub fn bmm(a: &[f32], b: &[f32], bsz: usize, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), bsz * m * k);
+    debug_assert_eq!(b.len(), bsz * k * n);
+    debug_assert_eq!(out.len(), bsz * m * n);
+    bmm_rows(a, b, m, k, n, 0, bsz * m, out);
+}
+
+/// Row-sharded [`bmm`] (sharded over all `B·m` output rows); bitwise
+/// identical to the serial path.
+pub fn par_bmm(exec: &Executor, a: &[f32], b: &[f32], bsz: usize, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), bsz * m * k);
+    debug_assert_eq!(b.len(), bsz * k * n);
+    debug_assert_eq!(out.len(), bsz * m * n);
+    let p = SendPtr(out.as_mut_ptr());
+    exec.parallel_for(bsz * m, min_rows(k * n), &|r0, r1| {
+        let rows = unsafe { rows_mut(p, r0, r1, n) };
+        bmm_rows(a, b, m, k, n, r0, r1, rows);
+    });
+}
+
+/// Batched `dA += dC·Bᵀ`: global rows `[r0, r1)` of `[B,m,k]` from
+/// `dC = [B,m,n]`, `B = [B,k,n]`.
+fn bmm_acc_nt_rows(dc: &[f32], b: &[f32], m: usize, k: usize, n: usize, r0: usize, r1: usize, out_rows: &mut [f32]) {
+    for (rr, r) in (r0..r1).enumerate() {
+        let bi = r / m;
+        let drow = &dc[r * n..(r + 1) * n];
+        let bmat = &b[bi * k * n..(bi + 1) * k * n];
+        let orow = &mut out_rows[rr * k..(rr + 1) * k];
+        for (l, slot) in orow.iter_mut().enumerate() {
+            let brow = &bmat[l * n..(l + 1) * n];
+            let mut acc = 0.0f32;
+            for (x, y) in drow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            *slot += acc;
+        }
+    }
+}
+
+/// Row-sharded batched `dA += dC·Bᵀ` for bmm backward; bitwise identical to
+/// the per-batch serial [`matmul_acc_nt`] loop.
+pub fn par_bmm_acc_nt(exec: &Executor, dc: &[f32], b: &[f32], bsz: usize, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(dc.len(), bsz * m * n);
+    debug_assert_eq!(b.len(), bsz * k * n);
+    debug_assert_eq!(out.len(), bsz * m * k);
+    let p = SendPtr(out.as_mut_ptr());
+    exec.parallel_for(bsz * m, min_rows(n * k), &|r0, r1| {
+        let rows = unsafe { rows_mut(p, r0, r1, k) };
+        bmm_acc_nt_rows(dc, b, m, k, n, r0, r1, rows);
+    });
+}
+
+/// Batched `dB += Aᵀ·dC`: global rows `[r0, r1)` of `[B,k,n]` from
+/// `A = [B,m,k]`, `dC = [B,m,n]`. Accumulation per element runs over
+/// `i = 0..m` ascending, matching the serial kernel.
+fn bmm_acc_tn_rows(a: &[f32], dc: &[f32], m: usize, k: usize, n: usize, r0: usize, r1: usize, out_rows: &mut [f32]) {
+    for (rr, r) in (r0..r1).enumerate() {
+        let bi = r / k;
+        let l = r % k;
+        let orow = &mut out_rows[rr * n..(rr + 1) * n];
+        for i in 0..m {
+            let av = a[(bi * m + i) * k + l];
+            if av != 0.0 {
+                let drow = &dc[(bi * m + i) * n..(bi * m + i + 1) * n];
+                for (o, &dv) in orow.iter_mut().zip(drow.iter()) {
+                    *o += av * dv;
+                }
+            }
+        }
+    }
+}
+
+/// Row-sharded batched `dB += Aᵀ·dC` for bmm backward; bitwise identical to
+/// the per-batch serial [`matmul_acc_tn`] loop.
+pub fn par_bmm_acc_tn(exec: &Executor, a: &[f32], dc: &[f32], bsz: usize, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), bsz * m * k);
+    debug_assert_eq!(dc.len(), bsz * m * n);
+    debug_assert_eq!(out.len(), bsz * k * n);
+    let p = SendPtr(out.as_mut_ptr());
+    exec.parallel_for(bsz * k, min_rows(m * n), &|r0, r1| {
+        let rows = unsafe { rows_mut(p, r0, r1, n) };
+        bmm_acc_tn_rows(a, dc, m, k, n, r0, r1, rows);
+    });
+}
+
+// -------------------------------------------------------------- transpose
+
+const TRANSPOSE_TILE: usize = 32;
+
+/// Computes output rows `[j0, j1)` of the transpose (`j` indexes columns of
+/// `a`) into row-relative `out_rows`, tiled so both access patterns stay
+/// within cache lines instead of thrashing on the column-strided side.
+fn transpose2d_rows(a: &[f32], m: usize, n: usize, j0: usize, j1: usize, out_rows: &mut [f32]) {
+    for jj in (j0..j1).step_by(TRANSPOSE_TILE) {
+        let je = (jj + TRANSPOSE_TILE).min(j1);
+        for ii in (0..m).step_by(TRANSPOSE_TILE) {
+            let ie = (ii + TRANSPOSE_TILE).min(m);
+            for j in jj..je {
+                let base = (j - j0) * m;
+                for i in ii..ie {
+                    out_rows[base + i] = a[i * n + j];
+                }
+            }
+        }
+    }
+}
+
+/// Transposes an `m×n` row-major matrix into `n×m` (32×32 tiles).
+pub fn transpose2d(a: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * n);
+    debug_assert_eq!(out.len(), m * n);
+    transpose2d_rows(a, m, n, 0, n, out);
+}
+
+/// Batched transpose of `bsz` stacked `m×n` matrices, sharded over batches
+/// (or over output rows when `bsz == 1`). Each output element is written
+/// exactly once, so any sharding is trivially bitwise identical.
+pub fn par_transpose(exec: &Executor, a: &[f32], bsz: usize, m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), bsz * m * n);
+    debug_assert_eq!(out.len(), bsz * m * n);
+    let p = SendPtr(out.as_mut_ptr());
+    if bsz == 1 {
+        exec.parallel_for(n, min_rows(m), &|j0, j1| {
+            let rows = unsafe { rows_mut(p, j0, j1, m) };
+            transpose2d_rows(a, m, n, j0, j1, rows);
+        });
+    } else {
+        exec.parallel_for(bsz, min_rows(m * n), &|b0, b1| {
+            let rows = unsafe { rows_mut(p, b0, b1, m * n) };
+            for (r, bi) in (b0..b1).enumerate() {
+                transpose2d_rows(
+                    &a[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    n,
+                    0,
+                    n,
+                    &mut rows[r * m * n..(r + 1) * m * n],
+                );
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------- softmax
+
+/// Softmax of rows `[r0, r1)` (width `d`) of `data`, in place; `rows` is
+/// the row-relative view.
+fn softmax_rows_range(rows: &mut [f32], d: usize) {
+    for row in rows.chunks_mut(d) {
         let mut mx = f32::NEG_INFINITY;
         for &v in row.iter() {
             mx = mx.max(v);
@@ -93,10 +340,26 @@ pub fn softmax_rows(data: &mut [f32], d: usize) {
     }
 }
 
-/// Backward of row softmax: `dx = (dy − Σ(dy·y)) ⊙ y`, accumulated into `dx`.
-pub fn softmax_rows_backward(y: &[f32], dy: &[f32], d: usize, dx: &mut [f32]) {
-    debug_assert_eq!(y.len(), dy.len());
-    debug_assert_eq!(y.len(), dx.len());
+/// Numerically stable softmax over contiguous rows of width `d`, in place.
+pub fn softmax_rows(data: &mut [f32], d: usize) {
+    debug_assert!(d > 0 && data.len() % d == 0);
+    softmax_rows_range(data, d);
+}
+
+/// Row-sharded [`softmax_rows`]; bitwise identical to the serial path.
+pub fn par_softmax_rows(exec: &Executor, data: &mut [f32], d: usize) {
+    debug_assert!(d > 0 && data.len() % d == 0);
+    let rows = data.len() / d;
+    let p = SendPtr(data.as_mut_ptr());
+    exec.parallel_for(rows, min_rows(d), &|r0, r1| {
+        let chunk = unsafe { rows_mut(p, r0, r1, d) };
+        softmax_rows_range(chunk, d);
+    });
+}
+
+/// Backward of row softmax for rows `[r0, r1)`: row-relative slices of
+/// `y`, `dy`, `dx`.
+fn softmax_rows_backward_range(y: &[f32], dy: &[f32], d: usize, dx: &mut [f32]) {
     for ((yr, dyr), dxr) in y.chunks(d).zip(dy.chunks(d)).zip(dx.chunks_mut(d)) {
         let mut dot = 0.0f32;
         for (a, b) in yr.iter().zip(dyr.iter()) {
@@ -107,6 +370,27 @@ pub fn softmax_rows_backward(y: &[f32], dy: &[f32], d: usize, dx: &mut [f32]) {
         }
     }
 }
+
+/// Backward of row softmax: `dx = (dy − Σ(dy·y)) ⊙ y`, accumulated into `dx`.
+pub fn softmax_rows_backward(y: &[f32], dy: &[f32], d: usize, dx: &mut [f32]) {
+    debug_assert_eq!(y.len(), dy.len());
+    debug_assert_eq!(y.len(), dx.len());
+    softmax_rows_backward_range(y, dy, d, dx);
+}
+
+/// Row-sharded [`softmax_rows_backward`]; bitwise identical to serial.
+pub fn par_softmax_rows_backward(exec: &Executor, y: &[f32], dy: &[f32], d: usize, dx: &mut [f32]) {
+    debug_assert_eq!(y.len(), dy.len());
+    debug_assert_eq!(y.len(), dx.len());
+    let rows = y.len() / d.max(1);
+    let p = SendPtr(dx.as_mut_ptr());
+    exec.parallel_for(rows, min_rows(d), &|r0, r1| {
+        let dxr = unsafe { rows_mut(p, r0, r1, d) };
+        softmax_rows_backward_range(&y[r0 * d..r1 * d], &dy[r0 * d..r1 * d], d, dxr);
+    });
+}
+
+// ------------------------------------------------------------ activations
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
 const GELU_A: f32 = 0.044_715;
@@ -139,6 +423,16 @@ mod tests {
                     acc += a[i * k + l] * b[l * n + j];
                 }
                 out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn naive_transpose2d(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
             }
         }
         out
@@ -202,6 +496,20 @@ mod tests {
     }
 
     #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let (bsz, m, k, n) = (3, 5, 4, 6);
+        let a = rndvec(bsz * m * k, 11);
+        let b = rndvec(bsz * k * n, 12);
+        let mut out = vec![0.0; bsz * m * n];
+        bmm(&a, &b, bsz, m, k, n, &mut out);
+        for bi in 0..bsz {
+            let mut want = vec![0.0; m * n];
+            matmul(&a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n], m, k, n, &mut want);
+            assert_eq!(&out[bi * m * n..(bi + 1) * m * n], &want[..]);
+        }
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one_and_order() {
         let mut x = vec![1.0, 2.0, 3.0, -1.0, -1.0, -1.0];
         softmax_rows(&mut x, 3);
@@ -261,5 +569,113 @@ mod tests {
         transpose2d(&a, 3, 4, &mut t);
         transpose2d(&t, 4, 3, &mut back);
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn tiled_transpose_matches_naive() {
+        // Sizes straddling the 32-wide tile boundary, including non-multiples.
+        for &(m, n) in &[(1usize, 1usize), (3, 4), (31, 33), (32, 32), (40, 70), (64, 17), (100, 100)] {
+            let a = rndvec(m * n, (m * 31 + n) as u32);
+            let mut out = vec![0.0; m * n];
+            transpose2d(&a, m, n, &mut out);
+            assert_eq!(out, naive_transpose2d(&a, m, n), "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_bitwise_match_serial() {
+        use crate::exec::Executor;
+        // Odd sizes so chunk boundaries never align with anything.
+        let (m, k, n) = (37, 23, 29);
+        let bsz = 3;
+        let a = rndvec(m * k, 21);
+        let b = rndvec(k * n, 22);
+        let ba = rndvec(bsz * m * k, 23);
+        let bb = rndvec(bsz * k * n, 24);
+        for threads in [2usize, 4] {
+            let ex = Executor::with_threads(threads);
+
+            let mut serial = vec![0.0; m * n];
+            matmul(&a, &b, m, k, n, &mut serial);
+            let mut par = vec![0.0; m * n];
+            par_matmul(&ex, &a, &b, m, k, n, &mut par);
+            assert_eq!(serial, par, "matmul threads={threads}");
+
+            let mut serial = vec![0.5; m * n]; // accumulate onto non-zero
+            matmul_acc_nt(&a, &b, m, k, n, &mut serial);
+            // note: acc_nt reads A as m×n here; reuse shapes that fit.
+            let mut par = vec![0.5; m * n];
+            par_matmul_acc_nt(&ex, &a, &b, m, k, n, &mut par);
+            assert_eq!(serial, par, "acc_nt threads={threads}");
+
+            let a2 = rndvec(m * k, 25);
+            let b2 = rndvec(m * n, 26);
+            let mut serial = vec![0.25; k * n];
+            matmul_acc_tn(&a2, &b2, m, k, n, &mut serial);
+            let mut par = vec![0.25; k * n];
+            par_matmul_acc_tn(&ex, &a2, &b2, m, k, n, &mut par);
+            assert_eq!(serial, par, "acc_tn threads={threads}");
+
+            let mut serial = vec![0.0; bsz * m * n];
+            bmm(&ba, &bb, bsz, m, k, n, &mut serial);
+            let mut par = vec![0.0; bsz * m * n];
+            par_bmm(&ex, &ba, &bb, bsz, m, k, n, &mut par);
+            assert_eq!(serial, par, "bmm threads={threads}");
+
+            let mut sm_serial = rndvec(41 * 13, 27);
+            let mut sm_par = sm_serial.clone();
+            softmax_rows(&mut sm_serial, 13);
+            par_softmax_rows(&ex, &mut sm_par, 13);
+            assert_eq!(sm_serial, sm_par, "softmax threads={threads}");
+
+            let t_in = rndvec(m * n, 28);
+            let mut t_serial = vec![0.0; m * n];
+            transpose2d(&t_in, m, n, &mut t_serial);
+            let mut t_par = vec![0.0; m * n];
+            par_transpose(&ex, &t_in, 1, m, n, &mut t_par);
+            assert_eq!(t_serial, t_par, "transpose threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_bmm_backward_matches_per_batch_serial() {
+        use crate::exec::Executor;
+        let (bsz, m, k, n) = (3usize, 17, 11, 13);
+        let a = rndvec(bsz * m * k, 31);
+        let dc = rndvec(bsz * m * n, 32);
+        let b = rndvec(bsz * k * n, 33);
+        let ex = Executor::with_threads(4);
+
+        // dA += dC·Bᵀ, per batch serial vs global-row parallel.
+        let mut want = vec![0.1; bsz * m * k];
+        for bi in 0..bsz {
+            matmul_acc_nt(
+                &dc[bi * m * n..(bi + 1) * m * n],
+                &b[bi * k * n..(bi + 1) * k * n],
+                m,
+                n,
+                k,
+                &mut want[bi * m * k..(bi + 1) * m * k],
+            );
+        }
+        let mut got = vec![0.1; bsz * m * k];
+        par_bmm_acc_nt(&ex, &dc, &b, bsz, m, k, n, &mut got);
+        assert_eq!(want, got);
+
+        // dB += Aᵀ·dC, per batch serial vs global-row parallel.
+        let mut want = vec![0.2; bsz * k * n];
+        for bi in 0..bsz {
+            matmul_acc_tn(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &dc[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+                &mut want[bi * k * n..(bi + 1) * k * n],
+            );
+        }
+        let mut got = vec![0.2; bsz * k * n];
+        par_bmm_acc_tn(&ex, &a, &dc, bsz, m, k, n, &mut got);
+        assert_eq!(want, got);
     }
 }

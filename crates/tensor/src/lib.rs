@@ -32,11 +32,13 @@
 
 pub mod backward;
 pub mod check;
+pub mod exec;
 pub mod graph;
 pub mod kernels;
 pub mod shape;
 pub mod store;
 
 pub use backward::Gradients;
+pub use exec::{ExecStats, Executor, THREADS_ENV};
 pub use graph::{Graph, Var, LN_EPS};
 pub use store::{Param, ParamId, ParamSnapshot, ParamStore};
