@@ -1,0 +1,109 @@
+//! Criterion microbenches for the single-core kernel overhaul: blocked
+//! matmul vs problem size, fused vs unfused attention and bias+activation
+//! graphs, and planned FFTs. The acceptance numbers live in
+//! `BENCH_kernels.json` (see the `bench_kernels` bin); these benches are for
+//! interactive `cargo bench -p tfmae-bench --bench kernels` digging.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfmae_fft::rfft;
+use tfmae_nn::{Ctx, MultiHeadSelfAttention, FUSED_ATTENTION_ENV};
+use tfmae_tensor::{ActKind, Executor, Graph, ParamStore};
+
+fn randn(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = Graph::with_executor(Arc::new(Executor::serial()));
+    let mut group = c.benchmark_group("kernels_matmul");
+    // Below / at / above the blocked-kernel threshold.
+    for &(m, k, n) in &[(24usize, 16usize, 24usize), (64, 64, 64), (192, 160, 176)] {
+        let a = randn(&mut rng, m * k);
+        let b = randn(&mut rng, k * n);
+        group.bench_function(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), |bch| {
+            bch.iter(|| {
+                g.reset();
+                let av = g.constant_from(&a, vec![m, k]);
+                let bv = g.constant_from(&b, vec![k, n]);
+                g.scalar_value(g.sum_all(g.matmul(av, bv)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let (b, t, d, h) = (4usize, 64usize, 64usize, 4usize);
+    let mut ps = ParamStore::new();
+    let mut arng = StdRng::seed_from_u64(23);
+    let attn = MultiHeadSelfAttention::new(&mut ps, &mut arng, "bench", d, h);
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = randn(&mut rng, b * t * d);
+    let g = Graph::with_executor(Arc::new(Executor::serial()));
+
+    let mut group = c.benchmark_group("kernels_attention");
+    for fused in [true, false] {
+        let label = if fused { "fused" } else { "unfused" };
+        group.bench_function(BenchmarkId::from_parameter(label), |bch| {
+            if fused {
+                std::env::remove_var(FUSED_ATTENTION_ENV);
+            } else {
+                std::env::set_var(FUSED_ATTENTION_ENV, "0");
+            }
+            bch.iter(|| {
+                g.reset();
+                let ctx = Ctx::eval(&g, &ps);
+                let xv = g.constant_from(&x, vec![b, t, d]);
+                g.scalar_value(g.sum_all(attn.forward(&ctx, xv)))
+            });
+            std::env::remove_var(FUSED_ATTENTION_ENV);
+        });
+    }
+    group.finish();
+}
+
+fn bench_bias_act(c: &mut Criterion) {
+    let g = Graph::with_executor(Arc::new(Executor::serial()));
+    let mut rng = StdRng::seed_from_u64(11);
+    let (rows, dim) = (512usize, 128usize);
+    let x = randn(&mut rng, rows * dim);
+    let bias = randn(&mut rng, dim);
+    let mut group = c.benchmark_group("kernels_bias_act");
+    group.bench_function("fused", |bch| {
+        bch.iter(|| {
+            g.reset();
+            let xv = g.constant_from(&x, vec![rows, dim]);
+            let bv = g.constant_from(&bias, vec![dim]);
+            g.scalar_value(g.sum_all(g.bias_act(xv, bv, ActKind::Gelu)))
+        })
+    });
+    group.bench_function("unfused", |bch| {
+        bch.iter(|| {
+            g.reset();
+            let xv = g.constant_from(&x, vec![rows, dim]);
+            let bv = g.constant_from(&bias, vec![dim]);
+            g.scalar_value(g.sum_all(g.gelu(g.add(xv, bv))))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_fft");
+    for &len in &[100usize, 512] {
+        let sig: Vec<f64> =
+            (0..len).map(|i| (i as f64 * 0.13).sin() + 0.3 * (i as f64 * 0.71).cos()).collect();
+        group.bench_function(BenchmarkId::from_parameter(format!("rfft_{len}")), |bch| {
+            bch.iter(|| rfft(&sig).iter().map(|z| z.re + z.im).sum::<f64>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_attention, bench_bias_act, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Single-core kernel harness: times the hot compute paths the detector
+//! actually runs — dense matmul, multi-head attention forward (and a
+//! forward+backward step), real FFTs, the Wiener–Khinchin sliding CV, and a
+//! full tiny training epoch — and writes `BENCH_kernels.json`.
+//!
+//! ```text
+//! cargo run --release -p tfmae-bench --bin bench_kernels -- \
+//!     [--quick] [--out BENCH_kernels.json] [--baseline before.json]
+//! ```
+//!
+//! Only long-lived public APIs are used, so this same binary compiles
+//! against the pre-overhaul kernels too. The before/after protocol is:
+//! build and run it on the old tree (`--out before.json`), then run it on
+//! the new tree with `--baseline before.json`; each entry then carries
+//! `before_ns_per_iter` and `speedup_vs_before` measured on the same host.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfmae_core::{TfmaeConfig, TfmaeDetector};
+use tfmae_data::{render, Component, Detector, TimeSeries};
+use tfmae_fft::{rfft, sliding_cv_fft};
+use tfmae_nn::{Ctx, MultiHeadSelfAttention};
+use tfmae_tensor::{Executor, Graph, ParamStore};
+
+struct Entry {
+    bench: String,
+    ns_per_iter: f64,
+    checksum: f64,
+}
+
+fn randn(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Times `f` over `iters` iterations after `warmup` discarded ones;
+/// returns (ns/iter, checksum of the last iteration).
+fn time_ns(warmup: usize, iters: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
+    let mut checksum = 0.0;
+    for _ in 0..warmup {
+        checksum = f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        checksum = f();
+    }
+    (start.elapsed().as_nanos() as f64 / iters as f64, checksum)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--out" => {
+                out_path = args.get(i + 1).cloned().unwrap_or(out_path);
+                i += 2;
+            }
+            "--baseline" => {
+                baseline = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other}");
+                i += 1;
+            }
+        }
+    }
+
+    let scale = if quick { 5 } else { 1 };
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // All benches run single-thread: this harness measures per-core
+    // arithmetic intensity, not the worker-pool scaling of BENCH_exec.json.
+    let g = Graph::with_executor(Arc::new(Executor::serial()));
+
+    // ------------------------------------------------------------- matmul
+    for &(m, k, n, iters) in
+        &[(192usize, 160usize, 176usize, 200usize), (64, 64, 64, 2000), (24, 16, 24, 20000)]
+    {
+        let a = randn(&mut rng, m * k);
+        let b = randn(&mut rng, k * n);
+        let (ns, sum) = time_ns(5, iters / scale, || {
+            g.reset();
+            let av = g.constant_from(&a, vec![m, k]);
+            let bv = g.constant_from(&b, vec![k, n]);
+            g.scalar_value(g.sum_all(g.matmul(av, bv))) as f64
+        });
+        entries.push(Entry { bench: format!("matmul_{m}x{k}x{n}"), ns_per_iter: ns, checksum: sum });
+    }
+
+    // ---------------------------------------------------------- attention
+    let (b, t, d, h) = (4usize, 64usize, 64usize, 4usize);
+    let mut ps = ParamStore::new();
+    let mut arng = StdRng::seed_from_u64(23);
+    let attn = MultiHeadSelfAttention::new(&mut ps, &mut arng, "bench", d, h);
+    let x = randn(&mut rng, b * t * d);
+
+    let (ns, sum) = time_ns(5, 400 / scale, || {
+        g.reset();
+        let ctx = Ctx::eval(&g, &ps);
+        let xv = g.constant_from(&x, vec![b, t, d]);
+        let y = attn.forward(&ctx, xv);
+        g.scalar_value(g.sum_all(y)) as f64
+    });
+    entries.push(Entry { bench: format!("attention_fwd_{b}x{t}x{d}h{h}"), ns_per_iter: ns, checksum: sum });
+
+    let (ns, sum) = time_ns(3, 200 / scale, || {
+        g.reset();
+        let mut store = ps.clone();
+        let ctx = Ctx::eval(&g, &store);
+        let xv = g.constant_from(&x, vec![b, t, d]);
+        let y = attn.forward(&ctx, xv);
+        let loss = g.mean_all(g.square(y));
+        let lv = g.scalar_value(loss) as f64;
+        g.backward_params_pooled(loss, &mut store);
+        lv
+    });
+    entries.push(Entry { bench: format!("attention_step_{b}x{t}x{d}h{h}"), ns_per_iter: ns, checksum: sum });
+
+    // ---------------------------------------------------------------- fft
+    for &(len, iters) in &[(512usize, 20000usize), (100, 20000)] {
+        let sig: Vec<f64> = (0..len).map(|i| (i as f64 * 0.13).sin() + 0.3 * (i as f64 * 0.71).cos()).collect();
+        let (ns, sum) = time_ns(10, iters / scale, || rfft(&sig).iter().map(|z| z.re + z.im).sum());
+        entries.push(Entry { bench: format!("rfft_{len}"), ns_per_iter: ns, checksum: sum });
+    }
+    {
+        let sig: Vec<f64> = (0..512).map(|i| (i as f64 * 0.21).sin() + 1.5).collect();
+        let (ns, sum) =
+            time_ns(5, 2000 / scale, || sliding_cv_fft(&sig, 10).iter().sum::<f64>());
+        entries.push(Entry { bench: "sliding_cv_512_w10".to_string(), ns_per_iter: ns, checksum: sum });
+    }
+
+    // -------------------------------------------------------- train epoch
+    let ch = render(
+        &[Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 }, Component::Noise { sigma: 0.05 }],
+        512,
+        &mut rng,
+    );
+    let train = TimeSeries::from_channels(&[ch]);
+    let (ns, sum) = time_ns(1, (6 / scale).max(2), || {
+        let cfg = TfmaeConfig { epochs: 1, ..TfmaeConfig::tiny() };
+        let mut det = TfmaeDetector::new(cfg);
+        det.set_executor(Arc::new(Executor::serial()));
+        det.fit(&train, &train);
+        det.loss_curve.last().copied().unwrap_or(0.0) as f64
+    });
+    entries.push(Entry { bench: "train_epoch_tiny".to_string(), ns_per_iter: ns, checksum: sum });
+
+    // ------------------------------------------------------------- report
+    let before = baseline.as_deref().map(read_baseline).unwrap_or_default();
+    let json = render_json(&entries, &before);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("could not write {out_path}: {e}");
+    } else {
+        println!("[json] {out_path}");
+    }
+    println!("{json}");
+}
+
+/// Reads `(bench, ns_per_iter)` pairs back out of a previous run's JSON.
+/// Hand-rolled scan over the exact format `render_json` emits, so the
+/// harness has no parser dependency.
+fn read_baseline(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("could not read baseline {path}; reporting without before numbers");
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(bench) = field_str(line, "\"bench\": \"") else { continue };
+        let Some(ns) = field_num(line, "\"ns_per_iter\": ") else { continue };
+        out.push((bench, ns));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .map(|e| e + start)
+        .unwrap_or(line.len());
+    line[start..end].parse().ok()
+}
+
+fn render_json(entries: &[Entry], before: &[(String, f64)]) -> String {
+    use std::fmt::Write as _;
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"host_parallelism\": {host},");
+    let _ = writeln!(out, "  \"threads\": 1,");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let base = before.iter().find(|(b, _)| *b == e.bench).map(|(_, ns)| *ns);
+        match base {
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"bench\": \"{}\", \"ns_per_iter\": {:.0}, \"before_ns_per_iter\": {:.0}, \"speedup_vs_before\": {:.3}, \"checksum\": {:.6}}}{comma}",
+                    e.bench, e.ns_per_iter, b, b / e.ns_per_iter, e.checksum
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"bench\": \"{}\", \"ns_per_iter\": {:.0}, \"checksum\": {:.6}}}{comma}",
+                    e.bench, e.ns_per_iter, e.checksum
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}

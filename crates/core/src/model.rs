@@ -5,7 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tfmae_nn::{encoding_for_positions, encoding_table, Activation, Ctx, Linear, TransformerConfig, TransformerStack};
+use tfmae_nn::{encoding_table, Activation, Ctx, Linear, TransformerConfig, TransformerStack};
 use tfmae_tensor::{Graph, ParamId, ParamStore, Var};
 
 use crate::config::{AdversarialMode, ScoreKind, TfmaeConfig};
@@ -169,7 +169,12 @@ impl TfmaeModel {
         let mut data = Vec::with_capacity(b * k * d);
         for pos in positions_per_window {
             debug_assert_eq!(pos.len(), k);
-            data.extend(encoding_for_positions(pos, d));
+            // Gather rows from the precomputed `self.posenc` table (identical
+            // values to `encoding_for_positions`, without re-deriving the
+            // powf/sin/cos per element on every batch).
+            for &t in pos {
+                data.extend_from_slice(&self.posenc[t * d..(t + 1) * d]);
+            }
         }
         g.constant(data, vec![b, k, d])
     }

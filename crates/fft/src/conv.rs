@@ -6,16 +6,22 @@
 //! masking-specific statistics live in [`crate::stats`].
 
 use crate::complex::Complex64;
-use crate::fft::{fft_pow2_in_place, next_power_of_two, Direction};
+use crate::fft::{next_power_of_two, Direction};
+use crate::plan::plan_for_len;
 
 /// Full linear convolution of two real sequences (`len = a.len()+b.len()-1`),
 /// computed by zero-padded power-of-two FFTs in O((n+m) log(n+m)).
+///
+/// All three transforms share one cached [plan](crate::plan::plan_for_len),
+/// so the sliding statistics that call this at a fixed padded length pay for
+/// twiddle construction exactly once.
 pub fn convolve_full(a: &[f64], b: &[f64]) -> Vec<f64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
     let out_len = a.len() + b.len() - 1;
     let n = next_power_of_two(out_len);
+    let plan = plan_for_len(n);
     let mut fa = vec![Complex64::ZERO; n];
     let mut fb = vec![Complex64::ZERO; n];
     for (slot, &v) in fa.iter_mut().zip(a.iter()) {
@@ -24,12 +30,12 @@ pub fn convolve_full(a: &[f64], b: &[f64]) -> Vec<f64> {
     for (slot, &v) in fb.iter_mut().zip(b.iter()) {
         *slot = Complex64::from_re(v);
     }
-    fft_pow2_in_place(&mut fa, Direction::Forward);
-    fft_pow2_in_place(&mut fb, Direction::Forward);
+    plan.process_in_place(&mut fa, Direction::Forward);
+    plan.process_in_place(&mut fb, Direction::Forward);
     for (x, y) in fa.iter_mut().zip(fb.iter()) {
         *x *= *y;
     }
-    fft_pow2_in_place(&mut fa, Direction::Inverse);
+    plan.process_in_place(&mut fa, Direction::Inverse);
     fa[..out_len].iter().map(|z| z.re).collect()
 }
 

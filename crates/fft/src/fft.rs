@@ -157,14 +157,13 @@ pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
 }
 
 /// Forward/inverse FFT dispatching on the length.
+///
+/// Runs through the process-wide [plan cache](crate::plan::plan_for_len):
+/// twiddle factors and bit-reversal tables are computed once per length and
+/// reused by every subsequent same-length call. [`fft_pow2_in_place`] and
+/// [`fft_bluestein`] remain as the plan-free reference implementations.
 pub fn transform(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
-    if is_power_of_two(input.len().max(1)) && !input.is_empty() {
-        let mut buf = input.to_vec();
-        fft_pow2_in_place(&mut buf, dir);
-        buf
-    } else {
-        fft_bluestein(input, dir)
-    }
+    crate::plan::plan_for_len(input.len()).process(input, dir)
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ pub mod complex;
 pub mod conv;
 pub mod dft;
 pub mod fft;
+pub mod plan;
 pub mod rfft;
 pub mod stats;
 
@@ -38,6 +39,7 @@ pub use dft::{dft, dft_real, idft};
 pub use fft::{
     fft, fft_bluestein, fft_pow2_in_place, ifft, is_power_of_two, next_power_of_two, Direction,
 };
+pub use plan::{plan_for_len, FftPlan};
 pub use rfft::{amplitude_spectrum, irfft, rfft, rfft_len};
 pub use stats::{
     bottom_k_indices, multivariate_cv, sliding_cv_fft, sliding_cv_naive, sliding_mean_fft,

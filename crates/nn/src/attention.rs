@@ -6,6 +6,17 @@ use tfmae_tensor::{ParamStore, Var};
 use crate::ctx::Ctx;
 use crate::linear::Linear;
 
+/// Environment variable disabling the fused attention kernel (`=0`); the
+/// layer then records the unfused bmm → softmax → bmm chain. Fused and
+/// unfused paths agree within 1e-5 but are not bitwise identical, so the
+/// flag exists for kernel-parity debugging.
+pub const FUSED_ATTENTION_ENV: &str = "TFMAE_FUSED_ATTENTION";
+
+fn fused_enabled() -> bool {
+    // Re-read every call (cheap next to the kernel) so tests can toggle it.
+    std::env::var(FUSED_ATTENTION_ENV).map_or(true, |v| v != "0")
+}
+
 /// Multi-head self-attention over `[B, T, D]` inputs.
 #[derive(Clone, Debug)]
 pub struct MultiHeadSelfAttention {
@@ -62,11 +73,17 @@ impl MultiHeadSelfAttention {
         let k = split(self.wk.forward_3d(ctx, x));
         let v = split(self.wv.forward_3d(ctx, x));
 
-        // Scores [B*H, T, T], softmax over keys, weighted values.
-        let kt = g.transpose_last(k);
-        let scores = g.scale(g.bmm(q, kt), 1.0 / (dh as f32).sqrt());
-        let weights = g.softmax_last(scores);
-        let ctxv = g.bmm(weights, v);
+        // softmax(Q·Kᵀ/√Dh)·V per head. The fused node never materializes
+        // the [B*H, T, T] score tensor on the tape; the unfused chain stays
+        // available behind FUSED_ATTENTION_ENV for parity debugging.
+        let scale = 1.0 / (dh as f32).sqrt();
+        let ctxv = if fused_enabled() {
+            g.attention(q, k, v, scale)
+        } else {
+            let kt = g.transpose_last(k);
+            let weights = g.softmax_last(g.scale(g.bmm(q, kt), scale));
+            g.bmm(weights, v)
+        };
 
         // Merge heads back: [B*H, T, Dh] → [B, T, D].
         let merged = g.reshape(ctxv, &[b, h, t, dh]);
@@ -153,6 +170,23 @@ mod tests {
         let (a, b) = y.split_at(12);
         for (p, q) in a.iter().zip(b.iter()) {
             assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_chain() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let attn = MultiHeadSelfAttention::new(&mut ps, &mut rng, "a", 8, 2);
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let x = toy_input(&g, 2, 7, 8);
+        let fused = g.value(attn.forward(&ctx, x));
+        std::env::set_var(FUSED_ATTENTION_ENV, "0");
+        let unfused = g.value(attn.forward(&ctx, x));
+        std::env::remove_var(FUSED_ATTENTION_ENV);
+        for (a, b) in fused.iter().zip(unfused.iter()) {
+            assert!((a - b).abs() < 1e-5, "fused {a} vs unfused {b}");
         }
     }
 

@@ -46,12 +46,12 @@ impl FeedForward {
 
     /// `[B, T, D] → [B, T, D]`.
     pub fn forward(&self, ctx: &Ctx, x: Var) -> Var {
-        let g = ctx.g;
-        let h = self.l1.forward_3d(ctx, x);
-        let h = match self.act {
-            Activation::Relu => g.relu(h),
-            Activation::Gelu => g.gelu(h),
+        // Bias add and activation fuse into one tape node (Linear::forward_act).
+        let kind = match self.act {
+            Activation::Relu => tfmae_tensor::ActKind::Relu,
+            Activation::Gelu => tfmae_tensor::ActKind::Gelu,
         };
+        let h = self.l1.forward_act_3d(ctx, x, kind);
         let h = self.drop.forward(ctx, h);
         self.l2.forward_3d(ctx, h)
     }

@@ -41,7 +41,7 @@ pub mod positional;
 pub mod transformer;
 
 pub use adam::Adam;
-pub use attention::MultiHeadSelfAttention;
+pub use attention::{MultiHeadSelfAttention, FUSED_ATTENTION_ENV};
 pub use ctx::Ctx;
 pub use dropout::Dropout;
 pub use feedforward::{Activation, FeedForward};

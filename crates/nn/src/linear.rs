@@ -1,7 +1,7 @@
 //! Fully-connected layer `y = xW + b` (Eq. 3/10's projections).
 
 use rand::rngs::StdRng;
-use tfmae_tensor::{ParamId, ParamStore, Var};
+use tfmae_tensor::{ActKind, ParamId, ParamStore, Var};
 
 use crate::ctx::Ctx;
 use crate::init;
@@ -61,6 +61,35 @@ impl Linear {
         y
     }
 
+    /// Applies the layer followed by an activation, `act(xW + b)`, fusing
+    /// the bias add and nonlinearity into one tape node when a bias exists.
+    pub fn forward_act(&self, ctx: &Ctx, x: Var, kind: ActKind) -> Var {
+        let g = ctx.g;
+        let w = g.param(ctx.ps, self.w);
+        let y = g.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = g.param(ctx.ps, b);
+                g.bias_act(y, bv, kind)
+            }
+            None => match kind {
+                ActKind::Relu => g.relu(y),
+                ActKind::Gelu => g.gelu(y),
+            },
+        }
+    }
+
+    /// [`Linear::forward_act`] along the trailing axis of a 3-D input.
+    pub fn forward_act_3d(&self, ctx: &Ctx, x: Var, kind: ActKind) -> Var {
+        let g = ctx.g;
+        let shape = g.shape(x);
+        assert_eq!(shape.len(), 3, "forward_act_3d expects [B,T,D]");
+        let (b, t) = (shape[0], shape[1]);
+        let flat = g.reshape(x, &[b * t, self.in_dim]);
+        let y = self.forward_act(ctx, flat, kind);
+        g.reshape(y, &[b, t, self.out_dim])
+    }
+
     /// Applies the layer along the trailing axis of a 3-D input
     /// `[B, T, in_dim] → [B, T, out_dim]`.
     pub fn forward_3d(&self, ctx: &Ctx, x: Var) -> Var {
@@ -107,6 +136,40 @@ mod tests {
         let x = g.constant(vec![1.0, 2.0], vec![1, 2]);
         let y = lin.forward(&ctx, x);
         assert_eq!(g.value(y), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn fused_forward_act_matches_unfused() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(&mut ps, &mut rng, "l", 4, 3);
+        let g = Graph::new();
+        let ctx = Ctx::eval(&g, &ps);
+        let data: Vec<f32> = (0..8).map(|i| (i as f32 * 0.37).sin()).collect();
+        let x = g.constant(data, vec![2, 4]);
+        for (kind, unfuse) in [
+            (ActKind::Gelu, (|g: &Graph, y| g.gelu(y)) as fn(&Graph, Var) -> Var),
+            (ActKind::Relu, |g: &Graph, y| g.relu(y)),
+        ] {
+            let fused = g.value(lin.forward_act(&ctx, x, kind));
+            let unfused = g.value(unfuse(&g, lin.forward(&ctx, x)));
+            for (a, b) in fused.iter().zip(unfused.iter()) {
+                assert!((a - b).abs() < 1e-5, "{kind:?}: fused {a} vs unfused {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_forward_act_gradients_check_out() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let lin = Linear::new(&mut ps, &mut rng, "l", 4, 3);
+        assert_grads_close(&mut ps, 1e-2, 2e-2, |g, ps| {
+            let ctx = Ctx::eval(g, ps);
+            let x = g.constant((0..8).map(|i| 0.3 + i as f32 * 0.1).collect(), vec![2, 4]);
+            let y = lin.forward_act(&ctx, x, ActKind::Gelu);
+            g.mean_all(g.square(y))
+        });
     }
 
     #[test]

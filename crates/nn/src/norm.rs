@@ -38,7 +38,8 @@ impl LayerNorm {
         let normed = g.div(centered, std);
         let gain = g.param(ctx.ps, self.gain);
         let bias = g.param(ctx.ps, self.bias);
-        g.add(g.mul(normed, gain), bias)
+        // Fused normed·gain + bias: one tape node instead of Mul + Add.
+        g.mul_add(normed, gain, bias)
     }
 }
 

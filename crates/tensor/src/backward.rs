@@ -262,6 +262,112 @@ impl Graph {
                         }
                     }
                 }
+                Op::Attention { q, k, v, scale } => {
+                    let (q, k, v, scale) = (*q, *k, *v, *scale);
+                    if nodes[q].needs_grad || nodes[k].needs_grad || nodes[v].needs_grad {
+                        let (bsz, tq, d) =
+                            (nodes[q].shape[0], nodes[q].shape[1], nodes[q].shape[2]);
+                        let tk = nodes[k].shape[1];
+                        // The kernel fills three private accumulators which
+                        // are then folded sequentially into acc() buffers —
+                        // q/k/v may alias the same node (self-attention on a
+                        // shared projection), so folding must not assume
+                        // three distinct gradient slots.
+                        let mut dq = self.exec.alloc_zeroed(bsz * tq * d);
+                        let mut dk = self.exec.alloc_zeroed(bsz * tk * d);
+                        let mut dv = self.exec.alloc_zeroed(bsz * tk * d);
+                        kernels::par_attention_backward(
+                            &self.exec,
+                            &nodes[q].value,
+                            &nodes[k].value,
+                            &nodes[v].value,
+                            &gout,
+                            bsz,
+                            tq,
+                            tk,
+                            d,
+                            scale,
+                            &mut dq,
+                            &mut dk,
+                            &mut dv,
+                        );
+                        for (id, tmp) in [(q, &dq), (k, &dk), (v, &dv)] {
+                            if nodes[id].needs_grad {
+                                let g = acc(&self.exec, &mut grads, id, tmp.len());
+                                for (s, t) in g.iter_mut().zip(tmp.iter()) {
+                                    *s += t;
+                                }
+                            }
+                        }
+                        self.exec.recycle(dq);
+                        self.exec.recycle(dk);
+                        self.exec.recycle(dv);
+                    }
+                }
+                Op::BiasAct { x, bias, kind } => {
+                    let (x, bias, kind) = (*x, *bias, *kind);
+                    let need_x = nodes[x].needs_grad;
+                    let need_b = nodes[bias].needs_grad;
+                    if need_x || need_b {
+                        let xv = &nodes[x].value;
+                        let bv = &nodes[bias].value;
+                        let m = bv.len().max(1);
+                        // Recompute the pre-activation s = x + b per element
+                        // instead of having stored it on the tape.
+                        if need_x {
+                            let gx = acc(&self.exec, &mut grads, x, xv.len());
+                            for (ci, chunk) in gx.chunks_mut(m).enumerate() {
+                                let base = ci * m;
+                                for (j, slot) in chunk.iter_mut().enumerate() {
+                                    let s = xv[base + j] + bv[j];
+                                    *slot += gout[base + j] * kernels::act_grad(kind, s);
+                                }
+                            }
+                        }
+                        if need_b {
+                            let gb = acc(&self.exec, &mut grads, bias, bv.len());
+                            for (ci, chunk) in gout.chunks(m).enumerate() {
+                                let base = ci * m;
+                                for (j, &g) in chunk.iter().enumerate() {
+                                    let s = xv[base + j] + bv[j];
+                                    gb[j] += g * kernels::act_grad(kind, s);
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::MulAdd { a, b, c } => {
+                    let (a, b, c) = (*a, *b, *c);
+                    let av = &nodes[a].value;
+                    let bv = &nodes[b].value;
+                    let m = bv.len().max(1);
+                    if nodes[a].needs_grad {
+                        let ga = acc(&self.exec, &mut grads, a, av.len());
+                        for (ci, chunk) in ga.chunks_mut(m).enumerate() {
+                            let base = ci * m;
+                            for (j, slot) in chunk.iter_mut().enumerate() {
+                                *slot += gout[base + j] * bv[j];
+                            }
+                        }
+                    }
+                    if nodes[b].needs_grad {
+                        let gb = acc(&self.exec, &mut grads, b, m);
+                        for (ci, chunk) in gout.chunks(m).enumerate() {
+                            let base = ci * m;
+                            for (j, &g) in chunk.iter().enumerate() {
+                                gb[j] += g * av[base + j];
+                            }
+                        }
+                    }
+                    if nodes[c].needs_grad {
+                        let gc = acc(&self.exec, &mut grads, c, m);
+                        for chunk in gout.chunks(m) {
+                            for (j, &g) in chunk.iter().enumerate() {
+                                gc[j] += g;
+                            }
+                        }
+                    }
+                }
                 Op::ScatterRows { src, idx, out_t } => {
                     if nodes[*src].needs_grad {
                         let (bsz, k, d) =

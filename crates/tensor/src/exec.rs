@@ -28,6 +28,13 @@ use std::thread;
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "TFMAE_THREADS";
 
+/// Minimum total task work (multiply-adds) before
+/// [`Executor::parallel_for_flops`] fans a kernel out to the worker pool.
+/// BENCH_exec.json showed 0.78×/0.65× at 4 threads on small shapes: below
+/// roughly this many flops the wake/shard round-trip costs more than the
+/// arithmetic, so such tasks run inline on the caller.
+pub const MIN_PAR_FLOPS: usize = 256 * 1024;
+
 /// Smallest pooled buffer capacity (floats): `1 << MIN_CLASS`.
 const MIN_CLASS: u32 = 6;
 /// Free-list length cap per size class; overflow buffers are dropped so the
@@ -296,6 +303,22 @@ impl Executor {
         assert!(!job.panicked.load(Ordering::SeqCst), "executor worker panicked during parallel_for");
     }
 
+    /// [`parallel_for`](Self::parallel_for) gated by *total* task work:
+    /// below [`MIN_PAR_FLOPS`] multiply-adds the task runs inline on the
+    /// caller (still counted in `tasks_dispatched`, never in
+    /// `parallel_tasks`), so tiny matmuls/bmm never pay shard-and-wake
+    /// overhead that exceeds the compute itself.
+    pub fn parallel_for_flops(
+        &self,
+        n: usize,
+        min_per_chunk: usize,
+        total_flops: usize,
+        f: &(dyn Fn(usize, usize) + Sync),
+    ) {
+        let min = if total_flops < MIN_PAR_FLOPS { n.max(1) } else { min_per_chunk };
+        self.parallel_for(n, min, f);
+    }
+
     // -------------------------------------------------------------- buffers
 
     /// A zero-filled buffer of length `n` from the pool (capacity is the
@@ -492,6 +515,22 @@ mod tests {
         let st = ex.stats();
         assert_eq!(st.tasks_dispatched, 1);
         assert_eq!(st.parallel_tasks, 0);
+    }
+
+    #[test]
+    fn flops_gate_runs_small_tasks_inline() {
+        let ex = Executor::with_threads(4);
+        // Plenty of rows and a tiny min chunk, but total work below the
+        // flop gate: must run inline as a single chunk.
+        ex.parallel_for_flops(1000, 1, MIN_PAR_FLOPS - 1, &|s, e| {
+            assert_eq!((s, e), (0, 1000));
+        });
+        let st = ex.stats();
+        assert_eq!((st.tasks_dispatched, st.parallel_tasks), (1, 0));
+        // At or above the gate the same shape fans out.
+        ex.parallel_for_flops(1000, 1, MIN_PAR_FLOPS, &|_, _| {});
+        let st = ex.stats();
+        assert_eq!((st.tasks_dispatched, st.parallel_tasks), (2, 1));
     }
 
     #[test]

@@ -78,6 +78,15 @@ pub(crate) enum Op {
     /// Scatter rows along axis 1 into a zeroed `[B, T, D]` output; inverse
     /// access pattern of `GatherRows`. Duplicate indices accumulate.
     ScatterRows { src: usize, idx: Vec<usize>, out_t: usize },
+    /// Fused scaled-dot-product attention `softmax(Q·Kᵀ·scale)·V` over
+    /// `[B,Tq,D]`/`[B,Tk,D]`/`[B,Tk,D]`; no `Tq×Tk` score node is ever
+    /// materialized — backward recomputes the row weights.
+    Attention { q: usize, k: usize, v: usize, scale: f32 },
+    /// Fused `act(x + bias)` where `bias` is a trailing-axes suffix of `x`.
+    BiasAct { x: usize, bias: usize, kind: kernels::ActKind },
+    /// Fused `a ⊙ b + c` where `b` and `c` share a trailing-axes suffix
+    /// shape of `a` (LayerNorm's `normed·gain + bias` in one node).
+    MulAdd { a: usize, b: usize, c: usize },
 }
 
 pub(crate) struct Node {
@@ -500,6 +509,153 @@ impl Graph {
             (value, vec![bsz, m, n], na.needs_grad || nb.needs_grad)
         };
         self.push(value, out_shape, Op::Bmm(a.id, b.id), needs)
+    }
+
+    /// Fused scaled-dot-product attention `softmax(Q·Kᵀ·scale)·V` with
+    /// `q: [B,Tq,D]`, `k: [B,Tk,D]`, `v: [B,Tk,D] → [B,Tq,D]`.
+    ///
+    /// Equivalent to the unfused
+    /// `bmm(softmax_last(scale(bmm(q, transpose_last(k)), scale)), v)` chain
+    /// but computed per query row without materializing the `Tq×Tk` score
+    /// tensor on the tape — the tape holds only this one `[B,Tq,D]` node,
+    /// and backward recomputes the softmax weights row by row.
+    pub fn attention(&self, q: Var, k: Var, v: Var, scale: f32) -> Var {
+        let (value, out_shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let nq = &nodes[q.id];
+            let nk = &nodes[k.id];
+            let nv = &nodes[v.id];
+            assert_eq!(nq.shape.len(), 3, "attention q must be 3-D, got {}", fmt_shape(&nq.shape));
+            assert_eq!(nk.shape.len(), 3, "attention k must be 3-D, got {}", fmt_shape(&nk.shape));
+            assert_eq!(nv.shape.len(), 3, "attention v must be 3-D, got {}", fmt_shape(&nv.shape));
+            let (bsz, tq, d) = (nq.shape[0], nq.shape[1], nq.shape[2]);
+            let tk = nk.shape[1];
+            assert!(
+                nk.shape[0] == bsz && nk.shape[2] == d,
+                "attention q/k shapes: {} vs {}",
+                fmt_shape(&nq.shape),
+                fmt_shape(&nk.shape)
+            );
+            assert!(
+                nv.shape == nk.shape,
+                "attention k/v shapes: {} vs {}",
+                fmt_shape(&nk.shape),
+                fmt_shape(&nv.shape)
+            );
+            let mut value = self.exec.alloc_zeroed(bsz * tq * d);
+            kernels::par_attention(
+                &self.exec, &nq.value, &nk.value, &nv.value, bsz, tq, tk, d, scale, &mut value,
+            );
+            (value, vec![bsz, tq, d], nq.needs_grad || nk.needs_grad || nv.needs_grad)
+        };
+        self.push(value, out_shape, Op::Attention { q: q.id, k: k.id, v: v.id, scale }, needs)
+    }
+
+    /// Fused `act(x + bias)` where `bias` is a trailing-axes suffix of `x`
+    /// (the Linear-then-activation idiom): one tape node instead of two,
+    /// with backward recomputing the pre-activation instead of storing it.
+    pub fn bias_act(&self, x: Var, bias: Var, kind: kernels::ActKind) -> Var {
+        let (value, shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let nx = &nodes[x.id];
+            let nb = &nodes[bias.id];
+            assert!(
+                is_suffix(&nb.shape, &nx.shape),
+                "bias_act: bias {} must be a suffix of x {}",
+                fmt_shape(&nb.shape),
+                fmt_shape(&nx.shape)
+            );
+            let n = nx.value.len();
+            let m = nb.value.len().max(1);
+            let xv = &nx.value;
+            let bv = &nb.value;
+            let value = if self.exec.parallel_beneficial(n, MIN_PAR_ELEMS) {
+                let rows = n / m;
+                let mut out = self.exec.alloc_zeroed(n);
+                let p = SendPtr(out.as_mut_ptr());
+                self.exec.parallel_for(rows, (MIN_PAR_ELEMS / m).max(1), &|r0, r1| {
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(p.get().add(r0 * m), (r1 - r0) * m)
+                    };
+                    for (chunk, src) in dst.chunks_mut(m).zip(xv[r0 * m..r1 * m].chunks(m)) {
+                        for ((o, x), y) in chunk.iter_mut().zip(src).zip(bv.iter()) {
+                            *o = kernels::act_apply(kind, x + y);
+                        }
+                    }
+                });
+                out
+            } else {
+                let mut out = self.exec.alloc_empty(n);
+                for chunk in xv.chunks(m) {
+                    for (x, y) in chunk.iter().zip(bv.iter()) {
+                        out.push(kernels::act_apply(kind, x + y));
+                    }
+                }
+                out
+            };
+            (value, nx.shape.clone(), nx.needs_grad || nb.needs_grad)
+        };
+        self.push(value, shape, Op::BiasAct { x: x.id, bias: bias.id, kind }, needs)
+    }
+
+    /// Fused `relu(x + bias)` — see [`Graph::bias_act`].
+    pub fn bias_relu(&self, x: Var, bias: Var) -> Var {
+        self.bias_act(x, bias, kernels::ActKind::Relu)
+    }
+
+    /// Fused `gelu(x + bias)` — see [`Graph::bias_act`].
+    pub fn bias_gelu(&self, x: Var, bias: Var) -> Var {
+        self.bias_act(x, bias, kernels::ActKind::Gelu)
+    }
+
+    /// Fused `a ⊙ b + c` where `b` and `c` are same-shaped trailing-axes
+    /// suffixes of `a` — LayerNorm's `normed·gain + bias` as one tape node
+    /// instead of a `Mul` and an `Add`.
+    pub fn mul_add(&self, a: Var, b: Var, c: Var) -> Var {
+        let (value, shape, needs) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            let nb = &nodes[b.id];
+            let nc = &nodes[c.id];
+            assert!(
+                nb.shape == nc.shape && is_suffix(&nb.shape, &na.shape),
+                "mul_add: b {} / c {} must be equal suffixes of a {}",
+                fmt_shape(&nb.shape),
+                fmt_shape(&nc.shape),
+                fmt_shape(&na.shape)
+            );
+            let n = na.value.len();
+            let m = nb.value.len().max(1);
+            let av = &na.value;
+            let bv = &nb.value;
+            let cv = &nc.value;
+            let value = if self.exec.parallel_beneficial(n, MIN_PAR_ELEMS) {
+                let rows = n / m;
+                let mut out = self.exec.alloc_zeroed(n);
+                let p = SendPtr(out.as_mut_ptr());
+                self.exec.parallel_for(rows, (MIN_PAR_ELEMS / m).max(1), &|r0, r1| {
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(p.get().add(r0 * m), (r1 - r0) * m)
+                    };
+                    for (chunk, src) in dst.chunks_mut(m).zip(av[r0 * m..r1 * m].chunks(m)) {
+                        for (j, (o, x)) in chunk.iter_mut().zip(src).enumerate() {
+                            *o = x * bv[j] + cv[j];
+                        }
+                    }
+                });
+                out
+            } else {
+                let mut out = self.exec.alloc_empty(n);
+                for chunk in av.chunks(m) {
+                    for (j, x) in chunk.iter().enumerate() {
+                        out.push(x * bv[j] + cv[j]);
+                    }
+                }
+                out
+            };
+            (value, na.shape.clone(), na.needs_grad || nb.needs_grad || nc.needs_grad)
+        };
+        self.push(value, shape, Op::MulAdd { a: a.id, b: b.id, c: c.id }, needs)
     }
 
     /// Swaps the last two axes of a 2-D or 3-D tensor.

@@ -1,16 +1,28 @@
 //! Dense compute kernels shared by the forward and backward passes.
 //!
-//! All matrices are row-major slices. The matmul family uses the i-k-j loop
-//! order (rank-1 row updates) so the inner loops auto-vectorize.
+//! All matrices are row-major slices. Two kernel families coexist:
 //!
-//! Every kernel has a *row-range core* (`*_rows`) that computes a contiguous
-//! range of output rows into a row-relative slice, and a `par_*` wrapper
-//! that shards the row range across an [`Executor`]. The serial entry points
-//! are exactly the core applied to the full range, and each output row is
-//! produced entirely by one worker with the serial per-row code — so the
-//! per-element accumulation order never changes and parallel results are
-//! bitwise identical to serial at any thread count (the determinism
-//! contract of DESIGN.md §11).
+//! * **Direct kernels** (`matmul_rows` etc.): the i-k-j rank-1 / dot loops
+//!   from PR 2, used for problems too small to amortize packing.
+//! * **Blocked kernels** (`gemm_rows`): a cache-blocked, register-tiled
+//!   micro-kernel — A strips and B panels are packed into contiguous
+//!   scratch, then an `MR×NR` straight-line inner kernel accumulates the
+//!   tile in registers. On x86-64 with AVX2+FMA (detected at runtime) the
+//!   same inner kernel is compiled with those features enabled so the
+//!   compiler emits 8-lane fused multiply-adds; elsewhere it autovectorizes
+//!   at the build's baseline features.
+//!
+//! Every kernel has a *row-range core* that computes a contiguous range of
+//! output rows into a row-relative slice, and a `par_*` wrapper that shards
+//! the row range across an [`Executor`]. Per output element the accumulation
+//! order over the shared dimension is fixed (ascending, with k-block
+//! boundaries at multiples of the global `KC`), independent of how rows are
+//! sharded — so parallel results are bitwise identical to serial at any
+//! thread count (the determinism contract of DESIGN.md §11). Small problems
+//! fall back to the direct kernels based on the *global* shape, never the
+//! shard, so serial and parallel always pick the same path.
+
+use std::cell::RefCell;
 
 use crate::exec::{Executor, SendPtr};
 
@@ -34,10 +46,308 @@ unsafe fn rows_mut<'a>(p: SendPtr, r0: usize, r1: usize, width: usize) -> &'a mu
     std::slice::from_raw_parts_mut(p.get().add(r0 * width), (r1 - r0) * width)
 }
 
+// ---------------------------------------------------- blocked micro-kernel
+
+/// Micro-tile rows (the broadcast side of the inner kernel).
+const MR: usize = 6;
+/// Micro-tile columns (the vector side: two 8-lane AVX registers).
+const NR: usize = 16;
+/// Shared-dimension block. One packed B panel is `KC×NR` floats (16 KiB)
+/// and stays L1-resident across all strips of an A block. `KC` is a global
+/// constant so k-block boundaries — and therefore the per-element FP
+/// accumulation order — never depend on row sharding.
+const KC: usize = 256;
+/// Rows of A packed per block (`MC×KC` ≈ 66 KiB, L2-resident). A multiple
+/// of `MR` so packed strips tile the block exactly.
+const MC: usize = 66;
+
+/// Effective problems below this many multiply-adds skip packing and use
+/// the direct kernels (packing overhead dominates under ~8k flops).
+const BLOCKED_MIN_MULS: usize = 8 * 1024;
+
+/// Blocked GEBP pays only when the inner dimension amortizes the panel
+/// packing (`k ≥ 16`), the micro-tile width is filled (`n ≥ 16`), and the
+/// problem is big enough overall. Skinny products — e.g. per-head attention
+/// scores with `Dh = 8`, or 2-wide feature lifts — stay on the direct
+/// kernels, which double as the bitwise-stable pre-overhaul paths.
+fn use_blocked(m: usize, k: usize, n: usize) -> bool {
+    k >= NR && n >= NR && m.saturating_mul(k).saturating_mul(n) >= BLOCKED_MIN_MULS
+}
+
+thread_local! {
+    /// Per-worker packing scratch: (A block, B panel). Workers are
+    /// persistent, so each thread allocates exactly once.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        RefCell::new((vec![0.0; MC * KC], vec![0.0; KC * NR]));
+    /// Per-worker attention scratch blocks (weights, dW, dS — each up to
+    /// `Tq×Tk` — plus `Kᵀ`/`Vᵀ` transposes of `D×Tk` for the skinny direct
+    /// path; worker-local, never tape temporaries).
+    static ATTN_SCRATCH: RefCell<[Vec<f32>; 5]> = RefCell::new([
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+    ]);
+}
+
+/// `c + a·b`, fused to a single rounding when `FUSED` (the AVX2+FMA path).
+#[inline(always)]
+fn fmadd<const FUSED: bool>(a: f32, b: f32, c: f32) -> f32 {
+    if FUSED {
+        a.mul_add(b, c)
+    } else {
+        c + a * b
+    }
+}
+
+/// Whether the runtime CPU supports the AVX2+FMA kernel instantiation.
+/// Cached after the first probe; identical for every thread of the process,
+/// so kernel selection never differs between serial and parallel runs.
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Packs the `kc×NR` panel of the effective B starting at column `j0`,
+/// k-major (`bpack[p*NR + c]`), zero-padding columns past `nr`. Padded
+/// columns only feed accumulators that are never stored.
+///
+/// `TB = false`: B stored `kdim×ndim` row-major (panel rows contiguous).
+/// `TB = true`: B stored `ndim×kdim` (effective Bᵀ — the NT layout).
+#[inline(always)]
+fn pack_b<const TB: bool>(
+    b: &[f32],
+    kdim: usize,
+    ndim: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nr: usize,
+    bpack: &mut [f32],
+) {
+    let _ = ndim;
+    if !TB {
+        for p in 0..kc {
+            let src = &b[(p0 + p) * ndim + j0..(p0 + p) * ndim + j0 + nr];
+            let dst = &mut bpack[p * NR..p * NR + NR];
+            dst[..nr].copy_from_slice(src);
+            for slot in &mut dst[nr..] {
+                *slot = 0.0;
+            }
+        }
+    } else {
+        for c in 0..nr {
+            let src = &b[(j0 + c) * kdim + p0..(j0 + c) * kdim + p0 + kc];
+            for (p, &x) in src.iter().enumerate() {
+                bpack[p * NR + c] = x;
+            }
+        }
+        for c in nr..NR {
+            for p in 0..kc {
+                bpack[p * NR + c] = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs `mc` effective-A rows starting at `i_blk` over k-range
+/// `[p0, p0+kc)` strip-major: strip `s` occupies
+/// `apack[s*MR*kc ..][p*MR + r]`. Rows past the edge are zero-padded (their
+/// accumulators are never stored).
+///
+/// `TA = false`: A stored `mdim×kdim` row-major.
+/// `TA = true`: A stored `kdim×mdim` (effective Aᵀ — the TN layout).
+#[inline(always)]
+fn pack_a<const TA: bool>(
+    a: &[f32],
+    mdim: usize,
+    kdim: usize,
+    i_blk: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    apack: &mut [f32],
+) {
+    let _ = mdim;
+    let strips = (mc + MR - 1) / MR;
+    for s in 0..strips {
+        let r0 = i_blk + s * MR;
+        let mr = MR.min(i_blk + mc - r0);
+        let dst = &mut apack[s * MR * kc..(s + 1) * MR * kc];
+        if !TA {
+            for r in 0..mr {
+                let src = &a[(r0 + r) * kdim + p0..(r0 + r) * kdim + p0 + kc];
+                for (p, &x) in src.iter().enumerate() {
+                    dst[p * MR + r] = x;
+                }
+            }
+            for r in mr..MR {
+                for p in 0..kc {
+                    dst[p * MR + r] = 0.0;
+                }
+            }
+        } else {
+            for p in 0..kc {
+                let src = &a[(p0 + p) * mdim + r0..(p0 + p) * mdim + r0 + mr];
+                let row = &mut dst[p * MR..p * MR + MR];
+                row[..mr].copy_from_slice(src);
+                for slot in &mut row[mr..] {
+                    *slot = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled inner kernel: accumulates the `mr×nr` tile
+/// `out[r*ldc + c] += Σ_p apack[p*MR + r] · bpack[p*NR + c]` with `p`
+/// strictly ascending. Written as straight-line f32 loops over constant
+/// bounds so the compiler keeps the `MR×NR` accumulator block in vector
+/// registers (12 × 8-lane accumulators at 6×16).
+#[inline(always)]
+fn micro_kernel<const FUSED: bool>(
+    kc: usize,
+    apack: &[f32],
+    bpack: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let mut ap = &apack[..kc * MR];
+    let mut bp = &bpack[..kc * NR];
+    for _ in 0..kc {
+        let (arow, atail) = ap.split_at(MR);
+        let (brow, btail) = bp.split_at(NR);
+        for r in 0..MR {
+            let av = arow[r];
+            for c in 0..NR {
+                acc[r][c] = fmadd::<FUSED>(av, brow[c], acc[r][c]);
+            }
+        }
+        ap = atail;
+        bp = btail;
+    }
+    if mr == MR && nr == NR {
+        for (r, arow) in acc.iter().enumerate() {
+            let orow = &mut out[r * ldc..r * ldc + NR];
+            for (o, &x) in orow.iter_mut().zip(arow.iter()) {
+                *o += x;
+            }
+        }
+    } else {
+        for (r, arow) in acc.iter().enumerate().take(mr) {
+            let orow = &mut out[r * ldc..r * ldc + nr];
+            for (o, &x) in orow.iter_mut().zip(arow.iter()) {
+                *o += x;
+            }
+        }
+    }
+}
+
+/// Blocked GEBP driver for effective output rows `[i0, i1)` of
+/// `C[mdim×ndim] += Aeff[mdim×kdim] · Beff[kdim×ndim]` into the
+/// row-relative `out_rows`. `TA`/`TB` select the storage layout of the
+/// *effective* operands (see [`pack_a`]/[`pack_b`]).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows_body<const FUSED: bool, const TA: bool, const TB: bool>(
+    a: &[f32],
+    b: &[f32],
+    mdim: usize,
+    kdim: usize,
+    ndim: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+    apack: &mut [f32],
+    bpack: &mut [f32],
+) {
+    for p0 in (0..kdim).step_by(KC) {
+        let kc = KC.min(kdim - p0);
+        for ib in (i0..i1).step_by(MC) {
+            let mc = MC.min(i1 - ib);
+            pack_a::<TA>(a, mdim, kdim, ib, mc, p0, kc, apack);
+            let strips = (mc + MR - 1) / MR;
+            for j0 in (0..ndim).step_by(NR) {
+                let nr = NR.min(ndim - j0);
+                pack_b::<TB>(b, kdim, ndim, p0, kc, j0, nr, bpack);
+                for s in 0..strips {
+                    let row = ib - i0 + s * MR;
+                    let mr = MR.min(mc - s * MR);
+                    micro_kernel::<FUSED>(
+                        kc,
+                        &apack[s * MR * kc..(s + 1) * MR * kc],
+                        bpack,
+                        &mut out_rows[row * ndim + j0..],
+                        ndim,
+                        mr,
+                        nr,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// [`gemm_rows_body`] compiled with AVX2+FMA enabled so the inner kernel
+/// vectorizes to 8-lane fused multiply-adds.
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support (see [`fma_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_rows_fma<const TA: bool, const TB: bool>(
+    a: &[f32],
+    b: &[f32],
+    mdim: usize,
+    kdim: usize,
+    ndim: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+    apack: &mut [f32],
+    bpack: &mut [f32],
+) {
+    gemm_rows_body::<true, TA, TB>(a, b, mdim, kdim, ndim, i0, i1, out_rows, apack, bpack);
+}
+
+/// Runtime-dispatched blocked GEBP over effective rows `[i0, i1)`.
+fn gemm_rows<const TA: bool, const TB: bool>(
+    a: &[f32],
+    b: &[f32],
+    mdim: usize,
+    kdim: usize,
+    ndim: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    PACK_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let (apack, bpack) = (&mut scratch.0, &mut scratch.1);
+        #[cfg(target_arch = "x86_64")]
+        if fma_available() {
+            // SAFETY: `fma_available()` verified AVX2+FMA at runtime.
+            unsafe { gemm_rows_fma::<TA, TB>(a, b, mdim, kdim, ndim, i0, i1, out_rows, apack, bpack) };
+            return;
+        }
+        gemm_rows_body::<false, TA, TB>(a, b, mdim, kdim, ndim, i0, i1, out_rows, apack, bpack);
+    });
+}
+
 // ------------------------------------------------------------------ matmul
 
 /// Computes output rows `[i0, i1)` of `A·B` into the row-relative `out_rows`
-/// (`(i1-i0) × n`, zeroed). `A` is `m×k`, `B` is `k×n`.
+/// (`(i1-i0) × n`, zeroed). `A` is `m×k`, `B` is `k×n`. Direct i-k-j
+/// rank-1 kernel, used below the blocking threshold.
 fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize, i1: usize, out_rows: &mut [f32]) {
     for (r, i) in (i0..i1).enumerate() {
         let arow = &a[i * k..(i + 1) * k];
@@ -53,28 +363,49 @@ fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize, i1: usize, o
     }
 }
 
+/// Rows `[i0, i1)` of `A·B`, picking blocked vs direct from the *global*
+/// shape so any sharding computes each element identically.
+fn matmul_rows_dispatch(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    if use_blocked(m, k, n) {
+        gemm_rows::<false, false>(a, b, m, k, n, i0, i1, out_rows);
+    } else {
+        matmul_rows(a, b, k, n, i0, i1, out_rows);
+    }
+}
+
 /// `out = A·B` where `A` is `m×k`, `B` is `k×n`. `out` must be zeroed.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    matmul_rows(a, b, k, n, 0, m, out);
+    matmul_rows_dispatch(a, b, m, k, n, 0, m, out);
 }
 
-/// Row-sharded [`matmul`]; bitwise identical to the serial path.
+/// Row-sharded [`matmul`]; bitwise identical to the serial path. Tasks
+/// below the executor's flop gate run inline on the caller.
 pub fn par_matmul(exec: &Executor, a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     let p = SendPtr(out.as_mut_ptr());
-    exec.parallel_for(m, min_rows(k * n), &|i0, i1| {
+    exec.parallel_for_flops(m, min_rows(k * n), m * k * n, &|i0, i1| {
         let rows = unsafe { rows_mut(p, i0, i1, n) };
-        matmul_rows(a, b, k, n, i0, i1, rows);
+        matmul_rows_dispatch(a, b, m, k, n, i0, i1, rows);
     });
 }
 
 /// Computes output rows `[i0, i1)` of `A·Bᵀ`, *accumulated* into the
 /// row-relative `out_rows`. `A` is `m×n`, `B` is `k×n`, `out` is `m×k`.
+/// Direct dot kernel, used below the blocking threshold.
 fn matmul_acc_nt_rows(a: &[f32], b: &[f32], n: usize, k: usize, i0: usize, i1: usize, out_rows: &mut [f32]) {
     for (r, i) in (i0..i1).enumerate() {
         let arow = &a[i * n..(i + 1) * n];
@@ -90,13 +421,32 @@ fn matmul_acc_nt_rows(a: &[f32], b: &[f32], n: usize, k: usize, i0: usize, i1: u
     }
 }
 
+/// Rows `[i0, i1)` of `out += A·Bᵀ` (effective `M=m, K=n, N=k`, B stored
+/// transposed), blocked vs direct from the global shape.
+fn matmul_acc_nt_rows_dispatch(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    if use_blocked(m, n, k) {
+        gemm_rows::<false, true>(a, b, m, n, k, i0, i1, out_rows);
+    } else {
+        matmul_acc_nt_rows(a, b, n, k, i0, i1, out_rows);
+    }
+}
+
 /// `out += A·Bᵀ` where `A` is `m×n`, `B` is `k×n`, `out` is `m×k`.
 /// (Used for `dA += dC·Bᵀ` in matmul backward.)
 pub fn matmul_acc_nt(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * n);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * k);
-    matmul_acc_nt_rows(a, b, n, k, 0, m, out);
+    matmul_acc_nt_rows_dispatch(a, b, m, n, k, 0, m, out);
 }
 
 /// Row-sharded [`matmul_acc_nt`]; bitwise identical to the serial path.
@@ -105,9 +455,9 @@ pub fn par_matmul_acc_nt(exec: &Executor, a: &[f32], b: &[f32], m: usize, n: usi
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * k);
     let p = SendPtr(out.as_mut_ptr());
-    exec.parallel_for(m, min_rows(n * k), &|i0, i1| {
+    exec.parallel_for_flops(m, min_rows(n * k), m * n * k, &|i0, i1| {
         let rows = unsafe { rows_mut(p, i0, i1, k) };
-        matmul_acc_nt_rows(a, b, n, k, i0, i1, rows);
+        matmul_acc_nt_rows_dispatch(a, b, m, n, k, i0, i1, rows);
     });
 }
 
@@ -131,13 +481,32 @@ fn matmul_acc_tn_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, l0: us
     }
 }
 
+/// Rows `[l0, l1)` of `out += Aᵀ·B` (effective `M=k, K=m, N=n`, A stored
+/// transposed), blocked vs direct from the global shape.
+fn matmul_acc_tn_rows_dispatch(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    l0: usize,
+    l1: usize,
+    out_rows: &mut [f32],
+) {
+    if use_blocked(k, m, n) {
+        gemm_rows::<true, false>(a, b, k, m, n, l0, l1, out_rows);
+    } else {
+        matmul_acc_tn_rows(a, b, m, k, n, l0, l1, out_rows);
+    }
+}
+
 /// `out += Aᵀ·B` where `A` is `m×k`, `B` is `m×n`, `out` is `k×n`.
 /// (Used for `dB += Aᵀ·dC` in matmul backward.)
 pub fn matmul_acc_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(out.len(), k * n);
-    matmul_acc_tn_rows(a, b, m, k, n, 0, k, out);
+    matmul_acc_tn_rows_dispatch(a, b, m, k, n, 0, k, out);
 }
 
 /// Row-sharded [`matmul_acc_tn`]; bitwise identical to the serial path.
@@ -146,9 +515,9 @@ pub fn par_matmul_acc_tn(exec: &Executor, a: &[f32], b: &[f32], m: usize, k: usi
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(out.len(), k * n);
     let p = SendPtr(out.as_mut_ptr());
-    exec.parallel_for(k, min_rows(m * n), &|l0, l1| {
+    exec.parallel_for_flops(k, min_rows(m * n), m * k * n, &|l0, l1| {
         let rows = unsafe { rows_mut(p, l0, l1, n) };
-        matmul_acc_tn_rows(a, b, m, k, n, l0, l1, rows);
+        matmul_acc_tn_rows_dispatch(a, b, m, k, n, l0, l1, rows);
     });
 }
 
@@ -156,7 +525,7 @@ pub fn par_matmul_acc_tn(exec: &Executor, a: &[f32], b: &[f32], m: usize, k: usi
 
 /// Computes global output rows `[r0, r1)` of the batched product
 /// `[B,m,k] × [B,k,n]` into row-relative `out_rows`. Global row `r` maps to
-/// batch `r / m`, local row `r % m`.
+/// batch `r / m`, local row `r % m`. Direct kernel.
 fn bmm_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, r0: usize, r1: usize, out_rows: &mut [f32]) {
     for (rr, r) in (r0..r1).enumerate() {
         let bi = r / m;
@@ -174,12 +543,65 @@ fn bmm_rows(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, r0: usize, r1: u
     }
 }
 
+/// Walks global rows `[r0, r1)` batch by batch, applying `f(bi, i0, i1,
+/// rel_rows)` to each per-batch local row range. `rows_per_batch` is the
+/// output row count of one batch; `width` the output row width.
+#[inline(always)]
+fn for_batch_ranges(
+    rows_per_batch: usize,
+    width: usize,
+    r0: usize,
+    r1: usize,
+    out_rows: &mut [f32],
+    mut f: impl FnMut(usize, usize, usize, &mut [f32]),
+) {
+    let mut r = r0;
+    while r < r1 {
+        let bi = r / rows_per_batch;
+        let i0 = r % rows_per_batch;
+        let i1 = rows_per_batch.min(i0 + (r1 - r));
+        let rel = &mut out_rows[(r - r0) * width..(r - r0 + i1 - i0) * width];
+        f(bi, i0, i1, rel);
+        r += i1 - i0;
+    }
+}
+
+/// Rows `[r0, r1)` of batched `A·B`, blocked vs direct from the per-batch
+/// global shape (identical for every batch, so sharding-independent).
+fn bmm_rows_dispatch(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+    out_rows: &mut [f32],
+) {
+    if use_blocked(m, k, n) {
+        for_batch_ranges(m, n, r0, r1, out_rows, |bi, i0, i1, rel| {
+            gemm_rows::<false, false>(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * k * n..(bi + 1) * k * n],
+                m,
+                k,
+                n,
+                i0,
+                i1,
+                rel,
+            );
+        });
+    } else {
+        bmm_rows(a, b, m, k, n, r0, r1, out_rows);
+    }
+}
+
 /// Batched `out = A·B` over `[B,m,k] × [B,k,n] → [B,m,n]`. `out` zeroed.
 pub fn bmm(a: &[f32], b: &[f32], bsz: usize, m: usize, k: usize, n: usize, out: &mut [f32]) {
     debug_assert_eq!(a.len(), bsz * m * k);
     debug_assert_eq!(b.len(), bsz * k * n);
     debug_assert_eq!(out.len(), bsz * m * n);
-    bmm_rows(a, b, m, k, n, 0, bsz * m, out);
+    bmm_rows_dispatch(a, b, m, k, n, 0, bsz * m, out);
 }
 
 /// Row-sharded [`bmm`] (sharded over all `B·m` output rows); bitwise
@@ -189,14 +611,14 @@ pub fn par_bmm(exec: &Executor, a: &[f32], b: &[f32], bsz: usize, m: usize, k: u
     debug_assert_eq!(b.len(), bsz * k * n);
     debug_assert_eq!(out.len(), bsz * m * n);
     let p = SendPtr(out.as_mut_ptr());
-    exec.parallel_for(bsz * m, min_rows(k * n), &|r0, r1| {
+    exec.parallel_for_flops(bsz * m, min_rows(k * n), bsz * m * k * n, &|r0, r1| {
         let rows = unsafe { rows_mut(p, r0, r1, n) };
-        bmm_rows(a, b, m, k, n, r0, r1, rows);
+        bmm_rows_dispatch(a, b, m, k, n, r0, r1, rows);
     });
 }
 
 /// Batched `dA += dC·Bᵀ`: global rows `[r0, r1)` of `[B,m,k]` from
-/// `dC = [B,m,n]`, `B = [B,k,n]`.
+/// `dC = [B,m,n]`, `B = [B,k,n]`. Direct kernel.
 fn bmm_acc_nt_rows(dc: &[f32], b: &[f32], m: usize, k: usize, n: usize, r0: usize, r1: usize, out_rows: &mut [f32]) {
     for (rr, r) in (r0..r1).enumerate() {
         let bi = r / m;
@@ -221,9 +643,24 @@ pub fn par_bmm_acc_nt(exec: &Executor, dc: &[f32], b: &[f32], bsz: usize, m: usi
     debug_assert_eq!(b.len(), bsz * k * n);
     debug_assert_eq!(out.len(), bsz * m * k);
     let p = SendPtr(out.as_mut_ptr());
-    exec.parallel_for(bsz * m, min_rows(n * k), &|r0, r1| {
+    exec.parallel_for_flops(bsz * m, min_rows(n * k), bsz * m * n * k, &|r0, r1| {
         let rows = unsafe { rows_mut(p, r0, r1, k) };
-        bmm_acc_nt_rows(dc, b, m, k, n, r0, r1, rows);
+        if use_blocked(m, n, k) {
+            for_batch_ranges(m, k, r0, r1, rows, |bi, i0, i1, rel| {
+                gemm_rows::<false, true>(
+                    &dc[bi * m * n..(bi + 1) * m * n],
+                    &b[bi * k * n..(bi + 1) * k * n],
+                    m,
+                    n,
+                    k,
+                    i0,
+                    i1,
+                    rel,
+                );
+            });
+        } else {
+            bmm_acc_nt_rows(dc, b, m, k, n, r0, r1, rows);
+        }
     });
 }
 
@@ -254,9 +691,24 @@ pub fn par_bmm_acc_tn(exec: &Executor, a: &[f32], dc: &[f32], bsz: usize, m: usi
     debug_assert_eq!(dc.len(), bsz * m * n);
     debug_assert_eq!(out.len(), bsz * k * n);
     let p = SendPtr(out.as_mut_ptr());
-    exec.parallel_for(bsz * k, min_rows(m * n), &|r0, r1| {
+    exec.parallel_for_flops(bsz * k, min_rows(m * n), bsz * m * k * n, &|r0, r1| {
         let rows = unsafe { rows_mut(p, r0, r1, n) };
-        bmm_acc_tn_rows(a, dc, m, k, n, r0, r1, rows);
+        if use_blocked(k, m, n) {
+            for_batch_ranges(k, n, r0, r1, rows, |bi, l0, l1, rel| {
+                gemm_rows::<true, false>(
+                    &a[bi * m * k..(bi + 1) * m * k],
+                    &dc[bi * m * n..(bi + 1) * m * n],
+                    k,
+                    m,
+                    n,
+                    l0,
+                    l1,
+                    rel,
+                );
+            });
+        } else {
+            bmm_acc_tn_rows(a, dc, m, k, n, r0, r1, rows);
+        }
     });
 }
 
@@ -395,19 +847,396 @@ pub fn par_softmax_rows_backward(exec: &Executor, y: &[f32], dy: &[f32], d: usiz
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
 const GELU_A: f32 = 0.044_715;
 
+/// `tanh` via the polynomial [`exp_approx`]: `1 − 2/(e^{2z}+1)`. Branch-free
+/// and vectorizable, unlike the libm `tanhf` call; absolute error stays under
+/// ~1e-6 (inherited from `exp_approx`'s <1.2e-7 relative error).
+#[inline]
+fn tanh_approx(z: f32) -> f32 {
+    1.0 - 2.0 / (exp_approx(2.0 * z) + 1.0)
+}
+
 /// GELU activation (tanh approximation).
 #[inline]
 pub fn gelu(x: f32) -> f32 {
-    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+    0.5 * x * (1.0 + tanh_approx(GELU_C * (x + GELU_A * x * x * x)))
 }
 
 /// Derivative of [`gelu`].
 #[inline]
 pub fn gelu_grad(x: f32) -> f32 {
     let u = GELU_C * (x + GELU_A * x * x * x);
-    let t = u.tanh();
+    let t = tanh_approx(u);
     let du = GELU_C * (1.0 + 3.0 * GELU_A * x * x);
     0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// Activation fused into the bias+activation graph op (`Op::BiasAct`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActKind {
+    /// `max(s, 0)`.
+    Relu,
+    /// [`gelu`] (tanh approximation).
+    Gelu,
+}
+
+/// Applies the fused activation to the pre-activation `s`.
+#[inline]
+pub fn act_apply(kind: ActKind, s: f32) -> f32 {
+    match kind {
+        ActKind::Relu => s.max(0.0),
+        ActKind::Gelu => gelu(s),
+    }
+}
+
+/// Derivative of the fused activation at the pre-activation `s`. The ReLU
+/// subgradient at 0 is 0, matching the unfused `Op::Relu` backward.
+#[inline]
+pub fn act_grad(kind: ActKind, s: f32) -> f32 {
+    match kind {
+        ActKind::Relu => {
+            if s > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ActKind::Gelu => gelu_grad(s),
+    }
+}
+
+// -------------------------------------------------------- fused attention
+
+/// Polynomial `eˣ` (Cephes expf minimax, relative error < 1.2e-7):
+/// branch-free and autovectorizable, unlike libm's scalar `expf`. Used only
+/// inside the fused attention softmax, whose contract with the unfused
+/// chain is 1e-5 parity, not bitwise equality.
+#[inline(always)]
+fn exp_approx(x: f32) -> f32 {
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    let x = x.max(-87.0).min(88.0);
+    // Round-to-nearest via the 1.5·2²³ shift — no `floor` (and thus no
+    // SSE4.1/libm dependency), so the loop vectorizes on any x86-64.
+    const RND: f32 = 12_582_912.0;
+    let nf = (x * std::f32::consts::LOG2_E + RND) - RND;
+    let r = (x - nf * LN2_HI) - nf * LN2_LO;
+    let mut p = 1.987_569_2e-4_f32;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_5e-1;
+    p = p * r + 5.000_000_1e-1;
+    let e = (p * r * r + r) + 1.0;
+    // 2^nf via exponent bits; nf ∈ [-126, 127] after the clamp above.
+    e * f32::from_bits(((nf as i32 + 127) as u32) << 23)
+}
+
+/// Max over a slice via 8 independent lanes folded in a fixed order
+/// (vectorizable; max is order-insensitive but the fixed fold keeps the
+/// codegen shape predictable).
+#[inline(always)]
+fn max8(xs: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 8];
+    let mut it = xs.chunks_exact(8);
+    for c in it.by_ref() {
+        for (l, &x) in lanes.iter_mut().zip(c.iter()) {
+            *l = l.max(x);
+        }
+    }
+    for (l, &x) in lanes.iter_mut().zip(it.remainder().iter()) {
+        *l = l.max(x);
+    }
+    let a = lanes[0].max(lanes[1]).max(lanes[2].max(lanes[3]));
+    let b = lanes[4].max(lanes[5]).max(lanes[6].max(lanes[7]));
+    a.max(b)
+}
+
+/// Sum over a slice via 8 independent lanes combined pairwise in a fixed
+/// order — vectorizable, and deterministic for a given slice regardless of
+/// thread count.
+#[inline(always)]
+fn sum8(xs: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut it = xs.chunks_exact(8);
+    for c in it.by_ref() {
+        for (l, &x) in lanes.iter_mut().zip(c.iter()) {
+            *l += x;
+        }
+    }
+    for (l, &x) in lanes.iter_mut().zip(it.remainder().iter()) {
+        *l += x;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+/// Scaled softmax over contiguous rows of width `d`, in place:
+/// `row ← softmax(scale·row)`. The scale folds into the exponent
+/// (`scale·x − scale·max`, exactly zero at the max element), the exp pass
+/// uses [`exp_approx`], and the scans run over fixed 8-lane partials, so
+/// every pass vectorizes. One function of its input → identical at any
+/// thread count.
+#[inline(always)]
+fn softmax_scaled_rows_body(rows: &mut [f32], d: usize, scale: f32) {
+    for row in rows.chunks_mut(d) {
+        let base = max8(row) * scale;
+        for x in row.iter_mut() {
+            *x = exp_approx(*x * scale - base);
+        }
+        let inv = 1.0 / sum8(row);
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// AVX2+FMA instantiation of [`softmax_scaled_rows_body`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn softmax_scaled_rows_fma(rows: &mut [f32], d: usize, scale: f32) {
+    softmax_scaled_rows_body(rows, d, scale);
+}
+
+/// Dispatches the fused-attention softmax to the AVX2+FMA build when the
+/// process-wide probe allows it, else the portable build.
+fn softmax_scaled_rows(rows: &mut [f32], d: usize, scale: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: fma_available() confirmed avx2+fma on this CPU.
+        unsafe { softmax_scaled_rows_fma(rows, d, scale) };
+        return;
+    }
+    softmax_scaled_rows_body(rows, d, scale);
+}
+
+/// Transposes one `tk×d` head matrix into `d×tk` scratch
+/// (`dst[j·tk + l] = src[l·d + j]`) so the skinny direct score path can use
+/// the vectorized axpy kernel instead of length-`d` dot products.
+fn transpose_head(src: &[f32], tk: usize, d: usize, dst: &mut Vec<f32>) {
+    dst.resize(d * tk, 0.0);
+    for (l, row) in src.chunks_exact(d).enumerate() {
+        for (j, &x) in row.iter().enumerate() {
+            dst[j * tk + l] = x;
+        }
+    }
+}
+
+/// Fused attention forward for local query rows `[i0, i1)` of one
+/// head-batch: `scores = Q·Kᵀ` into a per-worker scratch block, scaled
+/// softmax over keys, then `out += W·V`. The `Tq×Tk` weight matrix exists
+/// only as worker scratch — never as a tape temporary. Every blocked/direct
+/// choice is taken from the *global* `(tq, tk, d)` shape — blocked GEBP for
+/// wide heads, axpy over the pre-transposed `kt` for skinny ones — with
+/// k-accumulation ascending per output element, so any sharding computes
+/// each element identically. `kt` must hold `Kᵀ` (`d×tk`) when the score
+/// product is below the blocking threshold; it is unused otherwise.
+#[allow(clippy::too_many_arguments)]
+fn attention_forward_segment(
+    qmat: &[f32],
+    kmat: &[f32],
+    vmat: &[f32],
+    tq: usize,
+    tk: usize,
+    d: usize,
+    scale: f32,
+    i0: usize,
+    i1: usize,
+    out_seg: &mut [f32],
+    w: &mut [f32],
+    kt: &[f32],
+) {
+    let rows = i1 - i0;
+    let w = &mut w[..rows * tk];
+    w.fill(0.0);
+    if use_blocked(tq, d, tk) {
+        gemm_rows::<false, true>(qmat, kmat, tq, d, tk, i0, i1, w);
+    } else {
+        matmul_rows(qmat, kt, d, tk, i0, i1, w);
+    }
+    softmax_scaled_rows(w, tk, scale);
+    if use_blocked(tq, tk, d) {
+        gemm_rows::<false, false>(w, vmat, rows, tk, d, 0, rows, out_seg);
+    } else {
+        matmul_rows(w, vmat, tk, d, 0, rows, out_seg);
+    }
+}
+
+/// Row-sharded fused attention forward over `[B,Tq,D] × [B,Tk,D]²` into the
+/// caller-zeroed `out`; bitwise identical to the serial path at any thread
+/// count (each output row is one worker's, and the GEBP stages pick their
+/// kernels from global shapes only).
+#[allow(clippy::too_many_arguments)]
+pub fn par_attention(
+    exec: &Executor,
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    bsz: usize,
+    tq: usize,
+    tk: usize,
+    d: usize,
+    scale: f32,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(q.len(), bsz * tq * d);
+    debug_assert_eq!(k.len(), bsz * tk * d);
+    debug_assert_eq!(v.len(), bsz * tk * d);
+    debug_assert_eq!(out.len(), bsz * tq * d);
+    let p = SendPtr(out.as_mut_ptr());
+    let blocked_nt = use_blocked(tq, d, tk);
+    exec.parallel_for_flops(bsz * tq, min_rows(2 * tk * d), 2 * bsz * tq * tk * d, &|r0, r1| {
+        let out_rows = unsafe { rows_mut(p, r0, r1, d) };
+        ATTN_SCRATCH.with(|cell| {
+            let [w, _, _, kt, _] = &mut *cell.borrow_mut();
+            w.resize(tq * tk, 0.0);
+            let mut r = r0;
+            while r < r1 {
+                let bi = r / tq;
+                let i0 = r - bi * tq;
+                let i1 = (i0 + (r1 - r)).min(tq);
+                let qmat = &q[bi * tq * d..(bi + 1) * tq * d];
+                let kmat = &k[bi * tk * d..(bi + 1) * tk * d];
+                let vmat = &v[bi * tk * d..(bi + 1) * tk * d];
+                let seg = &mut out_rows[(r - r0) * d..(r - r0 + (i1 - i0)) * d];
+                if !blocked_nt {
+                    transpose_head(kmat, tk, d, kt);
+                }
+                attention_forward_segment(qmat, kmat, vmat, tq, tk, d, scale, i0, i1, seg, w, kt);
+                r += i1 - i0;
+            }
+        });
+    });
+}
+
+/// Fused attention backward for head-batches `[b0, b1)`: recomputes each
+/// batch's softmax weights with exactly the forward kernel's products,
+/// forms `dW = dO·Vᵀ`, applies the softmax Jacobian row-wise (folded with
+/// the score scale), then accumulates `dQ += dS·K`, `dK += dSᵀ·Q`,
+/// `dV += Wᵀ·dO` — five matrix products per batch over three `Tq×Tk`
+/// worker-scratch blocks (scratch, not tape temporaries). The two `·ᵀ`
+/// products use GEBP above the blocking threshold and the axpy kernel over
+/// pre-transposed `kt`/`vt` scratch below it.
+#[allow(clippy::too_many_arguments)]
+fn attention_backward_batches(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    dout: &[f32],
+    tq: usize,
+    tk: usize,
+    d: usize,
+    scale: f32,
+    b0: usize,
+    b1: usize,
+    dq_rows: &mut [f32],
+    dk_rows: &mut [f32],
+    dv_rows: &mut [f32],
+    scratch: &mut [Vec<f32>; 5],
+) {
+    let blocked_nt = use_blocked(tq, d, tk);
+    let blocked_nn = use_blocked(tq, tk, d);
+    let [w, dw, ds, kt, vt] = scratch;
+    w.resize(tq * tk, 0.0);
+    dw.resize(tq * tk, 0.0);
+    ds.resize(tq * tk, 0.0);
+    for (bb, bi) in (b0..b1).enumerate() {
+        let qmat = &q[bi * tq * d..(bi + 1) * tq * d];
+        let kmat = &k[bi * tk * d..(bi + 1) * tk * d];
+        let vmat = &v[bi * tk * d..(bi + 1) * tk * d];
+        let domat = &dout[bi * tq * d..(bi + 1) * tq * d];
+        let dqm = &mut dq_rows[bb * tq * d..(bb + 1) * tq * d];
+        let dkm = &mut dk_rows[bb * tk * d..(bb + 1) * tk * d];
+        let dvm = &mut dv_rows[bb * tk * d..(bb + 1) * tk * d];
+        if !blocked_nt {
+            transpose_head(kmat, tk, d, kt);
+            transpose_head(vmat, tk, d, vt);
+        }
+        // Recompute W with exactly the forward pass's products.
+        w.fill(0.0);
+        if blocked_nt {
+            gemm_rows::<false, true>(qmat, kmat, tq, d, tk, 0, tq, w);
+        } else {
+            matmul_rows(qmat, kt, d, tk, 0, tq, w);
+        }
+        softmax_scaled_rows(w, tk, scale);
+        // dW = dO·Vᵀ.
+        dw.fill(0.0);
+        if blocked_nt {
+            gemm_rows::<false, true>(domat, vmat, tq, d, tk, 0, tq, dw);
+        } else {
+            matmul_rows(domat, vt, d, tk, 0, tq, dw);
+        }
+        // Softmax Jacobian rows (accumulating — ds is zeroed first), folded
+        // with the score scale.
+        ds.fill(0.0);
+        softmax_rows_backward_range(w, dw, tk, ds);
+        for x in ds.iter_mut() {
+            *x *= scale;
+        }
+        // dQ += dS·K, dK += dSᵀ·Q, dV += Wᵀ·dO.
+        if blocked_nn {
+            gemm_rows::<false, false>(ds, kmat, tq, tk, d, 0, tq, dqm);
+        } else {
+            matmul_rows(ds, kmat, tk, d, 0, tq, dqm);
+        }
+        matmul_acc_tn_rows_dispatch(ds, qmat, tq, tk, d, 0, tk, dkm);
+        matmul_acc_tn_rows_dispatch(w, domat, tq, tk, d, 0, tk, dvm);
+    }
+}
+
+/// Batch-sharded fused attention backward: each head-batch's `dQ`/`dK`/`dV`
+/// rows are owned by exactly one worker and processed with the full-batch
+/// serial code — bitwise identical to serial at any thread count.
+/// `dq`/`dk`/`dv` must be caller-zeroed accumulators of the full size.
+#[allow(clippy::too_many_arguments)]
+pub fn par_attention_backward(
+    exec: &Executor,
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    dout: &[f32],
+    bsz: usize,
+    tq: usize,
+    tk: usize,
+    d: usize,
+    scale: f32,
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+) {
+    debug_assert_eq!(q.len(), bsz * tq * d);
+    debug_assert_eq!(k.len(), bsz * tk * d);
+    debug_assert_eq!(v.len(), bsz * tk * d);
+    debug_assert_eq!(dout.len(), bsz * tq * d);
+    debug_assert_eq!(dq.len(), q.len());
+    debug_assert_eq!(dk.len(), k.len());
+    debug_assert_eq!(dv.len(), v.len());
+    let pq = SendPtr(dq.as_mut_ptr());
+    let pk = SendPtr(dk.as_mut_ptr());
+    let pv = SendPtr(dv.as_mut_ptr());
+    let per_batch = 6 * tq * tk * d;
+    exec.parallel_for_flops(bsz, min_rows(per_batch), bsz * per_batch, &|b0, b1| {
+        let dq_rows = unsafe { rows_mut(pq, b0, b1, tq * d) };
+        let dk_rows = unsafe { rows_mut(pk, b0, b1, tk * d) };
+        let dv_rows = unsafe { rows_mut(pv, b0, b1, tk * d) };
+        ATTN_SCRATCH.with(|cell| {
+            attention_backward_batches(
+                q,
+                k,
+                v,
+                dout,
+                tq,
+                tk,
+                d,
+                scale,
+                b0,
+                b1,
+                dq_rows,
+                dk_rows,
+                dv_rows,
+                &mut cell.borrow_mut(),
+            );
+        });
+    });
 }
 
 #[cfg(test)]
@@ -442,6 +1271,16 @@ mod tests {
         (0..n).map(|i| ((i as f32 * 12.9898 + seed as f32) .sin() * 43758.547).fract() - 0.5).collect()
     }
 
+    fn assert_close(got: &[f32], want: &[f32], tol: f32, what: &str) {
+        assert_eq!(got.len(), want.len(), "{what}: length");
+        for (i, (x, y)) in got.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "{what}[{i}]: {x} vs {y}"
+            );
+        }
+    }
+
     #[test]
     fn matmul_matches_naive() {
         let (m, k, n) = (7, 5, 9);
@@ -456,34 +1295,49 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matmul_matches_naive_across_tile_edges() {
+        // Sizes straddling MR/NR strips, the KC=256 k-block boundary, and
+        // the MC row-block boundary — all on the blocked path.
+        for &(m, k, n) in
+            &[(64usize, 64usize, 64usize), (67, 300, 95), (131, 40, 33), (70, 257, 17), (6, 128, 48)]
+        {
+            assert!(use_blocked(m, k, n), "test size must take the blocked path");
+            let a = rndvec(m * k, (m + n) as u32);
+            let b = rndvec(k * n, (k + 7) as u32);
+            let mut out = vec![0.0; m * n];
+            matmul(&a, &b, m, k, n, &mut out);
+            assert_close(&out, &naive_matmul(&a, &b, m, k, n), 1e-4, "blocked matmul");
+        }
+    }
+
+    #[test]
     fn nt_variant_matches_transposed_naive() {
-        // out += A(m×n) · Bᵀ where B is k×n.
-        let (m, n, k) = (4, 6, 3);
-        let a = rndvec(m * n, 3);
-        let b = rndvec(k * n, 4);
-        let mut bt = vec![0.0; n * k];
-        transpose2d(&b, k, n, &mut bt);
-        let want = naive_matmul(&a, &bt, m, n, k);
-        let mut out = vec![0.0; m * k];
-        matmul_acc_nt(&a, &b, m, n, k, &mut out);
-        for (x, y) in out.iter().zip(want.iter()) {
-            assert!((x - y).abs() < 1e-5);
+        // out += A(m×n) · Bᵀ where B is k×n — one direct-path size, one
+        // blocked-path size.
+        for &(m, n, k) in &[(4usize, 6usize, 3usize), (48, 70, 52)] {
+            let a = rndvec(m * n, 3);
+            let b = rndvec(k * n, 4);
+            let mut bt = vec![0.0; n * k];
+            transpose2d(&b, k, n, &mut bt);
+            let want = naive_matmul(&a, &bt, m, n, k);
+            let mut out = vec![0.0; m * k];
+            matmul_acc_nt(&a, &b, m, n, k, &mut out);
+            assert_close(&out, &want, 1e-4, "acc_nt");
         }
     }
 
     #[test]
     fn tn_variant_matches_transposed_naive() {
-        // out += Aᵀ(k×m) · B(m×n) where A is m×k.
-        let (m, k, n) = (5, 4, 3);
-        let a = rndvec(m * k, 5);
-        let b = rndvec(m * n, 6);
-        let mut at = vec![0.0; k * m];
-        transpose2d(&a, m, k, &mut at);
-        let want = naive_matmul(&at, &b, k, m, n);
-        let mut out = vec![0.0; k * n];
-        matmul_acc_tn(&a, &b, m, k, n, &mut out);
-        for (x, y) in out.iter().zip(want.iter()) {
-            assert!((x - y).abs() < 1e-5);
+        // out += Aᵀ(k×m) · B(m×n) where A is m×k — direct and blocked sizes.
+        for &(m, k, n) in &[(5usize, 4usize, 3usize), (60, 35, 40)] {
+            let a = rndvec(m * k, 5);
+            let b = rndvec(m * n, 6);
+            let mut at = vec![0.0; k * m];
+            transpose2d(&a, m, k, &mut at);
+            let want = naive_matmul(&at, &b, k, m, n);
+            let mut out = vec![0.0; k * n];
+            matmul_acc_tn(&a, &b, m, k, n, &mut out);
+            assert_close(&out, &want, 1e-4, "acc_tn");
         }
     }
 
@@ -497,15 +1351,18 @@ mod tests {
 
     #[test]
     fn bmm_matches_per_batch_matmul() {
-        let (bsz, m, k, n) = (3, 5, 4, 6);
-        let a = rndvec(bsz * m * k, 11);
-        let b = rndvec(bsz * k * n, 12);
-        let mut out = vec![0.0; bsz * m * n];
-        bmm(&a, &b, bsz, m, k, n, &mut out);
-        for bi in 0..bsz {
-            let mut want = vec![0.0; m * n];
-            matmul(&a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n], m, k, n, &mut want);
-            assert_eq!(&out[bi * m * n..(bi + 1) * m * n], &want[..]);
+        // One direct-path size and one blocked-path size: the batched
+        // kernels must agree with the 2-D entry bit-for-bit in both.
+        for &(bsz, m, k, n) in &[(3usize, 5usize, 4usize, 6usize), (2, 40, 32, 48)] {
+            let a = rndvec(bsz * m * k, 11);
+            let b = rndvec(bsz * k * n, 12);
+            let mut out = vec![0.0; bsz * m * n];
+            bmm(&a, &b, bsz, m, k, n, &mut out);
+            for bi in 0..bsz {
+                let mut want = vec![0.0; m * n];
+                matmul(&a[bi * m * k..(bi + 1) * m * k], &b[bi * k * n..(bi + 1) * k * n], m, k, n, &mut want);
+                assert_eq!(&out[bi * m * n..(bi + 1) * m * n], &want[..], "bsz={bsz} m={m}");
+            }
         }
     }
 
@@ -562,6 +1419,16 @@ mod tests {
     }
 
     #[test]
+    fn act_helpers_match_unfused_ops() {
+        for &s in &[-2.5f32, -0.4, 0.0, 0.3, 1.7] {
+            assert_eq!(act_apply(ActKind::Relu, s), s.max(0.0));
+            assert_eq!(act_apply(ActKind::Gelu, s), gelu(s));
+            assert_eq!(act_grad(ActKind::Gelu, s), gelu_grad(s));
+            assert_eq!(act_grad(ActKind::Relu, s), if s > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
     fn transpose_roundtrip() {
         let a = rndvec(12, 9);
         let mut t = vec![0.0; 12];
@@ -585,97 +1452,239 @@ mod tests {
     #[test]
     fn parallel_kernels_bitwise_match_serial() {
         use crate::exec::Executor;
-        // Odd sizes so chunk boundaries never align with anything.
-        let (m, k, n) = (37, 23, 29);
-        let bsz = 3;
-        let a = rndvec(m * k, 21);
-        let b = rndvec(k * n, 22);
-        let ba = rndvec(bsz * m * k, 23);
-        let bb = rndvec(bsz * k * n, 24);
-        for threads in [2usize, 4] {
-            let ex = Executor::with_threads(threads);
+        // Odd sizes so chunk boundaries never align with anything. The
+        // first triple takes the direct path, the second the blocked path;
+        // both must be bitwise identical to serial at any thread count.
+        for &(m, k, n) in &[(17usize, 13usize, 19usize), (131, 67, 73)] {
+            let bsz = 3;
+            let a = rndvec(m * k, 21);
+            let b = rndvec(k * n, 22);
+            let ba = rndvec(bsz * m * k, 23);
+            let bb = rndvec(bsz * k * n, 24);
+            for threads in [2usize, 4] {
+                let ex = Executor::with_threads(threads);
 
-            let mut serial = vec![0.0; m * n];
-            matmul(&a, &b, m, k, n, &mut serial);
-            let mut par = vec![0.0; m * n];
-            par_matmul(&ex, &a, &b, m, k, n, &mut par);
-            assert_eq!(serial, par, "matmul threads={threads}");
+                let mut serial = vec![0.0; m * n];
+                matmul(&a, &b, m, k, n, &mut serial);
+                let mut par = vec![0.0; m * n];
+                par_matmul(&ex, &a, &b, m, k, n, &mut par);
+                assert_eq!(serial, par, "matmul {m}x{k}x{n} threads={threads}");
 
-            let mut serial = vec![0.5; m * n]; // accumulate onto non-zero
-            matmul_acc_nt(&a, &b, m, k, n, &mut serial);
-            // note: acc_nt reads A as m×n here; reuse shapes that fit.
-            let mut par = vec![0.5; m * n];
-            par_matmul_acc_nt(&ex, &a, &b, m, k, n, &mut par);
-            assert_eq!(serial, par, "acc_nt threads={threads}");
+                let mut serial = vec![0.5; m * n]; // accumulate onto non-zero
+                matmul_acc_nt(&a, &b, m, k, n, &mut serial);
+                // note: acc_nt reads A as m×n here; reuse shapes that fit.
+                let mut par = vec![0.5; m * n];
+                par_matmul_acc_nt(&ex, &a, &b, m, k, n, &mut par);
+                assert_eq!(serial, par, "acc_nt {m}x{k}x{n} threads={threads}");
 
-            let a2 = rndvec(m * k, 25);
-            let b2 = rndvec(m * n, 26);
-            let mut serial = vec![0.25; k * n];
-            matmul_acc_tn(&a2, &b2, m, k, n, &mut serial);
-            let mut par = vec![0.25; k * n];
-            par_matmul_acc_tn(&ex, &a2, &b2, m, k, n, &mut par);
-            assert_eq!(serial, par, "acc_tn threads={threads}");
+                let a2 = rndvec(m * k, 25);
+                let b2 = rndvec(m * n, 26);
+                let mut serial = vec![0.25; k * n];
+                matmul_acc_tn(&a2, &b2, m, k, n, &mut serial);
+                let mut par = vec![0.25; k * n];
+                par_matmul_acc_tn(&ex, &a2, &b2, m, k, n, &mut par);
+                assert_eq!(serial, par, "acc_tn {m}x{k}x{n} threads={threads}");
 
-            let mut serial = vec![0.0; bsz * m * n];
-            bmm(&ba, &bb, bsz, m, k, n, &mut serial);
-            let mut par = vec![0.0; bsz * m * n];
-            par_bmm(&ex, &ba, &bb, bsz, m, k, n, &mut par);
-            assert_eq!(serial, par, "bmm threads={threads}");
+                let mut serial = vec![0.0; bsz * m * n];
+                bmm(&ba, &bb, bsz, m, k, n, &mut serial);
+                let mut par = vec![0.0; bsz * m * n];
+                par_bmm(&ex, &ba, &bb, bsz, m, k, n, &mut par);
+                assert_eq!(serial, par, "bmm {m}x{k}x{n} threads={threads}");
 
-            let mut sm_serial = rndvec(41 * 13, 27);
-            let mut sm_par = sm_serial.clone();
-            softmax_rows(&mut sm_serial, 13);
-            par_softmax_rows(&ex, &mut sm_par, 13);
-            assert_eq!(sm_serial, sm_par, "softmax threads={threads}");
+                let mut sm_serial = rndvec(41 * 13, 27);
+                let mut sm_par = sm_serial.clone();
+                softmax_rows(&mut sm_serial, 13);
+                par_softmax_rows(&ex, &mut sm_par, 13);
+                assert_eq!(sm_serial, sm_par, "softmax threads={threads}");
 
-            let t_in = rndvec(m * n, 28);
-            let mut t_serial = vec![0.0; m * n];
-            transpose2d(&t_in, m, n, &mut t_serial);
-            let mut t_par = vec![0.0; m * n];
-            par_transpose(&ex, &t_in, 1, m, n, &mut t_par);
-            assert_eq!(t_serial, t_par, "transpose threads={threads}");
+                let t_in = rndvec(m * n, 28);
+                let mut t_serial = vec![0.0; m * n];
+                transpose2d(&t_in, m, n, &mut t_serial);
+                let mut t_par = vec![0.0; m * n];
+                par_transpose(&ex, &t_in, 1, m, n, &mut t_par);
+                assert_eq!(t_serial, t_par, "transpose threads={threads}");
+            }
         }
     }
 
     #[test]
     fn parallel_bmm_backward_matches_per_batch_serial() {
         use crate::exec::Executor;
-        let (bsz, m, k, n) = (3usize, 17, 11, 13);
-        let a = rndvec(bsz * m * k, 31);
-        let dc = rndvec(bsz * m * n, 32);
-        let b = rndvec(bsz * k * n, 33);
+        for &(bsz, m, k, n) in &[(3usize, 17usize, 11usize, 13usize), (2, 48, 36, 40)] {
+            let a = rndvec(bsz * m * k, 31);
+            let dc = rndvec(bsz * m * n, 32);
+            let b = rndvec(bsz * k * n, 33);
+            let ex = Executor::with_threads(4);
+
+            // dA += dC·Bᵀ, per batch serial vs global-row parallel.
+            let mut want = vec![0.1; bsz * m * k];
+            for bi in 0..bsz {
+                matmul_acc_nt(
+                    &dc[bi * m * n..(bi + 1) * m * n],
+                    &b[bi * k * n..(bi + 1) * k * n],
+                    m,
+                    n,
+                    k,
+                    &mut want[bi * m * k..(bi + 1) * m * k],
+                );
+            }
+            let mut got = vec![0.1; bsz * m * k];
+            par_bmm_acc_nt(&ex, &dc, &b, bsz, m, k, n, &mut got);
+            assert_eq!(want, got, "acc_nt bsz={bsz} m={m}");
+
+            // dB += Aᵀ·dC, per batch serial vs global-row parallel.
+            let mut want = vec![0.2; bsz * k * n];
+            for bi in 0..bsz {
+                matmul_acc_tn(
+                    &a[bi * m * k..(bi + 1) * m * k],
+                    &dc[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                    &mut want[bi * k * n..(bi + 1) * k * n],
+                );
+            }
+            let mut got = vec![0.2; bsz * k * n];
+            par_bmm_acc_tn(&ex, &a, &dc, bsz, m, k, n, &mut got);
+            assert_eq!(want, got, "acc_tn bsz={bsz} m={m}");
+        }
+    }
+
+    #[test]
+    fn small_matmuls_run_inline_large_ones_fan_out() {
+        use crate::exec::Executor;
         let ex = Executor::with_threads(4);
+        let (m, k, n) = (16usize, 16usize, 16usize); // 4k flops < gate
+        let a = rndvec(m * k, 41);
+        let b = rndvec(k * n, 42);
+        let mut out = vec![0.0; m * n];
+        par_matmul(&ex, &a, &b, m, k, n, &mut out);
+        let st = ex.stats();
+        assert_eq!((st.tasks_dispatched, st.parallel_tasks), (1, 0), "tiny matmul must stay serial");
 
-        // dA += dC·Bᵀ, per batch serial vs global-row parallel.
-        let mut want = vec![0.1; bsz * m * k];
-        for bi in 0..bsz {
-            matmul_acc_nt(
-                &dc[bi * m * n..(bi + 1) * m * n],
-                &b[bi * k * n..(bi + 1) * k * n],
-                m,
-                n,
-                k,
-                &mut want[bi * m * k..(bi + 1) * m * k],
-            );
-        }
-        let mut got = vec![0.1; bsz * m * k];
-        par_bmm_acc_nt(&ex, &dc, &b, bsz, m, k, n, &mut got);
-        assert_eq!(want, got);
+        let (m, k, n) = (128usize, 64usize, 64usize); // 512k flops ≥ gate
+        let a = rndvec(m * k, 43);
+        let b = rndvec(k * n, 44);
+        let mut out = vec![0.0; m * n];
+        par_matmul(&ex, &a, &b, m, k, n, &mut out);
+        let st = ex.stats();
+        assert_eq!((st.tasks_dispatched, st.parallel_tasks), (2, 1), "large matmul must fan out");
 
-        // dB += Aᵀ·dC, per batch serial vs global-row parallel.
-        let mut want = vec![0.2; bsz * k * n];
+        // Tiny bmm likewise stays inline.
+        let (bsz, m, k, n) = (4usize, 8usize, 8usize, 8usize);
+        let ba = rndvec(bsz * m * k, 45);
+        let bb = rndvec(bsz * k * n, 46);
+        let mut bout = vec![0.0; bsz * m * n];
+        par_bmm(&ex, &ba, &bb, bsz, m, k, n, &mut bout);
+        let st = ex.stats();
+        assert_eq!((st.tasks_dispatched, st.parallel_tasks), (3, 1), "tiny bmm must stay serial");
+    }
+
+    /// Unfused attention reference: materialized scores → softmax → bmm.
+    fn naive_attention(q: &[f32], k: &[f32], v: &[f32], bsz: usize, tq: usize, tk: usize, d: usize, scale: f32) -> Vec<f32> {
+        let mut out = vec![0.0; bsz * tq * d];
+        let mut scores = vec![0.0f32; tk];
         for bi in 0..bsz {
-            matmul_acc_tn(
-                &a[bi * m * k..(bi + 1) * m * k],
-                &dc[bi * m * n..(bi + 1) * m * n],
-                m,
-                k,
-                n,
-                &mut want[bi * k * n..(bi + 1) * k * n],
-            );
+            for i in 0..tq {
+                for (j, s) in scores.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for l in 0..d {
+                        acc += q[(bi * tq + i) * d + l] * k[(bi * tk + j) * d + l];
+                    }
+                    *s = acc * scale;
+                }
+                softmax_rows(&mut scores, tk);
+                for (j, &w) in scores.iter().enumerate() {
+                    for l in 0..d {
+                        out[(bi * tq + i) * d + l] += w * v[(bi * tk + j) * d + l];
+                    }
+                }
+            }
         }
-        let mut got = vec![0.2; bsz * k * n];
-        par_bmm_acc_tn(&ex, &a, &dc, bsz, m, k, n, &mut got);
-        assert_eq!(want, got);
+        out
+    }
+
+    #[test]
+    fn fused_attention_matches_unfused_reference() {
+        use crate::exec::Executor;
+        let (bsz, tq, tk, d) = (3usize, 9usize, 9usize, 12usize);
+        let scale = 1.0 / (d as f32).sqrt();
+        let q = rndvec(bsz * tq * d, 51);
+        let k = rndvec(bsz * tk * d, 52);
+        let v = rndvec(bsz * tk * d, 53);
+        let ex = Executor::serial();
+        let mut out = vec![0.0; bsz * tq * d];
+        par_attention(&ex, &q, &k, &v, bsz, tq, tk, d, scale, &mut out);
+        assert_close(&out, &naive_attention(&q, &k, &v, bsz, tq, tk, d, scale), 1e-5, "attention");
+    }
+
+    #[test]
+    fn parallel_attention_bitwise_matches_serial() {
+        use crate::exec::Executor;
+        let (bsz, tq, tk, d) = (5usize, 33usize, 33usize, 16usize);
+        let scale = 0.25;
+        let q = rndvec(bsz * tq * d, 61);
+        let k = rndvec(bsz * tk * d, 62);
+        let v = rndvec(bsz * tk * d, 63);
+        let dout = rndvec(bsz * tq * d, 64);
+        let serial = Executor::serial();
+        let mut want = vec![0.0; bsz * tq * d];
+        par_attention(&serial, &q, &k, &v, bsz, tq, tk, d, scale, &mut want);
+        let (mut wq, mut wk, mut wv) = (vec![0.0; q.len()], vec![0.0; k.len()], vec![0.0; v.len()]);
+        par_attention_backward(&serial, &q, &k, &v, &dout, bsz, tq, tk, d, scale, &mut wq, &mut wk, &mut wv);
+        for threads in [2usize, 4] {
+            let ex = Executor::with_threads(threads);
+            let mut got = vec![0.0; bsz * tq * d];
+            par_attention(&ex, &q, &k, &v, bsz, tq, tk, d, scale, &mut got);
+            assert_eq!(want, got, "attention fwd threads={threads}");
+            let (mut gq, mut gk, mut gv) = (vec![0.0; q.len()], vec![0.0; k.len()], vec![0.0; v.len()]);
+            par_attention_backward(&ex, &q, &k, &v, &dout, bsz, tq, tk, d, scale, &mut gq, &mut gk, &mut gv);
+            assert_eq!(wq, gq, "attention dQ threads={threads}");
+            assert_eq!(wk, gk, "attention dK threads={threads}");
+            assert_eq!(wv, gv, "attention dV threads={threads}");
+        }
+    }
+
+    #[test]
+    fn attention_backward_matches_finite_differences() {
+        let (bsz, tq, tk, d) = (2usize, 4usize, 4usize, 3usize);
+        let scale = 1.0 / (d as f32).sqrt();
+        let q = rndvec(bsz * tq * d, 71);
+        let k = rndvec(bsz * tk * d, 72);
+        let v = rndvec(bsz * tk * d, 73);
+        let dout = rndvec(bsz * tq * d, 74);
+        let ex = crate::exec::Executor::serial();
+        // loss = Σ dout ⊙ attention(q, k, v): its input gradients are
+        // exactly what par_attention_backward accumulates.
+        let loss = |q: &[f32], k: &[f32], v: &[f32]| -> f64 {
+            let mut out = vec![0.0; bsz * tq * d];
+            par_attention(&ex, q, k, v, bsz, tq, tk, d, scale, &mut out);
+            out.iter().zip(dout.iter()).map(|(&o, &g)| o as f64 * g as f64).sum()
+        };
+        let (mut gq, mut gk, mut gv) = (vec![0.0; q.len()], vec![0.0; k.len()], vec![0.0; v.len()]);
+        par_attention_backward(&ex, &q, &k, &v, &dout, bsz, tq, tk, d, scale, &mut gq, &mut gk, &mut gv);
+        let eps = 1e-3f32;
+        let check = |name: &str, base: &[f32], grad: &[f32], which: usize| {
+            for i in 0..base.len() {
+                let mut plus = base.to_vec();
+                plus[i] += eps;
+                let mut minus = base.to_vec();
+                minus[i] -= eps;
+                let (fp, fm) = match which {
+                    0 => (loss(&plus, &k, &v), loss(&minus, &k, &v)),
+                    1 => (loss(&q, &plus, &v), loss(&q, &minus, &v)),
+                    _ => (loss(&q, &k, &plus), loss(&q, &k, &minus)),
+                };
+                let num = ((fp - fm) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (grad[i] - num).abs() < 2e-3 * (1.0 + num.abs()),
+                    "{name}[{i}]: analytic {} vs numeric {num}",
+                    grad[i]
+                );
+            }
+        };
+        check("dQ", &q, &gq, 0);
+        check("dK", &k, &gk, 1);
+        check("dV", &v, &gv, 2);
     }
 }

@@ -41,4 +41,5 @@ pub mod store;
 pub use backward::Gradients;
 pub use exec::{ExecStats, Executor, THREADS_ENV};
 pub use graph::{Graph, Var, LN_EPS};
+pub use kernels::ActKind;
 pub use store::{Param, ParamId, ParamSnapshot, ParamStore};
