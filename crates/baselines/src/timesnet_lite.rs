@@ -190,7 +190,23 @@ mod tests {
     #[test]
     fn periodic_prediction_flags_seasonal_break() {
         let train = periodic(640, 16.0, 2);
-        let mut det = TimesNetLite::new(DeepProtocol { epochs: 8, ..DeepProtocol::tiny() });
+        // The tiny() protocol (win_len 32, stride 16, lr 1e-3) left the
+        // normal/anomalous margin to chance: ~20 Adam steps are too few for
+        // the lag-MLP to learn the periodic map, and with win_len = 2·period
+        // half of every window's positions have edge-clamped lag features
+        // (and lag-2 is *always* clamped), putting an MSE floor of ~0.5 on
+        // even a perfectly trained model. win_len = 4·period gives 3/4 of
+        // the positions a real one-period lag, and the denser stride plus
+        // larger lr give a few hundred optimizer steps — the seasonal break
+        // then clears the margin with real headroom.
+        let proto = DeepProtocol {
+            win_len: 64,
+            epochs: 16,
+            lr: 1e-2,
+            train_stride: 8,
+            ..DeepProtocol::tiny()
+        };
+        let mut det = TimesNetLite::new(proto);
         det.fit(&train, &train);
         assert!(det.period().unwrap() >= 2);
 

@@ -1,0 +1,144 @@
+//! Criterion benches for the serving engine's incremental masking state:
+//! steady-state hop cost with the rolling-CV + sliding-DFT recurrences vs
+//! the from-scratch per-hop masking path, and the cross-stream batched tick
+//! vs per-stream pushes. The acceptance numbers live in
+//! `BENCH_serving.json` (see the `bench_serving` bin); these benches are for
+//! interactive `cargo bench -p tfmae-bench --bench serving` digging.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_core::{ServingConfig, ServingEngine, TfmaeConfig, TfmaeDetector};
+use tfmae_data::{render, Component, Detector, TimeSeries};
+use tfmae_tensor::Executor;
+
+fn series(len: usize, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ch = render(
+        &[
+            Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 },
+            Component::Noise { sigma: 0.05 },
+        ],
+        len,
+        &mut rng,
+    );
+    TimeSeries::from_channels(&[ch])
+}
+
+// Paper-default scale, like `bench_serving`: the batching + shared-arena
+// win only shows once replicas are too big to stay cache-resident.
+fn fitted() -> TfmaeDetector {
+    let cfg = TfmaeConfig { epochs: 1, train_stride: 100, ..TfmaeConfig::default() };
+    let train = series(600, 1);
+    let mut det = TfmaeDetector::new(cfg);
+    det.set_executor(Arc::new(Executor::serial()));
+    det.fit(&train, &train);
+    det
+}
+
+/// Steady-state cost of one scored hop on a warm single-stream engine:
+/// incremental masking state vs recomputing masks from scratch each hop.
+fn bench_hop_masking_state(c: &mut Criterion) {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let hop = (win / 4).max(1);
+    let data = series(win * 8, 3);
+
+    let mut group = c.benchmark_group("serving_hop");
+    for incremental in [true, false] {
+        let label = if incremental { "incremental" } else { "from_scratch" };
+        let mut cfg = ServingConfig::new(f32::MAX, hop);
+        cfg.incremental = incremental;
+        let mut eng = ServingEngine::new(
+            TfmaeDetector::from_checkpoint(det.to_checkpoint().expect("fitted"))
+                .expect("roundtrip"),
+            cfg,
+        );
+        eng.add_stream();
+        // Warm up past the first (refresh) hop so the incremental side is
+        // measured on its recurrences, not the exact re-seed.
+        let mut t = 0usize;
+        for _ in 0..win + hop {
+            eng.push(0, data.row(t % data.len()));
+            t += 1;
+        }
+        group.bench_function(BenchmarkId::from_parameter(label), |bch| {
+            bch.iter(|| {
+                let mut n = 0usize;
+                for _ in 0..hop {
+                    n += eng.push(0, data.row(t % data.len())).len();
+                    t += 1;
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One batched tick over S warm streams vs S sequential single-stream
+/// pushes of the same rows (all windows due together).
+fn bench_cross_stream_tick(c: &mut Criterion) {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let s = 8usize;
+    let datas: Vec<TimeSeries> = (0..s).map(|sid| series(win * 8, 10 + sid as u64)).collect();
+
+    let mut group = c.benchmark_group("serving_tick_8_streams");
+    group.bench_function(BenchmarkId::from_parameter("batched_engine"), |bch| {
+        // Force real multi-window chunks so this measures B = 8 batches even
+        // on a single-thread executor (where the shipped auto default would
+        // pick batch-of-one for cache residency).
+        let mut cfg = ServingConfig::new(f32::MAX, win);
+        cfg.max_batch = Some(det.cfg.batch);
+        let mut eng = ServingEngine::new(
+            TfmaeDetector::from_checkpoint(det.to_checkpoint().expect("fitted"))
+                .expect("roundtrip"),
+            cfg,
+        );
+        let ids: Vec<usize> = (0..s).map(|_| eng.add_stream()).collect();
+        let mut t = 0usize;
+        bch.iter(|| {
+            let mut n = 0usize;
+            for _ in 0..win {
+                let rows: Vec<(usize, &[f32])> = ids
+                    .iter()
+                    .map(|&id| (id, datas[id].row(t % datas[id].len())))
+                    .collect();
+                n += eng.tick(&rows).len();
+                t += 1;
+            }
+            n
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("per_stream_push"), |bch| {
+        let mut engines: Vec<ServingEngine> = (0..s)
+            .map(|_| {
+                let mut eng = ServingEngine::new(
+                    TfmaeDetector::from_checkpoint(det.to_checkpoint().expect("fitted"))
+                        .expect("roundtrip"),
+                    ServingConfig::new(f32::MAX, win),
+                );
+                eng.add_stream();
+                eng
+            })
+            .collect();
+        let mut t = 0usize;
+        bch.iter(|| {
+            let mut n = 0usize;
+            for _ in 0..win {
+                for (sid, eng) in engines.iter_mut().enumerate() {
+                    n += eng.push(0, datas[sid].row(t % datas[sid].len())).len();
+                }
+                t += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hop_masking_state, bench_cross_stream_tick);
+criterion_main!(benches);

@@ -5,12 +5,13 @@
 //! tfmae train    --train data/train.csv --val data/val.csv --model model.json
 //! tfmae score    --model model.json --input data/test.csv --out scores.csv
 //! tfmae evaluate --model model.json --input data/test.csv --ratio 0.005
+//! tfmae serve    --model model.json --input s0.csv --input s1.csv --val data/val.csv
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tfmae_core::{TfmaeConfig, TfmaeDetector};
+use tfmae_core::{ServingConfig, ServingEngine, TfmaeConfig, TfmaeDetector};
 use tfmae_data::{
     generate, read_csv, read_csv_lenient, write_csv, DatasetKind, Detector, TimeSeries,
 };
@@ -25,12 +26,24 @@ USAGE:
                  [--epochs N] [--win N] [--d-model N] [--layers N] [--rt F] [--rf F] [--seed N]
   tfmae score    --model FILE.json --input FILE.csv --out FILE.csv [--lenient]
   tfmae evaluate --model FILE.json --input FILE.csv (--ratio F | --val FILE.csv --ratio F) [--lenient]
+  tfmae serve    --model FILE.json --input FILE.csv [--input FILE.csv ...]
+                 (--threshold F | --val FILE.csv [--ratio F]) [--hop N]
+                 [--refresh-every N] [--from-scratch] [--out-dir DIR] [--lenient]
   tfmae help
 
 CSV format: one row per observation, one numeric column per channel, optional
 header, optional trailing `label` column (needed by `evaluate`). With
 --lenient, malformed CSV rows are skipped with a warning on stderr instead of
 aborting.
+
+`serve` replays each --input as an independent live stream through one shared
+serving engine: rows are interleaved tick by tick, windows that become due on
+the same tick are scored in one cross-stream batch, and per-stream verdicts
+(t, score, is_anomaly, quality) land in DIR/stream_<i>.csv when --out-dir is
+given. --val both derives the threshold (at --ratio, default 0.01) and
+freezes each stream's score calibration so online scores match the offline
+scale. --from-scratch disables the incremental masking state (baseline cost
+model); --refresh-every tunes its exact re-seed cadence (default 64 hops).
 
 EXIT CODES:
   0  success
@@ -104,6 +117,15 @@ impl Args {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.flags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable flag, in order of appearance.
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(k, v)| k == key && !v.is_empty())
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// Whether a boolean switch was passed (with or without a value).
@@ -295,6 +317,151 @@ fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Sorted-slice percentile with nearest-rank rounding (`q` in 0..=100).
+fn percentile_ns(sorted: &[u128], q: usize) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() * q / 100).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let lenient = args.has("lenient");
+    let det = load_model(args)?;
+    let inputs = args.get_all("input");
+    if inputs.is_empty() {
+        return Err(CliError::Usage("serve requires at least one --input".into()));
+    }
+    let mut streams_data = Vec::with_capacity(inputs.len());
+    for p in &inputs {
+        let (s, _) = load_series(p, lenient)?;
+        check_dims(&det, &s)?;
+        streams_data.push(s);
+    }
+
+    let hop: usize = args.num("hop", (det.cfg.win_len / 4).max(1))?;
+    let refresh_every: usize = args.num("refresh-every", 64)?;
+    let val = match args.get("val") {
+        Some(p) if !p.is_empty() => {
+            let (v, _) = load_series(p, lenient)?;
+            check_dims(&det, &v)?;
+            Some(v)
+        }
+        _ => None,
+    };
+    let threshold: f32 = match (args.get("threshold"), &val) {
+        (Some(t), _) => t
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad value for --threshold: {t:?}")))?,
+        (None, Some(v)) => {
+            let ratio: f64 = args.num("ratio", 0.01)?;
+            threshold_for_ratio(&det.score(v), ratio)
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "serve needs --threshold or --val (to derive one at --ratio)".into(),
+            ))
+        }
+    };
+
+    let mut cfg = ServingConfig::new(threshold, hop);
+    cfg.refresh_every = refresh_every.max(1);
+    cfg.incremental = !args.has("from-scratch");
+    let incremental = cfg.incremental;
+    let mut engine = ServingEngine::new(det, cfg);
+    let ids: Vec<usize> = (0..streams_data.len()).map(|_| engine.add_stream()).collect();
+    if let Some(v) = &val {
+        for &id in &ids {
+            engine.calibrate_stream(id, v);
+        }
+    }
+
+    // Replay: one tick interleaves the next row of every still-live stream.
+    let max_len = streams_data.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut per_stream: Vec<Vec<tfmae_core::ServingVerdict>> =
+        vec![Vec::new(); streams_data.len()];
+    let mut scored_tick_ns: Vec<u128> = Vec::new();
+    let started = std::time::Instant::now();
+    for t in 0..max_len {
+        let rows: Vec<(usize, &[f32])> = ids
+            .iter()
+            .filter(|&&id| t < streams_data[id].len())
+            .map(|&id| (id, streams_data[id].row(t)))
+            .collect();
+        let tick_started = std::time::Instant::now();
+        let out = engine.tick(&rows);
+        let elapsed = tick_started.elapsed().as_nanos();
+        if !out.is_empty() {
+            scored_tick_ns.push(elapsed);
+        }
+        for v in out {
+            per_stream[v.stream].push(v);
+        }
+    }
+    let total_secs = started.elapsed().as_secs_f64();
+
+    let total_rows: usize = streams_data.iter().map(|s| s.len()).sum();
+    let total_verdicts: usize = per_stream.iter().map(|v| v.len()).sum();
+    let anomalies: usize = per_stream
+        .iter()
+        .flat_map(|v| v.iter())
+        .filter(|v| v.verdict.is_anomaly)
+        .count();
+    scored_tick_ns.sort_unstable();
+    println!(
+        "served {} stream(s): {total_rows} rows, {total_verdicts} verdicts, {anomalies} anomalies \
+         (threshold δ = {threshold:.6}, hop {hop}, {})",
+        streams_data.len(),
+        if incremental { format!("incremental, refresh every {refresh_every}") } else { "from-scratch masking".to_string() },
+    );
+    println!(
+        "throughput {:.0} rows/s; scoring ticks: {} at p50 {:.2} ms, p99 {:.2} ms",
+        total_rows as f64 / total_secs.max(1e-9),
+        scored_tick_ns.len(),
+        percentile_ns(&scored_tick_ns, 50) as f64 / 1e6,
+        percentile_ns(&scored_tick_ns, 99) as f64 / 1e6,
+    );
+    for &id in &ids {
+        let h = engine.health(id);
+        if h.imputed_rows > 0 || h.degraded_rows > 0 || h.quarantine_entries > 0 {
+            eprintln!(
+                "warning: stream {id} faults: {} imputed, {} degraded, {} quarantined row(s), {} quarantine entr(ies)",
+                h.imputed_rows, h.degraded_rows, h.quarantined_rows, h.quarantine_entries
+            );
+        }
+    }
+
+    if let Some(dir) = args.get("out-dir") {
+        use std::io::Write as _;
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).map_err(|e| CliError::Data(e.to_string()))?;
+        for &id in &ids {
+            let path = dir.join(format!("stream_{id}.csv"));
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(&path).map_err(|e| CliError::Data(e.to_string()))?,
+            );
+            let write = (|| -> std::io::Result<()> {
+                writeln!(f, "t,score,is_anomaly,quality")?;
+                for v in &per_stream[id] {
+                    writeln!(
+                        f,
+                        "{},{},{},{:?}",
+                        v.verdict.t,
+                        v.verdict.score,
+                        v.verdict.is_anomaly as u8,
+                        v.verdict.quality
+                    )?;
+                }
+                f.flush()
+            })();
+            write.map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
+        }
+        println!("wrote per-stream verdicts to {}", dir.display());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().map(String::as_str) else {
@@ -307,6 +474,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "score" => cmd_score(&args),
         "evaluate" => cmd_evaluate(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -7,7 +7,9 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use tfmae_data::{batch_windows, extract_windows, fold_scores, Detector, FitReport, TimeSeries, ZScore};
+use tfmae_data::{
+    batch_windows, extract_windows, Detector, FitReport, ScoreAccumulator, TimeSeries, ZScore,
+};
 use tfmae_nn::{Adam, Ctx};
 use tfmae_tensor::{ExecStats, Executor, Graph};
 
@@ -119,8 +121,11 @@ impl TfmaeDetector {
         let t = self.cfg.win_len;
         let windows = extract_windows(series, t, t);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5c0e);
-        let mut kl_windows: Vec<(usize, Vec<f32>)> = Vec::with_capacity(windows.len());
-        let mut dual_windows: Vec<(usize, Vec<f32>)> = Vec::with_capacity(windows.len());
+        // Fold each component straight out of the batch output buffers;
+        // `score_normalized` combines them with *series-global* means so
+        // batch boundaries leave no seams.
+        let mut kl_fold = ScoreAccumulator::new(series.len(), t);
+        let mut dual_fold = ScoreAccumulator::new(series.len(), t);
         // One tape for every batch: `reset` drains the nodes back into the
         // executor's buffer pool so steady-state scoring allocates nothing.
         let g = Graph::with_executor(self.exec.clone());
@@ -132,15 +137,11 @@ impl TfmaeDetector {
             let out = model.forward(&ctx, &batch);
             let (kl, dual) = model.anomaly_score_components(&ctx, &out);
             for (wi, &start) in starts.iter().enumerate() {
-                kl_windows.push((start, kl[wi * t..(wi + 1) * t].to_vec()));
-                dual_windows.push((start, dual[wi * t..(wi + 1) * t].to_vec()));
+                kl_fold.add(start, &kl[wi * t..(wi + 1) * t]);
+                dual_fold.add(start, &dual[wi * t..(wi + 1) * t]);
             }
         }
-        // Fold each component; `score_normalized` combines them with
-        // *series-global* means so batch boundaries leave no seams.
-        let kl = fold_scores(series.len(), t, &kl_windows);
-        let dual = fold_scores(series.len(), t, &dual_windows);
-        (kl, dual)
+        (kl_fold.finish(), dual_fold.finish())
     }
 }
 

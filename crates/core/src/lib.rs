@@ -40,16 +40,18 @@ pub mod detector;
 pub mod masking;
 pub mod model;
 pub mod robust;
+pub mod serving;
 pub mod stream;
 
 pub use ablation::{MaskAblation, ModelAblation};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use config::{AdversarialMode, FreqMaskKind, ScoreKind, TemporalMaskKind, TfmaeConfig};
 pub use detector::TfmaeDetector;
-pub use masking::frequency::{frequency_mask, FrequencyMaskData};
-pub use masking::temporal::{cv_statistic, temporal_mask, TemporalMask};
+pub use masking::frequency::{frequency_mask, frequency_mask_from_spectra, FrequencyMaskData};
+pub use masking::temporal::{cv_statistic, temporal_mask, temporal_mask_from_stat, TemporalMask};
 pub use model::{combine_scores, BatchInputs, BranchOutputs, TfmaeModel};
 pub use robust::{RobustnessConfig, StepFault, TrainGuard, TrainReport};
+pub use serving::{ServingConfig, ServingEngine, ServingVerdict};
 pub use stream::{
     DataQuality, DegradedModeConfig, StreamHealth, StreamMode, StreamVerdict, StreamingDetector,
 };

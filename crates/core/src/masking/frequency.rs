@@ -53,6 +53,32 @@ pub fn frequency_mask(
     rng: &mut StdRng,
 ) -> FrequencyMaskData {
     assert_eq!(values.len(), win_len * dims, "window size mismatch");
+    let spectra: Vec<Vec<Complex64>> = (0..dims)
+        .map(|n| {
+            let ch: Vec<f64> = (0..win_len).map(|t| values[t * dims + n] as f64).collect();
+            rfft(&ch)
+        })
+        .collect();
+    frequency_mask_from_spectra(&spectra, win_len, i_f, kind, rng)
+}
+
+/// Computes the frequency mask from precomputed per-channel half-spectra
+/// (one `rfft_len(win_len)`-long spectrum per channel).
+///
+/// This is [`frequency_mask`] minus the forward transforms, split out so
+/// streaming callers can supply spectra maintained by the sliding-DFT
+/// recurrence instead of paying a fresh O(L log L) rfft per channel per hop.
+///
+/// # Panics
+/// Panics if any spectrum's length differs from `rfft_len(win_len)`.
+pub fn frequency_mask_from_spectra(
+    spectra: &[Vec<Complex64>],
+    win_len: usize,
+    i_f: usize,
+    kind: FreqMaskKind,
+    rng: &mut StdRng,
+) -> FrequencyMaskData {
+    let dims = spectra.len();
     let bins = rfft_len(win_len);
     let i_f = i_f.min(bins.saturating_sub(1));
     let mut base = vec![0.0f32; win_len * dims];
@@ -60,9 +86,9 @@ pub fn frequency_mask(
     let mut b = vec![0.0f32; win_len * dims];
     let mut masked_bins = Vec::with_capacity(dims);
 
-    for n in 0..dims {
-        let ch: Vec<f64> = (0..win_len).map(|t| values[t * dims + n] as f64).collect();
-        let mut spec = rfft(&ch);
+    for (n, chan_spec) in spectra.iter().enumerate() {
+        assert_eq!(chan_spec.len(), bins, "spectrum length mismatch for channel {n}");
+        let mut spec = chan_spec.clone();
         let masked: Vec<usize> = if i_f == 0 || kind == FreqMaskKind::None {
             Vec::new()
         } else {
@@ -219,6 +245,29 @@ mod tests {
         assert!(!data.masked_bins[1].contains(&9));
         // Channel 1's dominant bin (9) is maskable on channel 0 where it's quiet.
         assert_eq!(data.masked_bins.len(), 2);
+    }
+
+    #[test]
+    fn from_spectra_entry_point_matches_full_path() {
+        let len = 48;
+        let dims = 2;
+        let mut vals = vec![0.0f32; len * dims];
+        for t in 0..len {
+            vals[t * dims] = (t as f32 * 0.31).sin() + 0.02 * t as f32;
+            vals[t * dims + 1] = (t as f32 * 0.11).cos();
+        }
+        let full = frequency_mask(&vals, len, dims, 9, FreqMaskKind::Amplitude, &mut rng());
+        let spectra: Vec<Vec<Complex64>> = (0..dims)
+            .map(|n| {
+                let ch: Vec<f64> = (0..len).map(|t| vals[t * dims + n] as f64).collect();
+                rfft(&ch)
+            })
+            .collect();
+        let split = frequency_mask_from_spectra(&spectra, len, 9, FreqMaskKind::Amplitude, &mut rng());
+        assert_eq!(full.base, split.base);
+        assert_eq!(full.a, split.a);
+        assert_eq!(full.b, split.b);
+        assert_eq!(full.masked_bins, split.masked_bins);
     }
 
     #[test]

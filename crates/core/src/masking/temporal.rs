@@ -46,23 +46,40 @@ pub fn temporal_mask(
         return TemporalMask { masked: Vec::new(), unmasked: (0..win_len).collect() };
     }
 
-    let masked: Vec<usize> = match kind {
+    match kind {
         TemporalMaskKind::Cv => {
             let stat = cv_statistic(values, win_len, dims, cv_window, use_fft);
-            sorted(top_k_indices(&stat, i_t))
+            temporal_mask_from_stat(&stat, i_t)
         }
         TemporalMaskKind::Std => {
             let stat = std_statistic(values, win_len, dims, cv_window, use_fft);
-            sorted(top_k_indices(&stat, i_t))
+            temporal_mask_from_stat(&stat, i_t)
         }
         TemporalMaskKind::Random => {
             let mut idx: Vec<usize> = (0..win_len).collect();
             idx.shuffle(rng);
-            sorted(idx[..i_t].to_vec())
+            partition(win_len, sorted(idx[..i_t].to_vec()))
         }
         TemporalMaskKind::None => unreachable!(),
-    };
+    }
+}
 
+/// The selection half of [`temporal_mask`]: masks the `i_t` indices with the
+/// largest statistic (deterministic tie-break of `top_k_indices`).
+///
+/// Split out so streaming callers can supply an incrementally maintained
+/// statistic (rolling CV over a ring buffer) instead of recomputing Eq. 1/5
+/// over the whole window on every hop.
+pub fn temporal_mask_from_stat(stat: &[f64], i_t: usize) -> TemporalMask {
+    let win_len = stat.len();
+    let i_t = i_t.min(win_len.saturating_sub(1));
+    if i_t == 0 {
+        return TemporalMask { masked: Vec::new(), unmasked: (0..win_len).collect() };
+    }
+    partition(win_len, sorted(top_k_indices(stat, i_t)))
+}
+
+fn partition(win_len: usize, masked: Vec<usize>) -> TemporalMask {
     let mut is_masked = vec![false; win_len];
     for &i in &masked {
         is_masked[i] = true;
@@ -192,6 +209,18 @@ mod tests {
         let a = temporal_mask(&vals, 60, 1, 15, 10, TemporalMaskKind::Random, true, &mut r);
         let b = temporal_mask(&vals, 60, 1, 15, 10, TemporalMaskKind::Random, true, &mut r);
         assert_ne!(a.masked, b.masked);
+    }
+
+    #[test]
+    fn from_stat_entry_point_matches_full_path() {
+        let len = 80;
+        let dims = 2;
+        let vals: Vec<f32> =
+            (0..len * dims).map(|i| (i as f32 * 0.23).sin() + 0.002 * i as f32).collect();
+        let full = temporal_mask(&vals, len, dims, 12, 10, TemporalMaskKind::Cv, true, &mut rng());
+        let stat = cv_statistic(&vals, len, dims, 10, true);
+        let split = temporal_mask_from_stat(&stat, 12);
+        assert_eq!(full, split);
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! Multi-stream serving engine: cross-stream batched scoring with
+//! incremental masking state.
+//!
+//! [`crate::stream::StreamingDetector`] scores one stream at a time: every
+//! completed hop rebuilds its window, recomputes the trailing-CV statistic
+//! (Eq. 1–5) and the per-channel rfft (Eq. 6–8) from scratch, and runs a
+//! batch-of-one transformer forward. [`ServingEngine`] owns one shared
+//! [`TfmaeModel`](crate::model::TfmaeModel) + executor and multiplexes N
+//! independent streams over them:
+//!
+//! * **Cross-stream batching** — windows that become due in the same
+//!   [`ServingEngine::tick`] are coalesced into forward batches of up to
+//!   [`ServingConfig::max_batch`] windows (by default `cfg.batch` when the
+//!   executor has a worker pool, batch-of-one on a single-thread executor
+//!   where larger batches only hurt cache residency), so the
+//!   blocked-matmul / fused-attention kernels amortize over streams
+//!   instead of running `B = 1` per hop. Chunking is verdict-invariant.
+//! * **Incremental masking state** — each stream keeps a flat f32 ring
+//!   buffer of normalized samples (no `VecDeque<Vec<f32>>`, no per-hop row
+//!   copies), O(1) rolling sum/sum-of-squares accumulators for the
+//!   trailing-window CV/Std statistic, and a sliding-DFT recurrence that
+//!   advances the per-channel half-spectrum in O(L) per sample instead of a
+//!   fresh O(L log L) rfft per hop.
+//! * **Drift refresh** — the rolling recurrences accumulate floating-point
+//!   drift, so every [`ServingConfig::refresh_every`] scored hops (and on
+//!   the first hop after warm-up or quarantine re-warm) the engine re-seeds
+//!   them from the exact batch path: `cv_statistic`/`std_statistic` for the
+//!   temporal stat and a full rfft for the spectrum. Refresh-hop verdicts
+//!   are therefore *bitwise identical* to the offline masking path;
+//!   between refreshes the parity tests bound the drift at ≤ 1e-5.
+//!
+//! Degraded-mode semantics (imputation, staleness budget, quarantine — see
+//! [`crate::stream`]) are implemented here per stream;
+//! `StreamingDetector` is a thin single-stream wrapper over this engine, so
+//! the PR 1 fault-handling behavior is preserved verbatim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_data::TimeSeries;
+use tfmae_fft::{Complex64, RollingStats, SlidingDft, CV_EPS};
+use tfmae_nn::Ctx;
+use tfmae_tensor::{ExecStats, Graph};
+
+use crate::config::{ScoreKind, TemporalMaskKind, TfmaeConfig};
+use crate::detector::TfmaeDetector;
+use crate::masking::frequency::{frequency_mask_from_spectra, FrequencyMaskData};
+use crate::masking::temporal::{
+    cv_statistic, std_statistic, temporal_mask, temporal_mask_from_stat, TemporalMask,
+};
+use crate::model::combine_scores;
+use crate::stream::{DataQuality, DegradedModeConfig, StreamHealth, StreamMode, StreamVerdict};
+
+/// Serving-side policy shared by every stream of a [`ServingEngine`].
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// The δ of Eq. 17 (from `threshold_for_ratio` on validation scores).
+    pub threshold: f32,
+    /// Observations between scoring passes per stream (1 ≤ hop ≤ win_len).
+    pub hop: usize,
+    /// Fault handling (imputation/staleness/quarantine), as in
+    /// [`DegradedModeConfig`].
+    pub degraded: DegradedModeConfig,
+    /// Scored hops between exact re-seeds of the incremental masking state
+    /// (rolling stats + sliding DFT). Lower bounds drift tighter at the
+    /// price of a full `cv_statistic` + rfft per refresh; `1` refreshes
+    /// every hop.
+    pub refresh_every: usize,
+    /// When `false`, masks are recomputed from scratch each hop via the
+    /// batch path (`TfmaeModel::window_masks`) — the pre-engine cost model,
+    /// kept as an honest baseline for `bench_serving` and the parity tests.
+    pub incremental: bool,
+    /// Cap on how many due windows one transformer forward scores. `None`
+    /// picks automatically: `cfg.batch` when the executor has workers to
+    /// fan the batched kernels out to, and `1` on a single-thread executor,
+    /// where batching cannot reduce per-element work but inflates every
+    /// per-node tensor past cache residency (batch-of-32 windows measured
+    /// ~15–30% slower per window than batch-of-1 on a 1-core host).
+    /// Chunking never changes verdicts — batched and solo scoring are
+    /// bitwise identical (test-asserted) — so this is purely a throughput
+    /// knob.
+    pub max_batch: Option<usize>,
+}
+
+impl ServingConfig {
+    /// Defaults: degraded mode on, refresh every 64 hops, incremental state.
+    pub fn new(threshold: f32, hop: usize) -> Self {
+        Self {
+            threshold,
+            hop,
+            degraded: DegradedModeConfig::default(),
+            refresh_every: 64,
+            incremental: true,
+            max_batch: None,
+        }
+    }
+}
+
+/// One verdict from the engine, tagged with the stream that produced it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServingVerdict {
+    /// Stream id (as returned by [`ServingEngine::add_stream`]).
+    pub stream: usize,
+    /// The scored observation.
+    pub verdict: StreamVerdict,
+}
+
+/// Incremental per-stream state: ring buffer + rolling statistics +
+/// sliding-DFT spectra + fault counters.
+struct StreamState {
+    /// Normalized samples, slot-major `[win_len, dims]`; slot `head` is the
+    /// next write position (= the oldest sample once full).
+    ring: Vec<f32>,
+    /// Per-slot data quality.
+    quals: Vec<DataQuality>,
+    head: usize,
+    filled: usize,
+    pushed: u64,
+    since_score: usize,
+    frozen_norms: Option<(f32, f32)>,
+    last_good: Vec<Option<f32>>,
+    staleness: Vec<usize>,
+    consecutive_bad: usize,
+    health: StreamHealth,
+    /// Rolling trailing-`cv_window` accumulators, one per channel.
+    roll: Vec<RollingStats>,
+    /// Per-slot temporal statistic recorded at push time (valid for window
+    /// positions whose trailing sub-sequence lies fully inside the window).
+    stat_ring: Vec<f64>,
+    /// Sliding half-spectrum of the last `win_len` samples, one per channel.
+    sdft: Vec<SlidingDft>,
+    /// Scored hops since the last exact re-seed (0 = refresh now).
+    hops_since_refresh: usize,
+}
+
+impl StreamState {
+    fn new(win_len: usize, dims: usize, cv_window: usize) -> Self {
+        Self {
+            ring: vec![0.0; win_len * dims],
+            quals: vec![DataQuality::Clean; win_len],
+            head: 0,
+            filled: 0,
+            pushed: 0,
+            since_score: 0,
+            frozen_norms: None,
+            last_good: vec![None; dims],
+            staleness: vec![0; dims],
+            consecutive_bad: 0,
+            health: StreamHealth::default(),
+            roll: (0..dims).map(|_| RollingStats::new(cv_window.max(1))).collect(),
+            stat_ring: vec![0.0; win_len],
+            sdft: (0..dims).map(|_| SlidingDft::new(win_len)).collect(),
+            hops_since_refresh: 0,
+        }
+    }
+
+    /// Quarantine entry / re-warm: drop buffered data and all incremental
+    /// state (LOCF imputation memory deliberately survives, as in PR 1).
+    fn clear_buffer(&mut self) {
+        self.head = 0;
+        self.filled = 0;
+        self.since_score = 0;
+        self.hops_since_refresh = 0;
+        for r in self.roll.iter_mut() {
+            r.reset();
+        }
+        for s in self.sdft.iter_mut() {
+            s.reset();
+        }
+    }
+
+    /// Copies the retained window into time order (oldest first).
+    fn snapshot(&self, win_len: usize, dims: usize) -> Vec<f32> {
+        debug_assert_eq!(self.filled, win_len);
+        let mut values = Vec::with_capacity(win_len * dims);
+        for i in 0..win_len {
+            let slot = (self.head + i) % win_len;
+            values.extend_from_slice(&self.ring[slot * dims..(slot + 1) * dims]);
+        }
+        values
+    }
+}
+
+/// A window snapshot staged at its due tick; the forward pass is deferred to
+/// [`ServingEngine::flush`] so windows from many streams share one batch.
+struct PendingWindow {
+    stream: usize,
+    /// Normalized `[win_len, dims]` values in time order.
+    values: Vec<f32>,
+    mask_t: TemporalMask,
+    mask_f: FrequencyMaskData,
+    /// Stream index of the first reported verdict.
+    base_t: u64,
+    /// Number of newest positions to report (= `hop.min(win_len)`).
+    newest: usize,
+    /// Qualities of those newest positions, oldest first.
+    qualities: Vec<DataQuality>,
+    frozen: Option<(f32, f32)>,
+}
+
+/// Multiplexes N independent streams over one shared fitted detector,
+/// batching windows that become due in the same tick (see module docs).
+pub struct ServingEngine {
+    det: TfmaeDetector,
+    cfg: ServingConfig,
+    win_len: usize,
+    dims: usize,
+    streams: Vec<StreamState>,
+    pending: Vec<PendingWindow>,
+}
+
+impl ServingEngine {
+    /// Wraps a fitted detector. Streams are added with
+    /// [`ServingEngine::add_stream`].
+    ///
+    /// # Panics
+    /// Panics if the detector has not been fitted, or if
+    /// `cfg.hop ∉ 1..=win_len` or `cfg.refresh_every == 0`.
+    pub fn new(det: TfmaeDetector, cfg: ServingConfig) -> Self {
+        let model = det.model().expect("ServingEngine requires a fitted detector");
+        let win_len = det.cfg.win_len;
+        let dims = model.dims();
+        assert!((1..=win_len).contains(&cfg.hop), "hop must be in 1..=win_len");
+        assert!(cfg.refresh_every >= 1, "refresh_every must be >= 1");
+        Self { det, cfg, win_len, dims, streams: Vec::new(), pending: Vec::new() }
+    }
+
+    /// Registers a new stream and returns its id.
+    pub fn add_stream(&mut self) -> usize {
+        self.streams.push(StreamState::new(self.win_len, self.dims, self.det.cfg.cv_window));
+        self.streams.len() - 1
+    }
+
+    /// Number of registered streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Input feature count per stream.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Model window length.
+    pub fn win_len(&self) -> usize {
+        self.win_len
+    }
+
+    /// The shared fitted detector.
+    pub fn detector(&self) -> &TfmaeDetector {
+        &self.det
+    }
+
+    /// The serving policy.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// Replaces the fault-handling policy for all streams.
+    pub fn set_degraded_mode(&mut self, cfg: DegradedModeConfig) {
+        self.cfg.degraded = cfg;
+    }
+
+    /// Freezes one stream's score-normalization constants from a reference
+    /// series (see [`crate::stream::StreamingDetector::calibrate`]).
+    pub fn calibrate_stream(&mut self, stream: usize, series: &TimeSeries) {
+        let (kl, dual) = self.det.score_components(series);
+        let ma = kl.iter().sum::<f32>() / kl.len().max(1) as f32;
+        let mb = dual.iter().sum::<f32>() / dual.len().max(1) as f32;
+        self.streams[stream].frozen_norms = Some((ma, mb));
+    }
+
+    /// Drops one stream's frozen calibration constants.
+    pub fn thaw_stream(&mut self, stream: usize) {
+        self.streams[stream].frozen_norms = None;
+    }
+
+    /// Whether a stream has frozen calibration constants.
+    pub fn is_calibrated(&self, stream: usize) -> bool {
+        self.streams[stream].frozen_norms.is_some()
+    }
+
+    /// Fault counters and current mode of one stream.
+    pub fn health(&self, stream: usize) -> &StreamHealth {
+        &self.streams[stream].health
+    }
+
+    /// Observations pushed to one stream so far.
+    pub fn stream_len(&self, stream: usize) -> u64 {
+        self.streams[stream].pushed
+    }
+
+    /// Whether one stream's warm-up window has filled.
+    pub fn warmed_up(&self, stream: usize) -> bool {
+        self.streams[stream].filled >= self.win_len
+    }
+
+    /// Execution-layer counters of the shared executor.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.det.exec_stats()
+    }
+
+    /// Windows staged and awaiting [`ServingEngine::flush`].
+    pub fn pending_windows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ingests one observation row for `stream` *without* scoring: fault
+    /// handling runs immediately (quarantined rows return their `Degraded`
+    /// verdict here), and a completed hop stages the stream's window for the
+    /// next [`ServingEngine::flush`].
+    pub fn ingest(&mut self, stream: usize, row: &[f32]) -> Vec<ServingVerdict> {
+        assert!(stream < self.streams.len(), "unknown stream id {stream}");
+        let dims = self.dims;
+        let norm = self.det.norm().expect("fitted detector has a normalizer");
+
+        // Sanitize exactly as StreamingDetector::push did pre-engine.
+        let (clean, quality) = if !self.cfg.degraded.enabled {
+            assert_eq!(row.len(), dims, "row width mismatch");
+            (row.to_vec(), DataQuality::Clean)
+        } else {
+            let s = &mut self.streams[stream];
+            let width_ok = row.len() == dims;
+            let mut clean = vec![0.0f32; dims];
+            let mut quality = DataQuality::Clean;
+            for n in 0..dims {
+                let v = if width_ok { row[n] } else { f32::NAN };
+                if v.is_finite() {
+                    s.last_good[n] = Some(v);
+                    s.staleness[n] = 0;
+                    clean[n] = v;
+                } else {
+                    s.staleness[n] += 1;
+                    // Impute with the last good value; a channel that has
+                    // never produced one falls back to 0.0.
+                    clean[n] = s.last_good[n].unwrap_or(0.0);
+                    let q = if s.last_good[n].is_some()
+                        && s.staleness[n] <= self.cfg.degraded.staleness_budget
+                    {
+                        DataQuality::Imputed
+                    } else {
+                        DataQuality::Degraded
+                    };
+                    quality = quality.max(q);
+                }
+            }
+
+            if quality == DataQuality::Clean {
+                s.consecutive_bad = 0;
+                if s.health.mode == StreamMode::Quarantine {
+                    // Clean data ends quarantine; re-warm from empty.
+                    s.health.mode = StreamMode::Normal;
+                }
+            } else {
+                s.consecutive_bad += 1;
+                if s.health.mode == StreamMode::Normal
+                    && s.consecutive_bad >= self.cfg.degraded.quarantine_after
+                {
+                    s.health.mode = StreamMode::Quarantine;
+                    s.health.quarantine_entries += 1;
+                    s.clear_buffer();
+                }
+            }
+
+            if s.health.mode == StreamMode::Quarantine {
+                s.health.quarantined_rows += 1;
+                s.pushed += 1;
+                return vec![ServingVerdict {
+                    stream,
+                    verdict: StreamVerdict {
+                        t: s.pushed - 1,
+                        score: 0.0,
+                        is_anomaly: false,
+                        quality: DataQuality::Degraded,
+                    },
+                }];
+            }
+            (clean, quality)
+        };
+
+        // Buffer the sanitized row: normalize, write into the ring, advance
+        // the incremental accumulators.
+        let win_len = self.win_len;
+        let temporal_kind = self.det.cfg.temporal_mask;
+        let incremental = self.cfg.incremental;
+        let s = &mut self.streams[stream];
+        match quality {
+            DataQuality::Clean => {}
+            DataQuality::Imputed => s.health.imputed_rows += 1,
+            DataQuality::Degraded => s.health.degraded_rows += 1,
+        }
+        let slot = s.head;
+        let mut normed = Vec::with_capacity(dims);
+        for n in 0..dims {
+            normed.push((clean[n] - norm.mean[n]) / norm.std[n]);
+        }
+        if incremental {
+            // Slide the spectra before the evicted sample is overwritten.
+            if s.filled == win_len && s.sdft[0].is_warm() {
+                for n in 0..dims {
+                    s.sdft[n]
+                        .slide(s.ring[slot * dims + n] as f64, normed[n] as f64);
+                }
+            }
+            for n in 0..dims {
+                s.roll[n].push(normed[n] as f64);
+            }
+            // Trailing statistic ending at this sample; meaningful once the
+            // rolling window holds `cv_window` real samples, which covers
+            // every window position whose trailing sub-sequence needs it.
+            s.stat_ring[slot] = match temporal_kind {
+                TemporalMaskKind::Cv => s.roll.iter().map(|r| r.cv()).sum(),
+                TemporalMaskKind::Std => s.roll.iter().map(|r| r.var().sqrt()).sum(),
+                TemporalMaskKind::Random | TemporalMaskKind::None => 0.0,
+            };
+        }
+        s.ring[slot * dims..(slot + 1) * dims].copy_from_slice(&normed);
+        s.quals[slot] = quality;
+        s.head = (s.head + 1) % win_len;
+        if s.filled < win_len {
+            s.filled += 1;
+        }
+        s.pushed += 1;
+        s.since_score += 1;
+
+        if s.filled < win_len || s.since_score < self.cfg.hop {
+            return Vec::new();
+        }
+        s.since_score = 0;
+
+        // Hop complete: snapshot the window, compute its masks from the
+        // incremental state, and stage it for the next flush.
+        let values = s.snapshot(win_len, dims);
+        let newest = self.cfg.hop.min(win_len);
+        let qualities: Vec<DataQuality> = (0..newest)
+            .map(|i| s.quals[(s.head + win_len - newest + i) % win_len])
+            .collect();
+        let base_t = s.pushed - newest as u64;
+        let frozen = s.frozen_norms;
+
+        let mut rng = StdRng::seed_from_u64(self.det.cfg.seed ^ 0x5c0e);
+        let (mask_t, mask_f) = if !incremental {
+            // From-scratch baseline: the exact batch masking path per hop.
+            let model = self.det.model().expect("checked at construction");
+            model.window_masks(&values, &mut rng)
+        } else {
+            let refresh = s.hops_since_refresh == 0
+                || s.hops_since_refresh >= self.cfg.refresh_every;
+            let masks = incremental_masks(&self.det.cfg, s, &values, dims, refresh, &mut rng);
+            s.hops_since_refresh = if refresh { 1 } else { s.hops_since_refresh + 1 };
+            masks
+        };
+
+        self.pending.push(PendingWindow {
+            stream,
+            values,
+            mask_t,
+            mask_f,
+            base_t,
+            newest,
+            qualities,
+            frozen,
+        });
+        Vec::new()
+    }
+
+    /// Scores every staged window, batching up to
+    /// [`ServingConfig::max_batch`] windows — across streams — per
+    /// transformer forward, and returns their verdicts in staging order.
+    pub fn flush(&mut self) -> Vec<ServingVerdict> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        let model = self.det.model().expect("checked at construction");
+        let (t, n) = (self.win_len, self.dims);
+        let max_batch = self
+            .cfg
+            .max_batch
+            .unwrap_or_else(|| {
+                if self.det.executor().threads() <= 1 {
+                    1
+                } else {
+                    self.det.cfg.batch
+                }
+            })
+            .max(1);
+        let score_kind = self.det.cfg.score;
+        let threshold = self.cfg.threshold;
+        let g = Graph::with_executor(self.det.executor().clone());
+        let mut out = Vec::new();
+        while !pending.is_empty() {
+            let take = pending.len().min(max_batch);
+            let chunk: Vec<PendingWindow> = pending.drain(..take).collect();
+            g.reset();
+            let b = chunk.len();
+            let mut values = Vec::with_capacity(b * t * n);
+            let mut masks_t = Vec::with_capacity(b);
+            let mut masks_f = Vec::with_capacity(b);
+            let mut meta = Vec::with_capacity(b);
+            for p in chunk {
+                values.extend_from_slice(&p.values);
+                masks_t.push(p.mask_t);
+                masks_f.push(p.mask_f);
+                meta.push((p.stream, p.base_t, p.newest, p.qualities, p.frozen));
+            }
+            let batch = crate::model::BatchInputs { values, b, masks_t, masks_f };
+            let ctx = Ctx::eval(&g, &model.ps);
+            let fwd = model.forward(&ctx, &batch);
+            let (kl, dual) = model.anomaly_score_components(&ctx, &fwd);
+            for (wi, (stream, base_t, newest, qualities, frozen)) in meta.into_iter().enumerate()
+            {
+                let klw = &kl[wi * t..(wi + 1) * t];
+                let dualw = &dual[wi * t..(wi + 1) * t];
+                // Frozen calibration constants put scores on the offline
+                // scale; the fallback normalizes window-locally (exactly the
+                // pre-engine StreamingDetector behavior).
+                let scores: Vec<f32> = match (frozen, score_kind) {
+                    (Some((ma, mb)), ScoreKind::Combined) => klw
+                        .iter()
+                        .zip(dualw.iter())
+                        .map(|(x, y)| x / (ma + 1e-12) + y / (mb + 1e-12))
+                        .collect(),
+                    _ => combine_scores(score_kind, klw, dualw),
+                };
+                for i in 0..newest {
+                    let mut score = scores[t - newest + i];
+                    let mut quality = qualities[i];
+                    if !score.is_finite() {
+                        // Last line of defense: never emit a non-finite score.
+                        score = 0.0;
+                        quality = DataQuality::Degraded;
+                    }
+                    out.push(ServingVerdict {
+                        stream,
+                        verdict: StreamVerdict {
+                            t: base_t + i as u64,
+                            score,
+                            is_anomaly: score >= threshold && quality != DataQuality::Degraded,
+                            quality,
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-stream convenience: ingest one row and score immediately
+    /// (used by the `StreamingDetector` wrapper).
+    pub fn push(&mut self, stream: usize, row: &[f32]) -> Vec<ServingVerdict> {
+        let mut out = self.ingest(stream, row);
+        out.extend(self.flush());
+        out
+    }
+
+    /// One serving tick: ingest a row per live stream, then score all
+    /// windows that became due in cross-stream batches.
+    pub fn tick(&mut self, rows: &[(usize, &[f32])]) -> Vec<ServingVerdict> {
+        let mut out = Vec::new();
+        for &(stream, row) in rows {
+            out.extend(self.ingest(stream, row));
+        }
+        out.extend(self.flush());
+        out
+    }
+}
+
+/// Computes one window's masks from the stream's incremental state. On a
+/// `refresh` hop, both the statistic and the spectra are re-derived through
+/// the exact batch path (which also re-seeds the recurrences); otherwise the
+/// stat ring and the sliding-DFT spectra are consumed as-is.
+fn incremental_masks(
+    cfg: &TfmaeConfig,
+    s: &mut StreamState,
+    values: &[f32],
+    dims: usize,
+    refresh: bool,
+    rng: &mut StdRng,
+) -> (TemporalMask, FrequencyMaskData) {
+    let win_len = cfg.win_len;
+    let w = cfg.cv_window;
+    let i_t = cfg.masked_time_steps();
+
+    let mask_t = match cfg.temporal_mask {
+        TemporalMaskKind::Cv | TemporalMaskKind::Std => {
+            let stat: Vec<f64> = if refresh {
+                if cfg.temporal_mask == TemporalMaskKind::Cv {
+                    cv_statistic(values, win_len, dims, w, cfg.use_fft_cv)
+                } else {
+                    std_statistic(values, win_len, dims, w, cfg.use_fft_cv)
+                }
+            } else {
+                (0..win_len)
+                    .map(|t| {
+                        if t + 1 >= w {
+                            // Trailing window fully inside: the rolling value
+                            // recorded when this sample arrived.
+                            s.stat_ring[(s.head + t) % win_len]
+                        } else {
+                            // Head positions edge-pad with the window's first
+                            // row, which changes every hop — compute directly.
+                            head_stat(values, dims, w, t, cfg.temporal_mask)
+                        }
+                    })
+                    .collect()
+            };
+            temporal_mask_from_stat(&stat, i_t)
+        }
+        // Random consumes the rng; None masks nothing. Neither reads the
+        // incremental statistic.
+        TemporalMaskKind::Random | TemporalMaskKind::None => temporal_mask(
+            values,
+            win_len,
+            dims,
+            i_t,
+            w,
+            cfg.temporal_mask,
+            cfg.use_fft_cv,
+            rng,
+        ),
+    };
+
+    if refresh {
+        // Exact re-seed: init IS a fresh rfft of the retained window, so the
+        // masks (and the verdicts built on them) match the batch path
+        // bitwise on refresh hops.
+        for n in 0..dims {
+            let ch: Vec<f64> = (0..win_len).map(|t| values[t * dims + n] as f64).collect();
+            s.sdft[n].init(&ch);
+        }
+        for r in s.roll.iter_mut() {
+            r.refresh();
+        }
+    }
+    let spectra: Vec<Vec<Complex64>> =
+        s.sdft.iter().map(|d| d.spectrum().to_vec()).collect();
+    let mask_f =
+        frequency_mask_from_spectra(&spectra, win_len, cfg.masked_freq_bins(), cfg.freq_mask, rng);
+    (mask_t, mask_f)
+}
+
+/// Direct trailing statistic for a head position `t < w − 1` of one window,
+/// edge-padding with the window's first row — the same definition as
+/// `sliding_cv_naive`/`sliding_var_naive` applied to the window.
+fn head_stat(values: &[f32], dims: usize, w: usize, t: usize, kind: TemporalMaskKind) -> f64 {
+    let mut total = 0.0;
+    for n in 0..dims {
+        let at = |idx: isize| -> f64 {
+            if idx < 0 {
+                values[n] as f64
+            } else {
+                values[idx as usize * dims + n] as f64
+            }
+        };
+        let mut sum = 0.0;
+        for k in 0..w {
+            sum += at(t as isize - k as isize);
+        }
+        let mu = sum / w as f64;
+        let mut acc = 0.0;
+        for k in 0..w {
+            let d = at(t as isize - k as isize) - mu;
+            acc += d * d;
+        }
+        let var = acc / w as f64;
+        total += match kind {
+            TemporalMaskKind::Cv => var / (mu.abs() + CV_EPS),
+            TemporalMaskKind::Std => var.max(0.0).sqrt(),
+            TemporalMaskKind::Random | TemporalMaskKind::None => 0.0,
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tfmae_data::{render, Component, Detector};
+
+    fn series(len: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ch = render(
+            &[
+                Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 },
+                Component::Noise { sigma: 0.05 },
+            ],
+            len,
+            &mut rng,
+        );
+        TimeSeries::from_channels(&[ch])
+    }
+
+    fn fitted() -> TfmaeDetector {
+        let train = series(512, 1);
+        let mut det =
+            TfmaeDetector::new(crate::config::TfmaeConfig { epochs: 4, ..crate::config::TfmaeConfig::tiny() });
+        det.fit(&train, &train);
+        det
+    }
+
+    fn replicate(det: &TfmaeDetector) -> TfmaeDetector {
+        TfmaeDetector::from_checkpoint(det.to_checkpoint().expect("fitted"))
+            .expect("roundtrip")
+    }
+
+    #[test]
+    fn multi_stream_batched_matches_solo_streams() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let n_streams = 3;
+        // Solo reference: one single-stream engine per stream.
+        let mut solo: Vec<Vec<ServingVerdict>> = Vec::new();
+        for sid in 0..n_streams {
+            let mut eng = ServingEngine::new(replicate(&det), ServingConfig::new(f32::MAX, 4));
+            eng.add_stream();
+            let data = series(win + 16, 100 + sid as u64);
+            let mut got = Vec::new();
+            for t in 0..data.len() {
+                got.extend(eng.push(0, data.row(t)));
+            }
+            solo.push(got);
+        }
+        // Batched: one engine, all streams ticked together. Force real
+        // multi-window chunks — the auto default would pick batch-of-one on
+        // the single-thread test executor, and this test exists to prove
+        // B > 1 scoring is bitwise identical to solo.
+        let mut cfg = ServingConfig::new(f32::MAX, 4);
+        cfg.max_batch = Some(det.cfg.batch);
+        let mut eng = ServingEngine::new(det, cfg);
+        let ids: Vec<usize> = (0..n_streams).map(|_| eng.add_stream()).collect();
+        let datas: Vec<TimeSeries> =
+            (0..n_streams).map(|sid| series(win + 16, 100 + sid as u64)).collect();
+        let mut batched: Vec<Vec<ServingVerdict>> = vec![Vec::new(); n_streams];
+        for t in 0..win + 16 {
+            let rows: Vec<(usize, &[f32])> =
+                ids.iter().map(|&id| (id, datas[id].row(t))).collect();
+            for v in eng.tick(&rows) {
+                batched[v.stream].push(v);
+            }
+        }
+        for sid in 0..n_streams {
+            assert_eq!(solo[sid].len(), batched[sid].len(), "stream {sid}");
+            for (a, b) in solo[sid].iter().zip(batched[sid].iter()) {
+                assert_eq!(a.verdict.t, b.verdict.t);
+                assert_eq!(a.verdict.quality, b.verdict.quality);
+                // Batch-of-N and batch-of-1 forwards may differ in the last
+                // bits (blocked-matmul path selection depends on B·T).
+                assert!(
+                    (a.verdict.score - b.verdict.score).abs() < 1e-4,
+                    "stream {sid} t={}: {} vs {}",
+                    a.verdict.t,
+                    a.verdict.score,
+                    b.verdict.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tick_coalesces_due_windows_into_batches() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let mut cfg = ServingConfig::new(f32::MAX, win);
+        cfg.max_batch = Some(det.cfg.batch);
+        let mut eng = ServingEngine::new(det, cfg);
+        let ids: Vec<usize> = (0..5).map(|_| eng.add_stream()).collect();
+        let datas: Vec<TimeSeries> = (0..5).map(|sid| series(win, 50 + sid as u64)).collect();
+        // Ingest only: all five windows become due on the last tick.
+        for t in 0..win {
+            for &id in &ids {
+                let none = eng.ingest(id, datas[id].row(t));
+                assert!(none.is_empty());
+            }
+        }
+        assert_eq!(eng.pending_windows(), 5);
+        let verdicts = eng.flush();
+        assert_eq!(eng.pending_windows(), 0);
+        assert_eq!(verdicts.len(), 5 * win);
+        for &id in &ids {
+            assert_eq!(verdicts.iter().filter(|v| v.stream == id).count(), win);
+        }
+    }
+
+    #[test]
+    fn from_scratch_mode_matches_incremental_on_refresh_hop() {
+        // Exactly one hop fires (hop = win_len, win_len rows): the first
+        // score after warm-up is a refresh hop, where the incremental path
+        // re-seeds through the exact batch path and must match bitwise.
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let data = series(win, 7);
+        let run = |det: TfmaeDetector, incremental: bool| {
+            let mut cfg = ServingConfig::new(f32::MAX, win);
+            cfg.incremental = incremental;
+            let mut eng = ServingEngine::new(det, cfg);
+            eng.add_stream();
+            let mut out = Vec::new();
+            for t in 0..win {
+                out.extend(eng.push(0, data.row(t)));
+            }
+            out
+        };
+        let inc = run(replicate(&det), true);
+        let scratch = run(det, false);
+        assert_eq!(inc.len(), scratch.len());
+        for (a, b) in inc.iter().zip(scratch.iter()) {
+            assert_eq!(a.verdict.score, b.verdict.score, "refresh hop must be bitwise");
+        }
+    }
+
+    #[test]
+    fn unknown_stream_id_panics() {
+        let det = fitted();
+        let mut eng = ServingEngine::new(det, ServingConfig::new(0.0, 1));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.ingest(0, &[1.0]);
+        }));
+        assert!(r.is_err(), "ingest to an unregistered stream must panic");
+    }
+}

@@ -20,12 +20,18 @@
 //! poisoned buffer is discarded and the stream re-warms automatically on
 //! the next clean data. [`StreamingDetector::health`] reports counters for
 //! all of this.
+//!
+//! Since the serving engine landed (see [`crate::serving`]),
+//! `StreamingDetector` is a thin wrapper around a single-stream
+//! [`ServingEngine`](crate::serving::ServingEngine): the ring buffer,
+//! incremental masking state, fault handling and scoring all live there,
+//! and the engine with one stream is verdict-bitwise-identical to this
+//! wrapper by construction.
 
-use std::collections::VecDeque;
-
-use tfmae_data::{Detector, TimeSeries};
+use tfmae_data::TimeSeries;
 
 use crate::detector::TfmaeDetector;
+use crate::serving::{ServingConfig, ServingEngine};
 
 /// Quality of the data behind one verdict (worst over its channels).
 ///
@@ -132,21 +138,7 @@ pub struct StreamVerdict {
 ///
 /// [`ScoreKind::Combined`]: crate::config::ScoreKind
 pub struct StreamingDetector {
-    det: TfmaeDetector,
-    threshold: f32,
-    hop: usize,
-    dims: usize,
-    win_len: usize,
-    buffer: VecDeque<Vec<f32>>,
-    qualities: VecDeque<DataQuality>,
-    pushed: u64,
-    since_score: usize,
-    frozen_norms: Option<(f32, f32)>,
-    degraded: DegradedModeConfig,
-    last_good: Vec<Option<f32>>,
-    staleness: Vec<usize>,
-    consecutive_bad: usize,
-    health: StreamHealth,
+    engine: ServingEngine,
 }
 
 impl StreamingDetector {
@@ -160,61 +152,49 @@ impl StreamingDetector {
     /// # Panics
     /// Panics if the detector has not been fitted.
     pub fn new(det: TfmaeDetector, threshold: f32, hop: usize) -> Self {
-        let model = det.model().expect("StreamingDetector requires a fitted detector");
-        let win_len = det.cfg.win_len;
-        let dims = model.dims();
-        assert!((1..=win_len).contains(&hop), "hop must be in 1..=win_len");
-        Self {
-            det,
-            threshold,
-            hop,
-            dims,
-            win_len,
-            buffer: VecDeque::with_capacity(win_len + 1),
-            qualities: VecDeque::with_capacity(win_len + 1),
-            pushed: 0,
-            since_score: 0,
-            frozen_norms: None,
-            degraded: DegradedModeConfig::default(),
-            last_good: vec![None; dims],
-            staleness: vec![0; dims],
-            consecutive_bad: 0,
-            health: StreamHealth::default(),
-        }
+        assert!(
+            det.model().is_some(),
+            "StreamingDetector requires a fitted detector"
+        );
+        let mut engine = ServingEngine::new(det, ServingConfig::new(threshold, hop));
+        engine.add_stream();
+        Self { engine }
     }
 
     /// Replaces the degraded-mode configuration (builder style).
     pub fn with_degraded_mode(mut self, cfg: DegradedModeConfig) -> Self {
-        self.degraded = cfg;
+        self.engine.set_degraded_mode(cfg);
         self
+    }
+
+    /// The single-stream serving engine backing this wrapper.
+    pub fn engine(&self) -> &ServingEngine {
+        &self.engine
     }
 
     /// Freezes the score-normalization constants from a reference series
     /// (normally the validation split), so online scores match the scale of
-    /// offline [`Detector::score`] output. Only affects
-    /// [`ScoreKind::Combined`](crate::config::ScoreKind); the other
+    /// offline [`Detector::score`](tfmae_data::Detector::score) output. Only
+    /// affects [`ScoreKind::Combined`](crate::config::ScoreKind); the other
     /// criteria are normalization-free.
     pub fn calibrate(&mut self, series: &TimeSeries) {
-        let (kl, dual) = self.det.score_components(series);
-        let ma = kl.iter().sum::<f32>() / kl.len().max(1) as f32;
-        let mb = dual.iter().sum::<f32>() / dual.len().max(1) as f32;
-        self.frozen_norms = Some((ma, mb));
+        self.engine.calibrate_stream(0, series);
     }
 
     /// Drops frozen calibration constants, reverting to window-local
     /// normalization (inverse of [`StreamingDetector::calibrate`]).
     pub fn thaw(&mut self) {
-        self.frozen_norms = None;
+        self.engine.thaw_stream(0);
     }
 
     /// Whether [`StreamingDetector::calibrate`] constants are frozen in.
     pub fn is_calibrated(&self) -> bool {
-        self.frozen_norms.is_some()
+        self.engine.is_calibrated(0)
     }
 
     /// Fault counters and current mode.
     pub fn health(&self) -> &StreamHealth {
-        &self.health
+        self.engine.health(0)
     }
 
     /// Execution-layer counters of the wrapped detector's executor. Every
@@ -222,7 +202,7 @@ impl StreamingDetector {
     /// so after the first scored window `pool_misses` stops growing —
     /// steady-state streaming performs no per-hop tape allocations.
     pub fn exec_stats(&self) -> tfmae_tensor::ExecStats {
-        self.det.exec_stats()
+        self.engine.exec_stats()
     }
 
     /// Convenience: hop = win_len / 4.
@@ -233,17 +213,17 @@ impl StreamingDetector {
 
     /// Observations pushed so far.
     pub fn len(&self) -> u64 {
-        self.pushed
+        self.engine.stream_len(0)
     }
 
     /// Whether nothing has been pushed yet.
     pub fn is_empty(&self) -> bool {
-        self.pushed == 0
+        self.engine.stream_len(0) == 0
     }
 
     /// Whether the warm-up window has filled.
     pub fn warmed_up(&self) -> bool {
-        self.buffer.len() >= self.win_len
+        self.engine.warmed_up(0)
     }
 
     /// Pushes one observation row (`dims` values). Returns verdicts for any
@@ -257,130 +237,12 @@ impl StreamingDetector {
     /// # Panics
     /// Panics if `row.len() != dims` **and** degraded mode is disabled.
     pub fn push(&mut self, row: &[f32]) -> Vec<StreamVerdict> {
-        if !self.degraded.enabled {
-            assert_eq!(row.len(), self.dims, "row width mismatch");
-            return self.push_sanitized(row.to_vec(), DataQuality::Clean);
-        }
-
-        let width_ok = row.len() == self.dims;
-        let mut clean = vec![0.0f32; self.dims];
-        let mut quality = DataQuality::Clean;
-        for n in 0..self.dims {
-            let v = if width_ok { row[n] } else { f32::NAN };
-            if v.is_finite() {
-                self.last_good[n] = Some(v);
-                self.staleness[n] = 0;
-                clean[n] = v;
-            } else {
-                self.staleness[n] += 1;
-                // Impute with the last good value; a channel that has never
-                // produced one falls back to 0.0 (finite by construction).
-                clean[n] = self.last_good[n].unwrap_or(0.0);
-                let q = if self.last_good[n].is_some()
-                    && self.staleness[n] <= self.degraded.staleness_budget
-                {
-                    DataQuality::Imputed
-                } else {
-                    DataQuality::Degraded
-                };
-                quality = quality.max(q);
-            }
-        }
-
-        if quality == DataQuality::Clean {
-            self.consecutive_bad = 0;
-            if self.health.mode == StreamMode::Quarantine {
-                // Clean data ends quarantine; re-warm from an empty buffer.
-                self.health.mode = StreamMode::Normal;
-            }
-        } else {
-            self.consecutive_bad += 1;
-            if self.health.mode == StreamMode::Normal
-                && self.consecutive_bad >= self.degraded.quarantine_after
-            {
-                self.health.mode = StreamMode::Quarantine;
-                self.health.quarantine_entries += 1;
-                self.buffer.clear();
-                self.qualities.clear();
-                self.since_score = 0;
-            }
-        }
-
-        if self.health.mode == StreamMode::Quarantine {
-            self.health.quarantined_rows += 1;
-            self.pushed += 1;
-            return vec![StreamVerdict {
-                t: self.pushed - 1,
-                score: 0.0,
-                is_anomaly: false,
-                quality: DataQuality::Degraded,
-            }];
-        }
-
-        self.push_sanitized(clean, quality)
-    }
-
-    /// Buffers an already-sanitized row and scores when a hop completes.
-    fn push_sanitized(&mut self, row: Vec<f32>, quality: DataQuality) -> Vec<StreamVerdict> {
-        match quality {
-            DataQuality::Clean => {}
-            DataQuality::Imputed => self.health.imputed_rows += 1,
-            DataQuality::Degraded => self.health.degraded_rows += 1,
-        }
-        self.buffer.push_back(row);
-        self.qualities.push_back(quality);
-        if self.buffer.len() > self.win_len {
-            self.buffer.pop_front();
-            self.qualities.pop_front();
-        }
-        self.pushed += 1;
-        self.since_score += 1;
-
-        if !self.warmed_up() || self.since_score < self.hop {
-            return Vec::new();
-        }
-        self.since_score = 0;
-
-        // Score the current window and report its newest `hop` positions.
-        let mut flat = Vec::with_capacity(self.win_len * self.dims);
-        for r in &self.buffer {
-            flat.extend_from_slice(r);
-        }
-        let window = TimeSeries::new(flat, self.win_len, self.dims);
-        let scores = match (self.frozen_norms, self.det.cfg.score) {
-            (Some((ma, mb)), crate::config::ScoreKind::Combined) => {
-                let (kl, dual) = self.det.score_components(&window);
-                kl.iter()
-                    .zip(dual.iter())
-                    .map(|(x, y)| x / (ma + 1e-12) + y / (mb + 1e-12))
-                    .collect()
-            }
-            _ => self.det.score(&window),
-        };
-        let newest = self.hop.min(self.win_len);
-        let base_t = self.pushed - newest as u64;
-        (0..newest)
-            .map(|i| {
-                let mut score = scores[self.win_len - newest + i];
-                let mut quality = self.qualities[self.win_len - newest + i];
-                if !score.is_finite() {
-                    // Last line of defense: never emit a non-finite score.
-                    score = 0.0;
-                    quality = DataQuality::Degraded;
-                }
-                StreamVerdict {
-                    t: base_t + i as u64,
-                    score,
-                    is_anomaly: score >= self.threshold && quality != DataQuality::Degraded,
-                    quality,
-                }
-            })
-            .collect()
+        self.engine.push(0, row).into_iter().map(|v| v.verdict).collect()
     }
 
     /// Pushes a batch of rows, collecting all verdicts.
     pub fn push_many(&mut self, series: &TimeSeries) -> Vec<StreamVerdict> {
-        assert_eq!(series.dims(), self.dims);
+        assert_eq!(series.dims(), self.engine.dims());
         let mut out = Vec::new();
         for t in 0..series.len() {
             out.extend(self.push(series.row(t)));
@@ -395,7 +257,7 @@ mod tests {
     use crate::config::TfmaeConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use tfmae_data::{render, Component};
+    use tfmae_data::{render, Component, Detector};
     use tfmae_metrics::threshold_for_ratio;
 
     fn series(len: usize, seed: u64) -> TimeSeries {

@@ -1,0 +1,275 @@
+//! Parity suite for the multi-stream serving engine.
+//!
+//! Three contracts, in increasing strictness:
+//!
+//! 1. **Incremental ≈ from-scratch** — with `incremental: true` the masks
+//!    come from rolling statistics and a sliding DFT that are exactly
+//!    re-seeded every `refresh_every` hops; verdict scores must stay within
+//!    1e-5 of the from-scratch baseline *between* refreshes and match it
+//!    bitwise *on* refresh hops.
+//! 2. **Wrapper = engine** — `StreamingDetector` is a thin wrapper over a
+//!    single-stream `ServingEngine`; verdicts must be bitwise identical,
+//!    including under NaN storms and quarantine.
+//! 3. **Batched ≈ solo** — N streams ticked through one engine must agree
+//!    with N independent single-stream engines (scores within 1e-4; the
+//!    batch-of-N forward may pick different blocked-matmul paths than
+//!    batch-of-1).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfmae_core::{
+    DataQuality, ServingConfig, ServingEngine, StreamVerdict, StreamingDetector, TfmaeConfig,
+    TfmaeDetector,
+};
+use tfmae_data::{render, Component, Detector, TimeSeries};
+
+fn series(len: usize, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ch = render(
+        &[
+            Component::Sine { period: 16.0, amp: 1.0, phase: 0.0 },
+            Component::Trend { slope: 0.002 },
+            Component::Noise { sigma: 0.05 },
+        ],
+        len,
+        &mut rng,
+    );
+    TimeSeries::from_channels(&[ch])
+}
+
+fn fitted() -> TfmaeDetector {
+    let train = series(512, 1);
+    let mut det = TfmaeDetector::new(TfmaeConfig { epochs: 4, ..TfmaeConfig::tiny() });
+    det.fit(&train, &train);
+    det
+}
+
+fn replicate(det: &TfmaeDetector) -> TfmaeDetector {
+    TfmaeDetector::from_checkpoint(det.to_checkpoint().expect("fitted")).expect("roundtrip")
+}
+
+/// Runs one single-stream engine over `data`, returning flat verdicts.
+fn run_engine(det: TfmaeDetector, cfg: ServingConfig, data: &TimeSeries) -> Vec<StreamVerdict> {
+    let mut eng = ServingEngine::new(det, cfg);
+    eng.add_stream();
+    let mut out = Vec::new();
+    for t in 0..data.len() {
+        out.extend(eng.push(0, data.row(t)).into_iter().map(|v| v.verdict));
+    }
+    out
+}
+
+#[test]
+fn incremental_tracks_from_scratch_within_1e5_across_refresh_cadence() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    // Long run: many hops, refresh every 4 scored hops so the suite
+    // exercises refresh hops AND maximum-drift hops (3 slides deep).
+    let data = series(win + 40, 42);
+    let mut inc_cfg = ServingConfig::new(f32::MAX, 2);
+    inc_cfg.refresh_every = 4;
+    let mut scratch_cfg = inc_cfg.clone();
+    scratch_cfg.incremental = false;
+
+    let inc = run_engine(replicate(&det), inc_cfg, &data);
+    let scratch = run_engine(det, scratch_cfg, &data);
+
+    assert_eq!(inc.len(), scratch.len());
+    assert!(inc.len() >= 20, "run must cover many hops, got {}", inc.len());
+    for (a, b) in inc.iter().zip(scratch.iter()) {
+        assert_eq!(a.t, b.t);
+        assert_eq!(a.quality, b.quality);
+        assert!(
+            (a.score - b.score).abs() <= 1e-5,
+            "t={}: incremental {} vs from-scratch {} drifted past 1e-5",
+            a.t,
+            a.score,
+            b.score
+        );
+    }
+}
+
+#[test]
+fn refresh_hops_are_bitwise_identical_to_from_scratch() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let hop = 4;
+    let refresh_every = 3;
+    let data = series(win + hop * refresh_every * 3, 43);
+    let mut inc_cfg = ServingConfig::new(f32::MAX, hop);
+    inc_cfg.refresh_every = refresh_every;
+    let mut scratch_cfg = inc_cfg.clone();
+    scratch_cfg.incremental = false;
+
+    let inc = run_engine(replicate(&det), inc_cfg, &data);
+    let scratch = run_engine(det, scratch_cfg, &data);
+    assert_eq!(inc.len(), scratch.len());
+
+    // Hop k (0-based) is a refresh hop iff k % refresh_every == 0 (the
+    // counter starts at 0 after warm-up and resets on each refresh).
+    let mut bitwise_hops = 0;
+    for (k, (av, bv)) in inc.chunks(hop).zip(scratch.chunks(hop)).enumerate() {
+        if k % refresh_every == 0 {
+            for (a, b) in av.iter().zip(bv.iter()) {
+                assert_eq!(
+                    a.score, b.score,
+                    "refresh hop {k} t={} must be bitwise identical",
+                    a.t
+                );
+            }
+            bitwise_hops += 1;
+        }
+    }
+    assert!(bitwise_hops >= 3, "suite must cover several refresh hops");
+}
+
+#[test]
+fn refresh_every_one_is_always_bitwise() {
+    // refresh_every = 1 degenerates to the exact path every hop: the
+    // incremental engine must equal from-scratch bitwise everywhere.
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let data = series(win + 24, 44);
+    let mut inc_cfg = ServingConfig::new(f32::MAX, 3);
+    inc_cfg.refresh_every = 1;
+    let mut scratch_cfg = inc_cfg.clone();
+    scratch_cfg.incremental = false;
+
+    let inc = run_engine(replicate(&det), inc_cfg, &data);
+    let scratch = run_engine(det, scratch_cfg, &data);
+    assert_eq!(inc.len(), scratch.len());
+    assert!(!inc.is_empty());
+    for (a, b) in inc.iter().zip(scratch.iter()) {
+        assert_eq!(a.score, b.score, "t={}", a.t);
+    }
+}
+
+#[test]
+fn wrapper_is_bitwise_identical_to_single_stream_engine() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let data = series(win * 2 + 8, 45);
+
+    let mut wrapper = StreamingDetector::new(replicate(&det), f32::MAX, 4);
+    let from_wrapper = wrapper.push_many(&data);
+    let from_engine = run_engine(det, ServingConfig::new(f32::MAX, 4), &data);
+
+    assert_eq!(from_wrapper.len(), from_engine.len());
+    assert!(!from_wrapper.is_empty());
+    for (a, b) in from_wrapper.iter().zip(from_engine.iter()) {
+        assert_eq!(a, b, "wrapper and engine verdicts must be bitwise identical");
+    }
+}
+
+#[test]
+fn wrapper_engine_parity_survives_faults_and_quarantine() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let data = series(win * 3, 46);
+    // Scripted fault storm: scattered NaNs, then a dead feed long enough to
+    // trip quarantine (default quarantine_after = 16), then recovery.
+    let faulty_row = |t: usize| -> Option<Vec<f32>> {
+        if t >= win && t < win + win / 2 && t % 7 == 0 {
+            Some(vec![f32::NAN])
+        } else if t >= win * 2 && t < win * 2 + 20 {
+            Some(vec![f32::NAN])
+        } else {
+            None
+        }
+    };
+
+    let mut wrapper = StreamingDetector::new(replicate(&det), f32::MAX, 2);
+    let mut eng = ServingEngine::new(det, ServingConfig::new(f32::MAX, 2));
+    eng.add_stream();
+
+    let mut from_wrapper = Vec::new();
+    let mut from_engine = Vec::new();
+    for t in 0..data.len() {
+        let row = faulty_row(t).unwrap_or_else(|| data.row(t).to_vec());
+        from_wrapper.extend(wrapper.push(&row));
+        from_engine.extend(eng.push(0, &row).into_iter().map(|v| v.verdict));
+    }
+
+    assert_eq!(from_wrapper.len(), from_engine.len());
+    for (a, b) in from_wrapper.iter().zip(from_engine.iter()) {
+        assert_eq!(a, b);
+    }
+    // The storm actually exercised the fault machinery on both sides.
+    assert!(from_wrapper.iter().any(|v| v.quality == DataQuality::Imputed));
+    assert!(from_wrapper.iter().any(|v| v.quality == DataQuality::Degraded));
+    assert_eq!(wrapper.health(), eng.health(0));
+    assert_eq!(wrapper.health().quarantine_entries, 1);
+}
+
+#[test]
+fn batched_multi_stream_agrees_with_solo_over_long_run() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let n_streams = 4;
+    let len = win * 2 + 12;
+    let datas: Vec<TimeSeries> =
+        (0..n_streams).map(|sid| series(len, 200 + sid as u64)).collect();
+
+    let mut solo: Vec<Vec<StreamVerdict>> = Vec::new();
+    for data in &datas {
+        solo.push(run_engine(replicate(&det), ServingConfig::new(f32::MAX, 3), data));
+    }
+
+    // Force real multi-window chunks: the auto default picks batch-of-one
+    // on the single-thread test executor, but this test is about B > 1
+    // cross-stream batches matching solo runs bitwise.
+    let mut cfg = ServingConfig::new(f32::MAX, 3);
+    cfg.max_batch = Some(det.cfg.batch);
+    let mut eng = ServingEngine::new(det, cfg);
+    let ids: Vec<usize> = (0..n_streams).map(|_| eng.add_stream()).collect();
+    let mut batched: Vec<Vec<StreamVerdict>> = vec![Vec::new(); n_streams];
+    for t in 0..len {
+        let rows: Vec<(usize, &[f32])> =
+            ids.iter().map(|&id| (id, datas[id].row(t))).collect();
+        for v in eng.tick(&rows) {
+            batched[v.stream].push(v.verdict);
+        }
+    }
+
+    for sid in 0..n_streams {
+        assert_eq!(solo[sid].len(), batched[sid].len(), "stream {sid}");
+        assert!(!solo[sid].is_empty());
+        for (a, b) in solo[sid].iter().zip(batched[sid].iter()) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.quality, b.quality);
+            assert!(
+                (a.score - b.score).abs() < 1e-4,
+                "stream {sid} t={}: batched {} vs solo {}",
+                a.t,
+                b.score,
+                a.score
+            );
+        }
+    }
+}
+
+#[test]
+fn calibrated_stream_parity_between_engine_and_wrapper() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let val = series(160, 47);
+    let data = series(win * 2, 48);
+
+    let mut wrapper = StreamingDetector::new(replicate(&det), f32::MAX, 2);
+    wrapper.calibrate(&val);
+    let from_wrapper = wrapper.push_many(&data);
+
+    let mut eng = ServingEngine::new(det, ServingConfig::new(f32::MAX, 2));
+    let id = eng.add_stream();
+    eng.calibrate_stream(id, &val);
+    let mut from_engine = Vec::new();
+    for t in 0..data.len() {
+        from_engine.extend(eng.push(id, data.row(t)).into_iter().map(|v| v.verdict));
+    }
+
+    assert_eq!(from_wrapper.len(), from_engine.len());
+    assert!(!from_wrapper.is_empty());
+    for (a, b) in from_wrapper.iter().zip(from_engine.iter()) {
+        assert_eq!(a, b);
+    }
+}

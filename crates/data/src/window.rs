@@ -71,26 +71,58 @@ pub fn batch_windows(windows: &[Window], batch: usize) -> Vec<(Vec<usize>, Vec<f
         .collect()
 }
 
+/// Streaming fold of per-window scores onto the series timeline: windows are
+/// added one slice at a time (no intermediate `(start, Vec<f32>)` copies),
+/// overlaps average, uncovered positions finish at zero.
+///
+/// This is the allocation-free core of [`fold_scores`]; scoring loops feed it
+/// slices straight out of their batch output buffers.
+pub struct ScoreAccumulator {
+    win_len: usize,
+    acc: Vec<f64>,
+    cnt: Vec<u32>,
+}
+
+impl ScoreAccumulator {
+    /// An empty fold over `series_len` observations of `win_len`-long windows.
+    pub fn new(series_len: usize, win_len: usize) -> Self {
+        Self { win_len, acc: vec![0.0f64; series_len], cnt: vec![0u32; series_len] }
+    }
+
+    /// Adds one window's per-timestep scores at offset `start`.
+    ///
+    /// # Panics
+    /// Panics if `scores.len() != win_len`.
+    pub fn add(&mut self, start: usize, scores: &[f32]) {
+        assert_eq!(scores.len(), self.win_len, "per-window score length mismatch");
+        for (i, &v) in scores.iter().enumerate() {
+            let t = start + i;
+            if t < self.acc.len() {
+                self.acc[t] += v as f64;
+                self.cnt[t] += 1;
+            }
+        }
+    }
+
+    /// Averages the accumulated contributions into per-observation scores.
+    pub fn finish(self) -> Vec<f32> {
+        self.acc
+            .iter()
+            .zip(self.cnt.iter())
+            .map(|(&a, &c)| if c > 0 { (a / c as f64) as f32 } else { 0.0 })
+            .collect()
+    }
+}
+
 /// Scatters per-window, per-timestep scores back onto the series timeline.
 /// Overlapping windows average their contributions; every observation is
 /// covered by construction of [`extract_windows`].
 pub fn fold_scores(series_len: usize, win_len: usize, windows: &[(usize, Vec<f32>)]) -> Vec<f32> {
-    let mut acc = vec![0.0f64; series_len];
-    let mut cnt = vec![0u32; series_len];
+    let mut folder = ScoreAccumulator::new(series_len, win_len);
     for (start, scores) in windows {
-        assert_eq!(scores.len(), win_len, "per-window score length mismatch");
-        for (i, &v) in scores.iter().enumerate() {
-            let t = start + i;
-            if t < series_len {
-                acc[t] += v as f64;
-                cnt[t] += 1;
-            }
-        }
+        folder.add(*start, scores);
     }
-    acc.iter()
-        .zip(cnt.iter())
-        .map(|(&a, &c)| if c > 0 { (a / c as f64) as f32 } else { 0.0 })
-        .collect()
+    folder.finish()
 }
 
 #[cfg(test)]
@@ -158,6 +190,16 @@ mod tests {
         // Two windows overlap on index 2..4.
         let folded = fold_scores(6, 4, &[(0, vec![1.0; 4]), (2, vec![3.0; 4])]);
         assert_eq!(folded, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn accumulator_matches_fold_scores() {
+        let windows = vec![(0usize, vec![1.0, 2.0, 3.0, 4.0]), (2, vec![5.0, 6.0, 7.0, 8.0])];
+        let mut folder = ScoreAccumulator::new(7, 4);
+        for (s, w) in &windows {
+            folder.add(*s, w);
+        }
+        assert_eq!(folder.finish(), fold_scores(7, 4, &windows));
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub use fft::{
     fft, fft_bluestein, fft_pow2_in_place, ifft, is_power_of_two, next_power_of_two, Direction,
 };
 pub use plan::{plan_for_len, FftPlan};
-pub use rfft::{amplitude_spectrum, irfft, rfft, rfft_len};
+pub use rfft::{amplitude_spectrum, irfft, rfft, rfft_len, SlidingDft};
 pub use stats::{
     bottom_k_indices, multivariate_cv, sliding_cv_fft, sliding_cv_naive, sliding_mean_fft,
-    sliding_mean_naive, sliding_var_fft, sliding_var_naive, top_k_indices, CV_EPS,
+    sliding_mean_naive, sliding_var_fft, sliding_var_naive, top_k_indices, RollingStats, CV_EPS,
 };

@@ -57,6 +57,99 @@ pub fn amplitude_spectrum(input: &[f64]) -> Vec<f64> {
     rfft(input).into_iter().map(|z| z.abs()).collect()
 }
 
+/// Incrementally maintained half-spectrum of the last `n` samples of a real
+/// stream (the sliding-DFT recurrence).
+///
+/// When the length-`n` window advances by one sample, every bin updates as
+///
+/// ```text
+/// X'_k = (X_k − x_old + x_new) · e^{+j·2πk/n}
+/// ```
+///
+/// which is O(n) total per arriving sample over the `n/2 + 1` half-spectrum
+/// bins — versus O(n log n) for a fresh [`rfft`] per hop. The recurrence
+/// multiplies by a unit-magnitude twiddle every step, so rounding error
+/// grows slowly with stream length; callers should re-seed with
+/// [`SlidingDft::init`] on a periodic refresh cadence (the serving engine
+/// defaults to every few dozen hops), which snaps the state back to an exact
+/// [`rfft`] of the retained window.
+#[derive(Clone, Debug)]
+pub struct SlidingDft {
+    n: usize,
+    /// Half-spectrum bins, length `n/2 + 1`.
+    spec: Vec<Complex64>,
+    /// Per-bin advance twiddles `e^{+j·2πk/n}`.
+    twiddle: Vec<Complex64>,
+    warm: bool,
+}
+
+impl SlidingDft {
+    /// Creates a cold sliding DFT for window length `n` (>= 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "window length must be >= 1");
+        let bins = rfft_len(n);
+        let twiddle = (0..bins)
+            .map(|k| {
+                let w = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                let (s, c) = w.sin_cos();
+                Complex64::new(c, s)
+            })
+            .collect();
+        Self { n, spec: vec![Complex64::ZERO; bins], twiddle, warm: false }
+    }
+
+    /// Window length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the window length is zero (never; kept for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether [`SlidingDft::init`] has seeded the spectrum.
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// Seeds (or re-seeds) the spectrum with an exact [`rfft`] of `window`.
+    ///
+    /// # Panics
+    /// Panics if `window.len() != n`.
+    pub fn init(&mut self, window: &[f64]) {
+        assert_eq!(window.len(), self.n, "window length mismatch");
+        self.spec = rfft(window);
+        self.warm = true;
+    }
+
+    /// Advances the window by one sample: `x_old` leaves the head, `x_new`
+    /// enters the tail. O(n/2 + 1).
+    ///
+    /// # Panics
+    /// Panics if the spectrum has not been seeded with [`SlidingDft::init`].
+    pub fn slide(&mut self, x_old: f64, x_new: f64) {
+        assert!(self.warm, "init before slide");
+        let delta = x_new - x_old;
+        for (z, &t) in self.spec.iter_mut().zip(self.twiddle.iter()) {
+            *z = (*z + Complex64::from_re(delta)) * t;
+        }
+    }
+
+    /// The current half-spectrum (length `n/2 + 1`).
+    pub fn spectrum(&self) -> &[Complex64] {
+        &self.spec
+    }
+
+    /// Drops the seeded spectrum (stream quarantine / re-warm).
+    pub fn reset(&mut self) {
+        self.warm = false;
+        for z in self.spec.iter_mut() {
+            *z = Complex64::ZERO;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +206,51 @@ mod tests {
             .map(|(i, _)| i)
             .unwrap();
         assert_eq!(argmax, f);
+    }
+
+    #[test]
+    fn sliding_dft_tracks_fresh_rfft() {
+        for &n in &[16usize, 32, 100, 101] {
+            let stream: Vec<f64> = (0..n + 300)
+                .map(|t| (t as f64 * 0.17).sin() + 0.4 * (t as f64 * 0.59).cos() + 0.1)
+                .collect();
+            let mut sd = SlidingDft::new(n);
+            sd.init(&stream[..n]);
+            for s in 0..300 {
+                sd.slide(stream[s], stream[s + n]);
+                let fresh = rfft(&stream[s + 1..s + 1 + n]);
+                for (a, b) in sd.spectrum().iter().zip(fresh.iter()) {
+                    assert!(
+                        (a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8,
+                        "n={n} slide={s}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_dft_init_is_exact_and_reset_cools() {
+        let n = 64;
+        let x = sig(n);
+        let mut sd = SlidingDft::new(n);
+        assert!(!sd.is_warm());
+        sd.init(&x);
+        assert!(sd.is_warm());
+        let fresh = rfft(&x);
+        for (a, b) in sd.spectrum().iter().zip(fresh.iter()) {
+            // Re-seeding IS a fresh rfft: bitwise equal.
+            assert_eq!(a.re, b.re);
+            assert_eq!(a.im, b.im);
+        }
+        sd.reset();
+        assert!(!sd.is_warm());
+    }
+
+    #[test]
+    #[should_panic(expected = "init before slide")]
+    fn sliding_dft_rejects_cold_slides() {
+        SlidingDft::new(8).slide(0.0, 1.0);
     }
 
     #[test]

@@ -106,26 +106,131 @@ pub fn multivariate_cv(channels: &[&[f64]], w: usize, use_fft: bool) -> Vec<f64>
     total
 }
 
+/// Selects the `k` top indices under `cmp` via a partial selection: an O(n)
+/// `select_nth_unstable_by` partition followed by a sort of only the selected
+/// prefix, instead of sorting the whole index range. The comparator is total
+/// and includes the index tie-break, so the selected *set* and its order both
+/// match a full sort exactly.
+fn select_k_by(len: usize, k: usize, cmp: impl Fn(&usize, &usize) -> std::cmp::Ordering) -> Vec<usize> {
+    let k = k.min(len);
+    let mut idx: Vec<usize> = (0..len).collect();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < len {
+        idx.select_nth_unstable_by(k - 1, &cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
+    idx
+}
+
 /// Indices of the `k` largest values (the paper's `TopIndex`, Eq. 2), in
 /// descending value order. Ties break toward the earlier index so results are
 /// deterministic.
 pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
+    select_k_by(values.len(), k, |&a, &b| {
         values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
-    idx.truncate(k.min(values.len()));
-    idx
+    })
 }
 
 /// Indices of the `k` smallest values (used by amplitude masking, Eq. 8).
 pub fn bottom_k_indices(values: &[f64], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
+    select_k_by(values.len(), k, |&a, &b| {
         values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
-    idx.truncate(k.min(values.len()));
-    idx
+    })
+}
+
+/// O(1)-per-sample trailing-window statistics for one channel: the rolling
+/// sum and sum-of-squares over the last `w` samples, from which the
+/// mean/variance/CV of Eq. 1–5 follow directly. This is the incremental
+/// counterpart of [`sliding_cv_fft`]: a serving stream updates one of these
+/// per channel per arriving observation instead of re-convolving the whole
+/// window every hop.
+///
+/// Rolling add/subtract accumulates floating-point drift over long streams;
+/// call [`RollingStats::refresh`] periodically (the serving engine does so
+/// on its drift-refresh cadence) to recompute both accumulators exactly from
+/// the retained samples.
+#[derive(Clone, Debug)]
+pub struct RollingStats {
+    w: usize,
+    ring: Vec<f64>,
+    pos: usize,
+    len: usize,
+    sum: f64,
+    sumsq: f64,
+}
+
+impl RollingStats {
+    /// Creates an empty window of length `w` (>= 1).
+    pub fn new(w: usize) -> Self {
+        assert!(w >= 1, "window must be >= 1");
+        Self { w, ring: vec![0.0; w], pos: 0, len: 0, sum: 0.0, sumsq: 0.0 }
+    }
+
+    /// Pushes one sample, evicting the sample `w` steps back once full.
+    pub fn push(&mut self, x: f64) {
+        if self.len == self.w {
+            let old = self.ring[self.pos];
+            self.sum -= old;
+            self.sumsq -= old * old;
+        } else {
+            self.len += 1;
+        }
+        self.ring[self.pos] = x;
+        self.sum += x;
+        self.sumsq += x * x;
+        self.pos = (self.pos + 1) % self.w;
+    }
+
+    /// Whether `w` samples have been seen (mean/var are over a full window).
+    pub fn is_full(&self) -> bool {
+        self.len == self.w
+    }
+
+    /// Trailing-window mean `μ_t` over the samples seen (at most `w`).
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.sum / self.len as f64
+        }
+    }
+
+    /// Trailing-window population variance `μ⁽²⁾_t − μ_t²`, clamped at zero
+    /// against rounding — the same definition as [`sliding_var_fft`].
+    pub fn var(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sumsq / self.len as f64 - m * m).max(0.0)
+    }
+
+    /// Coefficient of variation `var / (|μ| + ε)` with the shared [`CV_EPS`].
+    pub fn cv(&self) -> f64 {
+        self.var() / (self.mean().abs() + CV_EPS)
+    }
+
+    /// Recomputes `sum`/`sumsq` exactly from the retained samples, zeroing
+    /// any drift the rolling add/subtract updates accumulated.
+    pub fn refresh(&mut self) {
+        self.sum = 0.0;
+        self.sumsq = 0.0;
+        for &x in &self.ring[..self.len] {
+            self.sum += x;
+            self.sumsq += x * x;
+        }
+    }
+
+    /// Drops all samples (stream quarantine / re-warm).
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.pos = 0;
+        self.sum = 0.0;
+        self.sumsq = 0.0;
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +304,116 @@ mod tests {
         assert_eq!(bottom_k_indices(&v, 2), vec![4, 0]);
         assert_eq!(top_k_indices(&v, 99).len(), 5);
         assert!(top_k_indices(&v, 0).is_empty());
+    }
+
+    /// The pre-selection reference implementation: full sort + truncate.
+    fn top_k_reference(values: &[f64], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        idx.truncate(k.min(values.len()));
+        idx
+    }
+
+    fn bottom_k_reference(values: &[f64], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        idx.truncate(k.min(values.len()));
+        idx
+    }
+
+    /// Deterministic pseudo-random values without a rand dependency.
+    fn lcg_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selection_matches_full_sort_on_random_inputs() {
+        for seed in 0..8u64 {
+            let v = lcg_values(97, seed);
+            for &k in &[0usize, 1, 5, 48, 96, 97, 200] {
+                assert_eq!(top_k_indices(&v, k), top_k_reference(&v, k), "top k={k} seed={seed}");
+                assert_eq!(
+                    bottom_k_indices(&v, k),
+                    bottom_k_reference(&v, k),
+                    "bottom k={k} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_matches_full_sort_on_all_ties() {
+        // All equal values: the documented tie-break (earlier index first)
+        // must survive the unstable partition.
+        let v = vec![2.5; 64];
+        for &k in &[1usize, 7, 63, 64] {
+            assert_eq!(top_k_indices(&v, k), (0..k).collect::<Vec<_>>());
+            assert_eq!(bottom_k_indices(&v, k), (0..k).collect::<Vec<_>>());
+            assert_eq!(top_k_indices(&v, k), top_k_reference(&v, k));
+            assert_eq!(bottom_k_indices(&v, k), bottom_k_reference(&v, k));
+        }
+        // Blocks of ties mixed with distinct values.
+        let mut v = lcg_values(60, 3);
+        for t in 0..60 {
+            if t % 3 == 0 {
+                v[t] = 0.5;
+            }
+        }
+        for &k in &[4usize, 20, 21, 59] {
+            assert_eq!(top_k_indices(&v, k), top_k_reference(&v, k), "tie blocks k={k}");
+            assert_eq!(bottom_k_indices(&v, k), bottom_k_reference(&v, k), "tie blocks k={k}");
+        }
+    }
+
+    #[test]
+    fn rolling_stats_match_batch_sliding_statistics() {
+        let x = wave(200);
+        let w = 10;
+        let mu = sliding_mean_naive(&x, w);
+        let var = sliding_var_fft(&x, w);
+        let cv = sliding_cv_naive(&x, w);
+        let mut r = RollingStats::new(w);
+        for (t, &v) in x.iter().enumerate() {
+            r.push(v);
+            if t >= w - 1 {
+                // Past the head, the trailing window holds real samples and
+                // the rolling accumulators must agree with the batch paths.
+                assert!(r.is_full());
+                assert!((r.mean() - mu[t]).abs() < 1e-9, "mean t={t}");
+                assert!((r.var() - var[t]).abs() < 1e-9, "var t={t}");
+                assert!((r.cv() - cv[t]).abs() < 1e-9, "cv t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_refresh_removes_drift_and_reset_empties() {
+        let mut r = RollingStats::new(8);
+        // A long stream with large magnitudes to provoke cancellation drift.
+        for t in 0..200_000 {
+            r.push(1e6 + (t as f64 * 0.37).sin());
+        }
+        let before = (r.sum, r.sumsq);
+        r.refresh();
+        // Refresh recomputes exactly from the retained 8 samples.
+        let exact_sum: f64 = r.ring.iter().sum();
+        assert_eq!(r.sum, exact_sum);
+        assert!((before.0 - r.sum).abs() < 1.0, "drift should be small but nonzero-able");
+        r.reset();
+        assert!(!r.is_full());
+        assert_eq!(r.mean(), 0.0);
+        r.push(3.0);
+        assert!((r.mean() - 3.0).abs() < 1e-12);
     }
 
     #[test]
