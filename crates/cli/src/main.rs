@@ -29,6 +29,7 @@ USAGE:
   tfmae serve    --model FILE.json --input FILE.csv [--input FILE.csv ...]
                  (--threshold F | --val FILE.csv [--ratio F]) [--hop N]
                  [--refresh-every N] [--from-scratch] [--out-dir DIR] [--lenient]
+                 [--metrics-out FILE.json] [--metrics-prom FILE.prom]
   tfmae help
 
 CSV format: one row per observation, one numeric column per channel, optional
@@ -44,6 +45,12 @@ given. --val both derives the threshold (at --ratio, default 0.01) and
 freezes each stream's score calibration so online scores match the offline
 scale. --from-scratch disables the incremental masking state (baseline cost
 model); --refresh-every tunes its exact re-seed cadence (default 64 hops).
+
+--metrics-out / --metrics-prom turn on the runtime metrics registry and
+write a JSON snapshot / Prometheus textfile on exit (and periodically during
+the replay), covering tick latency, per-stream fault counters, executor and
+FFT-plan-cache activity, and the streaming anomaly-score distribution. Point
+the Prometheus node-exporter textfile collector at the --metrics-prom file.
 
 EXIT CODES:
   0  success
@@ -317,16 +324,58 @@ fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Sorted-slice percentile with nearest-rank rounding (`q` in 0..=100).
-fn percentile_ns(sorted: &[u128], q: usize) -> u128 {
-    if sorted.is_empty() {
-        return 0;
+/// Scored ticks between periodic metrics-file rewrites during a replay.
+const METRICS_FLUSH_EVERY: u64 = 256;
+
+/// Resolves an optional metrics output path, creating its parent directory.
+fn metrics_path(args: &Args, key: &str) -> Result<Option<PathBuf>, CliError> {
+    match args.get(key) {
+        None => Ok(None),
+        Some("") => Err(CliError::Usage(format!("--{key} requires a file path"))),
+        Some(v) => {
+            let p = PathBuf::from(v);
+            if let Some(parent) = p.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| CliError::Data(format!("{}: {e}", parent.display())))?;
+                }
+            }
+            Ok(Some(p))
+        }
     }
-    let idx = (sorted.len() * q / 100).min(sorted.len() - 1);
-    sorted[idx]
+}
+
+/// Writes the current global-registry state to the requested metrics files.
+/// Failures here are internal (exit 5): the replay itself succeeded and the
+/// paths were already prepared — only the telemetry write went wrong.
+fn write_metrics(json: Option<&PathBuf>, prom: Option<&PathBuf>) -> Result<(), CliError> {
+    let reg = tfmae_obs::global();
+    if let Some(p) = json {
+        std::fs::write(p, tfmae_obs::json_snapshot(reg))
+            .map_err(|e| CliError::Internal(format!("{}: {e}", p.display())))?;
+    }
+    if let Some(p) = prom {
+        std::fs::write(p, tfmae_obs::prometheus_text(reg))
+            .map_err(|e| CliError::Internal(format!("{}: {e}", p.display())))?;
+    }
+    Ok(())
 }
 
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    // Flag sanity up front, before the model load and data replay: operator
+    // mistakes should fail in milliseconds, not after minutes of scoring.
+    if args.get("out-dir") == Some("") {
+        return Err(CliError::Usage("--out-dir requires a directory path".into()));
+    }
+    if args.get("threshold").is_none() && args.get("val").map_or(true, str::is_empty) {
+        return Err(CliError::Usage(
+            "serve needs --threshold or --val (to derive one at --ratio)".into(),
+        ));
+    }
+    let metrics_out = metrics_path(args, "metrics-out")?;
+    let metrics_prom = metrics_path(args, "metrics-prom")?;
+    let metrics_on = metrics_out.is_some() || metrics_prom.is_some();
+
     let lenient = args.has("lenient");
     let det = load_model(args)?;
     let inputs = args.get_all("input");
@@ -370,6 +419,13 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     cfg.incremental = !args.has("from-scratch");
     let incremental = cfg.incremental;
     let mut engine = ServingEngine::new(det, cfg);
+    if metrics_on {
+        // Turn the registry on and publish the serving executor so its
+        // dispatch/pool counters appear in the exports alongside the
+        // serve.* instruments.
+        engine.detector().executor().register_obs(tfmae_obs::global());
+        tfmae_obs::set_enabled(true);
+    }
     let ids: Vec<usize> = (0..streams_data.len()).map(|_| engine.add_stream()).collect();
     if let Some(v) = &val {
         for &id in &ids {
@@ -378,10 +434,12 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     }
 
     // Replay: one tick interleaves the next row of every still-live stream.
+    // Tick latency goes straight into a registered histogram (ungated — the
+    // summary line below needs it even without the metrics flags).
+    let tick_hist = tfmae_obs::global().histogram("serve.tick_ns");
     let max_len = streams_data.iter().map(|s| s.len()).max().unwrap_or(0);
     let mut per_stream: Vec<Vec<tfmae_core::ServingVerdict>> =
         vec![Vec::new(); streams_data.len()];
-    let mut scored_tick_ns: Vec<u128> = Vec::new();
     let started = std::time::Instant::now();
     for t in 0..max_len {
         let rows: Vec<(usize, &[f32])> = ids
@@ -393,7 +451,10 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         let out = engine.tick(&rows);
         let elapsed = tick_started.elapsed().as_nanos();
         if !out.is_empty() {
-            scored_tick_ns.push(elapsed);
+            tick_hist.record(u64::try_from(elapsed).unwrap_or(u64::MAX));
+            if metrics_on && tick_hist.count() % METRICS_FLUSH_EVERY == 0 {
+                write_metrics(metrics_out.as_ref(), metrics_prom.as_ref())?;
+            }
         }
         for v in out {
             per_stream[v.stream].push(v);
@@ -408,7 +469,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .flat_map(|v| v.iter())
         .filter(|v| v.verdict.is_anomaly)
         .count();
-    scored_tick_ns.sort_unstable();
+    let ticks = tick_hist.snapshot();
     println!(
         "served {} stream(s): {total_rows} rows, {total_verdicts} verdicts, {anomalies} anomalies \
          (threshold δ = {threshold:.6}, hop {hop}, {})",
@@ -418,9 +479,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     println!(
         "throughput {:.0} rows/s; scoring ticks: {} at p50 {:.2} ms, p99 {:.2} ms",
         total_rows as f64 / total_secs.max(1e-9),
-        scored_tick_ns.len(),
-        percentile_ns(&scored_tick_ns, 50) as f64 / 1e6,
-        percentile_ns(&scored_tick_ns, 99) as f64 / 1e6,
+        ticks.count,
+        ticks.quantile(0.50) as f64 / 1e6,
+        ticks.quantile(0.99) as f64 / 1e6,
     );
     for &id in &ids {
         let h = engine.health(id);
@@ -435,7 +496,8 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     if let Some(dir) = args.get("out-dir") {
         use std::io::Write as _;
         let dir = PathBuf::from(dir);
-        std::fs::create_dir_all(&dir).map_err(|e| CliError::Data(e.to_string()))?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError::Data(format!("{}: {e}", dir.display())))?;
         for &id in &ids {
             let path = dir.join(format!("stream_{id}.csv"));
             let mut f = std::io::BufWriter::new(
@@ -458,6 +520,13 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             write.map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
         }
         println!("wrote per-stream verdicts to {}", dir.display());
+    }
+
+    if metrics_on {
+        write_metrics(metrics_out.as_ref(), metrics_prom.as_ref())?;
+        for p in [&metrics_out, &metrics_prom].into_iter().flatten() {
+            println!("wrote metrics to {}", p.display());
+        }
     }
     Ok(())
 }

@@ -1,0 +1,131 @@
+//! End-to-end tests of `tfmae serve`: out-dir handling, metrics exports,
+//! and the exit-code contract, through the real binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tfmae"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tfmae_serve_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Simulates a tiny dataset and trains a model into `dir`, returning
+/// (model path, data dir).
+fn prepared(dir: &Path) -> (PathBuf, PathBuf) {
+    let data = dir.join("data");
+    let model = dir.join("model.json");
+    let out = bin()
+        .args(["simulate", "--dataset", "global", "--divisor", "200", "--out-dir"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["train", "--epochs", "1", "--win", "32", "--train"])
+        .arg(data.join("train.csv"))
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    (model, data)
+}
+
+#[test]
+fn serve_creates_nested_out_dir_and_writes_metrics() {
+    let dir = tmpdir("metrics");
+    let (model, data) = prepared(&dir);
+    // Every output path is nested and nonexistent: serve must create them.
+    let out_dir = dir.join("verdicts").join("run1");
+    let metrics_json = dir.join("metrics").join("snapshot.json");
+    let metrics_prom = dir.join("metrics").join("tfmae.prom");
+
+    let out = bin()
+        .args(["serve", "--threshold", "0.5", "--hop", "4", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(data.join("test.csv"))
+        .arg("--out-dir")
+        .arg(&out_dir)
+        .arg("--metrics-out")
+        .arg(&metrics_json)
+        .arg("--metrics-prom")
+        .arg(&metrics_prom)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("throughput"), "missing summary in: {text}");
+
+    // Verdict CSV landed in the freshly created nested directory.
+    let verdicts = std::fs::read_to_string(out_dir.join("stream_0.csv")).unwrap();
+    assert!(verdicts.starts_with("t,score,is_anomaly,quality"));
+    assert!(verdicts.lines().count() > 1, "no verdicts written");
+
+    // Both metrics files validate with the exporters' own checkers and
+    // cover instruments from every wired layer.
+    let prom = std::fs::read_to_string(&metrics_prom).unwrap();
+    tfmae_obs::validate_prometheus(&prom).expect("well-formed Prometheus textfile");
+    for metric in ["serve_rows", "serve_tick_ns_count", "exec_tasks_dispatched", "fft_plan_cache_misses"] {
+        assert!(prom.contains(metric), "{metric} missing from:\n{prom}");
+    }
+    let json = std::fs::read_to_string(&metrics_json).unwrap();
+    tfmae_obs::validate_json_shape(&json).expect("balanced JSON snapshot");
+    assert!(json.contains("\"serve.rows\""));
+    assert!(json.contains("\"serve.tick_ns\""));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_rejects_empty_out_dir_and_metrics_paths() {
+    let dir = tmpdir("badflags");
+    let (model, data) = prepared(&dir);
+
+    // `--out-dir` directly followed by the next flag has no value.
+    let out = bin()
+        .args(["serve", "--threshold", "0.5", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(data.join("test.csv"))
+        .args(["--out-dir", "--hop", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "empty --out-dir is a usage error");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out-dir"));
+
+    let out = bin()
+        .args(["serve", "--threshold", "0.5", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(data.join("test.csv"))
+        .args(["--metrics-out", "--hop", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "empty --metrics-out is a usage error");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("metrics-out"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_without_threshold_or_val_is_a_usage_error() {
+    let dir = tmpdir("nothresh");
+    let (model, data) = prepared(&dir);
+    let out = bin()
+        .args(["serve", "--model"])
+        .arg(&model)
+        .arg("--input")
+        .arg(data.join("test.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threshold"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

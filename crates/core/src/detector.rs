@@ -11,6 +11,7 @@ use tfmae_data::{
     batch_windows, extract_windows, Detector, FitReport, ScoreAccumulator, TimeSeries, ZScore,
 };
 use tfmae_nn::{Adam, Ctx};
+use tfmae_obs::{LazyCounter, LazySpan, Span};
 use tfmae_tensor::{ExecStats, Executor, Graph};
 
 use crate::config::TfmaeConfig;
@@ -153,6 +154,7 @@ impl Detector for TfmaeDetector {
     fn fit(&mut self, train: &TimeSeries, _val: &TimeSeries) {
         let cfg = self.cfg.clone();
         cfg.validate().expect("invalid TfmaeConfig");
+        let _fit_span = Span::enter("train.fit_ns");
         let start = Instant::now();
 
         let norm = ZScore::fit(train);
@@ -213,6 +215,8 @@ impl Detector for TfmaeDetector {
                 let mut retries = 0u32;
                 let mut applied = false;
                 loop {
+                    static STEP_SPAN: LazySpan = LazySpan::new("train.step_ns");
+                    let _step_span = STEP_SPAN.enter();
                     g.reset();
                     let ctx = Ctx::train(&g, &model.ps, cfg.seed ^ step);
                     let out = model.forward(&ctx, &batch);
@@ -225,6 +229,8 @@ impl Detector for TfmaeDetector {
                         max_activation = max_activation.max(g.activation_bytes());
                         losses.push(loss_val);
                         step += 1;
+                        static STEPS: LazyCounter = LazyCounter::new("train.steps");
+                        STEPS.inc();
                         applied = true;
                         break;
                     }
@@ -236,6 +242,9 @@ impl Detector for TfmaeDetector {
                     retries += 1;
                     if retries > max_retries {
                         guard.report.skipped_batches += 1;
+                        static SKIPPED: LazyCounter = LazyCounter::new("train.skipped_batches");
+                        SKIPPED.inc();
+                        tfmae_obs::event("train.skip_batch");
                         break;
                     }
                 }

@@ -160,6 +160,9 @@ impl TrainGuard {
     /// last certified parameters).
     pub fn rollback(&mut self, ps: &mut ParamStore, opt: &mut Adam) -> bool {
         self.report.rollbacks += 1;
+        static ROLLBACKS: tfmae_obs::LazyCounter = tfmae_obs::LazyCounter::new("train.rollbacks");
+        ROLLBACKS.inc();
+        tfmae_obs::event("train.rollback");
         ps.restore(&self.snapshot);
         *opt = self.opt_snapshot.clone();
         self.current_lr *= self.cfg.lr_backoff;

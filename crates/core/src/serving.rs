@@ -39,6 +39,7 @@ use rand::SeedableRng;
 use tfmae_data::TimeSeries;
 use tfmae_fft::{Complex64, RollingStats, SlidingDft, CV_EPS};
 use tfmae_nn::Ctx;
+use tfmae_obs::{LazyCounter, LazyGauge, LazyHistogram, LazySpan};
 use tfmae_tensor::{ExecStats, Graph};
 
 use crate::config::{ScoreKind, TemporalMaskKind, TfmaeConfig};
@@ -310,6 +311,8 @@ impl ServingEngine {
     /// next [`ServingEngine::flush`].
     pub fn ingest(&mut self, stream: usize, row: &[f32]) -> Vec<ServingVerdict> {
         assert!(stream < self.streams.len(), "unknown stream id {stream}");
+        static ROWS: LazyCounter = LazyCounter::new("serve.rows");
+        ROWS.inc();
         let dims = self.dims;
         let norm = self.det.norm().expect("fitted detector has a normalizer");
 
@@ -349,6 +352,10 @@ impl ServingEngine {
                 if s.health.mode == StreamMode::Quarantine {
                     // Clean data ends quarantine; re-warm from empty.
                     s.health.mode = StreamMode::Normal;
+                    static QUARANTINE_EXITS: LazyCounter =
+                        LazyCounter::new("serve.quarantine_exits");
+                    QUARANTINE_EXITS.inc();
+                    tfmae_obs::event("serve.quarantine_exit");
                 }
             } else {
                 s.consecutive_bad += 1;
@@ -357,12 +364,18 @@ impl ServingEngine {
                 {
                     s.health.mode = StreamMode::Quarantine;
                     s.health.quarantine_entries += 1;
+                    static QUARANTINE_ENTRIES: LazyCounter =
+                        LazyCounter::new("serve.quarantine_entries");
+                    QUARANTINE_ENTRIES.inc();
+                    tfmae_obs::event("serve.quarantine_enter");
                     s.clear_buffer();
                 }
             }
 
             if s.health.mode == StreamMode::Quarantine {
                 s.health.quarantined_rows += 1;
+                static QUARANTINED_ROWS: LazyCounter = LazyCounter::new("serve.quarantined_rows");
+                QUARANTINED_ROWS.inc();
                 s.pushed += 1;
                 return vec![ServingVerdict {
                     stream,
@@ -383,10 +396,18 @@ impl ServingEngine {
         let temporal_kind = self.det.cfg.temporal_mask;
         let incremental = self.cfg.incremental;
         let s = &mut self.streams[stream];
+        static IMPUTED_ROWS: LazyCounter = LazyCounter::new("serve.imputed_rows");
+        static DEGRADED_ROWS: LazyCounter = LazyCounter::new("serve.degraded_rows");
         match quality {
             DataQuality::Clean => {}
-            DataQuality::Imputed => s.health.imputed_rows += 1,
-            DataQuality::Degraded => s.health.degraded_rows += 1,
+            DataQuality::Imputed => {
+                s.health.imputed_rows += 1;
+                IMPUTED_ROWS.inc();
+            }
+            DataQuality::Degraded => {
+                s.health.degraded_rows += 1;
+                DEGRADED_ROWS.inc();
+            }
         }
         let slot = s.head;
         let mut normed = Vec::with_capacity(dims);
@@ -445,11 +466,17 @@ impl ServingEngine {
         } else {
             let refresh = s.hops_since_refresh == 0
                 || s.hops_since_refresh >= self.cfg.refresh_every;
+            if refresh {
+                static SDFT_REFRESHES: LazyCounter = LazyCounter::new("serve.sdft_refreshes");
+                SDFT_REFRESHES.inc();
+            }
             let masks = incremental_masks(&self.det.cfg, s, &values, dims, refresh, &mut rng);
             s.hops_since_refresh = if refresh { 1 } else { s.hops_since_refresh + 1 };
             masks
         };
 
+        static WINDOWS: LazyCounter = LazyCounter::new("serve.windows");
+        WINDOWS.inc();
         self.pending.push(PendingWindow {
             stream,
             values,
@@ -470,6 +497,12 @@ impl ServingEngine {
         if self.pending.is_empty() {
             return Vec::new();
         }
+        static FLUSH_SPAN: LazySpan = LazySpan::new("serve.flush_ns");
+        static VERDICTS: LazyCounter = LazyCounter::new("serve.verdicts");
+        static ANOMALIES: LazyCounter = LazyCounter::new("serve.anomalies");
+        static SCORE_HIST: LazyHistogram = LazyHistogram::new("serve.score_micro");
+        static SCORE_DRIFT: LazyGauge = LazyGauge::new("serve.score_drift_millis");
+        let _flush_span = FLUSH_SPAN.enter();
         let mut pending = std::mem::take(&mut self.pending);
         let model = self.det.model().expect("checked at construction");
         let (t, n) = (self.win_len, self.dims);
@@ -493,6 +526,10 @@ impl ServingEngine {
             let chunk: Vec<PendingWindow> = pending.drain(..take).collect();
             g.reset();
             let b = chunk.len();
+            static BATCHES: LazyCounter = LazyCounter::new("serve.batches");
+            static BATCH_WINDOWS: LazyHistogram = LazyHistogram::new("serve.batch_windows");
+            BATCHES.inc();
+            BATCH_WINDOWS.record(b as u64);
             let mut values = Vec::with_capacity(b * t * n);
             let mut masks_t = Vec::with_capacity(b);
             let mut masks_f = Vec::with_capacity(b);
@@ -530,17 +567,27 @@ impl ServingEngine {
                         score = 0.0;
                         quality = DataQuality::Degraded;
                     }
+                    let is_anomaly = score >= threshold && quality != DataQuality::Degraded;
+                    SCORE_HIST.record_micro(score as f64);
+                    if is_anomaly {
+                        ANOMALIES.inc();
+                    }
                     out.push(ServingVerdict {
                         stream,
-                        verdict: StreamVerdict {
-                            t: base_t + i as u64,
-                            score,
-                            is_anomaly: score >= threshold && quality != DataQuality::Degraded,
-                            quality,
-                        },
+                        verdict: StreamVerdict { t: base_t + i as u64, score, is_anomaly, quality },
                     });
                 }
             }
+        }
+        VERDICTS.add(out.len() as u64);
+        // Drift indicator: the streaming score median relative to the
+        // calibrated alert threshold, in milli-units. A healthy stream sits
+        // well below 1000; sustained growth toward/past it means the score
+        // distribution has drifted from calibration.
+        if tfmae_obs::enabled() && threshold > 0.0 {
+            let p50_micro = SCORE_HIST.handle().snapshot().quantile(0.5);
+            let drift_millis = (p50_micro as f64 / 1e6) / f64::from(threshold) * 1e3;
+            SCORE_DRIFT.set(drift_millis.clamp(0.0, 1e12) as i64);
         }
         out
     }

@@ -249,6 +249,37 @@ fn batched_multi_stream_agrees_with_solo_over_long_run() {
 }
 
 #[test]
+fn verdicts_are_bitwise_identical_with_observability_on_and_off() {
+    // The observability layer must be a pure observer: turning the global
+    // registry on changes no verdict bit. (Toggling the switch here is safe
+    // alongside the other tests in this binary — recording never feeds back
+    // into scoring, which is exactly what this test proves.)
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let data = series(win * 2 + 10, 49);
+    let cfg = ServingConfig::new(f32::MAX, 3);
+
+    tfmae_obs::set_enabled(true);
+    let with_obs = run_engine(replicate(&det), cfg.clone(), &data);
+    let rows_recorded = tfmae_obs::global()
+        .instruments()
+        .iter()
+        .any(|(name, inst)| {
+            *name == "serve.rows"
+                && matches!(inst, tfmae_obs::Instrument::Counter(c) if c.get() > 0)
+        });
+    tfmae_obs::set_enabled(false);
+    let without_obs = run_engine(det, cfg, &data);
+
+    assert!(rows_recorded, "enabled run must have recorded serve.rows");
+    assert_eq!(with_obs.len(), without_obs.len());
+    assert!(!with_obs.is_empty());
+    for (a, b) in with_obs.iter().zip(without_obs.iter()) {
+        assert_eq!(a, b, "metrics on/off must not change any verdict bit");
+    }
+}
+
+#[test]
 fn calibrated_stream_parity_between_engine_and_wrapper() {
     let det = fitted();
     let win = det.cfg.win_len;

@@ -241,10 +241,15 @@ impl BluesteinTables {
 /// `HashMap` probe); the first call per length pays the table construction.
 pub fn plan_for_len(n: usize) -> Arc<FftPlan> {
     static PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    static CACHE_HITS: tfmae_obs::LazyCounter = tfmae_obs::LazyCounter::new("fft.plan_cache.hits");
+    static CACHE_MISSES: tfmae_obs::LazyCounter =
+        tfmae_obs::LazyCounter::new("fft.plan_cache.misses");
     let cache = PLANS.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(plan) = cache.lock().expect("plan cache poisoned").get(&n) {
+        CACHE_HITS.inc();
         return plan.clone();
     }
+    CACHE_MISSES.inc();
     // Build outside the lock: a Bluestein plan recursively requests its
     // power-of-two convolution plan, and std's Mutex is not reentrant. A
     // concurrent duplicate build is harmless — first insert wins.

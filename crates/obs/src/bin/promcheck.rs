@@ -1,0 +1,47 @@
+//! Validates a Prometheus textfile (or JSON snapshot) produced by the
+//! tfmae-obs exporters. Used by the CI obs-smoke job:
+//!
+//! ```text
+//! promcheck metrics.prom            # Prometheus text format
+//! promcheck --json metrics.json     # JSON snapshot shape
+//! ```
+//!
+//! Exits 0 when the file is well-formed (and, for Prometheus input,
+//! contains at least one sample and no duplicate metric names); prints the
+//! first violation and exits 1 otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (json, path) = match args.as_slice() {
+        [flag, path] if flag == "--json" => (true, path.clone()),
+        [path] => (false, path.clone()),
+        _ => {
+            eprintln!("usage: promcheck [--json] <file>");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("promcheck: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verdict = if json {
+        tfmae_obs::validate_json_shape(&text).map(|()| "valid JSON snapshot".to_string())
+    } else {
+        tfmae_obs::validate_prometheus(&text).map(|n| format!("{n} samples"))
+    };
+    match verdict {
+        Ok(msg) => {
+            println!("promcheck: {path}: OK ({msg})");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("promcheck: {path}: INVALID: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The three instrument primitives: [`Counter`], [`Gauge`] and
+//! [`Histogram`].
+//!
+//! Every instrument is a plain collection of atomics — recording is
+//! lock-free, wait-free and allocation-free, so instruments can sit on the
+//! serving hot path. Instruments are usable standalone (e.g. a benchmark
+//! harness that always wants its latency histogram) or registered in a
+//! [`Registry`](crate::Registry), where recording through the cached
+//! call-site handles ([`LazyCounter`](crate::LazyCounter) & friends) is
+//! additionally gated behind the registry's on/off switch.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (occupancy, ratios in fixed-point).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (negative to decrease).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water marks).
+    #[inline]
+    pub fn raise_to(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: 2^3 = 8 log-linear sub-buckets per octave, so any
+/// recorded value lands in a bucket whose width is ≤ 1/8 of its magnitude
+/// (worst-case quantile error ≈ 12.5%, typically half that).
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total buckets: values `0..2^SUB_BITS` get exact buckets, every later
+/// octave contributes `SUBS` buckets, and the top octave of `u64` ends at
+/// index `(63 - SUB_BITS) * SUBS + (2*SUBS - 1)`.
+pub const N_BUCKETS: usize = ((63 - SUB_BITS as usize) << SUB_BITS) + (2 * SUBS as usize);
+
+/// Index of the final (overflow) bucket — `u64::MAX` lands here.
+pub const OVERFLOW_BUCKET: usize = N_BUCKETS - 1;
+
+/// Bucket index for a value: exact below `2^SUB_BITS`, log-linear above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    let shift = octave - SUB_BITS;
+    // `v >> shift` keeps the leading one plus SUB_BITS mantissa bits: a
+    // value in `[SUBS, 2*SUBS)`, contiguous with the exact region.
+    ((shift as usize) << SUB_BITS) + (v >> shift) as usize
+}
+
+/// Inclusive lower bound of a bucket (the smallest value that maps to it).
+#[inline]
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < SUBS as usize {
+        return idx as u64;
+    }
+    let shift = (idx >> SUB_BITS) as u32 - 1;
+    (((idx as u64) & (SUBS - 1)) | SUBS) << shift
+}
+
+/// A fixed-bucket log-scale histogram of `u64` samples (latencies in ns,
+/// scores in fixed-point micro-units).
+///
+/// `record` is O(1): one relaxed `fetch_add` on the bucket plus count/sum
+/// updates and a min/max `fetch_min`/`fetch_max` — no locks, no allocation.
+/// [`Histogram::snapshot`] folds the buckets into a [`HistSnapshot`] with
+/// deterministic nearest-rank quantiles; quantile error is bounded by the
+/// bucket width (≤ 12.5% of the value), while `count`, `sum`, `min` and
+/// `max` are exact.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count.load(Ordering::Relaxed)).finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram (~4 KiB of buckets).
+    pub fn new() -> Self {
+        // `AtomicU64` is not Copy; build the boxed array through a Vec.
+        let v: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; N_BUCKETS]> =
+            v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!("length fixed"));
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a non-negative `f64` in fixed-point **micro-units**
+    /// (`v * 1e6`, saturating). Negative and non-finite values clamp to 0 —
+    /// intended for anomaly-score distributions, which are non-negative.
+    #[inline]
+    pub fn record_micro(&self, v: f64) {
+        let scaled = if v.is_finite() && v > 0.0 { (v * 1e6).min(u64::MAX as f64) as u64 } else { 0 };
+        self.record(scaled);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot. Weakly consistent under concurrent
+    /// recording (fields are read one atomic at a time), exact once writers
+    /// are quiescent.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i, c));
+            }
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable fold of a [`Histogram`]: exact count/sum/min/max plus the
+/// non-empty `(bucket_index, count)` pairs, with nearest-rank quantiles.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest recorded sample (exact; 0 when empty).
+    pub min: u64,
+    /// Largest recorded sample (exact; 0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(index, count)`, ascending by index.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile for `q ∈ [0, 1]`: the lower bound of the
+    /// bucket containing the `⌈q·count⌉`-th smallest sample, clamped into
+    /// `[min, max]` (so a single-sample snapshot returns that sample
+    /// exactly, and `quantile(1.0) == max`). Returns 0 when empty.
+    /// Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if target >= self.count {
+            return self.max; // rank == count: the largest sample, which is exact
+        }
+        let mut seen = 0u64;
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return bucket_lower(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Inclusive upper bound of bucket `idx` (for exporter `le` labels):
+    /// one below the next bucket's lower bound.
+    pub fn bucket_upper(idx: usize) -> u64 {
+        if idx + 1 >= N_BUCKETS {
+            u64::MAX
+        } else {
+            bucket_lower(idx + 1) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_contiguous() {
+        // Exact region.
+        for v in 0..SUBS {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+        }
+        // Every bucket's lower bound maps back to that bucket, and bounds
+        // strictly increase.
+        for idx in 0..N_BUCKETS {
+            let lo = bucket_lower(idx);
+            assert_eq!(bucket_index(lo), idx, "lower bound of {idx} maps back");
+            if idx > 0 {
+                assert!(bucket_lower(idx) > bucket_lower(idx - 1));
+            }
+        }
+        // Sampled values: index is monotone in the value.
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "v={v}");
+            last = idx;
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+        assert_eq!(bucket_index(u64::MAX), OVERFLOW_BUCKET);
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        for idx in (SUBS as usize)..N_BUCKETS - 1 {
+            let lo = bucket_lower(idx);
+            let hi = HistSnapshot::bucket_upper(idx);
+            assert!(hi >= lo);
+            // Width ≤ lo / SUBS ⇒ relative quantile error ≤ 1/SUBS.
+            assert!(hi - lo < lo.div_ceil(SUBS) + 1, "idx={idx} lo={lo} hi={hi}");
+        }
+    }
+}

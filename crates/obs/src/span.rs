@@ -1,0 +1,186 @@
+//! Scoped span timers and the ring-buffer event journal.
+//!
+//! A span measures one scoped duration: entering takes a clock reading,
+//! dropping the guard records the elapsed nanoseconds into the span's
+//! histogram (`<name>_ns`… by convention the span *name* already carries
+//! the unit, e.g. `serve.flush_ns`) and appends an event to the process
+//! journal — a fixed-capacity ring of the most recent [`JOURNAL_CAPACITY`]
+//! events, cheap enough to leave on in production and exactly what you
+//! want for post-hoc tracing of the last N serving ticks.
+//!
+//! Two flavours:
+//!
+//! * [`LazySpan`] — a `static` call-site handle for hot paths; entering
+//!   while the registry is disabled is a single relaxed atomic load (no
+//!   clock read, no journal traffic).
+//! * [`Span::enter("train.fit_ns")`](Span::enter) — by-name convenience for
+//!   coarse, infrequent scopes; pays one registry map probe per entry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::instruments::Histogram;
+use crate::registry::Registry;
+
+/// Events retained by a [`Journal`] ring.
+pub const JOURNAL_CAPACITY: usize = 256;
+
+/// One completed span occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Monotone sequence number (process-wide per journal).
+    pub seq: u64,
+    /// Span name (static — journal pushes never allocate).
+    pub name: &'static str,
+    /// Span start, microseconds since the registry epoch.
+    pub start_us: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Fixed-capacity ring buffer of the most recent span events.
+pub struct Journal {
+    ring: Mutex<Vec<JournalEvent>>,
+    head: AtomicU64,
+    capacity: usize,
+}
+
+impl Journal {
+    /// A fresh journal retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self { ring: Mutex::new(Vec::with_capacity(capacity)), head: AtomicU64::new(0), capacity }
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    pub fn push(&self, name: &'static str, start_us: u64, dur_ns: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let ev = JournalEvent { seq, name, start_us, dur_ns };
+        let mut ring = self.ring.lock().expect("obs journal lock");
+        if ring.len() < self.capacity {
+            ring.push(ev);
+        } else {
+            let slot = (seq % self.capacity as u64) as usize;
+            ring[slot] = ev;
+        }
+    }
+
+    /// The retained events in chronological (sequence) order.
+    pub fn snapshot(&self) -> Vec<JournalEvent> {
+        let ring = self.ring.lock().expect("obs journal lock");
+        let mut out = ring.clone();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Total events ever pushed (≥ retained count).
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+}
+
+/// A hot-path span handle cached at the call site.
+///
+/// ```
+/// static FLUSH: tfmae_obs::LazySpan = tfmae_obs::LazySpan::new("serve.flush_ns");
+/// {
+///     let _span = FLUSH.enter(); // records on drop, no-op while disabled
+/// }
+/// ```
+pub struct LazySpan {
+    name: &'static str,
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl LazySpan {
+    /// Declares a handle for the named span histogram.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, cell: OnceLock::new() }
+    }
+
+    /// The span's histogram (registers on first use).
+    pub fn handle(&self) -> &Arc<Histogram> {
+        self.cell.get_or_init(|| Registry::global().histogram(self.name))
+    }
+
+    /// Starts the span. While the registry is disabled this is a single
+    /// relaxed atomic load and the returned guard does nothing on drop.
+    #[inline]
+    pub fn enter(&self) -> SpanGuard<'_> {
+        if !Registry::global().enabled() {
+            return SpanGuard { name: self.name, hist: None, start: None };
+        }
+        SpanGuard { name: self.name, hist: Some(self.handle()), start: Some(Instant::now()) }
+    }
+}
+
+/// By-name span entry for coarse scopes (one registry probe per entry).
+pub struct Span;
+
+impl Span {
+    /// Starts a span named `name`, resolving its histogram through the
+    /// global registry. Use [`LazySpan`] on hot paths instead.
+    pub fn enter(name: &'static str) -> OwnedSpanGuard {
+        if !Registry::global().enabled() {
+            return OwnedSpanGuard { name, hist: None, start: None };
+        }
+        OwnedSpanGuard {
+            name,
+            hist: Some(Registry::global().histogram(name)),
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+fn finish(name: &'static str, start: Instant, hist: &Histogram) {
+    let dur = start.elapsed();
+    let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+    hist.record(dur_ns);
+    let reg = Registry::global();
+    let start_us =
+        u64::try_from((start - reg.epoch()).as_micros()).unwrap_or(u64::MAX);
+    reg.journal().push(name, start_us, dur_ns);
+}
+
+/// Guard returned by [`LazySpan::enter`]; records on drop.
+pub struct SpanGuard<'a> {
+    name: &'static str,
+    hist: Option<&'a Arc<Histogram>>,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(hist), Some(start)) = (self.hist, self.start) {
+            finish(self.name, start, hist);
+        }
+    }
+}
+
+/// Guard returned by [`Span::enter`]; records on drop.
+pub struct OwnedSpanGuard {
+    name: &'static str,
+    hist: Option<Arc<Histogram>>,
+    start: Option<Instant>,
+}
+
+impl Drop for OwnedSpanGuard {
+    fn drop(&mut self) {
+        if let (Some(hist), Some(start)) = (self.hist.as_ref(), self.start) {
+            finish(self.name, start, hist);
+        }
+    }
+}
+
+/// Appends a zero-duration marker event to the global journal (e.g. a
+/// training rollback, a quarantine transition). Gated like every global
+/// call site: one relaxed load while disabled.
+pub fn event(name: &'static str) {
+    let reg = Registry::global();
+    if !reg.enabled() {
+        return;
+    }
+    let start_us =
+        u64::try_from(reg.epoch().elapsed().as_micros()).unwrap_or(u64::MAX);
+    reg.journal().push(name, start_us, 0);
+}

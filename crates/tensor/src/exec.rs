@@ -21,9 +21,11 @@
 //! threads at all and is the default for ad-hoc graphs.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
+
+use tfmae_obs::{Counter, Gauge, Instrument, Registry};
 
 /// Environment variable overriding the worker-pool size.
 pub const THREADS_ENV: &str = "TFMAE_THREADS";
@@ -79,19 +81,16 @@ impl ExecStats {
     }
 }
 
-/// Buffer free lists, bucketed by power-of-two capacity class.
+/// Buffer free lists, bucketed by power-of-two capacity class. Counters
+/// live outside as executor-level `tfmae_obs` instruments so they can be
+/// published to a metrics registry without holding this lock.
 struct Pool {
     buckets: Vec<Vec<Vec<f32>>>,
-    hits: u64,
-    misses: u64,
-    bytes_recycled: u64,
-    arena_bytes: u64,
-    peak_arena_bytes: u64,
 }
 
 impl Pool {
     fn new() -> Self {
-        Self { buckets: Vec::new(), hits: 0, misses: 0, bytes_recycled: 0, arena_bytes: 0, peak_arena_bytes: 0 }
+        Self { buckets: Vec::new() }
     }
 
     fn bucket(&mut self, class: u32) -> &mut Vec<Vec<f32>> {
@@ -171,8 +170,17 @@ pub struct Executor {
     senders: Mutex<Vec<mpsc::Sender<Arc<Job>>>>,
     handles: Mutex<Vec<thread::JoinHandle<()>>>,
     pool: Mutex<Pool>,
-    tasks_dispatched: AtomicU64,
-    parallel_tasks: AtomicU64,
+    // Per-instance observability instruments (always recording — they are
+    // the executor's own counters, not gated global telemetry). A serving
+    // or training process publishes the instance that matters via
+    // [`Executor::register_obs`].
+    tasks_dispatched: Arc<Counter>,
+    parallel_tasks: Arc<Counter>,
+    pool_hits: Arc<Counter>,
+    pool_misses: Arc<Counter>,
+    bytes_recycled: Arc<Counter>,
+    arena_bytes: Arc<Gauge>,
+    peak_arena_bytes: Arc<Gauge>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -218,8 +226,13 @@ impl Executor {
             senders: Mutex::new(senders),
             handles: Mutex::new(handles),
             pool: Mutex::new(Pool::new()),
-            tasks_dispatched: AtomicU64::new(0),
-            parallel_tasks: AtomicU64::new(0),
+            tasks_dispatched: Arc::new(Counter::new()),
+            parallel_tasks: Arc::new(Counter::new()),
+            pool_hits: Arc::new(Counter::new()),
+            pool_misses: Arc::new(Counter::new()),
+            bytes_recycled: Arc::new(Counter::new()),
+            arena_bytes: Arc::new(Gauge::new()),
+            peak_arena_bytes: Arc::new(Gauge::new()),
         }
     }
 
@@ -260,7 +273,7 @@ impl Executor {
         if n == 0 {
             return;
         }
-        self.tasks_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.tasks_dispatched.inc();
         let min = min_per_chunk.max(1);
         if self.threads == 1 || n < 2 * min {
             f(0, n);
@@ -291,7 +304,7 @@ impl Executor {
             cv: Condvar::new(),
             panicked: AtomicBool::new(false),
         });
-        self.parallel_tasks.fetch_add(1, Ordering::Relaxed);
+        self.parallel_tasks.inc();
         {
             let senders = self.senders.lock().expect("executor senders lock");
             for tx in senders.iter() {
@@ -340,12 +353,12 @@ impl Executor {
             let mut pool = self.pool.lock().expect("buffer pool lock");
             match pool.bucket(class).pop() {
                 Some(buf) => {
-                    pool.hits += 1;
-                    pool.arena_bytes -= (buf.capacity() * std::mem::size_of::<f32>()) as u64;
+                    self.pool_hits.inc();
+                    self.arena_bytes.add(-((buf.capacity() * std::mem::size_of::<f32>()) as i64));
                     Some(buf)
                 }
                 None => {
-                    pool.misses += 1;
+                    self.pool_misses.inc();
                     None
                 }
             }
@@ -367,28 +380,46 @@ impl Executor {
         let Some(class) = class_for_cap(cap) else { return };
         let bytes = (cap * std::mem::size_of::<f32>()) as u64;
         let mut pool = self.pool.lock().expect("buffer pool lock");
-        pool.bytes_recycled += bytes;
+        self.bytes_recycled.add(bytes);
         let bucket = pool.bucket(class);
         if bucket.len() < MAX_PER_BUCKET {
             bucket.push(buf);
-            pool.arena_bytes += bytes;
-            pool.peak_arena_bytes = pool.peak_arena_bytes.max(pool.arena_bytes);
+            // Still under the pool lock, so arena/peak stay exact.
+            self.arena_bytes.add(bytes as i64);
+            self.peak_arena_bytes.raise_to(self.arena_bytes.get());
         }
     }
 
     /// Current counter snapshot (cumulative since the executor was created).
+    /// A thin view over the executor's `tfmae_obs` instruments — the same
+    /// values [`Executor::register_obs`] publishes to a metrics registry.
     pub fn stats(&self) -> ExecStats {
-        let pool = self.pool.lock().expect("buffer pool lock");
         ExecStats {
             threads: self.threads,
-            tasks_dispatched: self.tasks_dispatched.load(Ordering::Relaxed),
-            parallel_tasks: self.parallel_tasks.load(Ordering::Relaxed),
-            pool_hits: pool.hits,
-            pool_misses: pool.misses,
-            bytes_recycled: pool.bytes_recycled,
-            arena_bytes: pool.arena_bytes,
-            peak_arena_bytes: pool.peak_arena_bytes,
+            tasks_dispatched: self.tasks_dispatched.get(),
+            parallel_tasks: self.parallel_tasks.get(),
+            pool_hits: self.pool_hits.get(),
+            pool_misses: self.pool_misses.get(),
+            bytes_recycled: self.bytes_recycled.get(),
+            arena_bytes: self.arena_bytes.get().max(0) as u64,
+            peak_arena_bytes: self.peak_arena_bytes.get().max(0) as u64,
         }
+    }
+
+    /// Publishes this executor's instruments into `reg` under the `exec.*`
+    /// names (last registration wins). Call once on the executor that
+    /// matters to the process — e.g. the serving engine's — so its dispatch
+    /// and pool activity show up in exported metrics; per-instance `stats()`
+    /// keeps working for every executor regardless.
+    pub fn register_obs(&self, reg: &Registry) {
+        reg.gauge("exec.threads").set(self.threads as i64);
+        reg.register("exec.tasks_dispatched", Instrument::Counter(self.tasks_dispatched.clone()));
+        reg.register("exec.parallel_tasks", Instrument::Counter(self.parallel_tasks.clone()));
+        reg.register("exec.pool.hits", Instrument::Counter(self.pool_hits.clone()));
+        reg.register("exec.pool.misses", Instrument::Counter(self.pool_misses.clone()));
+        reg.register("exec.pool.bytes_recycled", Instrument::Counter(self.bytes_recycled.clone()));
+        reg.register("exec.pool.arena_bytes", Instrument::Gauge(self.arena_bytes.clone()));
+        reg.register("exec.pool.peak_arena_bytes", Instrument::Gauge(self.peak_arena_bytes.clone()));
     }
 }
 

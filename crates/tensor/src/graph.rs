@@ -12,6 +12,8 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
+use tfmae_obs::LazyCounter;
+
 use crate::exec::{Executor, SendPtr};
 use crate::kernels;
 use crate::shape::{
@@ -548,6 +550,8 @@ impl Graph {
             );
             (value, vec![bsz, tq, d], nq.needs_grad || nk.needs_grad || nv.needs_grad)
         };
+        static FUSED_ATTENTION: LazyCounter = LazyCounter::new("tensor.fused.attention");
+        FUSED_ATTENTION.inc();
         self.push(value, out_shape, Op::Attention { q: q.id, k: k.id, v: v.id, scale }, needs)
     }
 
@@ -595,6 +599,8 @@ impl Graph {
             };
             (value, nx.shape.clone(), nx.needs_grad || nb.needs_grad)
         };
+        static FUSED_BIAS_ACT: LazyCounter = LazyCounter::new("tensor.fused.bias_act");
+        FUSED_BIAS_ACT.inc();
         self.push(value, shape, Op::BiasAct { x: x.id, bias: bias.id, kind }, needs)
     }
 
@@ -655,6 +661,8 @@ impl Graph {
             };
             (value, na.shape.clone(), na.needs_grad || nb.needs_grad || nc.needs_grad)
         };
+        static FUSED_MUL_ADD: LazyCounter = LazyCounter::new("tensor.fused.mul_add");
+        FUSED_MUL_ADD.inc();
         self.push(value, shape, Op::MulAdd { a: a.id, b: b.id, c: c.id }, needs)
     }
 

@@ -22,6 +22,7 @@ pub use tfmae_data as data;
 pub use tfmae_fft as fft;
 pub use tfmae_metrics as metrics;
 pub use tfmae_nn as nn;
+pub use tfmae_obs as obs;
 pub use tfmae_tensor as tensor;
 
 /// Everything needed for the common train → score → evaluate flow.
