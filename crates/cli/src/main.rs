@@ -11,7 +11,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tfmae_core::{ServingConfig, ServingEngine, TfmaeConfig, TfmaeDetector};
+use tfmae_core::{
+    AdaptationConfig, FinetuneConfig, ServingConfig, ServingEngine, TfmaeConfig, TfmaeDetector,
+};
 use tfmae_data::{
     generate, read_csv, read_csv_lenient, write_csv, DatasetKind, Detector, TimeSeries,
 };
@@ -30,6 +32,9 @@ USAGE:
                  (--threshold F | --val FILE.csv [--ratio F]) [--hop N]
                  [--refresh-every N] [--from-scratch] [--out-dir DIR] [--lenient]
                  [--metrics-out FILE.json] [--metrics-prom FILE.prom]
+                 [--adapt] [--adapt-ratio F] [--adapt-every N] [--adapt-min-samples N]
+                 [--adapt-window N] [--adapt-holdoff N] [--adapt-finetune]
+                 [--adapt-save OUT.json]
   tfmae help
 
 CSV format: one row per observation, one numeric column per channel, optional
@@ -45,6 +50,18 @@ given. --val both derives the threshold (at --ratio, default 0.01) and
 freezes each stream's score calibration so online scores match the offline
 scale. --from-scratch disables the incremental masking state (baseline cost
 model); --refresh-every tunes its exact re-seed cadence (default 64 hops).
+
+--adapt turns on drift adaptation (default off; without it verdicts are
+bitwise identical to the frozen engine): δ is recalibrated to the (1 − r)
+quantile of recent clean serving scores every --adapt-every clean windows
+(r from --adapt-ratio, default 0.02), with quarantined/degraded rows held
+out of calibration and a --adapt-holdoff re-entry delay after quarantine.
+--adapt-finetune additionally fine-tunes the model in the background on a
+reservoir of clean windows; each update is snapshotted first and rolled
+back (with exponential cadence backoff) if post-update scores leave the
+guard band. --adapt-save writes the adapted model plus its adaptive state
+as a v2 checkpoint; serving that file again with --adapt resumes δ and the
+backoff where they left off.
 
 --metrics-out / --metrics-prom turn on the runtime metrics registry and
 write a JSON snapshot / Prometheus textfile on exit (and periodically during
@@ -376,8 +393,36 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let metrics_prom = metrics_path(args, "metrics-prom")?;
     let metrics_on = metrics_out.is_some() || metrics_prom.is_some();
 
+    let adapt_on = args.has("adapt");
+    for key in [
+        "adapt-ratio",
+        "adapt-every",
+        "adapt-min-samples",
+        "adapt-window",
+        "adapt-holdoff",
+        "adapt-finetune",
+        "adapt-save",
+    ] {
+        if !adapt_on && args.has(key) {
+            return Err(CliError::Usage(format!("--{key} requires --adapt")));
+        }
+    }
+    let adapt_save = match args.get("adapt-save") {
+        Some("") => return Err(CliError::Usage("--adapt-save requires a file path".into())),
+        Some(p) => Some(PathBuf::from(p)),
+        None => None,
+    };
+
     let lenient = args.has("lenient");
-    let det = load_model(args)?;
+    // With --adapt, read the optional adaptive section of a v2 checkpoint so
+    // a --adapt-save'd model resumes δ and the rollback backoff seamlessly.
+    let (det, resumed) = if adapt_on {
+        let path = args.require("model")?;
+        TfmaeDetector::load_with_adaptive(path)
+            .map_err(|e| CliError::Checkpoint(format!("{path}: {e}")))?
+    } else {
+        (load_model(args)?, None)
+    };
     let inputs = args.get_all("input");
     if inputs.is_empty() {
         return Err(CliError::Usage("serve requires at least one --input".into()));
@@ -419,6 +464,32 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     cfg.incremental = !args.has("from-scratch");
     let incremental = cfg.incremental;
     let mut engine = ServingEngine::new(det, cfg);
+    if adapt_on {
+        let base = AdaptationConfig::enabled();
+        let acfg = AdaptationConfig {
+            target_ratio: args.num("adapt-ratio", base.target_ratio)?,
+            recalibrate_every: args.num("adapt-every", base.recalibrate_every)?,
+            min_samples: args.num("adapt-min-samples", base.min_samples)?,
+            window: args.num("adapt-window", base.window)?,
+            holdoff: args.num("adapt-holdoff", base.holdoff)?,
+            finetune: FinetuneConfig { enabled: args.has("adapt-finetune"), ..base.finetune },
+            ..base
+        };
+        if !(acfg.target_ratio > 0.0 && acfg.target_ratio < 1.0) {
+            return Err(CliError::Usage(format!(
+                "--adapt-ratio must be in (0, 1), got {}",
+                acfg.target_ratio
+            )));
+        }
+        engine.set_adaptation(acfg);
+        if let Some(snap) = &resumed {
+            engine.resume_adaptive(snap);
+            println!(
+                "resumed adaptive state: δ {:.6}, {} prior recalibration(s), cadence ×{}",
+                snap.threshold, snap.recalibrations, snap.cadence_mult
+            );
+        }
+    }
     if metrics_on {
         // Turn the registry on and publish the serving executor so its
         // dispatch/pool counters appear in the exports alongside the
@@ -483,6 +554,19 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         ticks.quantile(0.50) as f64 / 1e6,
         ticks.quantile(0.99) as f64 / 1e6,
     );
+    if adapt_on {
+        let st = engine.adaptation_stats();
+        println!(
+            "adaptation: δ {:.6} (started at {threshold:.6}), {} recalibration(s), \
+             {} fine-tune update(s) over {} step(s), {} rollback(s), cadence ×{}",
+            st.threshold,
+            st.recalibrations,
+            st.finetune_updates,
+            st.finetune_steps,
+            st.rollbacks,
+            st.cadence_mult,
+        );
+    }
     for &id in &ids {
         let h = engine.health(id);
         if h.imputed_rows > 0 || h.degraded_rows > 0 || h.quarantine_entries > 0 {
@@ -520,6 +604,15 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             write.map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
         }
         println!("wrote per-stream verdicts to {}", dir.display());
+    }
+
+    if let Some(path) = &adapt_save {
+        let snap = engine.adaptive_snapshot();
+        engine
+            .detector()
+            .save_with_adaptive(path, Some(&snap))
+            .map_err(|e| CliError::Checkpoint(format!("{}: {e}", path.display())))?;
+        println!("wrote adapted model + adaptive state to {}", path.display());
     }
 
     if metrics_on {

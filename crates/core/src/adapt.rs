@@ -1,0 +1,704 @@
+//! Drift adaptation for the serving engine: online threshold
+//! recalibration, guarded background fine-tuning and quarantine-aware
+//! rollback.
+//!
+//! The paper calibrates δ once, as a validation-set quantile (Eq. 17), and
+//! serves with it forever. Under distribution drift — a level shift, a
+//! variance blow-up, a slowly ramping trend — the frozen δ either floods
+//! the operator with false positives or goes blind. This module closes the
+//! loop with three mechanisms, each defaulting **off** so that serving with
+//! adaptation disabled stays bitwise identical to the frozen engine:
+//!
+//! 1. **Adaptive threshold** — a rolling quantile over recent *clean*
+//!    serving scores (two-generation log-bucket histograms, the same shape
+//!    as the obs [`Histogram`]) re-derives δ at the Eq. 17 ratio on a
+//!    configurable cadence, with hysteresis and a per-step clamp so δ moves
+//!    smoothly. Degraded and quarantined rows never feed the window, and a
+//!    stream that exits quarantine sits out a holdoff before its scores
+//!    re-enter calibration.
+//! 2. **Guarded background fine-tune** — a reservoir of recent fully-clean
+//!    windows periodically drives a few optimizer steps under the PR 1
+//!    [`TrainGuard`](crate::robust::TrainGuard) (divergence rollback + LR
+//!    backoff), after snapshotting the model weights.
+//! 3. **Quarantine-aware rollback** — every update opens a probation
+//!    window; if the calibration-anchored drift statistic or the degraded
+//!    row rate worsens past a guard band, the last-good snapshot is
+//!    restored and the adaptation cadence backs off exponentially (capped).
+//!    A probation served cleanly halves the backoff again.
+//!
+//! See DESIGN.md §15 for the full state machine and failure-mode analysis.
+
+use serde::{Deserialize, Serialize};
+use tfmae_obs::{HistSnapshot, Histogram};
+use tfmae_tensor::{ParamSnapshot, ParamStore};
+
+use crate::robust::{RobustnessConfig, TrainReport};
+use crate::stream::DataQuality;
+
+/// Background fine-tune policy (one component of [`AdaptationConfig`]).
+#[derive(Clone, Debug)]
+pub struct FinetuneConfig {
+    /// Master switch; `false` recalibrates the threshold only.
+    pub enabled: bool,
+    /// Capacity of the clean-window reservoir (newest windows win).
+    pub reservoir: usize,
+    /// Clean calibration scores between fine-tune updates (multiplied by
+    /// the current rollback backoff).
+    pub interval: usize,
+    /// Optimizer steps per update.
+    pub steps: usize,
+    /// Windows per step.
+    pub batch: usize,
+    /// Learning rate; `0.0` uses
+    /// [`TfmaeConfig::finetune_lr`](crate::TfmaeConfig::finetune_lr).
+    pub lr: f32,
+    /// Guardrails for the update ([`TrainGuard`](crate::robust::TrainGuard)
+    /// semantics: non-finite/diverged steps roll back and back off the LR).
+    pub robust: RobustnessConfig,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            reservoir: 64,
+            interval: 512,
+            steps: 4,
+            batch: 8,
+            lr: 0.0,
+            robust: RobustnessConfig::default(),
+        }
+    }
+}
+
+/// Post-update guard band: how much worse serving may get before the
+/// engine rolls the model back to the last-good snapshot.
+#[derive(Clone, Debug)]
+pub struct GuardBand {
+    /// Rollback when the calibration-anchored drift ratio (rolling score
+    /// median over the anchor median) leaves `[1/max_drift, max_drift]`
+    /// during probation. Two-sided on purpose: a harmful update can blow
+    /// scores up (false-positive flood) *or* collapse them (the model goes
+    /// blind); both are regressions against the pre-update anchor.
+    pub max_drift: f64,
+    /// Rollback when the fraction of degraded/quarantined rows observed
+    /// during probation exceeds this.
+    pub max_degraded_rate: f64,
+    /// Clean calibration scores that must be observed after an update
+    /// before it is considered proven.
+    pub probation: usize,
+    /// Cap on the exponential cadence backoff multiplier.
+    pub max_backoff: u32,
+}
+
+impl Default for GuardBand {
+    fn default() -> Self {
+        Self { max_drift: 4.0, max_degraded_rate: 0.5, probation: 64, max_backoff: 16 }
+    }
+}
+
+/// Drift-adaptation policy for [`ServingEngine`](crate::ServingEngine).
+///
+/// Disabled by default: with `enabled == false` the engine's verdicts are
+/// bitwise identical to the frozen-threshold engine (test-asserted).
+#[derive(Clone, Debug)]
+pub struct AdaptationConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// The Eq. 17 anomaly ratio `r`: δ is recalibrated to the `(1 − r)`
+    /// rolling-score quantile.
+    pub target_ratio: f32,
+    /// Clean calibration scores between recalibration attempts (multiplied
+    /// by the current rollback backoff).
+    pub recalibrate_every: usize,
+    /// Minimum clean scores in the rolling window before δ may move (also
+    /// when the drift anchor is first frozen).
+    pub min_samples: usize,
+    /// Rolling score-window size; kept as two half-window histogram
+    /// generations, so quantiles always reflect the last `window/2 ..
+    /// window` clean scores.
+    pub window: usize,
+    /// Minimum relative δ change that is actually applied; smaller moves
+    /// are skipped (calibration chatter suppression).
+    pub hysteresis: f32,
+    /// Maximum relative δ change per recalibration (clamp).
+    pub max_step: f32,
+    /// Scored windows a stream sits out after leaving quarantine before
+    /// its scores re-enter the calibration window and reservoir.
+    pub holdoff: usize,
+    /// Background fine-tune policy.
+    pub finetune: FinetuneConfig,
+    /// Post-update rollback guard band.
+    pub guard: GuardBand,
+}
+
+impl Default for AdaptationConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            target_ratio: 0.02,
+            recalibrate_every: 256,
+            min_samples: 128,
+            window: 1024,
+            hysteresis: 0.05,
+            max_step: 0.5,
+            holdoff: 4,
+            finetune: FinetuneConfig::default(),
+            guard: GuardBand::default(),
+        }
+    }
+}
+
+impl AdaptationConfig {
+    /// An enabled configuration with the default knobs.
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
+/// Running counters of the adaptation loop (see
+/// [`ServingEngine::adaptation_stats`](crate::ServingEngine::adaptation_stats)).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdaptationStats {
+    /// The δ currently applied to verdicts.
+    pub threshold: f32,
+    /// Recalibrations that actually moved δ.
+    pub recalibrations: u64,
+    /// Background fine-tune updates attempted.
+    pub finetune_updates: u64,
+    /// Optimizer steps applied across all updates.
+    pub finetune_steps: u64,
+    /// Guard-band rollbacks to the last-good snapshot.
+    pub rollbacks: u64,
+    /// Current cadence backoff multiplier (1 = no backoff).
+    pub cadence_mult: u32,
+    /// Clean scores admitted into the calibration window so far.
+    pub clean_scores: u64,
+    /// CRC32 of the last-good parameter snapshot (0 before any update).
+    pub last_good_hash: u32,
+}
+
+/// The persistable slice of adaptive state, written as an optional
+/// CRC-covered section of the v2 checkpoint envelope (see
+/// [`TfmaeDetector::save_with_adaptive`](crate::TfmaeDetector::save_with_adaptive)).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSnapshot {
+    /// The current δ.
+    pub threshold: f32,
+    /// Applied recalibrations so far.
+    pub recalibrations: u64,
+    /// Cadence backoff multiplier at save time.
+    pub cadence_mult: u32,
+    /// CRC32 of the last-good parameter snapshot (0 if none).
+    pub last_good_hash: u32,
+}
+
+/// A rolling quantile window over anomaly scores, built from two
+/// half-window generations of the obs log-bucket [`Histogram`] shape:
+/// recording is O(1), and quantiles are computed on the merged snapshot of
+/// both generations, so they always cover the last `window/2 .. window`
+/// samples with ≤ 12.5% relative bucket error.
+#[derive(Debug)]
+pub struct ScoreWindow {
+    cur: Histogram,
+    prev: Option<HistSnapshot>,
+    half: u64,
+}
+
+impl ScoreWindow {
+    /// A window covering (at most) the last `window` samples.
+    pub fn new(window: usize) -> Self {
+        Self { cur: Histogram::new(), prev: None, half: (window as u64 / 2).max(1) }
+    }
+
+    /// Records one score (micro-unit fixed point, like
+    /// [`Histogram::record_micro`]); rotates generations at half-window.
+    pub fn record(&mut self, score: f64) {
+        self.cur.record_micro(score);
+        if self.cur.count() >= self.half {
+            self.prev = Some(self.cur.snapshot());
+            self.cur = Histogram::new();
+        }
+    }
+
+    /// Samples currently covered (both generations).
+    pub fn count(&self) -> u64 {
+        self.cur.count() + self.prev.as_ref().map_or(0, |p| p.count)
+    }
+
+    /// Nearest-rank quantile in micro-units over the merged generations
+    /// (0 when empty).
+    pub fn quantile_micro(&self, q: f64) -> u64 {
+        self.merged().quantile(q)
+    }
+
+    /// Drops all samples (quarantining the window after a rollback).
+    pub fn reset(&mut self) {
+        self.cur = Histogram::new();
+        self.prev = None;
+    }
+
+    fn merged(&self) -> HistSnapshot {
+        let a = self.cur.snapshot();
+        let Some(b) = self.prev.as_ref().filter(|p| p.count > 0) else { return a };
+        if a.count == 0 {
+            return b.clone();
+        }
+        let mut buckets = Vec::with_capacity(a.buckets.len() + b.buckets.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.buckets.len() || j < b.buckets.len() {
+            let na = a.buckets.get(i);
+            let nb = b.buckets.get(j);
+            match (na, nb) {
+                (Some(&(ia, ca)), Some(&(ib, cb))) if ia == ib => {
+                    buckets.push((ia, ca + cb));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(ia, ca)), Some(&(ib, _))) if ia < ib => {
+                    buckets.push((ia, ca));
+                    i += 1;
+                }
+                (Some(_), Some(&(ib, cb))) => {
+                    buckets.push((ib, cb));
+                    j += 1;
+                }
+                (Some(&(ia, ca)), None) => {
+                    buckets.push((ia, ca));
+                    i += 1;
+                }
+                (None, Some(&(ib, cb))) => {
+                    buckets.push((ib, cb));
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        HistSnapshot {
+            count: a.count + b.count,
+            sum: a.sum.wrapping_add(b.sum),
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+            buckets,
+        }
+    }
+}
+
+/// CRC32 (IEEE) over the bit patterns of every parameter scalar — the
+/// "last-good snapshot hash" persisted in [`AdaptiveSnapshot`].
+pub fn param_hash(ps: &ParamStore) -> u32 {
+    let mut bytes = Vec::with_capacity(ps.num_scalars() * 4);
+    for p in ps.params() {
+        for &v in &p.data {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    crate::checkpoint::crc32_ieee(&bytes)
+}
+
+struct Probation {
+    remaining: usize,
+    rows: u64,
+    degraded: u64,
+}
+
+/// Engine-side adaptation state machine. One per [`ServingEngine`]
+/// (constructed even when disabled, so the drift gauge can anchor itself);
+/// all mutation happens on the flush path.
+///
+/// [`ServingEngine`]: crate::ServingEngine
+pub(crate) struct AdaptiveRuntime {
+    cfg: AdaptationConfig,
+    window: ScoreWindow,
+    anchor_micro: Option<u64>,
+    clean_since_recal: usize,
+    clean_since_tune: usize,
+    reservoir: Vec<Vec<f32>>,
+    next_slot: usize,
+    /// Pre-update weights (the state a guard-band rollback restores); the
+    /// matching hash lives in `stats.last_good_hash`.
+    last_good: Option<ParamSnapshot>,
+    probation: Option<Probation>,
+    stats: AdaptationStats,
+}
+
+impl AdaptiveRuntime {
+    pub(crate) fn new(cfg: AdaptationConfig, threshold: f32) -> Self {
+        let window = ScoreWindow::new(cfg.window);
+        Self {
+            cfg,
+            window,
+            anchor_micro: None,
+            clean_since_recal: 0,
+            clean_since_tune: 0,
+            reservoir: Vec::new(),
+            next_slot: 0,
+            last_good: None,
+            probation: None,
+            stats: AdaptationStats { threshold, cadence_mult: 1, ..AdaptationStats::default() },
+        }
+    }
+
+    pub(crate) fn threshold(&self) -> f32 {
+        self.stats.threshold
+    }
+
+    pub(crate) fn stats(&self) -> &AdaptationStats {
+        &self.stats
+    }
+
+    #[cfg(test)]
+    pub(crate) fn in_probation(&self) -> bool {
+        self.probation.is_some()
+    }
+
+    /// Feeds one verdict. `calib` is the staging-time eligibility of the
+    /// verdict's window (false during post-quarantine holdoff); `track`
+    /// additionally gates window recording (adaptation or obs active).
+    pub(crate) fn observe(&mut self, score: f32, quality: DataQuality, calib: bool, track: bool) {
+        if let Some(p) = self.probation.as_mut() {
+            p.rows += 1;
+            if quality == DataQuality::Degraded {
+                p.degraded += 1;
+            }
+        }
+        if !(track && calib && quality == DataQuality::Clean) {
+            return;
+        }
+        self.window.record(f64::from(score));
+        self.stats.clean_scores += 1;
+        if self.anchor_micro.is_none() && self.window.count() >= self.cfg.min_samples as u64 {
+            self.anchor_micro = Some(self.window.quantile_micro(0.5));
+        }
+        if self.cfg.enabled {
+            self.clean_since_recal += 1;
+            self.clean_since_tune += 1;
+            if let Some(p) = self.probation.as_mut() {
+                p.remaining = p.remaining.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Counts a row that never reached the scoring path (quarantine) toward
+    /// the probation degraded-rate statistic.
+    pub(crate) fn observe_unscored_degraded(&mut self) {
+        if let Some(p) = self.probation.as_mut() {
+            p.rows += 1;
+            p.degraded += 1;
+        }
+    }
+
+    /// Offers a fully-clean window to the fine-tune reservoir (ring
+    /// overwrite once at capacity).
+    pub(crate) fn offer_window(&mut self, values: Vec<f32>) {
+        let cap = self.cfg.finetune.reservoir.max(1);
+        if self.reservoir.len() < cap {
+            self.reservoir.push(values);
+        } else {
+            self.reservoir[self.next_slot % cap] = values;
+        }
+        self.next_slot = (self.next_slot + 1) % cap;
+    }
+
+    pub(crate) fn reservoir_len(&self) -> usize {
+        self.reservoir.len()
+    }
+
+    pub(crate) fn drain_reservoir(&mut self) -> Vec<Vec<f32>> {
+        self.next_slot = 0;
+        std::mem::take(&mut self.reservoir)
+    }
+
+    fn cadence(&self, base: usize) -> usize {
+        base.saturating_mul(self.stats.cadence_mult.max(1) as usize)
+    }
+
+    pub(crate) fn recalibration_due(&self) -> bool {
+        self.cfg.enabled
+            && self.clean_since_recal >= self.cadence(self.cfg.recalibrate_every)
+            && self.window.count() >= self.cfg.min_samples as u64
+    }
+
+    /// Re-derives δ from the rolling window at the Eq. 17 ratio, applying
+    /// hysteresis and the per-step clamp, and re-freezes the drift anchor.
+    /// Returns whether δ actually moved.
+    pub(crate) fn recalibrate(&mut self) -> bool {
+        self.clean_since_recal = 0;
+        self.anchor_micro = Some(self.window.quantile_micro(0.5));
+        let q = 1.0 - f64::from(self.cfg.target_ratio.clamp(0.0, 1.0));
+        let cand = self.window.quantile_micro(q) as f32 / 1e6;
+        if !cand.is_finite() || cand <= 0.0 {
+            return false;
+        }
+        let cur = self.stats.threshold;
+        if (cand - cur).abs() / cur.max(1e-12) < self.cfg.hysteresis {
+            return false;
+        }
+        let step = self.cfg.max_step.max(0.0);
+        self.stats.threshold = cand.clamp(cur * (1.0 - step).max(0.0), cur * (1.0 + step));
+        self.stats.recalibrations += 1;
+        true
+    }
+
+    pub(crate) fn finetune_due(&self) -> bool {
+        self.cfg.enabled
+            && self.cfg.finetune.enabled
+            && self.probation.is_none()
+            && self.clean_since_tune >= self.cadence(self.cfg.finetune.interval)
+            && self.reservoir.len() >= self.cfg.finetune.batch.max(1)
+    }
+
+    /// Books an attempted update: stores the pre-update snapshot as
+    /// last-good and opens the probation window.
+    pub(crate) fn note_finetune(&mut self, snap: ParamSnapshot, hash: u32, report: &TrainReport) {
+        self.clean_since_tune = 0;
+        self.stats.finetune_updates += 1;
+        self.stats.finetune_steps += report.steps;
+        self.stats.last_good_hash = hash;
+        self.last_good = Some(snap);
+        self.probation =
+            Some(Probation { remaining: self.cfg.guard.probation.max(1), rows: 0, degraded: 0 });
+    }
+
+    /// Calibration-anchored drift ratio: rolling score median over the
+    /// anchor median (1.0 until the anchor is frozen).
+    pub(crate) fn drift_ratio(&self) -> f64 {
+        match self.anchor_micro {
+            Some(a) if a > 0 && self.window.count() > 0 => {
+                self.window.quantile_micro(0.5) as f64 / a as f64
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The drift gauge value in milli-units (1000 = at calibration).
+    pub(crate) fn drift_millis(&self) -> i64 {
+        (self.drift_ratio() * 1e3).clamp(0.0, 1e12) as i64
+    }
+
+    /// Evaluates the probation guard band. Returns the snapshot to restore
+    /// when the update must be rolled back (the caller restores it into the
+    /// model); a cleanly served probation halves the cadence backoff.
+    pub(crate) fn probation_action(&mut self) -> Option<ParamSnapshot> {
+        let p = self.probation.as_ref()?;
+        let ratio = self.drift_ratio();
+        let band = self.cfg.guard.max_drift.max(1.0);
+        let drift_bad = ratio > band || ratio < 1.0 / band;
+        let degraded_bad =
+            p.rows >= 8 && (p.degraded as f64 / p.rows as f64) > self.cfg.guard.max_degraded_rate;
+        if drift_bad || degraded_bad {
+            self.probation = None;
+            self.stats.rollbacks += 1;
+            self.stats.cadence_mult = self
+                .stats
+                .cadence_mult
+                .max(1)
+                .saturating_mul(2)
+                .min(self.cfg.guard.max_backoff.max(1));
+            self.clean_since_tune = 0;
+            self.clean_since_recal = 0;
+            // The window is polluted with post-update scores; recalibrating
+            // from it would chase the damage.
+            self.window.reset();
+            return self.last_good.take();
+        }
+        if p.remaining == 0 {
+            self.probation = None;
+            self.stats.cadence_mult = (self.stats.cadence_mult / 2).max(1);
+        }
+        None
+    }
+
+    pub(crate) fn snapshot(&self) -> AdaptiveSnapshot {
+        AdaptiveSnapshot {
+            threshold: self.stats.threshold,
+            recalibrations: self.stats.recalibrations,
+            cadence_mult: self.stats.cadence_mult,
+            last_good_hash: self.stats.last_good_hash,
+        }
+    }
+
+    pub(crate) fn resume(&mut self, snap: &AdaptiveSnapshot) {
+        if snap.threshold.is_finite() && snap.threshold > 0.0 {
+            self.stats.threshold = snap.threshold;
+        }
+        self.stats.recalibrations = snap.recalibrations;
+        self.stats.cadence_mult = snap.cadence_mult.max(1);
+        self.stats.last_good_hash = snap.last_good_hash;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_window_tracks_recent_distribution() {
+        let mut w = ScoreWindow::new(64);
+        for _ in 0..200 {
+            w.record(1.0);
+        }
+        let p50_before = w.quantile_micro(0.5);
+        assert!((900_000..=1_100_000).contains(&p50_before), "p50 was {p50_before}");
+        // Shift the stream: after >window samples the old mass is gone.
+        for _ in 0..200 {
+            w.record(8.0);
+        }
+        let p50_after = w.quantile_micro(0.5);
+        assert!(p50_after >= 7_000_000, "p50 after shift was {p50_after}");
+        assert!(w.count() <= 64, "window retains at most `window` samples");
+    }
+
+    #[test]
+    fn score_window_merges_generations() {
+        let mut w = ScoreWindow::new(100);
+        for i in 0..60 {
+            w.record(if i < 30 { 1.0 } else { 2.0 });
+        }
+        // Both generations contribute: the merged count spans the rotation.
+        assert!(w.count() > 30);
+        let p99 = w.quantile_micro(0.99);
+        assert!(p99 >= 1_700_000, "p99 was {p99}");
+    }
+
+    #[test]
+    fn recalibration_respects_hysteresis_and_clamp() {
+        let mut cfg = AdaptationConfig::enabled();
+        cfg.min_samples = 16;
+        cfg.recalibrate_every = 16;
+        cfg.target_ratio = 0.5; // recalibrate to the median, easy to reason about
+        cfg.hysteresis = 0.05;
+        cfg.max_step = 0.5;
+        let mut rt = AdaptiveRuntime::new(cfg, 1.0);
+        // Scores at the threshold scale: |Δ| below hysteresis → no move.
+        for _ in 0..32 {
+            rt.observe(1.01, DataQuality::Clean, true, true);
+        }
+        assert!(rt.recalibration_due());
+        assert!(!rt.recalibrate(), "sub-hysteresis move must be skipped");
+        assert_eq!(rt.threshold(), 1.0);
+        // A big shift is clamped to max_step per recalibration.
+        for _ in 0..64 {
+            rt.observe(10.0, DataQuality::Clean, true, true);
+        }
+        assert!(rt.recalibrate());
+        assert!((rt.threshold() - 1.5).abs() < 1e-6, "clamped to 1 + max_step");
+        assert_eq!(rt.stats().recalibrations, 1);
+    }
+
+    #[test]
+    fn degraded_scores_never_enter_the_window() {
+        let cfg = AdaptationConfig::enabled();
+        let mut rt = AdaptiveRuntime::new(cfg, 1.0);
+        for _ in 0..50 {
+            rt.observe(99.0, DataQuality::Degraded, true, true);
+            rt.observe(99.0, DataQuality::Clean, false, true); // holdoff
+        }
+        assert_eq!(rt.window.count(), 0);
+        assert_eq!(rt.stats().clean_scores, 0);
+    }
+
+    #[test]
+    fn probation_rolls_back_on_drift_and_backs_off() {
+        let mut cfg = AdaptationConfig::enabled();
+        cfg.min_samples = 8;
+        cfg.guard.max_drift = 2.0;
+        cfg.guard.probation = 16;
+        cfg.window = 32;
+        let mut rt = AdaptiveRuntime::new(cfg, 1.0);
+        for _ in 0..16 {
+            rt.observe(1.0, DataQuality::Clean, true, true);
+        }
+        assert!(rt.anchor_micro.is_some());
+        let ps = ParamStore::new();
+        rt.note_finetune(ps.snapshot(), 0xDEAD, &TrainReport::default());
+        assert!(rt.in_probation());
+        // Post-update scores explode: drift ratio trips the guard band.
+        for _ in 0..40 {
+            rt.observe(10.0, DataQuality::Clean, true, true);
+        }
+        let restored = rt.probation_action();
+        assert!(restored.is_some(), "guard band must hand back the snapshot");
+        assert_eq!(rt.stats().rollbacks, 1);
+        assert_eq!(rt.stats().cadence_mult, 2, "cadence backs off exponentially");
+        assert!(!rt.in_probation());
+        assert_eq!(rt.window.count(), 0, "polluted window is discarded");
+    }
+
+    #[test]
+    fn probation_rolls_back_on_score_collapse_too() {
+        // The other failure direction: a harmful update that *collapses*
+        // scores (model goes blind) must trip the two-sided drift band.
+        let mut cfg = AdaptationConfig::enabled();
+        cfg.min_samples = 8;
+        cfg.guard.max_drift = 2.0;
+        cfg.guard.probation = 64;
+        cfg.window = 16;
+        let mut rt = AdaptiveRuntime::new(cfg, 1.0);
+        for _ in 0..16 {
+            rt.observe(1.0, DataQuality::Clean, true, true);
+        }
+        let ps = ParamStore::new();
+        rt.note_finetune(ps.snapshot(), 0xBEEF, &TrainReport::default());
+        for _ in 0..32 {
+            rt.observe(0.01, DataQuality::Clean, true, true);
+        }
+        assert!(rt.probation_action().is_some(), "collapse must roll back");
+        assert_eq!(rt.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn clean_probation_halves_backoff() {
+        let mut cfg = AdaptationConfig::enabled();
+        cfg.guard.probation = 4;
+        let mut rt = AdaptiveRuntime::new(cfg, 1.0);
+        rt.stats.cadence_mult = 8;
+        let ps = ParamStore::new();
+        rt.note_finetune(ps.snapshot(), 1, &TrainReport::default());
+        for _ in 0..4 {
+            rt.observe(1.0, DataQuality::Clean, true, true);
+        }
+        assert!(rt.probation_action().is_none());
+        assert!(!rt.in_probation());
+        assert_eq!(rt.stats().cadence_mult, 4);
+    }
+
+    #[test]
+    fn reservoir_is_a_ring() {
+        let mut cfg = AdaptationConfig::enabled();
+        cfg.finetune.reservoir = 4;
+        let mut rt = AdaptiveRuntime::new(cfg, 1.0);
+        for i in 0..10 {
+            rt.offer_window(vec![i as f32]);
+        }
+        assert_eq!(rt.reservoir_len(), 4);
+        let drained = rt.drain_reservoir();
+        let mut vals: Vec<f32> = drained.iter().map(|w| w[0]).collect();
+        vals.sort_by(f32::total_cmp);
+        assert_eq!(vals, vec![6.0, 7.0, 8.0, 9.0], "newest windows survive");
+        assert_eq!(rt.reservoir_len(), 0);
+    }
+
+    #[test]
+    fn adaptive_snapshot_roundtrips_through_json() {
+        let snap = AdaptiveSnapshot {
+            threshold: 0.125,
+            recalibrations: 7,
+            cadence_mult: 4,
+            last_good_hash: 0xCAFE_F00D,
+        };
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let back: AdaptiveSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn param_hash_changes_with_values() {
+        let mut ps = ParamStore::new();
+        ps.add("w", vec![1.0, 2.0], vec![2]);
+        let h1 = param_hash(&ps);
+        ps.get_mut(tfmae_tensor::ParamId(0)).data[0] = 1.5;
+        let h2 = param_hash(&ps);
+        assert_ne!(h1, h2);
+    }
+}

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use tfmae_data::ZScore;
 use tfmae_tensor::ParamStore;
 
+use crate::adapt::AdaptiveSnapshot;
 use crate::config::TfmaeConfig;
 use crate::detector::TfmaeDetector;
 use crate::model::TfmaeModel;
@@ -44,6 +45,23 @@ pub struct Checkpoint {
 #[derive(Serialize, Deserialize)]
 struct Envelope {
     version: u32,
+    crc32: u32,
+    payload: String,
+    /// Optional serving-side adaptive state (current δ, recalibration
+    /// count, last-good snapshot hash), CRC-covered independently of the
+    /// model payload: a damaged adaptive section degrades to a warning and
+    /// a fresh adaptation start, never a failed model load. Absent in
+    /// checkpoints written before this section existed (`serde(default)`),
+    /// so v2-without-section and legacy v1 files load unchanged.
+    #[serde(default)]
+    adaptive: Option<AdaptiveSection>,
+}
+
+/// The adaptive section: its own `{crc32, payload}` pair, mirroring the
+/// envelope so integrity of the (mutable, frequently-rewritten) adaptive
+/// state is checked separately from the model.
+#[derive(Serialize, Deserialize)]
+struct AdaptiveSection {
     crc32: u32,
     payload: String,
 }
@@ -133,14 +151,37 @@ impl TfmaeDetector {
     /// leaves a half-written checkpoint at `path`; if `path` already
     /// exists, its previous contents survive as a `.bak` sibling.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.save_with_adaptive(path, None)
+    }
+
+    /// [`TfmaeDetector::save`] plus an optional adaptive-state section
+    /// (see [`ServingEngine::adaptive_snapshot`]) embedded in the envelope
+    /// with its own CRC. Checkpoints written without the section (and
+    /// legacy v1 files) keep loading unchanged.
+    ///
+    /// [`ServingEngine::adaptive_snapshot`]: crate::ServingEngine::adaptive_snapshot
+    pub fn save_with_adaptive(
+        &self,
+        path: impl AsRef<Path>,
+        adaptive: Option<&AdaptiveSnapshot>,
+    ) -> Result<(), CheckpointError> {
         let path = path.as_ref();
         let ckpt = self.to_checkpoint()?;
         let payload =
             serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        let adaptive = match adaptive {
+            None => None,
+            Some(snap) => {
+                let p = serde_json::to_string(snap)
+                    .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+                Some(AdaptiveSection { crc32: crc32_ieee(p.as_bytes()), payload: p })
+            }
+        };
         let envelope = Envelope {
             version: CHECKPOINT_VERSION,
             crc32: crc32_ieee(payload.as_bytes()),
             payload,
+            adaptive,
         };
         let json =
             serde_json::to_string(&envelope).map_err(|e| CheckpointError::Parse(e.to_string()))?;
@@ -189,6 +230,16 @@ impl TfmaeDetector {
     /// Parses checkpoint JSON: a v2 envelope (CRC-verified) or a legacy v1
     /// bare document (accepted with a warning).
     pub fn from_checkpoint_json(json: &str) -> Result<Self, CheckpointError> {
+        Self::from_checkpoint_json_with_adaptive(json).map(|(det, _)| det)
+    }
+
+    /// [`TfmaeDetector::from_checkpoint_json`] plus the adaptive section,
+    /// when present and intact. A corrupt adaptive section (CRC mismatch or
+    /// unparsable payload) degrades to a warning and `None` — the model
+    /// itself still loads.
+    pub fn from_checkpoint_json_with_adaptive(
+        json: &str,
+    ) -> Result<(Self, Option<AdaptiveSnapshot>), CheckpointError> {
         match serde_json::from_str::<Envelope>(json) {
             Ok(env) => {
                 if env.version > CHECKPOINT_VERSION {
@@ -201,9 +252,30 @@ impl TfmaeDetector {
                         env.crc32
                     )));
                 }
+                let adaptive = env.adaptive.and_then(|sec| {
+                    let computed = crc32_ieee(sec.payload.as_bytes());
+                    if computed != sec.crc32 {
+                        eprintln!(
+                            "warning: adaptive checkpoint section corrupt (CRC stored {:08x}, \
+                             computed {computed:08x}); starting adaptation fresh",
+                            sec.crc32
+                        );
+                        return None;
+                    }
+                    match serde_json::from_str::<AdaptiveSnapshot>(&sec.payload) {
+                        Ok(snap) => Some(snap),
+                        Err(e) => {
+                            eprintln!(
+                                "warning: adaptive checkpoint section unparsable ({e}); \
+                                 starting adaptation fresh"
+                            );
+                            None
+                        }
+                    }
+                });
                 let ckpt: Checkpoint = serde_json::from_str(&env.payload)
                     .map_err(|e| CheckpointError::Parse(e.to_string()))?;
-                Self::from_checkpoint(ckpt)
+                Self::from_checkpoint(ckpt).map(|det| (det, adaptive))
             }
             Err(env_err) => match serde_json::from_str::<Checkpoint>(json) {
                 Ok(ckpt) => {
@@ -212,12 +284,43 @@ impl TfmaeDetector {
                          CRC check skipped",
                         ckpt.version
                     );
-                    Self::from_checkpoint(ckpt)
+                    Self::from_checkpoint(ckpt).map(|det| (det, None))
                 }
                 Err(_) => Err(CheckpointError::Corrupt(format!(
                     "not a valid checkpoint envelope or legacy checkpoint: {env_err}"
                 ))),
             },
+        }
+    }
+
+    /// [`TfmaeDetector::load`] plus the adaptive section, with the same
+    /// `.bak` recovery semantics.
+    pub fn load_with_adaptive(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, Option<AdaptiveSnapshot>), CheckpointError> {
+        let path = path.as_ref();
+        let strict = |p: &Path| -> Result<(Self, Option<AdaptiveSnapshot>), CheckpointError> {
+            let bytes = fs::read(p)?;
+            let json = String::from_utf8(bytes)
+                .map_err(|_| CheckpointError::Corrupt("checkpoint is not valid UTF-8".into()))?;
+            Self::from_checkpoint_json_with_adaptive(&json)
+        };
+        match strict(path) {
+            Ok(out) => Ok(out),
+            Err(primary @ (CheckpointError::Corrupt(_) | CheckpointError::Parse(_))) => {
+                let bak = sibling(path, "bak");
+                if bak.exists() {
+                    eprintln!(
+                        "warning: checkpoint {} unusable ({primary}); recovering from {}",
+                        path.display(),
+                        bak.display()
+                    );
+                    strict(&bak).map_err(|_| primary)
+                } else {
+                    Err(primary)
+                }
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -382,6 +485,77 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(matches!(TfmaeDetector::load(&path), Err(CheckpointError::Corrupt(_))));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adaptive_section_roundtrips() {
+        let det = fitted(10);
+        let test = series(96, 11);
+        let want = det.score(&test);
+        let snap = AdaptiveSnapshot {
+            threshold: 0.375,
+            recalibrations: 3,
+            cadence_mult: 2,
+            last_good_hash: 0x1234_5678,
+        };
+        let dir = tmp_dir("adaptive");
+        let path = dir.join("model.json");
+        det.save_with_adaptive(&path, Some(&snap)).unwrap();
+        let (restored, got) = TfmaeDetector::load_with_adaptive(&path).unwrap();
+        assert_eq!(got, Some(snap));
+        assert_eq!(restored.score(&test), want, "model payload unaffected by adaptive section");
+        // And the plain loader ignores the section entirely.
+        let plain = TfmaeDetector::load(&path).unwrap();
+        assert_eq!(plain.score(&test), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_without_adaptive_section_loads_with_none() {
+        let det = fitted(12);
+        let dir = tmp_dir("noadaptive");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+        let (_, got) = TfmaeDetector::load_with_adaptive(&path).unwrap();
+        assert_eq!(got, None, "v2 checkpoint without the section yields None");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_adaptive_section_degrades_to_none() {
+        let det = fitted(13);
+        let test = series(96, 14);
+        let want = det.score(&test);
+        let snap = AdaptiveSnapshot {
+            threshold: 1.0,
+            recalibrations: 1,
+            cadence_mult: 1,
+            last_good_hash: 9,
+        };
+        let dir = tmp_dir("adaptive_corrupt");
+        let path = dir.join("model.json");
+        det.save_with_adaptive(&path, Some(&snap)).unwrap();
+        // Break only the adaptive section's CRC, leaving the model payload
+        // and its checksum intact.
+        let json = std::fs::read_to_string(&path).unwrap();
+        let mut env: Envelope = serde_json::from_str(&json).unwrap();
+        env.adaptive.as_mut().unwrap().crc32 ^= 0xFFFF;
+        std::fs::write(&path, serde_json::to_string(&env).unwrap()).unwrap();
+        let (restored, got) = TfmaeDetector::load_with_adaptive(&path).unwrap();
+        assert_eq!(got, None, "damaged section must be dropped, not fatal");
+        assert_eq!(restored.score(&test), want, "model must still load exactly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_checkpoint_loads_with_no_adaptive_state() {
+        let det = fitted(15);
+        let mut ckpt = det.to_checkpoint().unwrap();
+        ckpt.version = 1;
+        let legacy_json = serde_json::to_string(&ckpt).unwrap();
+        let (_, got) =
+            TfmaeDetector::from_checkpoint_json_with_adaptive(&legacy_json).unwrap();
+        assert_eq!(got, None);
     }
 
     #[test]

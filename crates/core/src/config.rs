@@ -179,6 +179,14 @@ impl TfmaeConfig {
         }
     }
 
+    /// Default learning rate for serving-side background fine-tuning
+    /// (`lr / 10`): online updates see far fewer, more correlated windows
+    /// than `fit`, so they step an order of magnitude more cautiously (see
+    /// [`crate::adapt`]).
+    pub fn finetune_lr(&self) -> f32 {
+        self.lr * 0.1
+    }
+
     /// Number of masked observations `I_T = ⌊r_T · |S|⌋` (Eq. 2).
     pub fn masked_time_steps(&self) -> usize {
         ((self.win_len as f64) * self.r_temporal).floor() as usize

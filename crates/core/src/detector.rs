@@ -79,9 +79,83 @@ impl TfmaeDetector {
         self.model.as_ref()
     }
 
+    /// Mutable model access for the serving-side adaptation loop (snapshot
+    /// restore after a guard-band rollback).
+    pub(crate) fn model_mut(&mut self) -> Option<&mut TfmaeModel> {
+        self.model.as_mut()
+    }
+
     /// Access to the fitted normalizer (after `fit`).
     pub fn norm(&self) -> Option<&ZScore> {
         self.norm.as_ref()
+    }
+
+    /// A few guarded optimizer steps on already-normalized `[win_len ×
+    /// dims]` windows — the background fine-tune of the serving adaptation
+    /// loop (see [`crate::adapt`]). Runs under a fresh
+    /// [`TrainGuard`] with `ft.robust`, so non-finite or diverged steps
+    /// roll back and back off the learning rate exactly as in `fit`; the
+    /// model is left at the last certified parameters. `salt` decorrelates
+    /// the mask/shuffle RNG across successive updates (deterministic per
+    /// `(seed, salt)`).
+    ///
+    /// Returns the guard's [`TrainReport`]; a default (all-zero) report is
+    /// returned when the detector is unfitted or `windows` is empty.
+    pub fn finetune(&mut self, windows: &[Vec<f32>], ft: &crate::adapt::FinetuneConfig, salt: u64) -> TrainReport {
+        let cfg = self.cfg.clone();
+        let exec = self.exec.clone();
+        let Some(model) = self.model.as_mut() else { return TrainReport::default() };
+        if windows.is_empty() || ft.steps == 0 {
+            return TrainReport::default();
+        }
+        let row = cfg.win_len * model.dims();
+        debug_assert!(windows.iter().all(|w| w.len() == row), "window shape mismatch");
+        static TUNE_SPAN: LazySpan = LazySpan::new("serve.finetune_ns");
+        let _tune_span = TUNE_SPAN.enter();
+
+        let lr = if ft.lr > 0.0 { ft.lr } else { cfg.finetune_lr() };
+        let mut opt = Adam::new(&model.ps, lr);
+        let mut guard = TrainGuard::new(ft.robust.clone(), &model.ps, &opt);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf17e ^ salt.rotate_left(17));
+        let g = Graph::with_executor(exec);
+        let mut order: Vec<usize> = (0..windows.len()).collect();
+        let mut steps_done: u64 = 0;
+        let mut aborted = false;
+        'steps: for step in 0..ft.steps {
+            order.shuffle(&mut rng);
+            let b = ft.batch.clamp(1, windows.len());
+            let mut values = Vec::with_capacity(b * row);
+            for &wi in order.iter().take(b) {
+                values.extend_from_slice(&windows[wi]);
+            }
+            let batch = model.prepare_batch(values, b, &mut rng);
+            let mut retries = 0u32;
+            loop {
+                g.reset();
+                let ctx = Ctx::train(&g, &model.ps, cfg.seed ^ salt ^ step as u64);
+                let out = model.forward(&ctx, &batch);
+                let loss = model.training_loss(&ctx, &out);
+                let loss_val = g.scalar_value(loss);
+                g.backward_params_pooled(loss, &mut model.ps);
+                if guard.inspect(loss_val, &model.ps).is_none() {
+                    guard.certify(loss_val, &model.ps, &opt);
+                    opt.step(&mut model.ps);
+                    steps_done += 1;
+                    break;
+                }
+                model.ps.zero_grads();
+                if !guard.rollback(&mut model.ps, &mut opt) {
+                    aborted = true;
+                    break 'steps;
+                }
+                retries += 1;
+                if retries > ft.robust.max_retries_per_batch {
+                    guard.report.skipped_batches += 1;
+                    break;
+                }
+            }
+        }
+        guard.finish(steps_done, aborted, opt.lr)
     }
 
     /// Reassembles a detector from checkpoint parts (see

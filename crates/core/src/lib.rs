@@ -34,6 +34,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ablation;
+pub mod adapt;
 pub mod checkpoint;
 pub mod config;
 pub mod detector;
@@ -44,6 +45,10 @@ pub mod serving;
 pub mod stream;
 
 pub use ablation::{MaskAblation, ModelAblation};
+pub use adapt::{
+    param_hash, AdaptationConfig, AdaptationStats, AdaptiveSnapshot, FinetuneConfig, GuardBand,
+    ScoreWindow,
+};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use config::{AdversarialMode, FreqMaskKind, ScoreKind, TemporalMaskKind, TfmaeConfig};
 pub use detector::TfmaeDetector;

@@ -42,6 +42,7 @@ use tfmae_nn::Ctx;
 use tfmae_obs::{LazyCounter, LazyGauge, LazyHistogram, LazySpan};
 use tfmae_tensor::{ExecStats, Graph};
 
+use crate::adapt::{param_hash, AdaptationConfig, AdaptationStats, AdaptiveRuntime, AdaptiveSnapshot};
 use crate::config::{ScoreKind, TemporalMaskKind, TfmaeConfig};
 use crate::detector::TfmaeDetector;
 use crate::masking::frequency::{frequency_mask_from_spectra, FrequencyMaskData};
@@ -80,6 +81,11 @@ pub struct ServingConfig {
     /// bitwise identical (test-asserted) — so this is purely a throughput
     /// knob.
     pub max_batch: Option<usize>,
+    /// Drift adaptation (threshold recalibration, background fine-tune,
+    /// guard-band rollback). **Off** by default; with
+    /// `adaptation.enabled == false` verdicts are bitwise identical to the
+    /// frozen-threshold engine (test-asserted). See [`crate::adapt`].
+    pub adaptation: AdaptationConfig,
 }
 
 impl ServingConfig {
@@ -92,6 +98,7 @@ impl ServingConfig {
             refresh_every: 64,
             incremental: true,
             max_batch: None,
+            adaptation: AdaptationConfig::default(),
         }
     }
 }
@@ -131,6 +138,10 @@ struct StreamState {
     sdft: Vec<SlidingDft>,
     /// Scored hops since the last exact re-seed (0 = refresh now).
     hops_since_refresh: usize,
+    /// Scored windows this stream still sits out of calibration after a
+    /// quarantine exit (hysteresis: the stream must re-warm *and* prove
+    /// itself before its scores feed the adaptive threshold again).
+    calib_holdoff: usize,
 }
 
 impl StreamState {
@@ -151,6 +162,7 @@ impl StreamState {
             stat_ring: vec![0.0; win_len],
             sdft: (0..dims).map(|_| SlidingDft::new(win_len)).collect(),
             hops_since_refresh: 0,
+            calib_holdoff: 0,
         }
     }
 
@@ -196,6 +208,12 @@ struct PendingWindow {
     /// Qualities of those newest positions, oldest first.
     qualities: Vec<DataQuality>,
     frozen: Option<(f32, f32)>,
+    /// Whether this window's scores may feed calibration (false during the
+    /// post-quarantine holdoff).
+    calib: bool,
+    /// Whether every retained sample of the window is `Clean` (reservoir
+    /// eligibility for background fine-tune).
+    window_clean: bool,
 }
 
 /// Multiplexes N independent streams over one shared fitted detector,
@@ -207,6 +225,9 @@ pub struct ServingEngine {
     dims: usize,
     streams: Vec<StreamState>,
     pending: Vec<PendingWindow>,
+    /// Drift-adaptation state machine (present even when adaptation is
+    /// disabled, so the calibration-anchored drift gauge still works).
+    adapt: AdaptiveRuntime,
 }
 
 impl ServingEngine {
@@ -222,7 +243,8 @@ impl ServingEngine {
         let dims = model.dims();
         assert!((1..=win_len).contains(&cfg.hop), "hop must be in 1..=win_len");
         assert!(cfg.refresh_every >= 1, "refresh_every must be >= 1");
-        Self { det, cfg, win_len, dims, streams: Vec::new(), pending: Vec::new() }
+        let adapt = AdaptiveRuntime::new(cfg.adaptation.clone(), cfg.threshold);
+        Self { det, cfg, win_len, dims, streams: Vec::new(), pending: Vec::new(), adapt }
     }
 
     /// Registers a new stream and returns its id.
@@ -259,6 +281,14 @@ impl ServingEngine {
     /// Replaces the fault-handling policy for all streams.
     pub fn set_degraded_mode(&mut self, cfg: DegradedModeConfig) {
         self.cfg.degraded = cfg;
+    }
+
+    /// Replaces the adaptation policy, resetting the adaptation state
+    /// machine (rolling window, reservoir, cadence backoff) to a fresh
+    /// start at [`ServingConfig::threshold`].
+    pub fn set_adaptation(&mut self, cfg: AdaptationConfig) {
+        self.adapt = AdaptiveRuntime::new(cfg.clone(), self.cfg.threshold);
+        self.cfg.adaptation = cfg;
     }
 
     /// Freezes one stream's score-normalization constants from a reference
@@ -303,6 +333,41 @@ impl ServingEngine {
     /// Windows staged and awaiting [`ServingEngine::flush`].
     pub fn pending_windows(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The δ currently applied to verdicts: the adaptive threshold when
+    /// adaptation is enabled, [`ServingConfig::threshold`] otherwise.
+    pub fn effective_threshold(&self) -> f32 {
+        if self.cfg.adaptation.enabled {
+            self.adapt.threshold()
+        } else {
+            self.cfg.threshold
+        }
+    }
+
+    /// Running counters of the adaptation loop (recalibrations, fine-tune
+    /// updates, rollbacks, cadence backoff).
+    pub fn adaptation_stats(&self) -> &AdaptationStats {
+        self.adapt.stats()
+    }
+
+    /// Clean windows currently buffered for background fine-tuning.
+    pub fn reservoir_len(&self) -> usize {
+        self.adapt.reservoir_len()
+    }
+
+    /// The persistable slice of the adaptive state (current δ,
+    /// recalibration count, last-good snapshot hash) — written into the
+    /// checkpoint's optional adaptive section by
+    /// [`TfmaeDetector::save_with_adaptive`](crate::TfmaeDetector::save_with_adaptive).
+    pub fn adaptive_snapshot(&self) -> AdaptiveSnapshot {
+        self.adapt.snapshot()
+    }
+
+    /// Restores a previously saved [`AdaptiveSnapshot`] (threshold,
+    /// recalibration count, cadence backoff) into the adaptation loop.
+    pub fn resume_adaptive(&mut self, snap: &AdaptiveSnapshot) {
+        self.adapt.resume(snap);
     }
 
     /// Ingests one observation row for `stream` *without* scoring: fault
@@ -350,8 +415,12 @@ impl ServingEngine {
             if quality == DataQuality::Clean {
                 s.consecutive_bad = 0;
                 if s.health.mode == StreamMode::Quarantine {
-                    // Clean data ends quarantine; re-warm from empty.
+                    // Clean data ends quarantine; re-warm from empty. The
+                    // stream additionally sits out `holdoff` scored windows
+                    // before its scores re-enter calibration (see
+                    // `crate::adapt`).
                     s.health.mode = StreamMode::Normal;
+                    s.calib_holdoff = self.cfg.adaptation.holdoff;
                     static QUARANTINE_EXITS: LazyCounter =
                         LazyCounter::new("serve.quarantine_exits");
                     QUARANTINE_EXITS.inc();
@@ -377,6 +446,9 @@ impl ServingEngine {
                 static QUARANTINED_ROWS: LazyCounter = LazyCounter::new("serve.quarantined_rows");
                 QUARANTINED_ROWS.inc();
                 s.pushed += 1;
+                // Quarantined rows never reach the scoring path, but they
+                // still count against a fine-tune update on probation.
+                self.adapt.observe_unscored_degraded();
                 return vec![ServingVerdict {
                     stream,
                     verdict: StreamVerdict {
@@ -457,6 +529,16 @@ impl ServingEngine {
             .collect();
         let base_t = s.pushed - newest as u64;
         let frozen = s.frozen_norms;
+        // Calibration eligibility: a stream fresh out of quarantine sits
+        // out `holdoff` scored windows; reservoir eligibility additionally
+        // requires every retained sample to be Clean.
+        let calib = if s.calib_holdoff > 0 {
+            s.calib_holdoff -= 1;
+            false
+        } else {
+            true
+        };
+        let window_clean = s.quals.iter().all(|&q| q == DataQuality::Clean);
 
         let mut rng = StdRng::seed_from_u64(self.det.cfg.seed ^ 0x5c0e);
         let (mask_t, mask_f) = if !incremental {
@@ -486,6 +568,8 @@ impl ServingEngine {
             newest,
             qualities,
             frozen,
+            calib,
+            window_clean,
         });
         Vec::new()
     }
@@ -518,7 +602,12 @@ impl ServingEngine {
             })
             .max(1);
         let score_kind = self.det.cfg.score;
-        let threshold = self.cfg.threshold;
+        let adapt_on = self.cfg.adaptation.enabled;
+        // The score window also backs the drift gauge, so feed it whenever
+        // either consumer is live; it never influences verdicts directly.
+        let track = adapt_on || tfmae_obs::enabled();
+        let reservoir_on = adapt_on && self.cfg.adaptation.finetune.enabled;
+        let threshold = self.effective_threshold();
         let g = Graph::with_executor(self.det.executor().clone());
         let mut out = Vec::new();
         while !pending.is_empty() {
@@ -535,16 +624,20 @@ impl ServingEngine {
             let mut masks_f = Vec::with_capacity(b);
             let mut meta = Vec::with_capacity(b);
             for p in chunk {
+                if reservoir_on && p.calib && p.window_clean {
+                    self.adapt.offer_window(p.values.clone());
+                }
                 values.extend_from_slice(&p.values);
                 masks_t.push(p.mask_t);
                 masks_f.push(p.mask_f);
-                meta.push((p.stream, p.base_t, p.newest, p.qualities, p.frozen));
+                meta.push((p.stream, p.base_t, p.newest, p.qualities, p.frozen, p.calib));
             }
             let batch = crate::model::BatchInputs { values, b, masks_t, masks_f };
             let ctx = Ctx::eval(&g, &model.ps);
             let fwd = model.forward(&ctx, &batch);
             let (kl, dual) = model.anomaly_score_components(&ctx, &fwd);
-            for (wi, (stream, base_t, newest, qualities, frozen)) in meta.into_iter().enumerate()
+            for (wi, (stream, base_t, newest, qualities, frozen, calib)) in
+                meta.into_iter().enumerate()
             {
                 let klw = &kl[wi * t..(wi + 1) * t];
                 let dualw = &dual[wi * t..(wi + 1) * t];
@@ -569,6 +662,7 @@ impl ServingEngine {
                     }
                     let is_anomaly = score >= threshold && quality != DataQuality::Degraded;
                     SCORE_HIST.record_micro(score as f64);
+                    self.adapt.observe(score, quality, calib, track);
                     if is_anomaly {
                         ANOMALIES.inc();
                     }
@@ -580,16 +674,65 @@ impl ServingEngine {
             }
         }
         VERDICTS.add(out.len() as u64);
-        // Drift indicator: the streaming score median relative to the
-        // calibrated alert threshold, in milli-units. A healthy stream sits
-        // well below 1000; sustained growth toward/past it means the score
-        // distribution has drifted from calibration.
-        if tfmae_obs::enabled() && threshold > 0.0 {
-            let p50_micro = SCORE_HIST.handle().snapshot().quantile(0.5);
-            let drift_millis = (p50_micro as f64 / 1e6) / f64::from(threshold) * 1e3;
-            SCORE_DRIFT.set(drift_millis.clamp(0.0, 1e12) as i64);
+        if adapt_on {
+            self.run_adaptation();
+        }
+        // Drift indicator (kept under its historical name): the rolling
+        // clean-score median relative to the *calibration-anchored* median,
+        // in milli-units — 1000 means "at calibration", sustained growth
+        // means the score distribution has drifted. The old statistic
+        // divided the all-time score median by δ, which conflated threshold
+        // magnitude with drift (a small δ read as permanent drift even on a
+        // perfectly stationary stream).
+        if tfmae_obs::enabled() {
+            SCORE_DRIFT.set(self.adapt.drift_millis());
+            if adapt_on {
+                static ADAPT_THRESHOLD: LazyGauge = LazyGauge::new("serve.adapt_threshold_micro");
+                let micro = f64::from(self.effective_threshold()) * 1e6;
+                ADAPT_THRESHOLD.set(micro.clamp(0.0, 1e15) as i64);
+            }
         }
         out
+    }
+
+    /// One adaptation turn, run at the end of every flush when adaptation
+    /// is enabled: the probation guard band first (restoring the last-good
+    /// snapshot on a harmful update), then threshold recalibration, then —
+    /// outside probation — a guarded background fine-tune on the reservoir.
+    fn run_adaptation(&mut self) {
+        static RECALS: LazyCounter = LazyCounter::new("serve.adapt_recalibrations");
+        static ROLLBACKS: LazyCounter = LazyCounter::new("serve.adapt_rollbacks");
+        static TUNES: LazyCounter = LazyCounter::new("serve.adapt_finetune_updates");
+        static TUNE_STEPS: LazyCounter = LazyCounter::new("serve.adapt_finetune_steps");
+        if let Some(snap) = self.adapt.probation_action() {
+            if let Some(model) = self.det.model_mut() {
+                model.ps.restore(&snap);
+            }
+            ROLLBACKS.inc();
+            tfmae_obs::event("serve.adapt_rollback");
+        }
+        if self.adapt.recalibration_due() && self.adapt.recalibrate() {
+            RECALS.inc();
+            tfmae_obs::event("serve.adapt_recalibrate");
+        }
+        if self.adapt.finetune_due() {
+            let ft = self.cfg.adaptation.finetune.clone();
+            let windows = self.adapt.drain_reservoir();
+            if !windows.is_empty() {
+                // Snapshot the pre-update weights: this is the last-good
+                // state the guard band rolls back to.
+                let (snap, hash) = {
+                    let ps = &self.det.model().expect("checked at construction").ps;
+                    (ps.snapshot(), param_hash(ps))
+                };
+                let salt = self.adapt.stats().finetune_updates;
+                let report = self.det.finetune(&windows, &ft, salt);
+                TUNES.inc();
+                TUNE_STEPS.add(report.steps);
+                tfmae_obs::event("serve.adapt_finetune");
+                self.adapt.note_finetune(snap, hash, &report);
+            }
+        }
     }
 
     /// Single-stream convenience: ingest one row and score immediately

@@ -167,6 +167,26 @@ impl StreamingDetector {
         self
     }
 
+    /// Enables drift adaptation (builder style): online threshold
+    /// recalibration, optional guarded background fine-tune and guard-band
+    /// rollback — see [`crate::adapt`].
+    pub fn with_adaptation(mut self, cfg: crate::adapt::AdaptationConfig) -> Self {
+        self.engine.set_adaptation(cfg);
+        self
+    }
+
+    /// Running adaptation counters (recalibrations, fine-tune updates,
+    /// rollbacks, cadence backoff).
+    pub fn adaptation_stats(&self) -> &crate::adapt::AdaptationStats {
+        self.engine.adaptation_stats()
+    }
+
+    /// The δ currently applied to verdicts (moves under adaptation; equals
+    /// the construction-time threshold otherwise).
+    pub fn effective_threshold(&self) -> f32 {
+        self.engine.effective_threshold()
+    }
+
     /// The single-stream serving engine backing this wrapper.
     pub fn engine(&self) -> &ServingEngine {
         &self.engine

@@ -18,8 +18,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tfmae_core::{
-    DataQuality, ServingConfig, ServingEngine, StreamVerdict, StreamingDetector, TfmaeConfig,
-    TfmaeDetector,
+    AdaptationConfig, DataQuality, DegradedModeConfig, FinetuneConfig, ServingConfig,
+    ServingEngine, StreamVerdict, StreamingDetector, TfmaeConfig, TfmaeDetector,
 };
 use tfmae_data::{render, Component, Detector, TimeSeries};
 
@@ -277,6 +277,159 @@ fn verdicts_are_bitwise_identical_with_observability_on_and_off() {
     for (a, b) in with_obs.iter().zip(without_obs.iter()) {
         assert_eq!(a, b, "metrics on/off must not change any verdict bit");
     }
+}
+
+#[test]
+fn adaptation_disabled_is_bitwise_identical_to_the_frozen_engine() {
+    // The drift-adaptation plumbing (calibration holdoff bookkeeping, score
+    // window feeds, probation accounting) rides along every ingest/flush.
+    // With `adaptation.enabled == false` — the default — none of it may
+    // change a single verdict bit, even through a quarantine cycle. An
+    // *enabled* config that never gets to recalibrate must also match: δ
+    // only moves on an applied recalibration.
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let data = series(win * 3, 50);
+    // NaN storm deep enough to quarantine (budget 0, threshold 8), then
+    // recovery — exercises the post-quarantine holdoff path.
+    let faulty_row = |t: usize| -> Option<Vec<f32>> {
+        (t >= win && t < win + 12).then(|| vec![f32::NAN])
+    };
+    let run = |det: TfmaeDetector, adaptation: AdaptationConfig| -> Vec<StreamVerdict> {
+        let mut cfg = ServingConfig::new(f32::MAX, 2);
+        cfg.degraded =
+            DegradedModeConfig { staleness_budget: 0, quarantine_after: 8, ..Default::default() };
+        cfg.adaptation = adaptation;
+        let mut eng = ServingEngine::new(det, cfg);
+        let id = eng.add_stream();
+        let mut out = Vec::new();
+        for t in 0..data.len() {
+            let row = faulty_row(t).unwrap_or_else(|| data.row(t).to_vec());
+            out.extend(eng.push(id, &row).into_iter().map(|v| v.verdict));
+        }
+        out
+    };
+
+    let frozen = run(replicate(&det), AdaptationConfig::default());
+    assert!(frozen.iter().any(|v| v.quality == DataQuality::Degraded), "storm must bite");
+
+    // Disabled, but with every knob moved off its default.
+    let knobs = AdaptationConfig {
+        holdoff: 9,
+        min_samples: 4,
+        window: 32,
+        recalibrate_every: 8,
+        finetune: FinetuneConfig { enabled: true, ..FinetuneConfig::default() },
+        ..AdaptationConfig::default()
+    };
+    let with_knobs = run(replicate(&det), knobs);
+
+    // Enabled but inert: cadence/min-samples out of reach, so δ never moves.
+    let inert = AdaptationConfig {
+        recalibrate_every: usize::MAX,
+        min_samples: usize::MAX,
+        ..AdaptationConfig::enabled()
+    };
+    let enabled_inert = run(det, inert);
+
+    assert_eq!(frozen.len(), with_knobs.len());
+    assert_eq!(frozen.len(), enabled_inert.len());
+    assert!(!frozen.is_empty());
+    for ((a, b), c) in frozen.iter().zip(with_knobs.iter()).zip(enabled_inert.iter()) {
+        assert_eq!(a, b, "disabled adaptation must not change verdict bits");
+        assert_eq!(a, c, "inert enabled adaptation must not change verdict bits");
+    }
+}
+
+#[test]
+fn post_quarantine_holdoff_keeps_scores_out_of_calibration() {
+    // Quarantine → recovery → recalibration hysteresis: a stream that exits
+    // quarantine must re-warm (win_len rows) AND serve out `holdoff` scored
+    // windows before its scores feed the adaptive calibration window again.
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let hop = 4;
+    let holdoff = 4;
+    let mut cfg = ServingConfig::new(f32::MAX, hop);
+    cfg.degraded =
+        DegradedModeConfig { staleness_budget: 0, quarantine_after: 8, ..Default::default() };
+    let mut ad = AdaptationConfig::enabled();
+    ad.holdoff = holdoff;
+    cfg.adaptation = ad;
+    let mut eng = ServingEngine::new(det, cfg);
+    let id = eng.add_stream();
+    let data = series(win * 2, 51);
+
+    // Clean serving: scores flow into calibration.
+    for t in 0..data.len() {
+        eng.push(id, data.row(t));
+    }
+    let before_storm = eng.adaptation_stats().clean_scores;
+    assert!(before_storm > 0, "clean run must have fed the calibration window");
+
+    // Dead feed: Degraded rows (budget 0), quarantine after 8.
+    for _ in 0..16 {
+        eng.push(id, &[f32::NAN]);
+    }
+    assert_eq!(eng.health(id).quarantine_entries, 1);
+    assert_eq!(
+        eng.adaptation_stats().clean_scores,
+        before_storm,
+        "degraded and quarantined rows must never feed calibration"
+    );
+
+    // Recovery. Re-warm takes win_len rows (first window fires at row
+    // win_len), then windows fire every `hop` rows; the first `holdoff`
+    // windows are calibration-ineligible.
+    let held_rows = win + holdoff * hop - hop;
+    for t in 0..held_rows {
+        eng.push(id, data.row(t % data.len()));
+    }
+    assert_eq!(eng.health(id).mode, tfmae_core::StreamMode::Normal);
+    assert_eq!(
+        eng.adaptation_stats().clean_scores,
+        before_storm,
+        "holdoff windows must stay out of calibration"
+    );
+
+    // The next window is past the holdoff: its `hop` clean verdicts re-enter.
+    for t in held_rows..held_rows + hop {
+        eng.push(id, data.row(t % data.len()));
+    }
+    assert_eq!(
+        eng.adaptation_stats().clean_scores,
+        before_storm + hop as u64,
+        "post-holdoff clean scores must re-enter calibration"
+    );
+}
+
+#[test]
+fn enabled_adaptation_recalibrates_delta_from_serving_scores() {
+    // End-to-end Eq. 17 recalibration: δ starts far above the serving-score
+    // scale and must walk down — at most `max_step` per recalibration.
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let mut cfg = ServingConfig::new(1000.0, 2);
+    let mut ad = AdaptationConfig::enabled();
+    ad.min_samples = 32;
+    ad.recalibrate_every = 32;
+    ad.window = 128;
+    cfg.adaptation = ad;
+    let mut eng = ServingEngine::new(det, cfg);
+    let id = eng.add_stream();
+    let data = series(win + 128, 52);
+    for t in 0..data.len() {
+        eng.push(id, data.row(t));
+    }
+    let stats = eng.adaptation_stats().clone();
+    assert!(stats.recalibrations >= 2, "run must recalibrate: {stats:?}");
+    let delta = eng.effective_threshold();
+    assert!(delta < 1000.0, "δ must walk toward the score scale, got {delta}");
+    let floor = 1000.0 * 0.5f32.powi(stats.recalibrations.min(127) as i32);
+    assert!(
+        delta >= floor - 1e-3,
+        "each recalibration moves δ at most max_step: {delta} vs floor {floor}"
+    );
 }
 
 #[test]

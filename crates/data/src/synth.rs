@@ -126,6 +126,67 @@ pub fn render(components: &[Component], len: usize, rng: &mut StdRng) -> Vec<f32
     out.into_iter().map(|v| v as f32).collect()
 }
 
+/// A distribution change applied to an already-rendered channel from an
+/// onset index onward — the degradation schemes of the AnomalyBERT line of
+/// work (soft replacement / peak / length-adjust analogues), used to
+/// evaluate drift adaptation rather than point anomalies.
+#[derive(Clone, Copy, Debug)]
+pub enum RegimeShift {
+    /// Adds a constant offset from the onset onward (mean/level shift).
+    LevelShift {
+        /// Offset added to every post-onset sample.
+        delta: f64,
+    },
+    /// Scales deviations around the pre-onset mean by `factor` (variance
+    /// scale-up when `factor > 1`).
+    VarianceScale {
+        /// Multiplier applied to post-onset deviations.
+        factor: f64,
+    },
+    /// Adds a slow linear ramp `slope · (t − onset)` from the onset onward.
+    TrendRamp {
+        /// Per-sample slope of the ramp.
+        slope: f64,
+    },
+    /// Freezes the channel at its last pre-onset value (stuck sensor):
+    /// every post-onset sample becomes a plateau.
+    StuckSensor,
+}
+
+/// Applies `shift` to `x[onset..]` in place. Deterministic (no RNG): the
+/// injectors reshape the signal that is already there. `onset >= x.len()`
+/// is a no-op; the pre-onset prefix is never modified.
+pub fn apply_regime_shift(x: &mut [f32], onset: usize, shift: RegimeShift) {
+    if onset >= x.len() {
+        return;
+    }
+    match shift {
+        RegimeShift::LevelShift { delta } => {
+            for v in &mut x[onset..] {
+                *v += delta as f32;
+            }
+        }
+        RegimeShift::VarianceScale { factor } => {
+            let pre = &x[..onset.max(1)];
+            let mean = pre.iter().map(|&v| v as f64).sum::<f64>() / pre.len() as f64;
+            for v in &mut x[onset..] {
+                *v = (mean + factor * (*v as f64 - mean)) as f32;
+            }
+        }
+        RegimeShift::TrendRamp { slope } => {
+            for (k, v) in x[onset..].iter_mut().enumerate() {
+                *v += (slope * k as f64) as f32;
+            }
+        }
+        RegimeShift::StuckSensor => {
+            let held = x[onset.saturating_sub(1)];
+            for v in &mut x[onset..] {
+                *v = held;
+            }
+        }
+    }
+}
+
 /// Renders a channel as `base + mix·shared` — used by the server simulators
 /// (PSM/SMD) whose channels co-move through shared load factors.
 pub fn render_correlated(
@@ -236,6 +297,53 @@ mod tests {
         }
         let rho = cov / (va.sqrt() * vb.sqrt());
         assert!(rho > 0.9, "shared-factor correlation was {rho}");
+    }
+
+    #[test]
+    fn level_shift_moves_mean_only_after_onset() {
+        let mut x = vec![1.0f32; 100];
+        apply_regime_shift(&mut x, 40, RegimeShift::LevelShift { delta: 3.0 });
+        assert!(x[..40].iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert!(x[40..].iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn variance_scale_preserves_pre_onset_mean() {
+        let mut r = rng();
+        let mut x = render(&[Component::Noise { sigma: 1.0 }], 4000, &mut r);
+        apply_regime_shift(&mut x, 2000, RegimeShift::VarianceScale { factor: 3.0 });
+        let std = |s: &[f32]| {
+            let m = s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64;
+            (s.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / s.len() as f64).sqrt()
+        };
+        let pre = std(&x[..2000]);
+        let post = std(&x[2000..]);
+        assert!(post / pre > 2.5, "variance scale-up ratio was {}", post / pre);
+    }
+
+    #[test]
+    fn trend_ramp_grows_from_zero_at_onset() {
+        let mut x = vec![0.0f32; 50];
+        apply_regime_shift(&mut x, 10, RegimeShift::TrendRamp { slope: 0.5 });
+        assert!((x[10]).abs() < 1e-6);
+        assert!((x[20] - 5.0).abs() < 1e-5);
+        assert!((x[9]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stuck_sensor_plateaus_at_last_value() {
+        let mut r = rng();
+        let mut x = render(&[Component::Sine { period: 8.0, amp: 1.0, phase: 0.3 }], 64, &mut r);
+        let held = x[31];
+        apply_regime_shift(&mut x, 32, RegimeShift::StuckSensor);
+        assert!(x[32..].iter().all(|&v| v == held));
+    }
+
+    #[test]
+    fn out_of_range_onset_is_noop() {
+        let mut x = vec![1.0f32, 2.0, 3.0];
+        apply_regime_shift(&mut x, 3, RegimeShift::LevelShift { delta: 9.0 });
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+pub use tfmae_data::{apply_regime_shift, RegimeShift};
 use tfmae_data::TimeSeries;
 
 /// Replaces roughly `ratio` of all values with NaN (deterministic in
@@ -32,6 +33,31 @@ fn inject(series: &mut TimeSeries, value: f32, ratio: f64, seed: u64) -> usize {
         }
     }
     hit
+}
+
+/// Applies a [`RegimeShift`] to every channel of `series` from `onset`
+/// onward — a distribution change rather than a point fault, used by the
+/// drift-adaptation suite and the fault-injection tests.
+pub fn shift_regime(series: &mut TimeSeries, onset: usize, shift: RegimeShift) {
+    for n in 0..series.dims() {
+        let mut ch = series.channel(n);
+        apply_regime_shift(&mut ch, onset, shift);
+        for (t, v) in ch.into_iter().enumerate() {
+            series.set(t, n, v);
+        }
+    }
+}
+
+/// The standard four-scheme degradation battery (level shift, variance
+/// scale-up, slow trend ramp, stuck-sensor plateau) with moderate severities
+/// suitable for the scaled simulators.
+pub fn regime_shift_battery() -> Vec<(&'static str, RegimeShift)> {
+    vec![
+        ("level_shift", RegimeShift::LevelShift { delta: 1.5 }),
+        ("variance_scale", RegimeShift::VarianceScale { factor: 2.5 }),
+        ("trend_ramp", RegimeShift::TrendRamp { slope: 0.004 }),
+        ("stuck_sensor", RegimeShift::StuckSensor),
+    ]
 }
 
 /// Flips `nflips` random bits in the file (deterministic in `seed`).

@@ -6,8 +6,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tfmae_core::{
-    CheckpointError, DataQuality, DegradedModeConfig, StreamMode, StreamingDetector,
-    TfmaeConfig, TfmaeDetector,
+    param_hash, AdaptationConfig, CheckpointError, DataQuality, DegradedModeConfig,
+    RobustnessConfig, ServingConfig, ServingEngine, StreamMode, StreamingDetector, TfmaeConfig,
+    TfmaeDetector,
 };
 use tfmae_data::{render, Component, Detector, TimeSeries};
 use tfmae_tests::faults;
@@ -260,6 +261,99 @@ fn dead_feed_quarantines_and_recovers() {
     assert!(!recovered.is_empty(), "stream must resume scoring after recovery");
     assert!(recovered.iter().all(|v| v.quality == DataQuality::Clean));
     assert!(recovered.iter().all(|v| v.score.is_finite()));
+}
+
+#[test]
+fn regime_shift_battery_degrades_gracefully() {
+    // Every degradation scheme of the adaptation suite — level shift,
+    // variance scale-up, trend ramp, stuck sensor — produces *finite*
+    // in-range telemetry, so the serving path must keep emitting finite,
+    // Clean-quality verdicts (drift is not a data fault; it is handled by
+    // the adaptation loop, not by quarantine).
+    for (name, shift) in faults::regime_shift_battery() {
+        let det = fitted(21);
+        let win = det.cfg.win_len;
+        let mut data = series(win * 3, 22);
+        faults::shift_regime(&mut data, win + win / 2, shift);
+
+        let mut s = StreamingDetector::new(det, f32::MAX, 2);
+        let verdicts = s.push_many(&data);
+        assert!(!verdicts.is_empty(), "{name}: serving must produce verdicts");
+        assert!(
+            verdicts.iter().all(|v| v.score.is_finite()),
+            "{name}: scores must stay finite through the shift"
+        );
+        assert!(
+            verdicts.iter().all(|v| v.quality == DataQuality::Clean),
+            "{name}: regime shifts are in-band data, not faults"
+        );
+        assert_eq!(s.health().mode, StreamMode::Normal, "{name}: drift must not quarantine");
+    }
+}
+
+#[test]
+fn harmful_finetune_update_rolls_back_to_last_good_and_backs_off() {
+    // Force a harmful background update through: the TrainGuard is disabled
+    // and the fine-tune LR is absurd, so the update corrupts the weights.
+    // The probation guard band must notice (score drift and/or degraded-rate
+    // blow-out), restore the pre-update snapshot bit-exactly, and back the
+    // adaptation cadence off.
+    tfmae_obs::set_enabled(true);
+    let det = fitted(23);
+    let win = det.cfg.win_len;
+
+    let mut ad = AdaptationConfig::enabled();
+    ad.min_samples = 8;
+    // A short window so the rolling median crosses over to post-update
+    // scores well inside the probation span.
+    ad.window = 16;
+    ad.recalibrate_every = usize::MAX; // isolate the fine-tune/rollback path
+    ad.guard.max_drift = 1.5;
+    ad.guard.probation = 64;
+    ad.finetune.enabled = true;
+    ad.finetune.interval = 16;
+    ad.finetune.reservoir = 8;
+    ad.finetune.batch = 4;
+    ad.finetune.steps = 2;
+    ad.finetune.lr = 1e5;
+    ad.finetune.robust = RobustnessConfig::disabled();
+
+    let mut cfg = ServingConfig::new(f32::MAX, 2);
+    cfg.adaptation = ad;
+    let mut eng = ServingEngine::new(det, cfg);
+    let id = eng.add_stream();
+
+    let pristine = param_hash(&eng.detector().model().expect("fitted").ps);
+    let data = series(win * 2, 24);
+    let mut rolled_back = false;
+    for t in 0..win * 20 {
+        eng.push(id, data.row(t % data.len()));
+        if eng.adaptation_stats().rollbacks >= 1 {
+            rolled_back = true;
+            break;
+        }
+    }
+    let stats = eng.adaptation_stats().clone();
+    assert!(rolled_back, "guard band must catch the harmful update: {stats:?}");
+    assert!(stats.finetune_updates >= 1, "{stats:?}");
+    assert_eq!(
+        stats.last_good_hash, pristine,
+        "last-good snapshot must be the pre-update weights"
+    );
+    assert_eq!(
+        param_hash(&eng.detector().model().expect("fitted").ps),
+        pristine,
+        "rollback must restore the last-good snapshot bit-exactly"
+    );
+    assert!(stats.cadence_mult >= 2, "cadence must back off after a rollback: {stats:?}");
+
+    // The rollback is visible to operators through the obs counters.
+    let rollback_counter = tfmae_obs::global().instruments().iter().any(|(name, inst)| {
+        *name == "serve.adapt_rollbacks"
+            && matches!(inst, tfmae_obs::Instrument::Counter(c) if c.get() > 0)
+    });
+    tfmae_obs::set_enabled(false);
+    assert!(rollback_counter, "serve.adapt_rollbacks must have been incremented");
 }
 
 #[test]
