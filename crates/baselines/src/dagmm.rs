@@ -32,15 +32,31 @@ impl GaussianMixture {
         assert!(rows >= k && k >= 1);
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
-        // Init means from random points, unit variances, uniform weights.
+        // Farthest-point init: the first mean is a random point, each
+        // subsequent mean is the point maximising its distance to the means
+        // chosen so far. Purely random init can drop every mean into one
+        // cluster, from which EM with shared responsibilities never escapes.
+        let mut means: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let first = rng.gen_range(0..rows);
+        means.push(points[first * d..(first + 1) * d].to_vec());
+        while means.len() < k {
+            let (mut best_r, mut best_dist) = (0, f64::NEG_INFINITY);
+            for r in 0..rows {
+                let x = &points[r * d..(r + 1) * d];
+                let nearest = means
+                    .iter()
+                    .map(|m| x.iter().zip(m).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
+                    .fold(f64::INFINITY, f64::min);
+                if nearest > best_dist {
+                    best_dist = nearest;
+                    best_r = r;
+                }
+            }
+            means.push(points[best_r * d..(best_r + 1) * d].to_vec());
+        }
         let mut gm = GaussianMixture {
             weights: vec![1.0 / k as f64; k],
-            means: (0..k)
-                .map(|_| {
-                    let r = rng.gen_range(0..rows);
-                    points[r * d..(r + 1) * d].to_vec()
-                })
-                .collect(),
+            means,
             vars: vec![vec![1.0; d]; k],
         };
         let mut resp = vec![0.0f64; rows * k];

@@ -67,6 +67,33 @@ fn bench_attention(c: &mut Criterion) {
     group.finish();
 }
 
+/// Temporal-branch attention at win_len = 100 as patch tokenization
+/// shrinks the sequence (tokens = 100 / patch_len) — the quadratic stage
+/// the `patch_len` knob buys down. Same weights and heads at every P.
+fn bench_patched_attention(c: &mut Criterion) {
+    let (b, d, h) = (4usize, 64usize, 4usize);
+    let mut ps = ParamStore::new();
+    let mut arng = StdRng::seed_from_u64(23);
+    let attn = MultiHeadSelfAttention::new(&mut ps, &mut arng, "bench", d, h);
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = Graph::with_executor(Arc::new(Executor::serial()));
+
+    let mut group = c.benchmark_group("kernels_patched_attention");
+    for &p in &[1usize, 5, 10] {
+        let tok = 100 / p;
+        let x = randn(&mut rng, b * tok * d);
+        group.bench_function(BenchmarkId::from_parameter(format!("p{p}_t{tok}")), |bch| {
+            bch.iter(|| {
+                g.reset();
+                let ctx = Ctx::eval(&g, &ps);
+                let xv = g.constant_from(&x, vec![b, tok, d]);
+                g.scalar_value(g.sum_all(attn.forward(&ctx, xv)))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_bias_act(c: &mut Criterion) {
     let g = Graph::with_executor(Arc::new(Executor::serial()));
     let mut rng = StdRng::seed_from_u64(11);
@@ -105,5 +132,12 @@ fn bench_fft(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_attention, bench_bias_act, bench_fft);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_attention,
+    bench_patched_attention,
+    bench_bias_act,
+    bench_fft
+);
 criterion_main!(benches);

@@ -128,6 +128,28 @@ fn main() {
     });
     entries.push(Entry { bench: format!("attention_step_{b}x{t}x{d}h{h}"), ns_per_iter: ns, checksum: sum });
 
+    // --------------------------------------------------- patched attention
+    // Temporal-branch attention cost at win_len = 100 as patch tokenization
+    // shrinks the sequence: tokens = win/P for patch_len ∈ {1, 5, 10}. Same
+    // weights, same head count — only the token count changes, isolating
+    // the O((T/P)²) stage the patch embedding buys down.
+    for &(p, iters) in &[(1usize, 200usize), (5usize, 1000usize), (10usize, 2000usize)] {
+        let tok = 100 / p;
+        let xp = randn(&mut rng, b * tok * d);
+        let (ns, sum) = time_ns(5, iters / scale, || {
+            g.reset();
+            let ctx = Ctx::eval(&g, &ps);
+            let xv = g.constant_from(&xp, vec![b, tok, d]);
+            let y = attn.forward(&ctx, xv);
+            g.scalar_value(g.sum_all(y)) as f64
+        });
+        entries.push(Entry {
+            bench: format!("patched_attention_fwd_p{p}_{b}x{tok}x{d}h{h}"),
+            ns_per_iter: ns,
+            checksum: sum,
+        });
+    }
+
     // ---------------------------------------------------------------- fft
     for &(len, iters) in &[(512usize, 20000usize), (100, 20000)] {
         let sig: Vec<f64> = (0..len).map(|i| (i as f64 * 0.13).sin() + 0.3 * (i as f64 * 0.71).cos()).collect();
@@ -156,6 +178,17 @@ fn main() {
         det.loss_curve.last().copied().unwrap_or(0.0) as f64
     });
     entries.push(Entry { bench: "train_epoch_tiny".to_string(), ns_per_iter: ns, checksum: sum });
+
+    // Same epoch with patch tokenization (tiny win_len 32, P = 4 → 8
+    // temporal tokens): end-to-end effect of the shorter token sequence.
+    let (ns, sum) = time_ns(1, (6 / scale).max(2), || {
+        let cfg = TfmaeConfig { epochs: 1, patch_len: 4, ..TfmaeConfig::tiny() };
+        let mut det = TfmaeDetector::new(cfg);
+        det.set_executor(Arc::new(Executor::serial()));
+        det.fit(&train, &train);
+        det.loss_curve.last().copied().unwrap_or(0.0) as f64
+    });
+    entries.push(Entry { bench: "train_epoch_tiny_p4".to_string(), ns_per_iter: ns, checksum: sum });
 
     // ------------------------------------------------------------- report
     let before = baseline.as_deref().map(read_baseline).unwrap_or_default();

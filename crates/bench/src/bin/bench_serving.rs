@@ -69,6 +69,7 @@ use tfmae_tensor::Executor;
 struct Entry {
     mode: &'static str,
     streams: usize,
+    patch_len: usize,
     rows_per_sec: f64,
     p50_hop_us: f64,
     p99_hop_us: f64,
@@ -199,6 +200,7 @@ fn best_entry(mode: &'static str, streams: usize, rounds: &[Round]) -> Entry {
     Entry {
         mode,
         streams,
+        patch_len: 1,
         rows_per_sec: best.rows_per_sec,
         p50_hop_us: hops.quantile(0.50) as f64 / 1e3,
         p99_hop_us: hops.quantile(0.99) as f64 / 1e3,
@@ -333,6 +335,8 @@ fn main() {
         entries.push(scratch);
     }
 
+    entries.extend(patch_segment(&exec, quick));
+
     let overhead = overhead_segment(&det, &exec, hop, if quick { 8 } else { 25 });
 
     let json = render_json(&det.cfg, hop, threads, &entries, overhead);
@@ -342,6 +346,71 @@ fn main() {
         println!("[json] {out_path}");
     }
     println!("{json}");
+}
+
+/// Patch-tokenization sweep at S=8, paper scale (win 100, d_model 64):
+/// the shared engine replay with models fitted at `patch_len` ∈ {1, 5, 10}.
+/// The three engines are measured in interleaved rounds (any slow host
+/// drift biases no patch length) and each reports its best round. The
+/// `patch_len = 1` row is the exact unpatched model (bitwise, see the
+/// parity suite), so `speedup_vs_p1` on the other rows is the end-to-end
+/// serving win of the shorter temporal token sequence alone.
+fn patch_segment(exec: &Arc<Executor>, quick: bool) -> Vec<Entry> {
+    let s = 8usize;
+    let hops = if quick { 6 } else { 8 };
+    let rounds = if quick { 2 } else { 4 };
+    struct Setup {
+        patch_len: usize,
+        eng: ServingEngine,
+        ids: Vec<usize>,
+        datas: Vec<TimeSeries>,
+        hop: usize,
+        rounds: Vec<Round>,
+    }
+    let mut setups: Vec<Setup> = Vec::new();
+    for &p in &[1usize, 5, 10] {
+        let cfg = TfmaeConfig {
+            epochs: 1,
+            train_stride: 100,
+            patch_len: p,
+            ..TfmaeConfig::default()
+        };
+        let win = cfg.win_len;
+        let hop = (win / 4).max(1);
+        let train = series(600, 1);
+        let mut det = TfmaeDetector::new(cfg);
+        det.set_executor(exec.clone());
+        det.fit(&train, &train);
+        let datas: Vec<TimeSeries> =
+            (0..s).map(|sid| series(win + hop * hops, 100 + sid as u64)).collect();
+        let mut eng = ServingEngine::new(det, ServingConfig::new(f32::MAX, hop));
+        let ids: Vec<usize> = datas.iter().map(|_| eng.add_stream()).collect();
+        engine_round(&mut eng, &ids, &datas, hop); // untimed warm-up
+        setups.push(Setup { patch_len: p, eng, ids, datas, hop, rounds: Vec::new() });
+    }
+    for _ in 0..rounds {
+        for su in setups.iter_mut() {
+            let r = engine_round(&mut su.eng, &su.ids, &su.datas, su.hop);
+            su.rounds.push(r);
+        }
+    }
+    let mut out = Vec::new();
+    for su in setups {
+        let mut e = best_entry("engine_patched", s, &su.rounds);
+        e.patch_len = su.patch_len;
+        out.push(e);
+    }
+    let p1 = out[0].rows_per_sec;
+    for e in &out {
+        println!(
+            "patch_len={}: engine {:.0} rows/s (p50 {:.0} µs/hop), {:.2}x vs patch_len=1",
+            e.patch_len,
+            e.rows_per_sec,
+            e.p50_hop_us,
+            e.rows_per_sec / p1
+        );
+    }
+    out
 }
 
 /// Observability overhead at S=8: the same engine replay with the global
@@ -442,10 +511,19 @@ fn render_json(
                 let _ = write!(extra, ", \"speedup_vs_from_scratch\": {:.3}", e.rows_per_sec / b);
             }
         }
+        if e.mode == "engine_patched" {
+            if let Some(b) = entries
+                .iter()
+                .find(|o| o.mode == "engine_patched" && o.patch_len == 1)
+                .map(|o| o.rows_per_sec)
+            {
+                let _ = write!(extra, ", \"speedup_vs_p1\": {:.3}", e.rows_per_sec / b);
+            }
+        }
         let _ = writeln!(
             out,
-            "    {{\"mode\": \"{}\", \"streams\": {}, \"rows_per_sec\": {:.0}, \"p50_hop_us\": {:.1}, \"p99_hop_us\": {:.1}, \"verdicts\": {}{extra}}}{comma}",
-            e.mode, e.streams, e.rows_per_sec, e.p50_hop_us, e.p99_hop_us, e.verdicts
+            "    {{\"mode\": \"{}\", \"streams\": {}, \"patch_len\": {}, \"rows_per_sec\": {:.0}, \"p50_hop_us\": {:.1}, \"p99_hop_us\": {:.1}, \"verdicts\": {}{extra}}}{comma}",
+            e.mode, e.streams, e.patch_len, e.rows_per_sec, e.p50_hop_us, e.p99_hop_us, e.verdicts
         );
     }
     let _ = writeln!(out, "  ]");

@@ -25,7 +25,8 @@ fn usage() -> &'static str {
 USAGE:
   tfmae simulate --dataset <msl|psm|smd|swat|smap|global|seasonal> [--divisor N] [--seed N] --out-dir DIR
   tfmae train    --train FILE.csv [--val FILE.csv] --model OUT.json [--lenient]
-                 [--epochs N] [--win N] [--d-model N] [--layers N] [--rt F] [--rf F] [--seed N]
+                 [--epochs N] [--win N] [--d-model N] [--layers N] [--rt F] [--rf F]
+                 [--patch-len N] [--seed N]
   tfmae score    --model FILE.json --input FILE.csv --out FILE.csv [--lenient]
   tfmae evaluate --model FILE.json --input FILE.csv (--ratio F | --val FILE.csv --ratio F) [--lenient]
   tfmae serve    --model FILE.json --input FILE.csv [--input FILE.csv ...]
@@ -50,6 +51,12 @@ given. --val both derives the threshold (at --ratio, default 0.01) and
 freezes each stream's score calibration so online scores match the offline
 scale. --from-scratch disables the incremental masking state (baseline cost
 model); --refresh-every tunes its exact re-seed cadence (default 64 hops).
+
+--patch-len folds that many consecutive time steps into one temporal token
+(Ti-MAE-style patch embedding): attention cost in the temporal branch drops
+~P²x, scores stay per-observation, and the frequency branch is untouched.
+Must divide --win; the default 1 reproduces the unpatched model exactly.
+`score`/`evaluate`/`serve` pick the patch length up from the checkpoint.
 
 --adapt turns on drift adaptation (default off; without it verdicts are
 bitwise identical to the frozen engine): δ is recalibrated to the (1 − r)
@@ -250,6 +257,7 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
         layers: args.num("layers", 2)?,
         r_temporal: args.num("rt", 0.25)?,
         r_frequency: args.num("rf", 0.25)?,
+        patch_len: args.num("patch-len", 1)?,
         seed: args.num("seed", 7)?,
         ..TfmaeConfig::default()
     };

@@ -55,6 +55,33 @@ struct Envelope {
     /// so v2-without-section and legacy v1 files load unchanged.
     #[serde(default)]
     adaptive: Option<AdaptiveSection>,
+    /// Optional patch-tokenization section, written only when the model
+    /// was trained with `patch_len > 1`: `patch_len = 1` checkpoints carry
+    /// no trace of the refactor and files from before it load unchanged.
+    /// The patch-embed *parameters* live in the main payload (covered by
+    /// its CRC); this section holds CRC-covered [`PatchMeta`] so a loader
+    /// can reject a checkpoint whose envelope and config disagree about
+    /// token geometry. A damaged section degrades to a warning (the main
+    /// CRC already protects everything that matters).
+    #[serde(default)]
+    patch: Option<PatchSection>,
+}
+
+/// Patch-tokenization metadata stored in the envelope's patch section.
+#[derive(Clone, Serialize, Deserialize, PartialEq, Eq, Debug)]
+pub struct PatchMeta {
+    /// Temporal patch length `P` the model was trained with.
+    pub patch_len: usize,
+    /// Temporal token count `win_len / P`.
+    pub tokens: usize,
+}
+
+/// The patch section: its own `{crc32, payload}` pair, mirroring the
+/// adaptive section's layout.
+#[derive(Serialize, Deserialize)]
+struct PatchSection {
+    crc32: u32,
+    payload: String,
 }
 
 /// The adaptive section: its own `{crc32, payload}` pair, mirroring the
@@ -177,11 +204,23 @@ impl TfmaeDetector {
                 Some(AdaptiveSection { crc32: crc32_ieee(p.as_bytes()), payload: p })
             }
         };
+        let patch = if self.cfg.patch_len > 1 {
+            let meta = PatchMeta {
+                patch_len: self.cfg.patch_len,
+                tokens: self.cfg.num_patch_tokens(),
+            };
+            let p = serde_json::to_string(&meta)
+                .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+            Some(PatchSection { crc32: crc32_ieee(p.as_bytes()), payload: p })
+        } else {
+            None
+        };
         let envelope = Envelope {
             version: CHECKPOINT_VERSION,
             crc32: crc32_ieee(payload.as_bytes()),
             payload,
             adaptive,
+            patch,
         };
         let json =
             serde_json::to_string(&envelope).map_err(|e| CheckpointError::Parse(e.to_string()))?;
@@ -195,8 +234,12 @@ impl TfmaeDetector {
         Ok(())
     }
 
-    /// Restores a detector from a checkpoint value.
-    pub fn from_checkpoint(ckpt: Checkpoint) -> Result<Self, CheckpointError> {
+    /// Restores a detector from a checkpoint value. The config is
+    /// [normalized](TfmaeConfig::normalized) first, so pre-refactor
+    /// checkpoints without a `patch_len` field restore the unpatched model
+    /// regardless of how the deserializer filled the missing field.
+    pub fn from_checkpoint(mut ckpt: Checkpoint) -> Result<Self, CheckpointError> {
+        ckpt.config = ckpt.config.normalized();
         if ckpt.version > CHECKPOINT_VERSION {
             return Err(CheckpointError::Version(ckpt.version));
         }
@@ -273,8 +316,45 @@ impl TfmaeDetector {
                         }
                     }
                 });
+                // A damaged patch section degrades to a warning (the model
+                // payload and its CRC are authoritative for the parameters);
+                // an *intact* section that disagrees with the config is a
+                // hard error — the file has been stitched together.
+                let patch_meta = env.patch.and_then(|sec| {
+                    let computed = crc32_ieee(sec.payload.as_bytes());
+                    if computed != sec.crc32 {
+                        eprintln!(
+                            "warning: patch checkpoint section corrupt (CRC stored {:08x}, \
+                             computed {computed:08x}); trusting the config's patch_len",
+                            sec.crc32
+                        );
+                        return None;
+                    }
+                    match serde_json::from_str::<PatchMeta>(&sec.payload) {
+                        Ok(meta) => Some(meta),
+                        Err(e) => {
+                            eprintln!(
+                                "warning: patch checkpoint section unparsable ({e}); \
+                                 trusting the config's patch_len"
+                            );
+                            None
+                        }
+                    }
+                });
                 let ckpt: Checkpoint = serde_json::from_str(&env.payload)
                     .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+                if let Some(meta) = patch_meta {
+                    let expect = PatchMeta {
+                        patch_len: ckpt.config.patch_len,
+                        tokens: ckpt.config.num_patch_tokens(),
+                    };
+                    if meta != expect {
+                        return Err(CheckpointError::Parse(format!(
+                            "patch section ({}x{} tokens) disagrees with config ({}x{} tokens)",
+                            meta.patch_len, meta.tokens, expect.patch_len, expect.tokens
+                        )));
+                    }
+                }
                 Self::from_checkpoint(ckpt).map(|det| (det, adaptive))
             }
             Err(env_err) => match serde_json::from_str::<Checkpoint>(json) {
@@ -556,6 +636,84 @@ mod tests {
         let (_, got) =
             TfmaeDetector::from_checkpoint_json_with_adaptive(&legacy_json).unwrap();
         assert_eq!(got, None);
+    }
+
+    fn fitted_at_patch_len(patch_len: usize) -> TfmaeDetector {
+        // A structurally valid detector without the cost of a fit: fresh
+        // params + identity normalization, enough for exact-scoring
+        // roundtrip checks.
+        let cfg = TfmaeConfig { patch_len, ..TfmaeConfig::tiny() };
+        let model = TfmaeModel::new(cfg.clone(), 1);
+        let norm = ZScore { mean: vec![0.0], std: vec![1.0] };
+        TfmaeDetector::from_parts(cfg, model, norm)
+    }
+
+    #[test]
+    fn unpatched_checkpoint_carries_no_patch_section() {
+        let det = fitted_at_patch_len(1);
+        let dir = tmp_dir("nopatch");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let env: Envelope = serde_json::from_str(&json).unwrap();
+        assert!(
+            env.patch.is_none(),
+            "patch_len = 1 must leave no trace of the refactor in the envelope"
+        );
+        TfmaeDetector::load(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn patched_checkpoint_roundtrips_exactly() {
+        let det = fitted_at_patch_len(8);
+        let test = series(96, 20);
+        let want = det.score(&test);
+        let dir = tmp_dir("patched");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let env: Envelope = serde_json::from_str(&json).unwrap();
+        let sec = env.patch.expect("patched checkpoint writes the section");
+        assert_eq!(crc32_ieee(sec.payload.as_bytes()), sec.crc32);
+        let meta: PatchMeta = serde_json::from_str(&sec.payload).unwrap();
+        assert_eq!(meta, PatchMeta { patch_len: 8, tokens: 4 });
+        let restored = TfmaeDetector::load(&path).unwrap();
+        assert_eq!(restored.cfg.patch_len, 8);
+        assert_eq!(restored.score(&test), want, "patched roundtrip must be bit-exact");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_patch_section_degrades_to_config() {
+        let det = fitted_at_patch_len(8);
+        let test = series(96, 21);
+        let want = det.score(&test);
+        let dir = tmp_dir("patch_corrupt");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let mut env: Envelope = serde_json::from_str(&json).unwrap();
+        env.patch.as_mut().unwrap().crc32 ^= 0xFFFF;
+        std::fs::write(&path, serde_json::to_string(&env).unwrap()).unwrap();
+        let restored = TfmaeDetector::load(&path).unwrap();
+        assert_eq!(restored.score(&test), want, "model must still load exactly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn intact_patch_section_disagreeing_with_config_is_rejected() {
+        let det = fitted_at_patch_len(8);
+        let dir = tmp_dir("patch_mismatch");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let mut env: Envelope = serde_json::from_str(&json).unwrap();
+        let forged = serde_json::to_string(&PatchMeta { patch_len: 4, tokens: 8 }).unwrap();
+        env.patch = Some(PatchSection { crc32: crc32_ieee(forged.as_bytes()), payload: forged });
+        std::fs::write(&path, serde_json::to_string(&env).unwrap()).unwrap();
+        assert!(matches!(TfmaeDetector::load(&path), Err(CheckpointError::Parse(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -121,6 +121,22 @@ pub struct TfmaeConfig {
     pub score: ScoreKind,
     /// RNG seed controlling init, dropout and random-mask variants.
     pub seed: u64,
+    /// Temporal patch length `P` (Ti-MAE-style tokenization). The temporal
+    /// branch operates on `win_len / P` patch tokens of `P · dims` raw
+    /// values each, cutting attention FLOPs ~`P²`x; `P = 1` is bitwise
+    /// identical to the unpatched model. The frequency branch always stays
+    /// at raw rFFT-bin resolution (TFAD's motivation). Must divide
+    /// `win_len`. Absent from older serialized configs, so it defaults
+    /// to 1 on deserialization.
+    #[serde(default = "default_patch_len")]
+    pub patch_len: usize,
+}
+
+// Referenced from the serde attribute above; minimal offline derives ignore
+// the attribute value, so the reference is allowed to vanish.
+#[allow(dead_code)]
+fn default_patch_len() -> usize {
+    1
 }
 
 impl Default for TfmaeConfig {
@@ -153,6 +169,7 @@ impl Default for TfmaeConfig {
             train_stride: 50,
             score: ScoreKind::Combined,
             seed: 7,
+            patch_len: 1,
         }
     }
 }
@@ -187,9 +204,36 @@ impl TfmaeConfig {
         self.lr * 0.1
     }
 
+    /// Maps the legacy "`patch_len` absent" encoding to `patch_len = 1`.
+    ///
+    /// Real serde fills the missing field via its `default = "…"` function
+    /// (already 1), but minimal deserializers that only honor plain
+    /// `#[serde(default)]` fill it with `usize::default()` — 0, which no
+    /// valid config can hold. Checkpoint loading funnels configs through
+    /// here so pre-refactor files land on the unpatched model either way.
+    pub fn normalized(mut self) -> Self {
+        if self.patch_len == 0 {
+            self.patch_len = 1;
+        }
+        self
+    }
+
     /// Number of masked observations `I_T = ⌊r_T · |S|⌋` (Eq. 2).
     pub fn masked_time_steps(&self) -> usize {
         ((self.win_len as f64) * self.r_temporal).floor() as usize
+    }
+
+    /// Number of temporal patch tokens `T / P` the temporal branch
+    /// attends over. Equals `win_len` when `patch_len = 1`.
+    pub fn num_patch_tokens(&self) -> usize {
+        self.win_len / self.patch_len.max(1)
+    }
+
+    /// Number of masked temporal *tokens*: Eq. 2's floor formula applied
+    /// at token granularity, `⌊r_T · T/P⌋`. Identical to
+    /// [`masked_time_steps`](Self::masked_time_steps) at `patch_len = 1`.
+    pub fn masked_tokens(&self) -> usize {
+        ((self.num_patch_tokens() as f64) * self.r_temporal).floor() as usize
     }
 
     /// Number of masked frequency bins `I_F = ⌊r_F · bins⌋` (Eq. 8), over
@@ -224,6 +268,29 @@ impl TfmaeConfig {
         }
         if self.recon_weight < 0.0 || self.contrastive_weight < 0.0 || self.adv_weight < 0.0 {
             return Err("loss weights must be non-negative".into());
+        }
+        if self.patch_len == 0 {
+            return Err("patch_len must be >= 1".into());
+        }
+        if self.win_len % self.patch_len != 0 {
+            return Err(format!(
+                "patch_len {} must divide win_len {}",
+                self.patch_len, self.win_len
+            ));
+        }
+        // Mirror the whole-window guard at token granularity: the encoder
+        // needs at least 2 unmasked tokens for attention to relate anything.
+        // Gated on patch_len > 1 so the legacy (P = 1) acceptance surface is
+        // untouched — there the `masked_time_steps() >= win_len` guard above
+        // already rejects full-window masks and win_len >= 4 keeps ≥ 2
+        // unmasked rows for any r_temporal < 1.
+        if self.patch_len > 1 && self.num_patch_tokens() - self.masked_tokens() < 2 {
+            return Err(format!(
+                "patch_len {} leaves {} unmasked patch tokens (< 2) at r_temporal {}",
+                self.patch_len,
+                self.num_patch_tokens() - self.masked_tokens(),
+                self.r_temporal
+            ));
         }
         Ok(())
     }
@@ -270,5 +337,54 @@ mod tests {
         let back: TfmaeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.d_model, 128);
         assert_eq!(back.adversarial, AdversarialMode::Full);
+        assert_eq!(back.patch_len, 1);
+    }
+
+    #[test]
+    fn legacy_config_json_without_patch_len_defaults_to_one() {
+        // Serialized configs from before the patch-tokenization refactor
+        // (checkpoints included) carry no `patch_len` key.
+        let json = serde_json::to_string(&TfmaeConfig::paper()).unwrap();
+        assert!(json.contains("\"patch_len\":1"), "got {json}");
+        let stripped =
+            json.replace(",\"patch_len\":1", "").replace("\"patch_len\":1,", "");
+        assert!(!stripped.contains("patch_len"));
+        let back = serde_json::from_str::<TfmaeConfig>(&stripped).unwrap().normalized();
+        assert_eq!(back.patch_len, 1);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn token_counts_follow_floor_formulas() {
+        let cfg = TfmaeConfig { win_len: 100, patch_len: 5, r_temporal: 0.55, ..Default::default() };
+        assert_eq!(cfg.num_patch_tokens(), 20);
+        assert_eq!(cfg.masked_tokens(), 11); // ⌊20 · 0.55⌋
+        // At P = 1, token accounting coincides with time-step accounting.
+        let flat = TfmaeConfig { win_len: 100, r_temporal: 0.55, ..Default::default() };
+        assert_eq!(flat.masked_tokens(), flat.masked_time_steps());
+    }
+
+    #[test]
+    fn patch_len_validation_edge_cases() {
+        // Must divide win_len.
+        let cfg = TfmaeConfig { patch_len: 7, ..Default::default() }; // 100 % 7 != 0
+        assert!(cfg.validate().is_err());
+        // Zero is rejected.
+        let cfg = TfmaeConfig { patch_len: 0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        // 2 tokens, 1 masked, 1 unmasked -> fewer than 2 unmasked tokens.
+        let cfg = TfmaeConfig { patch_len: 50, r_temporal: 0.5, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        // 2 tokens, 0 masked -> both tokens survive, accepted.
+        let cfg = TfmaeConfig { patch_len: 50, r_temporal: 0.25, ..Default::default() };
+        cfg.validate().unwrap();
+        // A single token can never keep 2 unmasked ones.
+        let cfg = TfmaeConfig { patch_len: 100, r_temporal: 0.0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        // The paper-scale sweep settings all pass.
+        for p in [1, 5, 10] {
+            let cfg = TfmaeConfig { patch_len: p, ..Default::default() };
+            cfg.validate().unwrap();
+        }
     }
 }

@@ -49,11 +49,14 @@ pub use adapt::{
     param_hash, AdaptationConfig, AdaptationStats, AdaptiveSnapshot, FinetuneConfig, GuardBand,
     ScoreWindow,
 };
-pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
+pub use checkpoint::{Checkpoint, CheckpointError, PatchMeta, CHECKPOINT_VERSION};
 pub use config::{AdversarialMode, FreqMaskKind, ScoreKind, TemporalMaskKind, TfmaeConfig};
 pub use detector::TfmaeDetector;
 pub use masking::frequency::{frequency_mask, frequency_mask_from_spectra, FrequencyMaskData};
-pub use masking::temporal::{cv_statistic, temporal_mask, temporal_mask_from_stat, TemporalMask};
+pub use masking::temporal::{
+    cv_statistic, fold_stat_to_patches, temporal_mask, temporal_mask_from_stat,
+    temporal_mask_patched, TemporalMask,
+};
 pub use model::{combine_scores, BatchInputs, BranchOutputs, TfmaeModel};
 pub use robust::{RobustnessConfig, StepFault, TrainGuard, TrainReport};
 pub use serving::{ServingConfig, ServingEngine, ServingVerdict};

@@ -93,6 +93,64 @@ fn sorted(mut v: Vec<usize>) -> Vec<usize> {
     v
 }
 
+/// Folds a per-row statistic `[win_len]` to a per-patch-token statistic
+/// `[win_len / P]` by summing the `P` row values inside each patch. Summing
+/// (not max) keeps the token statistic monotone in every member row's
+/// volatility, so a patch containing a spike outranks its calm neighbours
+/// the same way the spiked row outranks calm rows at `P = 1`.
+pub fn fold_stat_to_patches(stat: &[f64], patch_len: usize) -> Vec<f64> {
+    debug_assert!(patch_len >= 1 && stat.len() % patch_len == 0);
+    if patch_len == 1 {
+        return stat.to_vec();
+    }
+    stat.chunks_exact(patch_len).map(|chunk| chunk.iter().sum()).collect()
+}
+
+/// [`temporal_mask`] at patch-token granularity: the returned index sets
+/// partition the `win_len / patch_len` *tokens*, masking the `i_tok`
+/// highest-statistic ones. Delegates to the legacy row-level path at
+/// `patch_len = 1` (same RNG consumption for [`TemporalMaskKind::Random`],
+/// bitwise-identical selection for Cv/Std — test-asserted).
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_mask_patched(
+    values: &[f32],
+    win_len: usize,
+    dims: usize,
+    patch_len: usize,
+    i_tok: usize,
+    cv_window: usize,
+    kind: TemporalMaskKind,
+    use_fft: bool,
+    rng: &mut StdRng,
+) -> TemporalMask {
+    if patch_len == 1 {
+        return temporal_mask(values, win_len, dims, i_tok, cv_window, kind, use_fft, rng);
+    }
+    assert_eq!(values.len(), win_len * dims, "window size mismatch");
+    assert_eq!(win_len % patch_len, 0, "patch_len must divide win_len");
+    let tokens = win_len / patch_len;
+    let i_tok = i_tok.min(tokens.saturating_sub(1));
+    if i_tok == 0 || kind == TemporalMaskKind::None {
+        return TemporalMask { masked: Vec::new(), unmasked: (0..tokens).collect() };
+    }
+    match kind {
+        TemporalMaskKind::Cv => {
+            let stat = cv_statistic(values, win_len, dims, cv_window, use_fft);
+            temporal_mask_from_stat(&fold_stat_to_patches(&stat, patch_len), i_tok)
+        }
+        TemporalMaskKind::Std => {
+            let stat = std_statistic(values, win_len, dims, cv_window, use_fft);
+            temporal_mask_from_stat(&fold_stat_to_patches(&stat, patch_len), i_tok)
+        }
+        TemporalMaskKind::Random => {
+            let mut idx: Vec<usize> = (0..tokens).collect();
+            idx.shuffle(rng);
+            partition(tokens, sorted(idx[..i_tok].to_vec()))
+        }
+        TemporalMaskKind::None => unreachable!(),
+    }
+}
+
 /// The summed per-feature coefficient of variation `V ∈ R^{win_len}` of
 /// Eq. 1/5.
 pub fn cv_statistic(
@@ -221,6 +279,53 @@ mod tests {
         let stat = cv_statistic(&vals, len, dims, 10, true);
         let split = temporal_mask_from_stat(&stat, 12);
         assert_eq!(full, split);
+    }
+
+    #[test]
+    fn patched_mask_at_patch_len_one_is_bitwise_identical() {
+        let len = 60;
+        let dims = 2;
+        let vals: Vec<f32> =
+            (0..len * dims).map(|i| (i as f32 * 0.19).sin() + 0.003 * i as f32).collect();
+        for kind in [TemporalMaskKind::Cv, TemporalMaskKind::Std, TemporalMaskKind::Random] {
+            let legacy = temporal_mask(&vals, len, dims, 14, 10, kind, true, &mut rng());
+            let patched =
+                temporal_mask_patched(&vals, len, dims, 1, 14, 10, kind, true, &mut rng());
+            assert_eq!(legacy, patched, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn patched_mask_partitions_tokens_and_finds_the_spiked_patch() {
+        let len = 60;
+        let p = 5;
+        let vals = window_with_spike(len, 32); // spike lands in token 32/5 = 6
+        let m = temporal_mask_patched(&vals, len, 1, p, 3, 10, TemporalMaskKind::Cv, true, &mut rng());
+        let tokens = len / p;
+        let mut all: Vec<usize> = m.masked.iter().chain(m.unmasked.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..tokens).collect::<Vec<_>>());
+        // The trailing CV window (rows 32..42) smears the spike over tokens
+        // 6, 7 and 8; the masked set must stay inside that band and cover
+        // the spike token itself.
+        assert!(m.masked.contains(&6), "spiked patch not masked: {:?}", m.masked);
+        assert!(m.masked.iter().all(|&i| (6..=8).contains(&i)), "{:?}", m.masked);
+    }
+
+    #[test]
+    fn fold_stat_sums_patch_members() {
+        let stat = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(fold_stat_to_patches(&stat, 1), stat);
+        assert_eq!(fold_stat_to_patches(&stat, 2), vec![3.0, 7.0, 11.0]);
+        assert_eq!(fold_stat_to_patches(&stat, 3), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn patched_mask_count_clamped_below_token_count() {
+        let vals = window_with_spike(20, 3);
+        let m = temporal_mask_patched(&vals, 20, 1, 5, 99, 5, TemporalMaskKind::Cv, true, &mut rng());
+        assert_eq!(m.masked.len(), 3, "must leave at least one unmasked token");
+        assert_eq!(m.unmasked.len(), 1);
     }
 
     #[test]

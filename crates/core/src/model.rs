@@ -5,12 +5,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tfmae_nn::{encoding_table, Activation, Ctx, Linear, TransformerConfig, TransformerStack};
+use tfmae_nn::{
+    encoding_table, Activation, Ctx, Linear, PatchEmbed, TransformerConfig, TransformerStack,
+};
 use tfmae_tensor::{Graph, ParamId, ParamStore, Var};
 
 use crate::config::{AdversarialMode, ScoreKind, TfmaeConfig};
 use crate::masking::frequency::{frequency_mask, FrequencyMaskData};
-use crate::masking::temporal::{temporal_mask, TemporalMask};
+use crate::masking::temporal::{temporal_mask_patched, TemporalMask};
 
 /// Preprocessed inputs for one batch of windows.
 pub struct BatchInputs {
@@ -18,7 +20,9 @@ pub struct BatchInputs {
     pub values: Vec<f32>,
     /// Batch size.
     pub b: usize,
-    /// Per-window temporal masks.
+    /// Per-window temporal masks, at patch-token granularity: indices
+    /// partition the `win_len / patch_len` tokens (= the raw time steps
+    /// when `patch_len = 1`).
     pub masks_t: Vec<TemporalMask>,
     /// Per-window frequency-mask constants.
     pub masks_f: Vec<FrequencyMaskData>,
@@ -27,8 +31,16 @@ pub struct BatchInputs {
 /// Final representations of the two branches (either may be disabled by an
 /// ablation).
 pub struct BranchOutputs {
-    /// Temporal-view representation `P^(L)`, shape `[B, T, D]`.
+    /// Temporal-view representation `P^(L)` at *row* resolution, shape
+    /// `[B, T, D]`. With `patch_len > 1` each token's representation is
+    /// replicated across its `P` rows so the contrastive objective and the
+    /// Eq. 16 score keep their per-observation shapes; at `patch_len = 1`
+    /// this is [`BranchOutputs::p_tokens`] itself.
     pub p: Option<Var>,
+    /// Temporal-view representation at *token* resolution, shape
+    /// `[B, T/P, D]` — the decoder's direct output, fed to the per-patch
+    /// reconstruction head.
+    pub p_tokens: Option<Var>,
     /// Frequency-view representation `F^(L)`, shape `[B, T, D]`.
     pub f: Option<Var>,
     /// The frequency-masked time-domain signal (Eq. 9–10 output before
@@ -46,7 +58,7 @@ pub struct TfmaeModel {
     /// All trainable parameters.
     pub ps: ParamStore,
     dims: usize,
-    t_proj: Linear,
+    patch: PatchEmbed,
     f_proj: Linear,
     mask_token: ParamId,
     m_re: ParamId,
@@ -54,9 +66,9 @@ pub struct TfmaeModel {
     t_encoder: TransformerStack,
     t_decoder: TransformerStack,
     f_decoder: TransformerStack,
-    recon_t: Linear,
     recon_f: Linear,
     posenc: Vec<f32>,
+    posenc_t: Vec<f32>,
 }
 
 impl TfmaeModel {
@@ -74,7 +86,15 @@ impl TfmaeModel {
             dropout: cfg.dropout,
             activation: Activation::Gelu,
         };
-        let t_proj = Linear::new(&mut ps, &mut rng, "temporal.proj", dims, cfg.d_model);
+        // Parameter registration order is load-bearing: it fixes both the
+        // RNG draw sequence (bitwise `patch_len = 1` parity with the
+        // pre-patch model) and the checkpoint layout. The patch-embed
+        // pieces are therefore registered in the legacy positions and
+        // assembled via `PatchEmbed::from_parts` afterwards. At
+        // `patch_len = 1` every shape below matches the unpatched model, so
+        // the Xavier/uniform draws are identical.
+        let p = cfg.patch_len;
+        let t_proj = Linear::new(&mut ps, &mut rng, "temporal.proj", dims * p, cfg.d_model);
         let f_proj = Linear::new(&mut ps, &mut rng, "frequency.proj", dims, cfg.d_model);
         let mask_token =
             ps.add("temporal.mask_token", tfmae_nn::init::uniform(&mut rng, cfg.d_model, 0.02), vec![cfg.d_model]);
@@ -83,14 +103,22 @@ impl TfmaeModel {
         let t_encoder = TransformerStack::new(&mut ps, &mut rng, "temporal.enc", &tc);
         let t_decoder = TransformerStack::new(&mut ps, &mut rng, "temporal.dec", &tc);
         let f_decoder = TransformerStack::new(&mut ps, &mut rng, "frequency.dec", &tc);
-        let recon_t = Linear::new(&mut ps, &mut rng, "temporal.recon", cfg.d_model, dims);
+        let recon_t = Linear::new(&mut ps, &mut rng, "temporal.recon", cfg.d_model, dims * p);
         let recon_f = Linear::new(&mut ps, &mut rng, "frequency.recon", cfg.d_model, dims);
         let posenc = encoding_table(cfg.win_len, cfg.d_model);
+        // Temporal positional table over *token* positions; the frequency
+        // branch keeps full row resolution. Same table when P = 1.
+        let posenc_t = if p == 1 {
+            posenc.clone()
+        } else {
+            encoding_table(cfg.win_len / p, cfg.d_model)
+        };
+        let patch = PatchEmbed::from_parts(t_proj, mask_token, recon_t, p, dims, cfg.d_model);
         Self {
             cfg,
             ps,
             dims,
-            t_proj,
+            patch,
             f_proj,
             mask_token,
             m_re,
@@ -98,9 +126,9 @@ impl TfmaeModel {
             t_encoder,
             t_decoder,
             f_decoder,
-            recon_t,
             recon_f,
             posenc,
+            posenc_t,
         }
     }
 
@@ -128,16 +156,18 @@ impl TfmaeModel {
 
     /// Computes the two masks for a single window (Eq. 2 and Eq. 8). Masks
     /// depend only on the window contents (plus `rng` for the Random
-    /// variants), so they can be cached across epochs.
+    /// variants), so they can be cached across epochs. The temporal mask is
+    /// at patch-token granularity (= raw time steps when `patch_len = 1`).
     pub fn window_masks(&self, win: &[f32], rng: &mut StdRng) -> (TemporalMask, FrequencyMaskData) {
         let t = self.cfg.win_len;
         let n = self.dims;
         assert_eq!(win.len(), t * n, "window size mismatch");
-        let mt = temporal_mask(
+        let mt = temporal_mask_patched(
             win,
             t,
             n,
-            self.cfg.masked_time_steps(),
+            self.cfg.patch_len,
+            self.cfg.masked_tokens(),
             self.cfg.cv_window,
             self.cfg.temporal_mask,
             self.cfg.use_fft_cv,
@@ -155,13 +185,33 @@ impl TfmaeModel {
         let b = batch.b;
         let x = g.constant(batch.values.clone(), vec![b, t, n]);
 
-        let p = self.cfg.use_temporal_branch.then(|| self.temporal_branch(ctx, x, batch));
+        let p_tokens = self.cfg.use_temporal_branch.then(|| self.temporal_branch(ctx, x, batch));
+        let p = p_tokens.map(|tok| self.expand_tokens_to_rows(ctx, tok, b));
         let ff = self.cfg.use_frequency_branch.then(|| self.frequency_branch(ctx, batch));
         let (f, f_time) = match ff {
             Some((f, ft)) => (Some(f), Some(ft)),
             None => (None, None),
         };
-        BranchOutputs { p, f, f_time, x }
+        BranchOutputs { p, p_tokens, f, f_time, x }
+    }
+
+    /// `[B, T/P, D] → [B, T, D]`: replicates each token representation
+    /// across its `P` member rows (row `t` reads token `t / P`), so the
+    /// contrastive objective and Eq. 16 stay per-observation. Identity at
+    /// `patch_len = 1` — no tape node is added, preserving the legacy op
+    /// sequence bitwise. Gradients scatter-add back, so each token
+    /// accumulates its rows' contributions exactly.
+    fn expand_tokens_to_rows(&self, ctx: &Ctx, tokens: Var, b: usize) -> Var {
+        let p = self.cfg.patch_len;
+        if p == 1 {
+            return tokens;
+        }
+        let t = self.cfg.win_len;
+        let mut idx = Vec::with_capacity(b * t);
+        for _ in 0..b {
+            idx.extend((0..t).map(|row| row / p));
+        }
+        ctx.g.gather_rows(tokens, &idx, t)
     }
 
     fn posenc_for(&self, g: &Graph, b: usize, positions_per_window: &[Vec<usize>], d: usize) -> Var {
@@ -169,14 +219,26 @@ impl TfmaeModel {
         let mut data = Vec::with_capacity(b * k * d);
         for pos in positions_per_window {
             debug_assert_eq!(pos.len(), k);
-            // Gather rows from the precomputed `self.posenc` table (identical
-            // values to `encoding_for_positions`, without re-deriving the
-            // powf/sin/cos per element on every batch).
+            // Gather rows from the precomputed `self.posenc_t` token table
+            // (identical values to `encoding_for_positions`, without
+            // re-deriving the powf/sin/cos per element on every batch).
             for &t in pos {
-                data.extend_from_slice(&self.posenc[t * d..(t + 1) * d]);
+                data.extend_from_slice(&self.posenc_t[t * d..(t + 1) * d]);
             }
         }
         g.constant(data, vec![b, k, d])
+    }
+
+    /// Full positional table over the temporal branch's `T/P` token
+    /// positions (equals [`TfmaeModel::full_posenc`] when `patch_len = 1`).
+    fn full_posenc_t(&self, g: &Graph, b: usize) -> Var {
+        let tokens = self.cfg.num_patch_tokens();
+        let d = self.cfg.d_model;
+        let mut data = Vec::with_capacity(b * tokens * d);
+        for _ in 0..b {
+            data.extend_from_slice(&self.posenc_t);
+        }
+        g.constant(data, vec![b, tokens, d])
     }
 
     fn full_posenc(&self, g: &Graph, b: usize) -> Var {
@@ -189,20 +251,23 @@ impl TfmaeModel {
         g.constant(data, vec![b, t, d])
     }
 
-    /// The temporal masked autoencoder (right of Fig. 5): encode unmasked
-    /// tokens, re-insert learnable mask tokens at their original positions,
-    /// decode the full sequence.
+    /// The temporal masked autoencoder (right of Fig. 5): patchify, encode
+    /// unmasked patch tokens, re-insert learnable mask tokens at their
+    /// original token positions, decode the full token sequence. Returns
+    /// `[B, T/P, D]`; at `patch_len = 1` the op sequence is exactly the
+    /// pre-patch row-level branch (patchify is a no-op and `T/P = T`).
     fn temporal_branch(&self, ctx: &Ctx, x: Var, batch: &BatchInputs) -> Var {
         let g = ctx.g;
-        let t = self.cfg.win_len;
+        let t = self.cfg.num_patch_tokens();
         let d = self.cfg.d_model;
         let b = batch.b;
         let i_t = batch.masks_t[0].masked.len();
+        let x = self.patch.patchify(ctx, x);
 
         if i_t == 0 {
             // No masking: the branch degenerates to a plain encoder-decoder.
-            let u = self.t_proj.forward_3d(ctx, x);
-            let u = g.add(u, self.full_posenc(g, b));
+            let u = self.patch.proj.forward_3d(ctx, x);
+            let u = g.add(u, self.full_posenc_t(g, b));
             let enc = if self.cfg.temporal_encoder { self.t_encoder.forward(ctx, u) } else { u };
             return if self.cfg.temporal_decoder { self.t_decoder.forward(ctx, enc) } else { enc };
         }
@@ -222,7 +287,7 @@ impl TfmaeModel {
 
         // Unmasked path: gather → project → +PE → encoder (Eq. 3 top).
         let u_raw = g.gather_rows(x, &un_idx, k_un);
-        let u = self.t_proj.forward_3d(ctx, u_raw);
+        let u = self.patch.proj.forward_3d(ctx, u_raw);
         let u = g.add(u, self.posenc_for(g, b, &un_pos, d));
         let enc = if self.cfg.temporal_encoder { self.t_encoder.forward(ctx, u) } else { u };
 
@@ -232,7 +297,7 @@ impl TfmaeModel {
         let tokens = g.broadcast_to(token, &[b, i_t, d]);
         let tokens = g.add(tokens, self.posenc_for(g, b, &m_pos, d));
 
-        // Interleave both back onto the timeline and decode.
+        // Interleave both back onto the token timeline and decode.
         let full = g.add(g.scatter_rows(enc, &un_idx, t), g.scatter_rows(tokens, &m_idx, t));
         if self.cfg.temporal_decoder {
             self.t_decoder.forward(ctx, full)
@@ -282,8 +347,12 @@ impl TfmaeModel {
                 // *recover* the input from their purified views (the
                 // "recovering masked observations/patterns" of Fig. 5).
                 // Without this term Eq. 15 is degenerate — nothing ties the
-                // representations to the data (DESIGN.md §3).
-                let rec_t = g.mse(self.recon_t.forward_3d(ctx, p), out.x);
+                // representations to the data (DESIGN.md §3). The temporal
+                // head reconstructs raw patch content from token
+                // representations (`[B,T/P,D] → [B,T,N]`), so the MSE is
+                // against the same `[B,T,N]` target at every patch_len.
+                let p_tok = out.p_tokens.expect("p_tokens accompanies p");
+                let rec_t = g.mse(self.patch.reconstruct(ctx, p_tok), out.x);
                 let rec_f = g.mse(self.recon_f.forward_3d(ctx, f), out.x);
                 let ground = g.scale(g.add(rec_t, rec_f), self.cfg.recon_weight);
 
@@ -309,8 +378,9 @@ impl TfmaeModel {
                 g.add(ground, g.scale(contrastive, self.cfg.contrastive_weight))
             }
             // Single-view ablations fall back to masked reconstruction.
-            (Some(p), None) => {
-                let rec = self.recon_t.forward_3d(ctx, p);
+            (Some(_), None) => {
+                let p_tok = out.p_tokens.expect("p_tokens accompanies p");
+                let rec = self.patch.reconstruct(ctx, p_tok);
                 g.mse(rec, out.x)
             }
             (None, Some(f)) => {
@@ -344,8 +414,12 @@ impl TfmaeModel {
                 // itself. The latter retains observation anomalies and
                 // drops pattern anomalies by construction, so disagreement
                 // marks exactly the paper's "normal-recovered vs
-                // original-abnormal" pairs.
-                let rt = self.recon_t.forward_3d(ctx, p);
+                // original-abnormal" pairs. The per-patch head folds token
+                // representations back to `[B,T,N]` rows, so the score
+                // stays per-observation at every patch_len (Eq. 17
+                // calibration unchanged).
+                let p_tok = out.p_tokens.expect("p_tokens accompanies p");
+                let rt = self.patch.reconstruct(ctx, p_tok);
                 let target = out.f_time.expect("frequency branch provides f_time");
                 // Max over channels rather than mean: a single-channel
                 // anomaly must not be diluted by N−1 well-aligned channels
@@ -358,8 +432,9 @@ impl TfmaeModel {
                     .collect();
                 (kl, dual)
             }
-            (Some(p), None) => {
-                let rec = self.recon_t.forward_3d(ctx, p);
+            (Some(_), None) => {
+                let p_tok = out.p_tokens.expect("p_tokens accompanies p");
+                let rec = self.patch.reconstruct(ctx, p_tok);
                 let err = g.square(g.sub(rec, out.x));
                 let e = g.value(g.mean_last(err, false));
                 (e.clone(), e)
@@ -535,6 +610,53 @@ mod tests {
             let ctx = Ctx::eval(&g, &m.ps);
             let out = m.forward(&ctx, &batch);
             assert_eq!(g.shape(out.p.unwrap()), vec![1, 32, 16]);
+        }
+    }
+
+    #[test]
+    fn patched_forward_keeps_row_level_scores() {
+        // P = 4 on the tiny config: 8 tokens, but p/f/scores stay [B, T, ·].
+        let cfg = TfmaeConfig { patch_len: 4, ..TfmaeConfig::tiny() };
+        let mut m = TfmaeModel::new(cfg, 3);
+        let batch = toy_batch(&m, 2, 9);
+        assert!(batch.masks_t[0].masked.iter().all(|&i| i < 8), "token-level mask");
+        assert_eq!(batch.masks_t[0].masked.len(), 2); // ⌊8 · 0.25⌋
+        let g = Graph::new();
+        let ctx = Ctx::train(&g, &m.ps, 0);
+        let out = m.forward(&ctx, &batch);
+        assert_eq!(g.shape(out.p_tokens.unwrap()), vec![2, 8, 16]);
+        assert_eq!(g.shape(out.p.unwrap()), vec![2, 32, 16]);
+        assert_eq!(g.shape(out.f.unwrap()), vec![2, 32, 16]);
+        let scores = m.anomaly_scores(&ctx, &out);
+        assert_eq!(scores.len(), 2 * 32);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        let loss = m.training_loss(&ctx, &out);
+        assert!(g.scalar_value(loss).is_finite());
+        g.backward_params(loss, &mut m.ps);
+        assert!(m.ps.grad_norm() > 0.0 && m.ps.grad_norm().is_finite());
+        // The patch projection must have patched shapes registered.
+        assert_eq!(m.ps.get(m.patch.proj.w).shape, vec![3 * 4, 16]);
+        assert_eq!(m.ps.get(m.patch.recon.w).shape, vec![16, 3 * 4]);
+    }
+
+    #[test]
+    fn patched_single_branch_ablations_run() {
+        for (tem, fre) in [(true, false), (false, true)] {
+            let cfg = TfmaeConfig {
+                patch_len: 8,
+                use_temporal_branch: tem,
+                use_frequency_branch: fre,
+                ..TfmaeConfig::tiny()
+            };
+            let mut m = TfmaeModel::new(cfg, 2);
+            let batch = toy_batch(&m, 2, 10);
+            let g = Graph::new();
+            let ctx = Ctx::train(&g, &m.ps, 0);
+            let out = m.forward(&ctx, &batch);
+            let loss = m.training_loss(&ctx, &out);
+            assert!(g.scalar_value(loss).is_finite());
+            assert_eq!(m.anomaly_scores(&ctx, &out).len(), 2 * 32);
+            g.backward_params(loss, &mut m.ps);
         }
     }
 

@@ -47,7 +47,8 @@ use crate::config::{ScoreKind, TemporalMaskKind, TfmaeConfig};
 use crate::detector::TfmaeDetector;
 use crate::masking::frequency::{frequency_mask_from_spectra, FrequencyMaskData};
 use crate::masking::temporal::{
-    cv_statistic, std_statistic, temporal_mask, temporal_mask_from_stat, TemporalMask,
+    cv_statistic, fold_stat_to_patches, std_statistic, temporal_mask_from_stat,
+    temporal_mask_patched, TemporalMask,
 };
 use crate::model::combine_scores;
 use crate::stream::{DataQuality, DegradedModeConfig, StreamHealth, StreamMode, StreamVerdict};
@@ -617,8 +618,13 @@ impl ServingEngine {
             let b = chunk.len();
             static BATCHES: LazyCounter = LazyCounter::new("serve.batches");
             static BATCH_WINDOWS: LazyHistogram = LazyHistogram::new("serve.batch_windows");
+            // Temporal tokens attended per scored window (win_len/patch_len):
+            // makes the patch-tokenization reduction visible in /metrics next
+            // to `serve.windows` (tokens/windows = T/P).
+            static PATCH_TOKENS: LazyCounter = LazyCounter::new("serve.patch_tokens");
             BATCHES.inc();
             BATCH_WINDOWS.record(b as u64);
+            PATCH_TOKENS.add((b * self.det.cfg.num_patch_tokens()) as u64);
             let mut values = Vec::with_capacity(b * t * n);
             let mut masks_t = Vec::with_capacity(b);
             let mut masks_f = Vec::with_capacity(b);
@@ -769,7 +775,7 @@ fn incremental_masks(
 ) -> (TemporalMask, FrequencyMaskData) {
     let win_len = cfg.win_len;
     let w = cfg.cv_window;
-    let i_t = cfg.masked_time_steps();
+    let i_t = cfg.masked_tokens();
 
     let mask_t = match cfg.temporal_mask {
         TemporalMaskKind::Cv | TemporalMaskKind::Std => {
@@ -794,14 +800,21 @@ fn incremental_masks(
                     })
                     .collect()
             };
-            temporal_mask_from_stat(&stat, i_t)
+            // The incremental per-row statistic (ring + rolling stats)
+            // stays at row resolution regardless of patch_len; only the
+            // selection step folds it to patch tokens, exactly like the
+            // batch path — so at patch_len = 1 this line is the legacy
+            // selection bit for bit, and at patch_len > 1 the sliding
+            // state machinery needs no patch awareness at all.
+            temporal_mask_from_stat(&fold_stat_to_patches(&stat, cfg.patch_len), i_t)
         }
         // Random consumes the rng; None masks nothing. Neither reads the
         // incremental statistic.
-        TemporalMaskKind::Random | TemporalMaskKind::None => temporal_mask(
+        TemporalMaskKind::Random | TemporalMaskKind::None => temporal_mask_patched(
             values,
             win_len,
             dims,
+            cfg.patch_len,
             i_t,
             w,
             cfg.temporal_mask,

@@ -113,6 +113,121 @@ fn scoring_reuses_the_training_arena() {
 }
 
 #[test]
+fn legacy_config_json_fit_is_bitwise_identical_to_explicit_patch_len_one() {
+    // A config serialized before the patch-tokenization refactor has no
+    // `patch_len` field; loading it and fitting must reproduce an explicit
+    // `patch_len = 1` run bit for bit (losses and scores).
+    let explicit = TfmaeConfig { epochs: 2, ..TfmaeConfig::tiny() };
+    assert_eq!(explicit.patch_len, 1);
+    let json = serde_json::to_string(&explicit)
+        .expect("serialize")
+        .replace(",\"patch_len\":1", "")
+        .replace("\"patch_len\":1,", "");
+    assert!(!json.contains("patch_len"), "field must be stripped: {json}");
+    let legacy: TfmaeConfig = serde_json::from_str(&json).expect("legacy JSON must parse");
+    let legacy = legacy.normalized();
+    assert_eq!(legacy.patch_len, 1);
+
+    let train = series(256, 11);
+    let val = series(64, 12);
+    let test = series(96, 13);
+    let run = |cfg: TfmaeConfig| -> (Vec<f32>, Vec<f32>) {
+        let mut det = TfmaeDetector::new(cfg);
+        det.fit(&train, &val);
+        let scores = det.score(&test);
+        (det.loss_curve.clone(), scores)
+    };
+    let (l_explicit, s_explicit) = run(explicit);
+    let (l_legacy, s_legacy) = run(legacy);
+    let exact =
+        |a: &[f32], b: &[f32]| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(!l_explicit.is_empty() && l_explicit.len() == l_legacy.len());
+    assert!(exact(&l_explicit, &l_legacy), "loss trajectories must be bitwise identical");
+    assert!(exact(&s_explicit, &s_legacy), "scores must be bitwise identical");
+}
+
+#[test]
+fn patch_len_one_keeps_the_legacy_parameter_layout() {
+    // The PatchEmbed pieces are registered in their historical positions so
+    // that both the RNG draw sequence and the checkpoint parameter layout
+    // are unchanged at P = 1 — and identical (up to proj/recon shapes) at
+    // any P. Pin the interleaved order at both ends of the store.
+    let cfg = TfmaeConfig::tiny();
+    let n = 2;
+    let legacy = tfmae_core::TfmaeModel::new(cfg.clone(), n);
+    let names: Vec<&str> = legacy.ps.params().iter().map(|p| p.name.as_str()).collect();
+    assert_eq!(
+        &names[..7],
+        &[
+            "temporal.proj.w",
+            "temporal.proj.b",
+            "frequency.proj.w",
+            "frequency.proj.b",
+            "temporal.mask_token",
+            "frequency.m_re",
+            "frequency.m_im",
+        ],
+        "head of the parameter layout changed"
+    );
+    assert_eq!(
+        &names[names.len() - 4..],
+        &["temporal.recon.w", "temporal.recon.b", "frequency.recon.w", "frequency.recon.b"],
+        "tail of the parameter layout changed"
+    );
+    let shape_of = |name: &str| {
+        legacy.ps.params().iter().find(|p| p.name == name).expect(name).shape.clone()
+    };
+    assert_eq!(shape_of("temporal.proj.w"), vec![n, cfg.d_model]);
+    assert_eq!(shape_of("temporal.recon.w"), vec![cfg.d_model, n]);
+
+    // A patched model keeps the exact same names in the exact same order —
+    // only the patch projection/reconstruction shapes widen to P·N.
+    let p = 4;
+    let patched =
+        tfmae_core::TfmaeModel::new(TfmaeConfig { patch_len: p, ..cfg.clone() }, n);
+    let patched_names: Vec<&str> =
+        patched.ps.params().iter().map(|pa| pa.name.as_str()).collect();
+    assert_eq!(names, patched_names, "patching must not change the parameter layout");
+    let pshape = |name: &str| {
+        patched.ps.params().iter().find(|pa| pa.name == name).expect(name).shape.clone()
+    };
+    assert_eq!(pshape("temporal.proj.w"), vec![p * n, cfg.d_model]);
+    assert_eq!(pshape("temporal.recon.w"), vec![cfg.d_model, p * n]);
+}
+
+#[test]
+fn patched_training_is_bitwise_identical_across_thread_counts() {
+    // The determinism contract holds at P > 1 too: gather/reshape kernels
+    // shard by output row like everything else.
+    let train = series(256, 14);
+    let val = series(64, 15);
+    let test = series(96, 16);
+    let run = |threads: usize| -> (Vec<f32>, Vec<f32>) {
+        let mut det = TfmaeDetector::new(TfmaeConfig {
+            epochs: 2,
+            patch_len: 4,
+            ..TfmaeConfig::tiny()
+        });
+        det.set_executor(Arc::new(if threads <= 1 {
+            Executor::serial()
+        } else {
+            Executor::with_threads(threads)
+        }));
+        det.fit(&train, &val);
+        let scores = det.score(&test);
+        (det.loss_curve.clone(), scores)
+    };
+    let (serial_losses, serial_scores) = run(1);
+    assert!(!serial_losses.is_empty());
+    let (losses, scores) = run(4);
+    let exact =
+        |a: &[f32], b: &[f32]| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+    assert_eq!(serial_losses.len(), losses.len());
+    assert!(exact(&serial_losses, &losses), "patched loss trajectory diverged");
+    assert!(exact(&serial_scores, &scores), "patched scores diverged");
+}
+
+#[test]
 fn train_report_carries_exec_stats() {
     let train = series(256, 9);
     let val = series(64, 10);

@@ -144,6 +144,127 @@ fn refresh_every_one_is_always_bitwise() {
     }
 }
 
+fn fitted_patched(patch_len: usize) -> TfmaeDetector {
+    let train = series(512, 1);
+    let mut det =
+        TfmaeDetector::new(TfmaeConfig { epochs: 4, patch_len, ..TfmaeConfig::tiny() });
+    det.fit(&train, &train);
+    det
+}
+
+#[test]
+fn patched_incremental_tracks_from_scratch() {
+    // Same contract as the unpatched suite, at P = 4: rolling statistics
+    // stay at row resolution and are folded to patch tokens only at mask
+    // selection, so the incremental path must match from-scratch bitwise on
+    // refresh hops and within 1e-5 between them.
+    let det = fitted_patched(4);
+    let win = det.cfg.win_len;
+    let data = series(win + 40, 142);
+    let mut inc_cfg = ServingConfig::new(f32::MAX, 2);
+    inc_cfg.refresh_every = 4;
+    let mut scratch_cfg = inc_cfg.clone();
+    scratch_cfg.incremental = false;
+
+    let inc = run_engine(replicate(&det), inc_cfg, &data);
+    let scratch = run_engine(det, scratch_cfg, &data);
+    assert_eq!(inc.len(), scratch.len());
+    assert!(inc.len() >= 20);
+    for (a, b) in inc.iter().zip(scratch.iter()) {
+        assert_eq!(a.t, b.t);
+        assert!(
+            (a.score - b.score).abs() <= 1e-5,
+            "t={}: patched incremental {} vs from-scratch {}",
+            a.t,
+            a.score,
+            b.score
+        );
+    }
+}
+
+#[test]
+fn patched_refresh_every_one_is_always_bitwise() {
+    let det = fitted_patched(4);
+    let win = det.cfg.win_len;
+    let data = series(win + 24, 143);
+    let mut inc_cfg = ServingConfig::new(f32::MAX, 3);
+    inc_cfg.refresh_every = 1;
+    let mut scratch_cfg = inc_cfg.clone();
+    scratch_cfg.incremental = false;
+
+    let inc = run_engine(replicate(&det), inc_cfg, &data);
+    let scratch = run_engine(det, scratch_cfg, &data);
+    assert_eq!(inc.len(), scratch.len());
+    assert!(!inc.is_empty());
+    for (a, b) in inc.iter().zip(scratch.iter()) {
+        assert_eq!(a.score, b.score, "t={}", a.t);
+    }
+}
+
+#[test]
+fn patched_batched_multi_stream_agrees_with_solo() {
+    let det = fitted_patched(4);
+    let win = det.cfg.win_len;
+    let n_streams = 4;
+    let len = win * 2 + 12;
+    let datas: Vec<TimeSeries> =
+        (0..n_streams).map(|sid| series(len, 300 + sid as u64)).collect();
+
+    let mut solo: Vec<Vec<StreamVerdict>> = Vec::new();
+    for data in &datas {
+        solo.push(run_engine(replicate(&det), ServingConfig::new(f32::MAX, 3), data));
+    }
+
+    let mut cfg = ServingConfig::new(f32::MAX, 3);
+    cfg.max_batch = Some(det.cfg.batch);
+    let mut eng = ServingEngine::new(det, cfg);
+    let ids: Vec<usize> = (0..n_streams).map(|_| eng.add_stream()).collect();
+    let mut batched: Vec<Vec<StreamVerdict>> = vec![Vec::new(); n_streams];
+    for t in 0..len {
+        let rows: Vec<(usize, &[f32])> =
+            ids.iter().map(|&id| (id, datas[id].row(t))).collect();
+        for v in eng.tick(&rows) {
+            batched[v.stream].push(v.verdict);
+        }
+    }
+
+    for sid in 0..n_streams {
+        assert_eq!(solo[sid].len(), batched[sid].len(), "stream {sid}");
+        assert!(!solo[sid].is_empty());
+        for (a, b) in solo[sid].iter().zip(batched[sid].iter()) {
+            assert_eq!(a.t, b.t);
+            assert!(
+                (a.score - b.score).abs() < 1e-4,
+                "stream {sid} t={}: batched {} vs solo {}",
+                a.t,
+                b.score,
+                a.score
+            );
+        }
+    }
+}
+
+#[test]
+fn patched_checkpoint_roundtrip_preserves_serving_verdicts() {
+    // `replicate` goes through the v2 envelope, which at P > 1 carries the
+    // CRC-covered patch section; the restored engine must serve identical
+    // verdict bits.
+    let det = fitted_patched(8);
+    let win = det.cfg.win_len;
+    let data = series(win * 2 + 8, 144);
+    let cfg = ServingConfig::new(f32::MAX, 4);
+
+    let restored = replicate(&det);
+    assert_eq!(restored.cfg.patch_len, 8);
+    let original = run_engine(det, cfg.clone(), &data);
+    let roundtripped = run_engine(restored, cfg, &data);
+    assert_eq!(original.len(), roundtripped.len());
+    assert!(!original.is_empty());
+    for (a, b) in original.iter().zip(roundtripped.iter()) {
+        assert_eq!(a, b, "checkpoint roundtrip must preserve patched verdict bits");
+    }
+}
+
 #[test]
 fn wrapper_is_bitwise_identical_to_single_stream_engine() {
     let det = fitted();

@@ -37,6 +37,7 @@ pub mod gru;
 pub mod init;
 pub mod linear;
 pub mod norm;
+pub mod patch;
 pub mod positional;
 pub mod transformer;
 
@@ -48,5 +49,6 @@ pub use feedforward::{Activation, FeedForward};
 pub use gru::Gru;
 pub use linear::Linear;
 pub use norm::LayerNorm;
+pub use patch::PatchEmbed;
 pub use positional::{encoding_at, encoding_for_positions, encoding_table};
 pub use transformer::{TransformerConfig, TransformerLayer, TransformerStack};

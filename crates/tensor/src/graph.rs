@@ -551,7 +551,12 @@ impl Graph {
             (value, vec![bsz, tq, d], nq.needs_grad || nk.needs_grad || nv.needs_grad)
         };
         static FUSED_ATTENTION: LazyCounter = LazyCounter::new("tensor.fused.attention");
+        // Query rows per dispatch: with patch tokenization the sequence
+        // length shrinks by patch_len, so rows/dispatches in /metrics shows
+        // the token-count reduction directly.
+        static FUSED_ATTENTION_ROWS: LazyCounter = LazyCounter::new("tensor.fused.attention_rows");
         FUSED_ATTENTION.inc();
+        FUSED_ATTENTION_ROWS.add((out_shape[0] * out_shape[1]) as u64);
         self.push(value, out_shape, Op::Attention { q: q.id, k: k.id, v: v.id, scale }, needs)
     }
 
