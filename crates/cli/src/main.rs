@@ -12,7 +12,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tfmae_core::{
-    AdaptationConfig, FinetuneConfig, ServingConfig, ServingEngine, TfmaeConfig, TfmaeDetector,
+    AdaptationConfig, FinetuneConfig, Precision, QuantStore, ServingConfig, ServingEngine,
+    TfmaeConfig, TfmaeDetector,
 };
 use tfmae_data::{
     generate, read_csv, read_csv_lenient, write_csv, DatasetKind, Detector, TimeSeries,
@@ -29,8 +30,10 @@ USAGE:
                  [--patch-len N] [--seed N]
   tfmae score    --model FILE.json --input FILE.csv --out FILE.csv [--lenient]
   tfmae evaluate --model FILE.json --input FILE.csv (--ratio F | --val FILE.csv --ratio F) [--lenient]
+  tfmae quantize --model FILE.json --out OUT.json [--precision <bf16|int8>]
   tfmae serve    --model FILE.json --input FILE.csv [--input FILE.csv ...]
                  (--threshold F | --val FILE.csv [--ratio F]) [--hop N]
+                 [--precision <f32|bf16|int8>]
                  [--refresh-every N] [--from-scratch] [--out-dir DIR] [--lenient]
                  [--metrics-out FILE.json] [--metrics-prom FILE.prom]
                  [--adapt] [--adapt-ratio F] [--adapt-every N] [--adapt-min-samples N]
@@ -57,6 +60,16 @@ model); --refresh-every tunes its exact re-seed cadence (default 64 hops).
 ~P²x, scores stay per-observation, and the frequency branch is untouched.
 Must divide --win; the default 1 reproduces the unpatched model exactly.
 `score`/`evaluate`/`serve` pick the patch length up from the checkpoint.
+
+`quantize` rewrites an f32 checkpoint with a quant section recording the
+requested serving precision (default bf16) plus per-parameter integrity CRCs;
+the f32 payload is untouched, so legacy loaders and `--precision f32` still
+see bitwise-identical scoring. `serve --precision` picks the weight precision
+for inference (bf16 halves, int8 quarters, resident weight bytes; f32
+accumulation throughout). Without the flag, serve applies the checkpoint's
+stored precision, if any; `--precision f32` overrides a stored one and serves
+the exact f32 model. Quantized serving releases the f32 weights, so
+--adapt-finetune is disabled for it (threshold recalibration still runs).
 
 --adapt turns on drift adaptation (default off; without it verdicts are
 bitwise identical to the frozen engine): δ is recalibrated to the (1 − r)
@@ -349,6 +362,42 @@ fn cmd_evaluate(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+fn parse_precision(v: &str) -> Result<Precision, CliError> {
+    Precision::parse(v).map_err(CliError::Usage)
+}
+
+fn cmd_quantize(args: &Args) -> Result<(), CliError> {
+    let precision = match args.get("precision") {
+        None => Precision::Bf16,
+        Some(v) => match parse_precision(v)? {
+            Precision::F32 => {
+                return Err(CliError::Usage(
+                    "quantize needs --precision bf16 or int8 (f32 is the input format)".into(),
+                ))
+            }
+            p => p,
+        },
+    };
+    let det = load_model(args)?;
+    let out = args.require("out")?;
+    det.save_quantized(out, precision)
+        .map_err(|e| CliError::Checkpoint(format!("{out}: {e}")))?;
+    // Report the sizes from the same deterministic quantization the save
+    // just performed; the model is guaranteed fitted by a successful save.
+    let model = det.model().ok_or_else(|| CliError::Internal("unfitted after save".into()))?;
+    let qs = QuantStore::from_params(&model.ps, precision);
+    println!(
+        "wrote {precision} checkpoint to {out}: {} weight panels, {:.1} KiB quantized \
+         (f32 equivalent {:.1} KiB, {:.2}x smaller at serve time)",
+        qs.num_params(),
+        qs.bytes() as f64 / 1024.0,
+        qs.f32_bytes() as f64 / 1024.0,
+        qs.f32_bytes() as f64 / qs.bytes().max(1) as f64,
+    );
+    println!("serve it with: tfmae serve --model {out} ... (stored precision applies; override with --precision)");
+    Ok(())
+}
+
 /// Scored ticks between periodic metrics-file rewrites during a replay.
 const METRICS_FLUSH_EVERY: u64 = 256;
 
@@ -422,15 +471,31 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     };
 
     let lenient = args.has("lenient");
-    // With --adapt, read the optional adaptive section of a v2 checkpoint so
-    // a --adapt-save'd model resumes δ and the rollback backoff seamlessly.
-    let (det, resumed) = if adapt_on {
-        let path = args.require("model")?;
-        TfmaeDetector::load_with_adaptive(path)
-            .map_err(|e| CliError::Checkpoint(format!("{path}: {e}")))?
-    } else {
-        (load_model(args)?, None)
+    // The full parse reads the optional adaptive section (so a --adapt-save'd
+    // model resumes δ and the rollback backoff seamlessly) and the quant
+    // section's stored precision. Neither is applied yet: the detector is
+    // still the exact f32 model, so threshold calibration below is identical
+    // across precisions.
+    let path = args.require("model")?;
+    let (det, resumed, stored_precision) = TfmaeDetector::load_full(path)
+        .map_err(|e| CliError::Checkpoint(format!("{path}: {e}")))?;
+    let resumed = if adapt_on { resumed } else { None };
+    let precision = match args.get("precision") {
+        Some(v) => parse_precision(v)?,
+        None => stored_precision.unwrap_or(Precision::F32),
     };
+    if precision != Precision::F32 && args.has("adapt-finetune") {
+        eprintln!(
+            "warning: --precision {precision} releases the f32 weights; background \
+             fine-tuning is disabled (threshold recalibration still runs)"
+        );
+    }
+    if precision != Precision::F32 && adapt_save.is_some() {
+        return Err(CliError::Usage(format!(
+            "--adapt-save cannot checkpoint a {precision} engine (the f32 weights are \
+             released); serve with --precision f32 to save an adapted model"
+        )));
+    }
     let inputs = args.get_all("input");
     if inputs.is_empty() {
         return Err(CliError::Usage("serve requires at least one --input".into()));
@@ -470,6 +535,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let mut cfg = ServingConfig::new(threshold, hop);
     cfg.refresh_every = refresh_every.max(1);
     cfg.incremental = !args.has("from-scratch");
+    cfg.precision = precision;
     let incremental = cfg.incremental;
     let mut engine = ServingEngine::new(det, cfg);
     if adapt_on {
@@ -551,7 +617,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let ticks = tick_hist.snapshot();
     println!(
         "served {} stream(s): {total_rows} rows, {total_verdicts} verdicts, {anomalies} anomalies \
-         (threshold δ = {threshold:.6}, hop {hop}, {})",
+         (threshold δ = {threshold:.6}, hop {hop}, precision {precision}, {})",
         streams_data.len(),
         if incremental { format!("incremental, refresh every {refresh_every}") } else { "from-scratch masking".to_string() },
     );
@@ -644,6 +710,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "score" => cmd_score(&args),
         "evaluate" => cmd_evaluate(&args),
+        "quantize" => cmd_quantize(&args),
         "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());

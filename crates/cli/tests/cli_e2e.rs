@@ -99,6 +99,91 @@ fn full_pipeline_simulate_train_score_evaluate() {
 }
 
 #[test]
+fn quantize_then_serve_matches_f32_verdicts() {
+    let dir = tmpdir("quantize");
+    let data = dir.join("data");
+    let model = dir.join("model.json");
+
+    let out = bin()
+        .args(["simulate", "--dataset", "global", "--divisor", "300", "--out-dir"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["train", "--epochs", "2", "--win", "32", "--d-model", "16", "--layers", "1"])
+        .arg("--train")
+        .arg(data.join("train.csv"))
+        .arg("--val")
+        .arg(data.join("val.csv"))
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // `--precision f32` is rejected: quantize's whole point is a non-f32 section.
+    let out = bin()
+        .args(["quantize", "--precision", "f32", "--out", "x.json", "--model"])
+        .arg(&model)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let qmodel = dir.join("model.bf16.json");
+    let out = bin()
+        .args(["quantize", "--model"])
+        .arg(&model)
+        .arg("--out")
+        .arg(&qmodel)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "quantize failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bf16 checkpoint"), "unexpected output: {text}");
+
+    // One serve per precision path: plain f32 model, quantized model with
+    // its stored precision, quantized model overridden back to f32.
+    let serve = |model: &PathBuf, extra: &[&str], out_dir: &PathBuf| {
+        let out = bin()
+            .args(["serve", "--hop", "8", "--model"])
+            .arg(model)
+            .arg("--input")
+            .arg(data.join("test.csv"))
+            .arg("--val")
+            .arg(data.join("val.csv"))
+            .args(extra)
+            .arg("--out-dir")
+            .arg(out_dir)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let f32_text = serve(&model, &[], &dir.join("f32"));
+    let bf16_text = serve(&qmodel, &[], &dir.join("bf16"));
+    let override_text = serve(&qmodel, &["--precision", "f32"], &dir.join("override"));
+    assert!(f32_text.contains("precision f32"), "{f32_text}");
+    assert!(bf16_text.contains("precision bf16"), "stored precision must apply: {bf16_text}");
+    assert!(override_text.contains("precision f32"), "{override_text}");
+
+    // The f32 override of a quantized checkpoint is bitwise identical to the
+    // plain f32 model; bf16 flips no verdicts on this tiny run.
+    let read = |d: &PathBuf| std::fs::read_to_string(d.join("stream_0.csv")).unwrap();
+    assert_eq!(read(&dir.join("f32")), read(&dir.join("override")));
+    let verdicts = |s: &str| -> Vec<String> {
+        s.lines().skip(1).map(|l| l.split(',').nth(2).unwrap().to_string()).collect()
+    };
+    let a = verdicts(&read(&dir.join("f32")));
+    let b = verdicts(&read(&dir.join("bf16")));
+    assert_eq!(a.len(), b.len());
+    let flips = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+    assert!(flips <= a.len() / 100, "bf16 flipped {flips}/{} verdicts", a.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn score_with_wrong_channel_count_fails_cleanly() {
     let dir = tmpdir("dims");
     let data = dir.join("data");

@@ -15,7 +15,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 use tfmae_data::ZScore;
-use tfmae_tensor::ParamStore;
+use tfmae_tensor::{ParamStore, Precision, QuantStore};
 
 use crate::adapt::AdaptiveSnapshot;
 use crate::config::TfmaeConfig;
@@ -65,6 +65,18 @@ struct Envelope {
     /// CRC already protects everything that matters).
     #[serde(default)]
     patch: Option<PatchSection>,
+    /// Optional quantization section, written by
+    /// [`TfmaeDetector::save_quantized`]: CRC-covered [`QuantMeta`]
+    /// recording the serving precision plus, per 2-D weight, the CRC of its
+    /// packed bytes and the parity bound measured at quantization time.
+    /// The section holds **metadata only** — quantization is deterministic,
+    /// so loaders re-quantize the f32 payload and check the result bitwise
+    /// against these CRCs. Unlike the adaptive/patch sections, a damaged or
+    /// disagreeing quant section is a **hard**
+    /// [`CheckpointError::Corrupt`]: serving at the wrong weights is
+    /// exactly the silent poisoning the envelope exists to prevent.
+    #[serde(default)]
+    quant: Option<QuantSection>,
 }
 
 /// Patch-tokenization metadata stored in the envelope's patch section.
@@ -91,6 +103,103 @@ struct PatchSection {
 struct AdaptiveSection {
     crc32: u32,
     payload: String,
+}
+
+/// Quantization metadata stored in the envelope's quant section (see
+/// [`TfmaeDetector::save_quantized`]). The packed weights themselves are
+/// never stored: re-quantizing the f32 payload reproduces them bit for bit,
+/// and the per-parameter CRCs here prove it did.
+#[derive(Clone, Serialize, Deserialize, PartialEq, Debug)]
+pub struct QuantMeta {
+    /// Serving precision the checkpoint was quantized for (never `F32`).
+    pub precision: Precision,
+    /// One entry per quantized (2-D) parameter, in registration order.
+    pub params: Vec<QuantParamMeta>,
+    /// Total packed bytes across all entries.
+    pub quant_bytes: usize,
+    /// f32 bytes the packed copies replace.
+    pub f32_bytes: usize,
+}
+
+/// One quantized parameter's fingerprint inside [`QuantMeta`].
+#[derive(Clone, Serialize, Deserialize, PartialEq, Debug)]
+pub struct QuantParamMeta {
+    /// Parameter name (mirrors the `ParamStore` entry).
+    pub name: String,
+    /// Weight shape `[in_dim, out_dim]`.
+    pub shape: Vec<usize>,
+    /// CRC-32 of the canonical packed-byte serialization
+    /// (`QuantParam::encoded_bytes`).
+    pub crc32: u32,
+    /// Per-layer parity bound `max |dequant(q) − w|` measured at
+    /// quantization time.
+    pub max_abs_err: f32,
+}
+
+/// The quant section: its own `{crc32, payload}` pair like the others, but
+/// with hard-failure load semantics.
+#[derive(Serialize, Deserialize)]
+struct QuantSection {
+    crc32: u32,
+    payload: String,
+}
+
+/// Fingerprints a quant store for the checkpoint section.
+fn quant_meta_of(qs: &QuantStore) -> QuantMeta {
+    QuantMeta {
+        precision: qs.precision(),
+        params: qs
+            .params()
+            .map(|(_, qp)| QuantParamMeta {
+                name: qp.name.clone(),
+                shape: qp.shape.clone(),
+                crc32: crc32_ieee(&qp.encoded_bytes()),
+                max_abs_err: qp.max_abs_err,
+            })
+            .collect(),
+        quant_bytes: qs.bytes(),
+        f32_bytes: qs.f32_bytes(),
+    }
+}
+
+/// Re-quantizes `ps` at the section's precision and checks the result
+/// against the stored fingerprints — the load half of the bitwise-stable
+/// re-quantization contract. Any disagreement means the payload and the
+/// section describe different weights: hard [`CheckpointError::Corrupt`].
+fn verify_quant_meta(meta: &QuantMeta, ps: &ParamStore) -> Result<(), CheckpointError> {
+    if meta.precision == Precision::F32 {
+        return Err(CheckpointError::Corrupt("quant section claims precision f32".into()));
+    }
+    if !ps.values_finite() {
+        return Err(CheckpointError::Corrupt(
+            "non-finite weights under a quant section".into(),
+        ));
+    }
+    let qs = QuantStore::from_params(ps, meta.precision);
+    let got = quant_meta_of(&qs);
+    if got.params.len() != meta.params.len() {
+        return Err(CheckpointError::Corrupt(format!(
+            "quant section lists {} parameters, payload re-quantizes to {}",
+            meta.params.len(),
+            got.params.len()
+        )));
+    }
+    for (g, m) in got.params.iter().zip(meta.params.iter()) {
+        if g.name != m.name || g.shape != m.shape {
+            return Err(CheckpointError::Corrupt(format!(
+                "quant section entry '{}' {:?} does not match payload parameter '{}' {:?}",
+                m.name, m.shape, g.name, g.shape
+            )));
+        }
+        if g.crc32 != m.crc32 || g.max_abs_err.to_bits() != m.max_abs_err.to_bits() {
+            return Err(CheckpointError::Corrupt(format!(
+                "re-quantization of '{}' disagrees with the quant section \
+                 (CRC {:08x} vs stored {:08x})",
+                m.name, g.crc32, m.crc32
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Current checkpoint format version.
@@ -122,6 +231,10 @@ pub enum CheckpointError {
     Parse(String),
     /// Detector has not been fitted yet.
     NotFitted,
+    /// Detector serves quantized weights: the f32 copies were released by
+    /// [`TfmaeDetector::set_precision`](crate::TfmaeDetector::set_precision)
+    /// and there is no payload left to checkpoint. Save before quantizing.
+    Quantized,
     /// Version from a newer incompatible writer.
     Version(u32),
     /// The file is damaged: checksum mismatch, truncation, or not a
@@ -135,6 +248,9 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
             CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
             CheckpointError::NotFitted => write!(f, "detector must be fitted before saving"),
+            CheckpointError::Quantized => {
+                write!(f, "detector is quantized (f32 weights released); cannot checkpoint")
+            }
             CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Corrupt(e) => write!(f, "checkpoint corrupt: {e}"),
         }
@@ -160,6 +276,9 @@ fn sibling(path: &Path, ext: &str) -> PathBuf {
 impl TfmaeDetector {
     /// Serializes the fitted detector to a checkpoint value.
     pub fn to_checkpoint(&self) -> Result<Checkpoint, CheckpointError> {
+        if self.quant().is_some() {
+            return Err(CheckpointError::Quantized);
+        }
         let model = self.model().ok_or(CheckpointError::NotFitted)?;
         let norm = self.norm().ok_or(CheckpointError::NotFitted)?;
         Ok(Checkpoint {
@@ -192,7 +311,36 @@ impl TfmaeDetector {
         path: impl AsRef<Path>,
         adaptive: Option<&AdaptiveSnapshot>,
     ) -> Result<(), CheckpointError> {
-        let path = path.as_ref();
+        self.save_impl(path.as_ref(), adaptive, None)
+    }
+
+    /// [`TfmaeDetector::save`] plus a quant section: the f32 payload is
+    /// written as usual (legacy loaders are unaffected) together with
+    /// CRC-covered [`QuantMeta`] fingerprinting the deterministic
+    /// quantization of every 2-D weight at `precision`. Loading through
+    /// [`TfmaeDetector::load_full`] re-quantizes and verifies those
+    /// fingerprints, then reports `precision` so serving can apply it.
+    /// `Precision::F32` degrades to a plain [`TfmaeDetector::save`].
+    ///
+    /// Must be called **before** [`set_precision`] releases the f32
+    /// weights.
+    ///
+    /// [`set_precision`]: TfmaeDetector::set_precision
+    pub fn save_quantized(
+        &self,
+        path: impl AsRef<Path>,
+        precision: Precision,
+    ) -> Result<(), CheckpointError> {
+        let quant = (precision != Precision::F32).then_some(precision);
+        self.save_impl(path.as_ref(), None, quant)
+    }
+
+    fn save_impl(
+        &self,
+        path: &Path,
+        adaptive: Option<&AdaptiveSnapshot>,
+        quant: Option<Precision>,
+    ) -> Result<(), CheckpointError> {
         let ckpt = self.to_checkpoint()?;
         let payload =
             serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
@@ -215,12 +363,28 @@ impl TfmaeDetector {
         } else {
             None
         };
+        let quant = match quant {
+            None => None,
+            Some(precision) => {
+                let model = self.model().ok_or(CheckpointError::NotFitted)?;
+                if !model.ps.values_finite() {
+                    return Err(CheckpointError::Parse(
+                        "non-finite weights; refusing to quantize".into(),
+                    ));
+                }
+                let qs = QuantStore::from_params(&model.ps, precision);
+                let p = serde_json::to_string(&quant_meta_of(&qs))
+                    .map_err(|e| CheckpointError::Parse(e.to_string()))?;
+                Some(QuantSection { crc32: crc32_ieee(p.as_bytes()), payload: p })
+            }
+        };
         let envelope = Envelope {
             version: CHECKPOINT_VERSION,
             crc32: crc32_ieee(payload.as_bytes()),
             payload,
             adaptive,
             patch,
+            quant,
         };
         let json =
             serde_json::to_string(&envelope).map_err(|e| CheckpointError::Parse(e.to_string()))?;
@@ -283,6 +447,22 @@ impl TfmaeDetector {
     pub fn from_checkpoint_json_with_adaptive(
         json: &str,
     ) -> Result<(Self, Option<AdaptiveSnapshot>), CheckpointError> {
+        Self::from_checkpoint_json_full(json).map(|(det, adaptive, _)| (det, adaptive))
+    }
+
+    /// The complete parse: detector, adaptive section, and the quant
+    /// section's stored [`Precision`] (`None` when the file has none). The
+    /// quant section is CRC-verified **and** checked bitwise against a
+    /// re-quantization of the loaded f32 payload — unlike the degradable
+    /// adaptive/patch sections, any damage or disagreement is a hard
+    /// [`CheckpointError::Corrupt`]. The returned detector still serves
+    /// f32; apply the precision with
+    /// [`set_precision`](TfmaeDetector::set_precision) (so `--precision
+    /// f32` on a quantized checkpoint stays bitwise identical to a plain
+    /// f32 load).
+    pub fn from_checkpoint_json_full(
+        json: &str,
+    ) -> Result<(Self, Option<AdaptiveSnapshot>, Option<Precision>), CheckpointError> {
         match serde_json::from_str::<Envelope>(json) {
             Ok(env) => {
                 if env.version > CHECKPOINT_VERSION {
@@ -341,6 +521,27 @@ impl TfmaeDetector {
                         }
                     }
                 });
+                // Quant section: hard-fail semantics (see Envelope docs).
+                let quant_meta = match env.quant {
+                    None => None,
+                    Some(sec) => {
+                        let computed = crc32_ieee(sec.payload.as_bytes());
+                        if computed != sec.crc32 {
+                            return Err(CheckpointError::Corrupt(format!(
+                                "quant section CRC32 mismatch: stored {:08x}, \
+                                 computed {computed:08x}",
+                                sec.crc32
+                            )));
+                        }
+                        let meta: QuantMeta =
+                            serde_json::from_str(&sec.payload).map_err(|e| {
+                                CheckpointError::Corrupt(format!(
+                                    "quant section unparsable: {e}"
+                                ))
+                            })?;
+                        Some(meta)
+                    }
+                };
                 let ckpt: Checkpoint = serde_json::from_str(&env.payload)
                     .map_err(|e| CheckpointError::Parse(e.to_string()))?;
                 if let Some(meta) = patch_meta {
@@ -355,7 +556,14 @@ impl TfmaeDetector {
                         )));
                     }
                 }
-                Self::from_checkpoint(ckpt).map(|det| (det, adaptive))
+                let precision = match &quant_meta {
+                    None => None,
+                    Some(meta) => {
+                        verify_quant_meta(meta, &ckpt.params)?;
+                        Some(meta.precision)
+                    }
+                };
+                Self::from_checkpoint(ckpt).map(|det| (det, adaptive, precision))
             }
             Err(env_err) => match serde_json::from_str::<Checkpoint>(json) {
                 Ok(ckpt) => {
@@ -364,12 +572,46 @@ impl TfmaeDetector {
                          CRC check skipped",
                         ckpt.version
                     );
-                    Self::from_checkpoint(ckpt).map(|det| (det, None))
+                    Self::from_checkpoint(ckpt).map(|det| (det, None, None))
                 }
                 Err(_) => Err(CheckpointError::Corrupt(format!(
                     "not a valid checkpoint envelope or legacy checkpoint: {env_err}"
                 ))),
             },
+        }
+    }
+
+    /// [`TfmaeDetector::load`] plus the adaptive section and the quant
+    /// section's stored precision (see
+    /// [`TfmaeDetector::from_checkpoint_json_full`]), with the same `.bak`
+    /// recovery semantics.
+    pub fn load_full(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, Option<AdaptiveSnapshot>, Option<Precision>), CheckpointError> {
+        let path = path.as_ref();
+        type Full = (TfmaeDetector, Option<AdaptiveSnapshot>, Option<Precision>);
+        let strict = |p: &Path| -> Result<Full, CheckpointError> {
+            let bytes = fs::read(p)?;
+            let json = String::from_utf8(bytes)
+                .map_err(|_| CheckpointError::Corrupt("checkpoint is not valid UTF-8".into()))?;
+            Self::from_checkpoint_json_full(&json)
+        };
+        match strict(path) {
+            Ok(out) => Ok(out),
+            Err(primary @ (CheckpointError::Corrupt(_) | CheckpointError::Parse(_))) => {
+                let bak = sibling(path, "bak");
+                if bak.exists() {
+                    eprintln!(
+                        "warning: checkpoint {} unusable ({primary}); recovering from {}",
+                        path.display(),
+                        bak.display()
+                    );
+                    strict(&bak).map_err(|_| primary)
+                } else {
+                    Err(primary)
+                }
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -730,6 +972,104 @@ mod tests {
         std::fs::write(&path, legacy_json).unwrap();
         let restored = TfmaeDetector::load(&path).unwrap();
         assert_eq!(restored.score(&test), want, "legacy v1 checkpoints must keep loading");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quant_section_roundtrips_with_stable_requantization() {
+        let det = fitted(30);
+        let test = series(96, 31);
+        let want = det.score(&test);
+        let dir = tmp_dir("quant_roundtrip");
+        let path = dir.join("model.json");
+        det.save_quantized(&path, Precision::Int8).unwrap();
+
+        let json = std::fs::read_to_string(&path).unwrap();
+        let env: Envelope = serde_json::from_str(&json).unwrap();
+        let sec = env.quant.expect("save_quantized writes the section");
+        assert_eq!(crc32_ieee(sec.payload.as_bytes()), sec.crc32);
+        let meta: QuantMeta = serde_json::from_str(&sec.payload).unwrap();
+        assert_eq!(meta.precision, Precision::Int8);
+        assert!(!meta.params.is_empty() && meta.quant_bytes < meta.f32_bytes);
+
+        // Load re-quantizes the f32 payload and verifies it bitwise against
+        // the stored per-param CRCs — so a clean load proves quantization is
+        // deterministic across save/load.
+        let (loaded, _, stored) = TfmaeDetector::load_full(&path).unwrap();
+        assert_eq!(stored, Some(Precision::Int8));
+        assert_eq!(loaded.score(&test), want, "quant section must not perturb f32 scoring");
+
+        // Saving the loaded detector quantized again reproduces the exact
+        // same section payload: bitwise-stable re-quantization.
+        let path2 = dir.join("model2.json");
+        loaded.save_quantized(&path2, Precision::Int8).unwrap();
+        let env2: Envelope =
+            serde_json::from_str(&std::fs::read_to_string(&path2).unwrap()).unwrap();
+        assert_eq!(env2.quant.unwrap().payload, sec.payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_checkpoint_without_quant_section_reports_none() {
+        let det = fitted(32);
+        let dir = tmp_dir("quant_none");
+        let path = dir.join("model.json");
+        det.save(&path).unwrap();
+        let (_, _, stored) = TfmaeDetector::load_full(&path).unwrap();
+        assert_eq!(stored, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_quant_section_is_a_hard_error() {
+        let det = fitted(33);
+        let dir = tmp_dir("quant_corrupt");
+        let path = dir.join("model.json");
+        det.save_quantized(&path, Precision::Bf16).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let mut env: Envelope = serde_json::from_str(&json).unwrap();
+        env.quant.as_mut().unwrap().crc32 ^= 0xFFFF;
+        std::fs::write(&path, serde_json::to_string(&env).unwrap()).unwrap();
+        assert!(matches!(
+            TfmaeDetector::load_full(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn self_consistent_quant_section_disagreeing_with_payload_is_rejected() {
+        let det = fitted(34);
+        let dir = tmp_dir("quant_forged");
+        let path = dir.join("model.json");
+        det.save_quantized(&path, Precision::Bf16).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let mut env: Envelope = serde_json::from_str(&json).unwrap();
+        // Forge a section whose own CRC is valid but whose first per-param
+        // CRC no longer matches a re-quantization of the payload.
+        let mut meta: QuantMeta =
+            serde_json::from_str(&env.quant.as_ref().unwrap().payload).unwrap();
+        meta.params[0].crc32 ^= 1;
+        let forged = serde_json::to_string(&meta).unwrap();
+        env.quant = Some(QuantSection { crc32: crc32_ieee(forged.as_bytes()), payload: forged });
+        std::fs::write(&path, serde_json::to_string(&env).unwrap()).unwrap();
+        assert!(matches!(
+            TfmaeDetector::load_full(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quantized_detector_cannot_checkpoint() {
+        let mut det = fitted(35);
+        det.set_precision(Precision::Bf16).unwrap();
+        assert!(matches!(det.to_checkpoint(), Err(CheckpointError::Quantized)));
+        let dir = tmp_dir("quant_nockpt");
+        assert!(matches!(
+            det.save(dir.join("model.json")),
+            Err(CheckpointError::Quantized)
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,7 +12,7 @@ use tfmae_data::{
 };
 use tfmae_nn::{Adam, Ctx};
 use tfmae_obs::{LazyCounter, LazySpan, Span};
-use tfmae_tensor::{ExecStats, Executor, Graph};
+use tfmae_tensor::{ExecStats, Executor, Graph, Precision, QuantStore};
 
 use crate::config::TfmaeConfig;
 use crate::model::TfmaeModel;
@@ -27,6 +27,11 @@ pub struct TfmaeDetector {
     pub robust: RobustnessConfig,
     model: Option<TfmaeModel>,
     norm: Option<ZScore>,
+    /// Quantized 2-D weight copies for low-precision serving (`None` = the
+    /// f32 path). Set by [`TfmaeDetector::set_precision`], which also
+    /// releases the f32 data of the quantized weights — a quantized
+    /// detector is serve-only.
+    quant: Option<QuantStore>,
     /// Execution backend: worker pool + recycled tape buffers, shared by
     /// every graph this detector builds (thread count honours
     /// [`tfmae_tensor::THREADS_ENV`]).
@@ -49,6 +54,7 @@ impl TfmaeDetector {
             robust: RobustnessConfig::default(),
             model: None,
             norm: None,
+            quant: None,
             exec: Arc::new(Executor::from_env()),
             fit_report: FitReport::default(),
             train_report: TrainReport::default(),
@@ -90,6 +96,56 @@ impl TfmaeDetector {
         self.norm.as_ref()
     }
 
+    /// The serving precision: [`Precision::F32`] unless
+    /// [`TfmaeDetector::set_precision`] installed quantized weights.
+    pub fn precision(&self) -> Precision {
+        self.quant.as_ref().map_or(Precision::F32, |q| q.precision())
+    }
+
+    /// The quantized weight store, when serving at reduced precision.
+    pub fn quant(&self) -> Option<&QuantStore> {
+        self.quant.as_ref()
+    }
+
+    /// Switches the detector to a serving precision. `F32` is a no-op on an
+    /// unquantized detector; `Bf16`/`Int8` quantize every 2-D weight (per
+    /// [`QuantStore::from_params`], with per-layer parity bounds asserted)
+    /// and **release the f32 copies** — the memory win this path exists
+    /// for. A quantized detector is serve-only: it scores, but it cannot be
+    /// re-quantized at another precision, fine-tuned, refitted in place or
+    /// checkpointed (reload the f32 checkpoint for any of those).
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), String> {
+        if precision == self.precision() {
+            return Ok(());
+        }
+        if self.quant.is_some() {
+            return Err(format!(
+                "detector already quantized to {}; the f32 weights were released — \
+                 reload the checkpoint to change precision",
+                self.precision()
+            ));
+        }
+        let model = self.model.as_mut().ok_or("fit or load before set_precision")?;
+        if !model.ps.values_finite() {
+            return Err("model has non-finite weights; refusing to quantize".into());
+        }
+        let quant = QuantStore::from_params(&model.ps, precision);
+        static QUANT_SAVED: tfmae_obs::LazyGauge =
+            tfmae_obs::LazyGauge::new("serve.quant_bytes_saved");
+        // data + grad of every quantized weight go, replaced by the packed
+        // copy; 1-D parameters (biases, norms, mask tokens) stay f32.
+        let mut released = 0usize;
+        for (id, _) in quant.params() {
+            let p = model.ps.get_mut(id);
+            released += (p.data.len() + p.grad.len()) * std::mem::size_of::<f32>();
+            p.data = Vec::new();
+            p.grad = Vec::new();
+        }
+        QUANT_SAVED.set(released.saturating_sub(quant.bytes()) as i64);
+        self.quant = Some(quant);
+        Ok(())
+    }
+
     /// A few guarded optimizer steps on already-normalized `[win_len ×
     /// dims]` windows — the background fine-tune of the serving adaptation
     /// loop (see [`crate::adapt`]). Runs under a fresh
@@ -100,10 +156,14 @@ impl TfmaeDetector {
     /// `(seed, salt)`).
     ///
     /// Returns the guard's [`TrainReport`]; a default (all-zero) report is
-    /// returned when the detector is unfitted or `windows` is empty.
+    /// returned when the detector is unfitted, quantized (the f32 weights
+    /// gradient descent needs were released) or `windows` is empty.
     pub fn finetune(&mut self, windows: &[Vec<f32>], ft: &crate::adapt::FinetuneConfig, salt: u64) -> TrainReport {
         let cfg = self.cfg.clone();
         let exec = self.exec.clone();
+        if self.quant.is_some() {
+            return TrainReport::default();
+        }
         let Some(model) = self.model.as_mut() else { return TrainReport::default() };
         if windows.is_empty() || ft.steps == 0 {
             return TrainReport::default();
@@ -166,6 +226,7 @@ impl TfmaeDetector {
             robust: RobustnessConfig::default(),
             model: Some(model),
             norm: Some(norm),
+            quant: None,
             exec: Arc::new(Executor::from_env()),
             fit_report: FitReport::default(),
             train_report: TrainReport::default(),
@@ -208,7 +269,10 @@ impl TfmaeDetector {
             g.reset();
             let b = starts.len();
             let batch = model.prepare_batch(values, b, &mut rng);
-            let ctx = Ctx::eval(&g, &model.ps);
+            let ctx = match &self.quant {
+                Some(q) => Ctx::eval_quant(&g, &model.ps, q),
+                None => Ctx::eval(&g, &model.ps),
+            };
             let out = model.forward(&ctx, &batch);
             let (kl, dual) = model.anomaly_score_components(&ctx, &out);
             for (wi, &start) in starts.iter().enumerate() {
@@ -355,6 +419,9 @@ impl Detector for TfmaeDetector {
         self.loss_curve = losses;
         self.model = Some(model);
         self.norm = Some(norm);
+        // A refit always lands in f32: the fresh weights supersede any
+        // quantized copies of the old ones.
+        self.quant = None;
     }
 
     fn score(&self, series: &TimeSeries) -> Vec<f32> {
@@ -405,6 +472,47 @@ mod tests {
         let scores = det.score(&test);
         assert_eq!(scores.len(), 128);
         assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn set_precision_releases_f32_and_enforces_serve_only() {
+        let train = tiny_series(256, 40);
+        let mut det = TfmaeDetector::new(TfmaeConfig::tiny());
+        det.fit(&train, &train);
+        let test = tiny_series(128, 41);
+        let want = det.score(&test);
+
+        assert_eq!(det.precision(), Precision::F32);
+        det.set_precision(Precision::F32).unwrap(); // no-op
+        assert!(det.quant().is_none());
+
+        det.set_precision(Precision::Bf16).unwrap();
+        assert_eq!(det.precision(), Precision::Bf16);
+        let model = det.model().unwrap();
+        for p in model.ps.params() {
+            if p.shape.len() == 2 {
+                assert!(p.data.is_empty() && p.grad.is_empty(), "{} not released", p.name);
+            } else {
+                assert_eq!(p.data.len(), p.shape.iter().product::<usize>(), "{}", p.name);
+            }
+        }
+        let got = det.score(&test);
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert!((a - b).abs() <= 0.05 * (1.0 + b.abs()), "bf16 {a} vs f32 {b}");
+        }
+
+        // Serve-only: the released f32 weights rule out everything below.
+        assert!(det.set_precision(Precision::Int8).is_err());
+        assert!(det.set_precision(Precision::F32).is_err());
+        det.set_precision(Precision::Bf16).unwrap(); // same precision: fine
+        let ft = crate::adapt::FinetuneConfig { enabled: true, ..Default::default() };
+        let windows = vec![vec![0.0; det.cfg.win_len]];
+        assert_eq!(det.finetune(&windows, &ft, 0).steps, 0, "no fine-tune when quantized");
+
+        // A refit replaces the weights and lands back in f32.
+        det.fit(&train, &train);
+        assert_eq!(det.precision(), Precision::F32);
+        assert!(det.score(&test).iter().all(|s| s.is_finite()));
     }
 
     #[test]

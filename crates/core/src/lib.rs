@@ -49,7 +49,9 @@ pub use adapt::{
     param_hash, AdaptationConfig, AdaptationStats, AdaptiveSnapshot, FinetuneConfig, GuardBand,
     ScoreWindow,
 };
-pub use checkpoint::{Checkpoint, CheckpointError, PatchMeta, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, PatchMeta, QuantMeta, QuantParamMeta, CHECKPOINT_VERSION,
+};
 pub use config::{AdversarialMode, FreqMaskKind, ScoreKind, TemporalMaskKind, TfmaeConfig};
 pub use detector::TfmaeDetector;
 pub use masking::frequency::{frequency_mask, frequency_mask_from_spectra, FrequencyMaskData};
@@ -63,3 +65,6 @@ pub use serving::{ServingConfig, ServingEngine, ServingVerdict};
 pub use stream::{
     DataQuality, DegradedModeConfig, StreamHealth, StreamMode, StreamVerdict, StreamingDetector,
 };
+/// Re-exported so downstream crates can pick a serving precision (and
+/// inspect quantized weight panels) without a direct tensor dependency.
+pub use tfmae_tensor::{Precision, QuantStore};

@@ -40,7 +40,7 @@ use tfmae_data::TimeSeries;
 use tfmae_fft::{Complex64, RollingStats, SlidingDft, CV_EPS};
 use tfmae_nn::Ctx;
 use tfmae_obs::{LazyCounter, LazyGauge, LazyHistogram, LazySpan};
-use tfmae_tensor::{ExecStats, Graph};
+use tfmae_tensor::{ExecStats, Graph, Precision, QuantStore};
 
 use crate::adapt::{param_hash, AdaptationConfig, AdaptationStats, AdaptiveRuntime, AdaptiveSnapshot};
 use crate::config::{ScoreKind, TemporalMaskKind, TfmaeConfig};
@@ -87,6 +87,14 @@ pub struct ServingConfig {
     /// `adaptation.enabled == false` verdicts are bitwise identical to the
     /// frozen-threshold engine (test-asserted). See [`crate::adapt`].
     pub adaptation: AdaptationConfig,
+    /// Serving weight precision. The default `F32` scores through the f32
+    /// weights, bitwise identical to the pre-quantization engine; `Bf16` /
+    /// `Int8` quantize the detector's 2-D weights at construction
+    /// ([`TfmaeDetector::set_precision`]) and score through the packed
+    /// copies with f32 accumulation. Quantized serving disables background
+    /// fine-tune (the f32 weights it would descend on are released);
+    /// threshold recalibration still runs.
+    pub precision: Precision,
 }
 
 impl ServingConfig {
@@ -100,6 +108,7 @@ impl ServingConfig {
             incremental: true,
             max_batch: None,
             adaptation: AdaptationConfig::default(),
+            precision: Precision::F32,
         }
     }
 }
@@ -182,6 +191,17 @@ impl StreamState {
         }
     }
 
+    /// Measured heap bytes of this stream's incremental state.
+    fn heap_bytes(&self) -> usize {
+        self.ring.capacity() * std::mem::size_of::<f32>()
+            + self.quals.capacity() * std::mem::size_of::<DataQuality>()
+            + self.last_good.capacity() * std::mem::size_of::<Option<f32>>()
+            + self.staleness.capacity() * std::mem::size_of::<usize>()
+            + self.stat_ring.capacity() * std::mem::size_of::<f64>()
+            + self.roll.iter().map(RollingStats::heap_bytes).sum::<usize>()
+            + self.sdft.iter().map(SlidingDft::heap_bytes).sum::<usize>()
+    }
+
     /// Copies the retained window into time order (oldest first).
     fn snapshot(&self, win_len: usize, dims: usize) -> Vec<f32> {
         debug_assert_eq!(self.filled, win_len);
@@ -236,14 +256,20 @@ impl ServingEngine {
     /// [`ServingEngine::add_stream`].
     ///
     /// # Panics
-    /// Panics if the detector has not been fitted, or if
-    /// `cfg.hop ∉ 1..=win_len` or `cfg.refresh_every == 0`.
-    pub fn new(det: TfmaeDetector, cfg: ServingConfig) -> Self {
+    /// Panics if the detector has not been fitted, if
+    /// `cfg.hop ∉ 1..=win_len` or `cfg.refresh_every == 0`, or if
+    /// `cfg.precision` cannot be applied (e.g. `F32` requested on an
+    /// already-quantized detector whose f32 weights are gone).
+    pub fn new(mut det: TfmaeDetector, cfg: ServingConfig) -> Self {
         let model = det.model().expect("ServingEngine requires a fitted detector");
         let win_len = det.cfg.win_len;
         let dims = model.dims();
         assert!((1..=win_len).contains(&cfg.hop), "hop must be in 1..=win_len");
         assert!(cfg.refresh_every >= 1, "refresh_every must be >= 1");
+        if let Err(e) = det.set_precision(cfg.precision) {
+            panic!("ServingConfig::precision: {e}");
+        }
+        precision_gauge(det.precision());
         let adapt = AdaptiveRuntime::new(cfg.adaptation.clone(), cfg.threshold);
         Self { det, cfg, win_len, dims, streams: Vec::new(), pending: Vec::new(), adapt }
     }
@@ -282,6 +308,43 @@ impl ServingEngine {
     /// Replaces the fault-handling policy for all streams.
     pub fn set_degraded_mode(&mut self, cfg: DegradedModeConfig) {
         self.cfg.degraded = cfg;
+    }
+
+    /// Switches the engine to a serving weight precision (see
+    /// [`TfmaeDetector::set_precision`]): quantizes the shared detector's
+    /// 2-D weights and releases their f32 copies. Errors if the detector is
+    /// already quantized at a different precision.
+    pub fn set_precision(&mut self, precision: Precision) -> Result<(), String> {
+        self.det.set_precision(precision)?;
+        self.cfg.precision = precision;
+        precision_gauge(precision);
+        Ok(())
+    }
+
+    /// The serving weight precision currently applied.
+    pub fn precision(&self) -> Precision {
+        self.det.precision()
+    }
+
+    /// Measured resident bytes per live stream: the shared model's weight
+    /// buffers (actual heap capacities, so quantization-released f32 panels
+    /// count zero) plus the quantized panels, amortized over the streams,
+    /// plus the mean per-stream incremental state (ring buffer, rolling
+    /// stats, sliding DFT, fault bookkeeping). This is the number that
+    /// decides how many streams fit on a box; activation scratch is shared
+    /// and transient, so it is out of scope.
+    ///
+    /// Returns the model-only footprint when no stream was added yet.
+    pub fn memory_bytes_per_stream(&self) -> usize {
+        let model_bytes = self
+            .det
+            .model()
+            .map(|m| m.ps.resident_bytes())
+            .unwrap_or(0)
+            + self.det.quant().map(QuantStore::bytes).unwrap_or(0);
+        let stream_bytes: usize = self.streams.iter().map(StreamState::heap_bytes).sum();
+        let n = self.streams.len().max(1);
+        (model_bytes + stream_bytes) / n
     }
 
     /// Replaces the adaptation policy, resetting the adaptation state
@@ -607,7 +670,11 @@ impl ServingEngine {
         // The score window also backs the drift gauge, so feed it whenever
         // either consumer is live; it never influences verdicts directly.
         let track = adapt_on || tfmae_obs::enabled();
-        let reservoir_on = adapt_on && self.cfg.adaptation.finetune.enabled;
+        // No reservoir when quantized: fine-tune has no f32 weights to
+        // descend on, so buffering windows for it would only waste memory.
+        let reservoir_on = adapt_on
+            && self.cfg.adaptation.finetune.enabled
+            && self.det.quant().is_none();
         let threshold = self.effective_threshold();
         let g = Graph::with_executor(self.det.executor().clone());
         let mut out = Vec::new();
@@ -639,7 +706,10 @@ impl ServingEngine {
                 meta.push((p.stream, p.base_t, p.newest, p.qualities, p.frozen, p.calib));
             }
             let batch = crate::model::BatchInputs { values, b, masks_t, masks_f };
-            let ctx = Ctx::eval(&g, &model.ps);
+            let ctx = match self.det.quant() {
+                Some(q) => Ctx::eval_quant(&g, &model.ps, q),
+                None => Ctx::eval(&g, &model.ps),
+            };
             let fwd = model.forward(&ctx, &batch);
             let (kl, dual) = model.anomaly_score_components(&ctx, &fwd);
             for (wi, (stream, base_t, newest, qualities, frozen, calib)) in
@@ -721,7 +791,7 @@ impl ServingEngine {
             RECALS.inc();
             tfmae_obs::event("serve.adapt_recalibrate");
         }
-        if self.adapt.finetune_due() {
+        if self.adapt.finetune_due() && self.det.quant().is_none() {
             let ft = self.cfg.adaptation.finetune.clone();
             let windows = self.adapt.drain_reservoir();
             if !windows.is_empty() {
@@ -759,6 +829,17 @@ impl ServingEngine {
         out.extend(self.flush());
         out
     }
+}
+
+/// Publishes the serving precision as bits per weight scalar (32/16/8):
+/// cheap to read off a dashboard and unambiguous across the three modes.
+fn precision_gauge(precision: Precision) {
+    static PRECISION: LazyGauge = LazyGauge::new("serve.precision");
+    PRECISION.set(match precision {
+        Precision::F32 => 32,
+        Precision::Bf16 => 16,
+        Precision::Int8 => 8,
+    });
 }
 
 /// Computes one window's masks from the stream's incremental state. On a
@@ -1021,5 +1102,34 @@ mod tests {
             eng.ingest(0, &[1.0]);
         }));
         assert!(r.is_err(), "ingest to an unregistered stream must panic");
+    }
+
+    #[test]
+    fn bf16_memory_per_stream_is_under_the_0_6x_gate_at_s8() {
+        // The PR's serving-memory acceptance criterion: at S = 8, a bf16
+        // engine holds ≤ 0.6x the resident bytes per stream of the f32
+        // engine (in practice ~0.25x-0.3x: data + grad → one u16 panel).
+        let det = fitted();
+        let at = |precision: Precision| {
+            let mut cfg = ServingConfig::new(f32::MAX, 4);
+            cfg.precision = precision;
+            let mut eng = ServingEngine::new(replicate(&det), cfg);
+            for _ in 0..8 {
+                eng.add_stream();
+            }
+            eng.memory_bytes_per_stream()
+        };
+        let f32_bytes = at(Precision::F32);
+        let bf16_bytes = at(Precision::Bf16);
+        let int8_bytes = at(Precision::Int8);
+        assert!(f32_bytes > 0);
+        assert!(
+            (bf16_bytes as f64) <= 0.6 * f32_bytes as f64,
+            "bf16 {bf16_bytes} B/stream vs f32 {f32_bytes} B/stream"
+        );
+        assert!(
+            int8_bytes < bf16_bytes,
+            "int8 {int8_bytes} B/stream must undercut bf16 {bf16_bytes} B/stream"
+        );
     }
 }

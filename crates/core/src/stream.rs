@@ -167,6 +167,25 @@ impl StreamingDetector {
         self
     }
 
+    /// Selects the serving weight precision (builder style): `Bf16`/`Int8`
+    /// quantize the wrapped detector's 2-D weights and release the f32
+    /// copies (see
+    /// [`TfmaeDetector::set_precision`](crate::TfmaeDetector::set_precision));
+    /// the default `F32` leaves scoring bitwise unchanged.
+    ///
+    /// # Panics
+    /// Panics if the precision cannot be applied (detector already
+    /// quantized at another precision).
+    pub fn with_precision(mut self, precision: tfmae_tensor::Precision) -> Self {
+        self.engine.set_precision(precision).expect("with_precision");
+        self
+    }
+
+    /// The serving weight precision currently applied.
+    pub fn precision(&self) -> tfmae_tensor::Precision {
+        self.engine.precision()
+    }
+
     /// Enables drift adaptation (builder style): online threshold
     /// recalibration, optional guarded background fine-tune and guard-band
     /// rollback — see [`crate::adapt`].

@@ -113,6 +113,12 @@ impl SlidingDft {
         self.warm
     }
 
+    /// Heap bytes held by the spectrum and twiddle tables (memory
+    /// accounting).
+    pub fn heap_bytes(&self) -> usize {
+        (self.spec.capacity() + self.twiddle.capacity()) * std::mem::size_of::<Complex64>()
+    }
+
     /// Seeds (or re-seeds) the spectrum with an exact [`rfft`] of `window`.
     ///
     /// # Panics

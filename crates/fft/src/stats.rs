@@ -189,6 +189,11 @@ impl RollingStats {
         self.len == self.w
     }
 
+    /// Heap bytes held by the sample ring (memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.ring.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Trailing-window mean `μ_t` over the samples seen (at most `w`).
     pub fn mean(&self) -> f64 {
         if self.len == 0 {

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tfmae_tensor::{Executor, Graph, ParamStore};
+use tfmae_tensor::{Executor, Graph, ParamStore, QuantStore};
 
 /// Everything a layer needs during one forward pass.
 pub struct Ctx<'a> {
@@ -18,6 +18,13 @@ pub struct Ctx<'a> {
     pub rng: RefCell<StdRng>,
     /// The execution backend (worker pool + buffer pool) the graph runs on.
     pub exec: &'a Executor,
+    /// Quantized weight copies for the low-precision serving path. When
+    /// set, [`crate::Linear`] reads 2-D weights from here (forward-only,
+    /// f32 accumulation) instead of leafing the f32 parameter into the
+    /// tape; 1-D parameters always come from `ps`. `None` (every
+    /// constructor except [`Ctx::eval_quant`]) is the bitwise-unchanged
+    /// f32 path.
+    pub quant: Option<&'a QuantStore>,
 }
 
 impl<'a> Ctx<'a> {
@@ -29,6 +36,7 @@ impl<'a> Ctx<'a> {
             training: true,
             rng: RefCell::new(StdRng::seed_from_u64(seed)),
             exec: g.executor(),
+            quant: None,
         }
     }
 
@@ -40,6 +48,17 @@ impl<'a> Ctx<'a> {
             training: false,
             rng: RefCell::new(StdRng::seed_from_u64(0)),
             exec: g.executor(),
+            quant: None,
+        }
+    }
+
+    /// Inference-mode context scoring through quantized weights (the
+    /// bf16/int8 serving path). Layers fall back to `ps` for any parameter
+    /// the store has no quantized copy of.
+    pub fn eval_quant(g: &'a Graph, ps: &'a ParamStore, quant: &'a QuantStore) -> Self {
+        Self {
+            quant: Some(quant),
+            ..Self::eval(g, ps)
         }
     }
 }

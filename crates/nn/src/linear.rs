@@ -49,11 +49,22 @@ impl Linear {
         Self { w, b, in_dim, out_dim }
     }
 
+    /// The weight product `x·W`: through the quantized copy when the
+    /// context carries one for this layer (forward-only, f32 accumulation —
+    /// and no per-forward f32 weight memcpy onto the tape), through the f32
+    /// parameter otherwise. Biases always stay f32.
+    fn weight_matmul(&self, ctx: &Ctx, x: Var) -> Var {
+        let g = ctx.g;
+        match ctx.quant.and_then(|q| q.get(self.w)) {
+            Some(qw) => g.matmul_quant(x, qw),
+            None => g.matmul(x, g.param(ctx.ps, self.w)),
+        }
+    }
+
     /// Applies the layer to a 2-D input `[n, in_dim] → [n, out_dim]`.
     pub fn forward(&self, ctx: &Ctx, x: Var) -> Var {
         let g = ctx.g;
-        let w = g.param(ctx.ps, self.w);
-        let mut y = g.matmul(x, w);
+        let mut y = self.weight_matmul(ctx, x);
         if let Some(b) = self.b {
             let bv = g.param(ctx.ps, b);
             y = g.add(y, bv);
@@ -65,8 +76,7 @@ impl Linear {
     /// the bias add and nonlinearity into one tape node when a bias exists.
     pub fn forward_act(&self, ctx: &Ctx, x: Var, kind: ActKind) -> Var {
         let g = ctx.g;
-        let w = g.param(ctx.ps, self.w);
-        let y = g.matmul(x, w);
+        let y = self.weight_matmul(ctx, x);
         match self.b {
             Some(b) => {
                 let bv = g.param(ctx.ps, b);
@@ -170,6 +180,33 @@ mod tests {
             let y = lin.forward_act(&ctx, x, ActKind::Gelu);
             g.mean_all(g.square(y))
         });
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32() {
+        use tfmae_tensor::{Precision, QuantStore};
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let lin = Linear::new(&mut ps, &mut rng, "l", 16, 24);
+        let g = Graph::new();
+        let data: Vec<f32> = (0..32).map(|i| (i as f32 * 0.17).sin()).collect();
+        let x = g.constant(data, vec![2, 16]);
+        let want = {
+            let ctx = Ctx::eval(&g, &ps);
+            g.value(lin.forward(&ctx, x))
+        };
+        for (prec, tol) in [(Precision::Bf16, 2e-2f32), (Precision::Int8, 6e-2)] {
+            let qs = QuantStore::from_params(&ps, prec);
+            let ctx = Ctx::eval_quant(&g, &ps, &qs);
+            let got = g.value(lin.forward(&ctx, x));
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{prec}: {a} vs {b}");
+            }
+            // The fused-activation path routes through the same product.
+            let act = g.value(lin.forward_act(&ctx, x, ActKind::Gelu));
+            assert_eq!(act.len(), want.len());
+            assert!(act.iter().all(|v| v.is_finite()));
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use tfmae_obs::LazyCounter;
 
 use crate::exec::{Executor, SendPtr};
 use crate::kernels;
+use crate::quant::QuantParam;
 use crate::shape::{
     broadcast_shapes, broadcast_strides, broadcastable_to, fmt_shape, numel, strides, StridedIter,
 };
@@ -493,6 +494,35 @@ impl Graph {
             (value, vec![m, n], na.needs_grad || nb.needs_grad)
         };
         self.push(value, out_shape, Op::Matmul(a.id, b.id), needs)
+    }
+
+    /// Forward-only product against a *quantized* weight: `A·W_q` where `A`
+    /// is 2-D f32 and `W_q` a [`QuantParam`] (bf16 or int8 + per-row
+    /// scales). Panels are dequantized straight into the blocked kernel's
+    /// pack buffer with f32 accumulation (see `kernels::matmul_quant`).
+    /// The result is pushed as a constant leaf — quantized weights never
+    /// receive gradient, so this is a serving-path op only.
+    pub fn matmul_quant(&self, a: Var, w: &QuantParam) -> Var {
+        static QUANT_MATMULS: LazyCounter = LazyCounter::new("tensor.quant.matmuls");
+        QUANT_MATMULS.inc();
+        let (value, out_shape) = {
+            let nodes = self.nodes.borrow();
+            let na = &nodes[a.id];
+            assert_eq!(na.shape.len(), 2, "matmul_quant lhs must be 2-D, got {}", fmt_shape(&na.shape));
+            let (m, k) = (na.shape[0], na.shape[1]);
+            assert_eq!(
+                k, w.shape[0],
+                "matmul_quant inner dims: {} vs quantized '{}' {}",
+                fmt_shape(&na.shape),
+                w.name,
+                fmt_shape(&w.shape)
+            );
+            let n = w.shape[1];
+            let mut value = self.exec.alloc_zeroed(m * n);
+            kernels::matmul_quant(&self.exec, &na.value, &w.data, m, k, n, &mut value);
+            (value, vec![m, n])
+        };
+        self.push(value, out_shape, Op::Const, false)
     }
 
     /// Batched 3-D matrix product `[B,m,k] × [B,k,n] → [B,m,n]`.

@@ -24,7 +24,10 @@
 
 use std::cell::RefCell;
 
+use tfmae_obs::LazyCounter;
+
 use crate::exec::{Executor, SendPtr};
+use crate::quant::{bf16_to_f32, QuantData};
 
 /// Minimum per-chunk work (inner-loop iterations) before a kernel fans out;
 /// below this the dispatch overhead dominates.
@@ -401,6 +404,208 @@ pub fn par_matmul(exec: &Executor, a: &[f32], b: &[f32], m: usize, k: usize, n: 
         let rows = unsafe { rows_mut(p, i0, i1, n) };
         matmul_rows_dispatch(a, b, m, k, n, i0, i1, rows);
     });
+}
+
+// ------------------------------------------------ quantized matmul (fwd)
+
+/// Packs the `kc×NR` panel of a *quantized* B starting at column `j0`,
+/// dequantizing to f32 on the way into the k-major pack buffer — the only
+/// point where quantized bytes become floats. The panel then feeds the
+/// unchanged [`micro_kernel`], so accumulation is full f32. Int8 scales are
+/// per weight row = per packed panel row, so each panel row applies one
+/// constant scale (a broadcast multiply that vectorizes with the convert).
+#[inline(always)]
+fn pack_b_quant(
+    q: &QuantData,
+    ndim: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nr: usize,
+    bpack: &mut [f32],
+) {
+    match q {
+        QuantData::Bf16(b) => {
+            for p in 0..kc {
+                let src = &b[(p0 + p) * ndim + j0..(p0 + p) * ndim + j0 + nr];
+                let dst = &mut bpack[p * NR..p * NR + NR];
+                for (slot, &x) in dst[..nr].iter_mut().zip(src.iter()) {
+                    *slot = bf16_to_f32(x);
+                }
+                for slot in &mut dst[nr..] {
+                    *slot = 0.0;
+                }
+            }
+        }
+        QuantData::Int8 { data, scales } => {
+            for p in 0..kc {
+                let s = scales[p0 + p];
+                let src = &data[(p0 + p) * ndim + j0..(p0 + p) * ndim + j0 + nr];
+                let dst = &mut bpack[p * NR..p * NR + NR];
+                for (slot, &x) in dst[..nr].iter_mut().zip(src.iter()) {
+                    *slot = x as f32 * s;
+                }
+                for slot in &mut dst[nr..] {
+                    *slot = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// [`gemm_rows_body`] with the B side read from quantized storage via
+/// [`pack_b_quant`]. A stays f32 (activations are never quantized) and the
+/// inner kernel is the same register-tiled f32 [`micro_kernel`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows_quant_body<const FUSED: bool>(
+    a: &[f32],
+    b: &QuantData,
+    mdim: usize,
+    kdim: usize,
+    ndim: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+    apack: &mut [f32],
+    bpack: &mut [f32],
+) {
+    for p0 in (0..kdim).step_by(KC) {
+        let kc = KC.min(kdim - p0);
+        for ib in (i0..i1).step_by(MC) {
+            let mc = MC.min(i1 - ib);
+            pack_a::<false>(a, mdim, kdim, ib, mc, p0, kc, apack);
+            let strips = (mc + MR - 1) / MR;
+            for j0 in (0..ndim).step_by(NR) {
+                let nr = NR.min(ndim - j0);
+                pack_b_quant(b, ndim, p0, kc, j0, nr, bpack);
+                for s in 0..strips {
+                    let row = ib - i0 + s * MR;
+                    let mr = MR.min(mc - s * MR);
+                    micro_kernel::<FUSED>(
+                        kc,
+                        &apack[s * MR * kc..(s + 1) * MR * kc],
+                        bpack,
+                        &mut out_rows[row * ndim + j0..],
+                        ndim,
+                        mr,
+                        nr,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// [`gemm_rows_quant_body`] compiled with AVX2+FMA (see [`gemm_rows_fma`]).
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support (see [`fma_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_rows_quant_fma(
+    a: &[f32],
+    b: &QuantData,
+    mdim: usize,
+    kdim: usize,
+    ndim: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+    apack: &mut [f32],
+    bpack: &mut [f32],
+) {
+    gemm_rows_quant_body::<true>(a, b, mdim, kdim, ndim, i0, i1, out_rows, apack, bpack);
+}
+
+/// Runtime-dispatched blocked quantized GEBP over effective rows `[i0, i1)`.
+fn gemm_rows_quant(
+    a: &[f32],
+    b: &QuantData,
+    mdim: usize,
+    kdim: usize,
+    ndim: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    PACK_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let (apack, bpack) = (&mut scratch.0, &mut scratch.1);
+        #[cfg(target_arch = "x86_64")]
+        if fma_available() {
+            // SAFETY: `fma_available()` verified AVX2+FMA at runtime.
+            unsafe {
+                gemm_rows_quant_fma(a, b, mdim, kdim, ndim, i0, i1, out_rows, apack, bpack)
+            };
+            return;
+        }
+        gemm_rows_quant_body::<false>(a, b, mdim, kdim, ndim, i0, i1, out_rows, apack, bpack);
+    });
+}
+
+thread_local! {
+    /// Whole-matrix dequantization scratch for quantized products below the
+    /// blocking threshold (skinny serving projections), reused across calls.
+    static QUANT_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Dequantizes all of a `k×n` quantized matrix into `out` (resized).
+fn dequant_into(q: &QuantData, k: usize, n: usize, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(k * n);
+    match q {
+        QuantData::Bf16(b) => out.extend(b.iter().map(|&x| bf16_to_f32(x))),
+        QuantData::Int8 { data, scales } => {
+            for r in 0..k {
+                let s = scales[r];
+                out.extend(data[r * n..(r + 1) * n].iter().map(|&x| x as f32 * s));
+            }
+        }
+    }
+}
+
+/// `out = A·B_q` where `A` is f32 `m×k` and `B_q` is a quantized `k×n`
+/// weight; accumulation is f32 throughout. Above the blocking threshold the
+/// panels are dequantized straight into the L1-resident pack buffer
+/// (row-sharded across the executor, bitwise identical to serial); below it
+/// the whole weight is dequantized into worker-local scratch once and the
+/// direct kernel runs serially. Forward-only: there is no backward for
+/// quantized operands.
+pub fn matmul_quant(
+    exec: &Executor,
+    a: &[f32],
+    b: &QuantData,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    /// Logical panel dequantizations (serial-path count: the same panels
+    /// are packed per worker under row sharding, but the logical tiling is
+    /// shard-invariant).
+    static DEQUANT_PANELS: LazyCounter = LazyCounter::new("tensor.quant.dequant_panels");
+    if use_blocked(m, k, n) {
+        let kb = (k + KC - 1) / KC;
+        let mb = (m + MC - 1) / MC;
+        let nb = (n + NR - 1) / NR;
+        DEQUANT_PANELS.add((kb * mb * nb) as u64);
+        let p = SendPtr(out.as_mut_ptr());
+        exec.parallel_for_flops(m, min_rows(k * n), m * k * n, &|i0, i1| {
+            let rows = unsafe { rows_mut(p, i0, i1, n) };
+            gemm_rows_quant(a, b, m, k, n, i0, i1, rows);
+        });
+    } else {
+        DEQUANT_PANELS.inc();
+        QUANT_SCRATCH.with(|cell| {
+            let buf = &mut *cell.borrow_mut();
+            dequant_into(b, k, n, buf);
+            matmul_rows(a, buf, k, n, 0, m, out);
+        });
+    }
 }
 
 /// Computes output rows `[i0, i1)` of `A·Bᵀ`, *accumulated* into the
@@ -1278,6 +1483,91 @@ mod tests {
                 (x - y).abs() <= tol * (1.0 + y.abs()),
                 "{what}[{i}]: {x} vs {y}"
             );
+        }
+    }
+
+    fn quantize_bf16(b: &[f32]) -> QuantData {
+        QuantData::Bf16(b.iter().map(|&x| crate::quant::f32_to_bf16(x)).collect())
+    }
+
+    fn quantize_int8(b: &[f32], k: usize, n: usize) -> QuantData {
+        let mut data = Vec::with_capacity(k * n);
+        let mut scales = Vec::with_capacity(k);
+        for r in 0..k {
+            let row = &b[r * n..(r + 1) * n];
+            let max = row.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let s = if max > 0.0 { max / 127.0 } else { 0.0 };
+            scales.push(s);
+            for &v in row {
+                data.push(if s > 0.0 { (v / s).round().clamp(-127.0, 127.0) as i8 } else { 0 });
+            }
+        }
+        QuantData::Int8 { data, scales }
+    }
+
+    fn dequant_full(q: &QuantData, k: usize, n: usize) -> Vec<f32> {
+        let mut out = Vec::new();
+        dequant_into(q, k, n, &mut out);
+        out
+    }
+
+    /// matmul_quant must equal the f32 kernel applied to the *dequantized*
+    /// weight bitwise — panel-wise dequantization is a data-layout change,
+    /// never an arithmetic one — on both sides of the blocking threshold
+    /// (straddle sizes from the blocked-path suite) and for both formats.
+    #[test]
+    fn matmul_quant_is_bitwise_dequant_matmul() {
+        let exec = Executor::serial();
+        for &(m, k, n) in
+            &[(1, 64, 16), (6, 128, 48), (64, 64, 64), (67, 300, 95), (70, 257, 17), (2, 5, 3)]
+        {
+            let a = rndvec(m * k, 11);
+            let b = rndvec(k * n, 12);
+            for q in [quantize_bf16(&b), quantize_int8(&b, k, n)] {
+                let deq = dequant_full(&q, k, n);
+                let mut want = vec![0.0; m * n];
+                matmul(&a, &deq, m, k, n, &mut want);
+                let mut got = vec![0.0; m * n];
+                matmul_quant(&exec, &a, &q, m, k, n, &mut got);
+                assert_eq!(got, want, "({m},{k},{n}) {q:?}");
+            }
+        }
+    }
+
+    /// And the dequantized product tracks the true f32 product within the
+    /// format's tolerance (bf16 ~2^-8 relative; int8 row-scale coarser).
+    #[test]
+    fn matmul_quant_tracks_f32_within_tolerance() {
+        let exec = Executor::serial();
+        let (m, k, n) = (32, 96, 64);
+        let a = rndvec(m * k, 21);
+        let b = rndvec(k * n, 22);
+        let mut want = vec![0.0; m * n];
+        matmul(&a, &b, m, k, n, &mut want);
+        let mut bf = vec![0.0; m * n];
+        matmul_quant(&exec, &a, &quantize_bf16(&b), m, k, n, &mut bf);
+        assert_close(&bf, &want, 2e-2, "bf16 matmul");
+        let mut i8out = vec![0.0; m * n];
+        matmul_quant(&exec, &a, &quantize_int8(&b, k, n), m, k, n, &mut i8out);
+        assert_close(&i8out, &want, 8e-2, "int8 matmul");
+    }
+
+    /// Parallel quant matmul is bitwise identical to serial (same
+    /// determinism contract as the f32 kernels).
+    #[test]
+    fn matmul_quant_parallel_bitwise_matches_serial() {
+        let (m, k, n) = (67, 300, 95);
+        let a = rndvec(m * k, 31);
+        let b = rndvec(k * n, 32);
+        let q = quantize_bf16(&b);
+        let serial_exec = Executor::serial();
+        let mut serial = vec![0.0; m * n];
+        matmul_quant(&serial_exec, &a, &q, m, k, n, &mut serial);
+        for threads in [2, 4] {
+            let exec = Executor::with_threads(threads);
+            let mut par = vec![0.0; m * n];
+            matmul_quant(&exec, &a, &q, m, k, n, &mut par);
+            assert_eq!(serial, par, "threads={threads}");
         }
     }
 

@@ -35,6 +35,7 @@ pub mod check;
 pub mod exec;
 pub mod graph;
 pub mod kernels;
+pub mod quant;
 pub mod shape;
 pub mod store;
 
@@ -42,4 +43,5 @@ pub use backward::Gradients;
 pub use exec::{ExecStats, Executor, THREADS_ENV};
 pub use graph::{Graph, Var, LN_EPS};
 pub use kernels::ActKind;
+pub use quant::{bf16_to_f32, f32_to_bf16, Precision, QuantData, QuantParam, QuantStore};
 pub use store::{Param, ParamId, ParamSnapshot, ParamStore};

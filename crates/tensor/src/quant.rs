@@ -1,0 +1,411 @@
+//! Low-precision weight storage for the forward-only serving path.
+//!
+//! Training stays in f32; serving can trade weight bytes for throughput by
+//! packing 2-D weight matrices as **bf16** (truncated f32, round to nearest
+//! even) or **int8 with one f32 scale per weight row**. Accumulation is
+//! always f32: the quantized bytes are dequantized panel-by-panel into the
+//! blocked GEMM's L1-resident pack buffer (see `kernels::matmul_quant`), so
+//! the 6x16 micro-kernel and its AVX2/FMA dispatch are reused unchanged.
+//!
+//! A [`QuantStore`] sits alongside the [`ParamStore`]: it holds a quantized
+//! copy of every 2-D parameter (the `Linear` weights — biases, LayerNorm
+//! gains and mask tokens are 1-D and stay f32), indexed by [`ParamId`].
+//! Quantization is deterministic, so checkpoints store only a small
+//! CRC-covered metadata section and re-quantize from the f32 payload at
+//! load time (see `tfmae-core::checkpoint`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::store::{ParamId, ParamStore};
+
+/// Serving weight precision. `F32` is the training format and the default;
+/// `Bf16`/`Int8` select the quantized forward path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full f32 weights — bitwise identical to the pre-quantization path.
+    F32,
+    /// bfloat16 weights (top 16 bits of f32, round-to-nearest-even):
+    /// half the bytes, ~2^-8 relative error per element.
+    Bf16,
+    /// int8 weights with one f32 scale per weight row (`scale =
+    /// max_abs(row)/127`): a quarter of the bytes, ~max_abs/254 absolute
+    /// error per element. Coarser than bf16 — see DESIGN.md §17 for when
+    /// not to use it.
+    Int8,
+}
+
+impl Precision {
+    /// Parses the CLI spelling (`f32 | bf16 | int8`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "bf16" => Ok(Precision::Bf16),
+            "int8" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision '{other}' (expected f32|bf16|int8)")),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// f32 → bf16 with round-to-nearest-even (the IEEE default mode, and what
+/// hardware bf16 converts do). NaN payloads are preserved quiet.
+#[inline]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep it NaN even if truncation would zero the mantissa bits.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let lsb = (bits >> 16) & 1;
+    ((bits.wrapping_add(0x7FFF + lsb)) >> 16) as u16
+}
+
+/// bf16 → f32 (exact: bf16 values are a subset of f32).
+#[inline]
+pub fn bf16_to_f32(x: u16) -> f32 {
+    f32::from_bits((x as u32) << 16)
+}
+
+/// The packed bytes of one quantized parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuantData {
+    /// One bf16 word per element, same row-major order as the f32 data.
+    Bf16(Vec<u16>),
+    /// One int8 per element plus one f32 scale per weight row
+    /// (`shape[0]` scales for a `[k, n]` weight; dequant is
+    /// `data[r*n + c] as f32 * scales[r]`).
+    Int8 {
+        /// Row-major quantized values in `[-127, 127]`.
+        data: Vec<i8>,
+        /// Per-row dequantization scales.
+        scales: Vec<f32>,
+    },
+}
+
+/// One quantized parameter: packed bytes plus the parity bound measured at
+/// quantization time.
+#[derive(Clone, Debug)]
+pub struct QuantParam {
+    /// Parameter name (mirrors the [`ParamStore`] entry).
+    pub name: String,
+    /// Original shape (always 2-D: `[in_dim, out_dim]`).
+    pub shape: Vec<usize>,
+    /// The packed values.
+    pub data: QuantData,
+    /// Measured per-layer parity bound: `max |dequant(q) − w|` over the
+    /// parameter's elements. Asserted against the theoretical bound at
+    /// quantization time and recorded in the checkpoint quant section.
+    pub max_abs_err: f32,
+}
+
+impl QuantParam {
+    /// Quantized payload bytes (excluding the name/shape metadata).
+    pub fn bytes(&self) -> usize {
+        match &self.data {
+            QuantData::Bf16(v) => v.len() * 2,
+            QuantData::Int8 { data, scales } => data.len() + scales.len() * 4,
+        }
+    }
+
+    /// A canonical little-endian byte serialization of the packed values,
+    /// used for the checkpoint section's CRC (quantization is
+    /// deterministic, so load-time re-quantization must reproduce these
+    /// bytes exactly — the "bitwise-stable re-quantization" contract).
+    pub fn encoded_bytes(&self) -> Vec<u8> {
+        match &self.data {
+            QuantData::Bf16(v) => {
+                let mut out = Vec::with_capacity(v.len() * 2);
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                out
+            }
+            QuantData::Int8 { data, scales } => {
+                let mut out = Vec::with_capacity(data.len() + scales.len() * 4);
+                for x in data {
+                    out.push(*x as u8);
+                }
+                for s in scales {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Quantized copies of a [`ParamStore`]'s 2-D parameters, indexed by
+/// [`ParamId`]. 1-D parameters (biases, norms, mask tokens) are not
+/// represented here and keep flowing through the f32 path.
+#[derive(Clone, Debug)]
+pub struct QuantStore {
+    precision: Precision,
+    by_id: Vec<Option<QuantParam>>,
+    quant_bytes: usize,
+    f32_bytes: usize,
+}
+
+impl QuantStore {
+    /// Quantizes every 2-D parameter of `ps` at `precision`.
+    ///
+    /// # Panics
+    /// Panics when `precision == F32` (an f32 "quant store" is a bug — the
+    /// caller should simply not build one) or when a weight contains
+    /// non-finite values.
+    pub fn from_params(ps: &ParamStore, precision: Precision) -> Self {
+        assert!(precision != Precision::F32, "QuantStore requires bf16 or int8");
+        let mut by_id = Vec::with_capacity(ps.len());
+        let mut quant_bytes = 0usize;
+        let mut f32_bytes = 0usize;
+        for id in 0..ps.len() {
+            let p = ps.get(ParamId(id));
+            if p.shape.len() != 2 {
+                by_id.push(None);
+                continue;
+            }
+            assert!(
+                p.data.iter().all(|v| v.is_finite()),
+                "non-finite weight in '{}' — refusing to quantize",
+                p.name
+            );
+            let qp = quantize_param(&p.name, &p.shape, &p.data, precision);
+            quant_bytes += qp.bytes();
+            f32_bytes += p.data.len() * 4;
+            by_id.push(Some(qp));
+        }
+        Self { precision, by_id, quant_bytes, f32_bytes }
+    }
+
+    /// The precision every entry was packed at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The quantized copy of `id`, if `id` names a 2-D parameter.
+    pub fn get(&self, id: ParamId) -> Option<&QuantParam> {
+        self.by_id.get(id.0).and_then(|q| q.as_ref())
+    }
+
+    /// Number of quantized parameters.
+    pub fn num_params(&self) -> usize {
+        self.by_id.iter().filter(|q| q.is_some()).count()
+    }
+
+    /// Total quantized payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.quant_bytes
+    }
+
+    /// f32 bytes the quantized copies replace (`4 × elements`). The saving
+    /// is `f32_bytes() − bytes()` once the f32 copies are released.
+    pub fn f32_bytes(&self) -> usize {
+        self.f32_bytes
+    }
+
+    /// Iterates the quantized entries in [`ParamId`] order.
+    pub fn params(&self) -> impl Iterator<Item = (ParamId, &QuantParam)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|qp| (ParamId(i), qp)))
+    }
+
+    /// The theoretical per-element parity bound for one entry: bf16
+    /// rounding is ≤ 2⁻⁸·max|w| (8 mantissa bits + round-to-nearest), int8
+    /// is ≤ scale/2 = max|w|/254 per row. Used as the load-time assertion
+    /// (with the measured `max_abs_err` stored alongside in the section).
+    pub fn parity_bound(precision: Precision, max_abs: f32) -> f32 {
+        match precision {
+            Precision::F32 => 0.0,
+            Precision::Bf16 => max_abs * (1.0 / 256.0),
+            Precision::Int8 => max_abs / 254.0 + f32::EPSILON,
+        }
+    }
+}
+
+/// Quantizes one 2-D weight, measuring the realized parity bound.
+fn quantize_param(name: &str, shape: &[usize], data: &[f32], precision: Precision) -> QuantParam {
+    let max_abs = data.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+    let (qdata, max_abs_err) = match precision {
+        Precision::F32 => unreachable!("checked by from_params"),
+        Precision::Bf16 => {
+            let mut err = 0.0f32;
+            let q: Vec<u16> = data
+                .iter()
+                .map(|&v| {
+                    let b = f32_to_bf16(v);
+                    err = err.max((bf16_to_f32(b) - v).abs());
+                    b
+                })
+                .collect();
+            (QuantData::Bf16(q), err)
+        }
+        Precision::Int8 => {
+            let (k, n) = (shape[0], shape[1]);
+            let mut q = Vec::with_capacity(k * n);
+            let mut scales = Vec::with_capacity(k);
+            let mut err = 0.0f32;
+            for r in 0..k {
+                let row = &data[r * n..(r + 1) * n];
+                let row_max = row.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+                // A zero row stores scale 0: every dequant is exactly 0.
+                let scale = if row_max > 0.0 { row_max / 127.0 } else { 0.0 };
+                scales.push(scale);
+                for &v in row {
+                    let qi = if scale > 0.0 {
+                        (v / scale).round().clamp(-127.0, 127.0) as i8
+                    } else {
+                        0
+                    };
+                    err = err.max((qi as f32 * scale - v).abs());
+                    q.push(qi);
+                }
+            }
+            (QuantData::Int8 { data: q, scales }, err)
+        }
+    };
+    let bound = QuantStore::parity_bound(precision, max_abs);
+    assert!(
+        max_abs_err <= bound,
+        "quantized '{name}' exceeds its parity bound: {max_abs_err} > {bound}"
+    );
+    QuantParam { name: name.to_string(), shape: shape.to_vec(), data: qdata, max_abs_err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bf16_roundtrip_and_rounding() {
+        // Values exactly representable in bf16 survive unchanged.
+        for v in [0.0f32, 1.0, -2.5, 0.125, f32::INFINITY, f32::NEG_INFINITY] {
+            assert_eq!(bf16_to_f32(f32_to_bf16(v)), v, "{v}");
+        }
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        // Round-to-nearest-even at the halfway point: 1.0 + 2^-9 has the
+        // dropped bits exactly at half and must round to the even (1.0).
+        let half = f32::from_bits(0x3F80_8000);
+        assert_eq!(bf16_to_f32(f32_to_bf16(half)), 1.0);
+        // One ulp above half rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(bf16_to_f32(f32_to_bf16(above)), f32::from_bits(0x3F81_0000));
+        // Relative error stays under 2^-8 for randoms.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: f32 = rng.gen_range(-100.0..100.0);
+            let d = bf16_to_f32(f32_to_bf16(v));
+            assert!((d - v).abs() <= v.abs() / 256.0 + f32::MIN_POSITIVE);
+        }
+    }
+
+    fn store_with_weight(k: usize, n: usize, seed: u64) -> (ParamStore, ParamId) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let id = ps.add("w", data, vec![k, n]);
+        ps.add("b", vec![0.5; n], vec![n]);
+        (ps, id)
+    }
+
+    #[test]
+    fn quant_store_covers_2d_params_only() {
+        let (ps, id) = store_with_weight(8, 6, 1);
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let qs = QuantStore::from_params(&ps, prec);
+            assert_eq!(qs.num_params(), 1);
+            assert!(qs.get(id).is_some());
+            assert!(qs.get(ParamId(1)).is_none(), "1-D bias must stay f32");
+            assert_eq!(qs.f32_bytes(), 8 * 6 * 4);
+            match prec {
+                Precision::Bf16 => assert_eq!(qs.bytes(), 8 * 6 * 2),
+                Precision::Int8 => assert_eq!(qs.bytes(), 8 * 6 + 8 * 4),
+                Precision::F32 => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn parity_bounds_hold() {
+        let (ps, id) = store_with_weight(32, 48, 2);
+        let w = ps.get(id).data.clone();
+        let max_abs = w.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let qs = QuantStore::from_params(&ps, prec);
+            let qp = qs.get(id).unwrap();
+            assert!(qp.max_abs_err <= QuantStore::parity_bound(prec, max_abs));
+            // And the dequantized values really are that close.
+            match &qp.data {
+                QuantData::Bf16(q) => {
+                    for (a, &b) in w.iter().zip(q.iter()) {
+                        assert!((a - bf16_to_f32(b)).abs() <= qp.max_abs_err);
+                    }
+                }
+                QuantData::Int8 { data, scales } => {
+                    for r in 0..32 {
+                        for c in 0..48 {
+                            let d = data[r * 48 + c] as f32 * scales[r];
+                            assert!((w[r * 48 + c] - d).abs() <= qp.max_abs_err);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_zero_row_dequantizes_to_zero() {
+        let mut ps = ParamStore::new();
+        let mut data = vec![0.0f32; 2 * 4];
+        data[4] = 0.5;
+        data[5] = -1.0;
+        let id = ps.add("w", data, vec![2, 4]);
+        let qs = QuantStore::from_params(&ps, Precision::Int8);
+        match &qs.get(id).unwrap().data {
+            QuantData::Int8 { data, scales } => {
+                assert_eq!(scales[0], 0.0);
+                assert!(data[..4].iter().all(|&q| q == 0));
+                assert!(scales[1] > 0.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn requantization_is_bitwise_stable() {
+        let (ps, id) = store_with_weight(16, 16, 3);
+        for prec in [Precision::Bf16, Precision::Int8] {
+            let a = QuantStore::from_params(&ps, prec);
+            let b = QuantStore::from_params(&ps, prec);
+            assert_eq!(
+                a.get(id).unwrap().encoded_bytes(),
+                b.get(id).unwrap().encoded_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn precision_parses_cli_spellings() {
+        assert_eq!(Precision::parse("f32").unwrap(), Precision::F32);
+        assert_eq!(Precision::parse("bf16").unwrap(), Precision::Bf16);
+        assert_eq!(Precision::parse("int8").unwrap(), Precision::Int8);
+        assert!(Precision::parse("fp16").is_err());
+        assert_eq!(Precision::Bf16.to_string(), "bf16");
+    }
+}

@@ -106,6 +106,16 @@ impl ParamStore {
         self.num_scalars() * 2 * std::mem::size_of::<f32>()
     }
 
+    /// Measured resident bytes: the actual heap capacity of every data and
+    /// grad buffer. Unlike [`ParamStore::bytes`] this sees buffers released
+    /// by quantization (a quantized detector's 2-D panels count zero here).
+    pub fn resident_bytes(&self) -> usize {
+        self.params
+            .iter()
+            .map(|p| (p.data.capacity() + p.grad.capacity()) * std::mem::size_of::<f32>())
+            .sum()
+    }
+
     /// Zeroes every gradient accumulator.
     pub fn zero_grads(&mut self) {
         for p in &mut self.params {
