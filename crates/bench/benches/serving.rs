@@ -107,7 +107,7 @@ fn bench_cross_stream_tick(c: &mut Criterion) {
                     .iter()
                     .map(|&id| (id, datas[id].row(t % datas[id].len())))
                     .collect();
-                n += eng.tick(&rows).len();
+                n += eng.tick(&rows).verdicts.len();
                 t += 1;
             }
             n

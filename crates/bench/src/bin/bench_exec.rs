@@ -10,6 +10,12 @@
 //! Results are bitwise identical across thread counts (each output row is
 //! computed entirely by one worker), so the harness also asserts that the
 //! parallel checksums match the serial ones before reporting any speedup.
+//! Each number is the fastest of several timing blocks (min-of-N), which
+//! keeps one scheduler noise burst on a shared host from skewing a single
+//! thread count's row. Thread counts above the host's parallelism are
+//! skipped (and listed in `skipped_thread_counts`): an oversubscribed
+//! fan-out measures scheduler overhead, not kernel scaling. `--threads N`
+//! forces an oversubscribed count anyway.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,25 +44,42 @@ fn randn(rng: &mut StdRng, n: usize) -> Vec<f32> {
 
 /// Times `f` over `iters` iterations after `warmup` discarded ones;
 /// returns (ns/iter, checksum of the last iteration).
+///
+/// The iterations are split into several blocks and the fastest block is
+/// reported: scheduler interference on a shared host only ever adds time,
+/// so the minimum block is the closest estimate of the true per-iteration
+/// cost and keeps a noise burst from polluting one thread count's number.
 fn time_ns(warmup: usize, iters: usize, mut f: impl FnMut() -> f32) -> (f64, f32) {
     let mut checksum = 0.0;
     for _ in 0..warmup {
         checksum = f();
     }
-    let start = Instant::now();
-    for _ in 0..iters {
-        checksum = f();
+    let repeats = iters.min(5);
+    let block = (iters / repeats).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        for _ in 0..block {
+            checksum = f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / block as f64);
     }
-    (start.elapsed().as_nanos() as f64 / iters as f64, checksum)
+    (best, checksum)
 }
 
 fn main() {
     let opts = Options::parse();
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut counts = vec![1usize, 2, 4];
-    if !counts.contains(&opts.threads) {
-        counts.push(opts.threads);
+    let mut requested = vec![1usize, 2, 4];
+    if !requested.contains(&opts.threads) {
+        requested.push(opts.threads);
     }
+    // Oversubscribed counts (more workers than cores) time the scheduler,
+    // not the kernels: a fanned matmul on a 1-core host pays a 5-20% wake
+    // and context-switch tax with ±10% run-to-run noise. Skip them unless
+    // the caller forced the count with --threads.
+    let (counts, skipped): (Vec<usize>, Vec<usize>) =
+        requested.into_iter().partition(|&t| t <= host || t == opts.threads);
     let iters = if opts.quick { 20 } else { 100 };
     let mut entries: Vec<Entry> = Vec::new();
 
@@ -118,7 +141,11 @@ fn main() {
         push(&mut entries, "train_epoch_tiny".to_string(), threads, ns, sum);
     }
 
-    let json = render_json(host, &entries);
+    let gates = [
+        (format!("matmul_{m}x{k}x{n}_flops"), m * k * n),
+        (format!("bmm_{bsz}x{bm}x{bk}x{bn}_flops"), bsz * bm * bk * bn),
+    ];
+    let json = render_json(host, &skipped, &gates, &entries);
     let path = "BENCH_exec.json";
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("could not write {path}: {e}");
@@ -157,11 +184,42 @@ thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
-fn render_json(host: usize, entries: &[Entry]) -> String {
+fn render_json(
+    host: usize,
+    skipped: &[usize],
+    gates: &[(String, usize)],
+    entries: &[Entry],
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"host_parallelism\": {host},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"parallel_for_flops gate at 4 Mi multiply-adds: kernels below it \
+         (e.g. bmm_8x64x64x64, 2 Mi) run inline on the caller — the earlier 256 Ki gate \
+         recorded 0.65-0.78x slowdowns for them at 4 threads from wake/shard overhead. \
+         Sub-gate rows therefore report speedup ~1.0 by design; multi-core serving \
+         throughput comes from stream sharding (ServingConfig::shards), not from \
+         sharding small per-window kernels. Thread counts above host_parallelism are \
+         skipped (listed in skipped_thread_counts): an oversubscribed fan-out can only \
+         measure scheduler wake/context-switch overhead, not kernel scaling; pass \
+         --threads N to force one anyway.\","
+    );
+    let skipped_list =
+        skipped.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(out, "  \"skipped_thread_counts\": [{skipped_list}],");
+    let _ = writeln!(out, "  \"gate\": {{");
+    let _ = writeln!(
+        out,
+        "    \"min_par_flops\": {},",
+        tfmae_tensor::exec::MIN_PAR_FLOPS
+    );
+    for (i, (name, flops)) in gates.iter().enumerate() {
+        let comma = if i + 1 < gates.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{name}\": {flops}{comma}");
+    }
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"results\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };

@@ -48,11 +48,23 @@
 //! (`speedup_vs_f32` plus per-precision `memory_bytes_per_stream`; f32
 //! accumulation in every path).
 //!
+//! A capacity sweep follows: S ∈ {1k, 4k, 10k} live streams through one
+//! engine at `ServingConfig::shards` ∈ {1, 2, 4}, phase-staggered so due
+//! windows spread across ticks, recording whole-tick p50/p99 latency,
+//! rows/sec and rows/sec/core per configuration into the JSON's
+//! `capacity` array (with `shard_speedup_vs_1` against each S's shards=1
+//! row). On a multi-core host the shards ingest and score their stream
+//! partitions in parallel; on a 1-core host the coordinator executes the
+//! shards serially and the rows measure sharding overhead honestly.
+//!
 //! A final S=8 pass replays the engine with the global metrics registry
 //! off vs on (interleaved rounds, best of each) and records the result as
 //! `metrics_overhead` — the observability subsystem's contract is that the
-//! enabled path stays within 2% of disabled. `--overhead-only` runs just
-//! the paired A/B segments: that one, plus the bf16-vs-f32 ABBA comparison.
+//! enabled path stays within 2% of disabled. A shards=1-vs-4 pass measured
+//! the same way (ABBA blocks, median paired ratio) lands in
+//! `sharding_overhead`, with a ≤2% acceptance bound on a 1-core host.
+//! `--overhead-only` runs just the paired A/B segments: those two, plus
+//! the bf16-vs-f32 ABBA comparison.
 //!
 //! The three modes are measured in interleaved rounds over the same replay
 //! (engine, per-stream, from-scratch, repeat) and each mode reports its best
@@ -75,6 +87,17 @@ use tfmae_core::{Precision, ServingConfig, ServingEngine, TfmaeConfig, TfmaeDete
 use tfmae_data::{render, Component, Detector, TimeSeries};
 use tfmae_obs::Histogram;
 use tfmae_tensor::Executor;
+
+/// One row of the S=1k–10k capacity sweep: the sharded engine ticking S
+/// live streams, per shard count.
+struct CapacityEntry {
+    streams: usize,
+    shards: usize,
+    rows_per_sec: f64,
+    p50_tick_us: f64,
+    p99_tick_us: f64,
+    verdicts: usize,
+}
 
 struct Entry {
     mode: &'static str,
@@ -143,7 +166,7 @@ fn engine_round(
         let rows: Vec<(usize, &[f32])> =
             ids.iter().map(|&id| (id, datas[id].row(t))).collect();
         let tick = Instant::now();
-        let out = eng.tick(&rows);
+        let out = eng.tick(&rows).verdicts;
         let elapsed = tick.elapsed().as_nanos();
         if !out.is_empty() {
             let windows = (out.len() / hop).max(1) as u128;
@@ -286,6 +309,7 @@ fn main() {
     if overhead_only {
         overhead_segment(&det, &exec, hop, if quick { 8 } else { 25 });
         quant_overhead_segment(&det, &exec, hop, if quick { 8 } else { 25 });
+        shard_overhead_segment(&det, &exec, hop, if quick { 8 } else { 25 });
         return;
     }
 
@@ -364,9 +388,12 @@ fn main() {
     entries.extend(patch_segment(&exec, quick, p1_baseline));
     entries.extend(precision_segment(&det, &exec, hop, quick));
 
+    let capacity = capacity_segment(&det, &exec, hop, quick);
     let overhead = overhead_segment(&det, &exec, hop, if quick { 8 } else { 25 });
+    let shard_overhead = shard_overhead_segment(&det, &exec, hop, if quick { 8 } else { 25 });
 
-    let json = render_json(&det.cfg, hop, threads, &entries, overhead);
+    let json =
+        render_json(&det.cfg, hop, threads, &entries, overhead, &capacity, shard_overhead);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("could not write {out_path}: {e}");
     } else {
@@ -607,12 +634,138 @@ fn overhead_segment(
     (dis, en, pct)
 }
 
+/// Capacity sweep: S ∈ {1k, 4k, 10k} live streams through one sharded
+/// engine at shards ∈ {1, 2, 4} (quick: S=1k at shards ∈ {1, 4}). Stream k
+/// is phase-staggered by pre-ingesting `k % hop` rows untimed, so due
+/// windows spread across ticks the way uncoordinated live streams do
+/// instead of all landing on the same tick; the timed replay then records
+/// whole-tick latency (every tick, scoring or not) into a log-bucket
+/// histogram — `p99_tick_us` is the capacity number an operator plans
+/// around. One timed replay per configuration: at this scale the replay
+/// itself is thousands of forwards, so per-window noise self-averages.
+fn capacity_segment(
+    det: &TfmaeDetector,
+    exec: &Arc<Executor>,
+    hop: usize,
+    quick: bool,
+) -> Vec<CapacityEntry> {
+    let win = det.cfg.win_len;
+    let len = 3 * hop;
+    let stream_counts: &[usize] = if quick { &[1000] } else { &[1000, 4000, 10_000] };
+    let shard_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
+    // 16 distinct base series shared round-robin across the S streams: the
+    // engine still sees S independent stream states, but the sweep's memory
+    // footprint stays flat in S.
+    let base: Vec<TimeSeries> =
+        (0..16).map(|k| series(win + len + hop, 300 + k as u64)).collect();
+    let mut out = Vec::new();
+    for &s in stream_counts {
+        for &nsh in shard_counts {
+            let mut cfg = ServingConfig::new(f32::MAX, hop);
+            cfg.shards = nsh;
+            let mut eng = ServingEngine::new(replicate(det, exec), cfg);
+            let ids: Vec<usize> = (0..s).map(|_| eng.add_stream()).collect();
+            // Untimed warm-up: fill stream k's ring to `win - hop + k % hop`
+            // rows — just short of its first due window, with a per-stream
+            // phase offset — so the timed replay starts scoring immediately
+            // and each stream's windows come due `k % hop` ticks apart.
+            for (k, &id) in ids.iter().enumerate() {
+                let d = &base[k % base.len()];
+                for t in 0..(win - hop + k % hop) {
+                    eng.tick(&[(id, d.row(t))]);
+                }
+            }
+            let ticks = Histogram::new();
+            let mut verdicts = 0usize;
+            let started = Instant::now();
+            for t in 0..len {
+                let rows: Vec<(usize, &[f32])> = ids
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &id)| (id, base[k % base.len()].row(win - hop + k % hop + t)))
+                    .collect();
+                let tick = Instant::now();
+                let r = eng.tick(&rows);
+                ticks.record(u64::try_from(tick.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                verdicts += r.verdicts.len();
+            }
+            let secs = started.elapsed().as_secs_f64();
+            let snap = ticks.snapshot();
+            let e = CapacityEntry {
+                streams: s,
+                shards: nsh,
+                rows_per_sec: (s * len) as f64 / secs.max(1e-12),
+                p50_tick_us: snap.quantile(0.50) as f64 / 1e3,
+                p99_tick_us: snap.quantile(0.99) as f64 / 1e3,
+                verdicts,
+            };
+            println!(
+                "capacity S={s} shards={nsh}: {:.0} rows/s, tick p50 {:.0} µs p99 {:.0} µs, {} verdicts",
+                e.rows_per_sec, e.p50_tick_us, e.p99_tick_us, e.verdicts
+            );
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Sharding overhead at S=8: shards=1 vs shards=4 on the same replay,
+/// estimated like the metrics-overhead segment (many short ABBA blocks —
+/// shards=1, shards=4, shards=4, shards=1 — per-block geometric-mean
+/// ratio, median across blocks, best replay per side). On a 1-core host
+/// the coordinator executes all four shards serially, so this isolates the
+/// pure cost of the sharded fan-out/merge machinery (per-shard row
+/// grouping, chunk claim mutexes, coordinator-ordered merge); the
+/// acceptance contract is shards=4 within 2% of shards=1.
+fn shard_overhead_segment(
+    det: &TfmaeDetector,
+    exec: &Arc<Executor>,
+    hop: usize,
+    blocks: usize,
+) -> (f64, f64, f64) {
+    let s = 8usize;
+    let win = det.cfg.win_len;
+    let datas: Vec<TimeSeries> =
+        (0..s).map(|sid| series(win + hop * 8, 100 + sid as u64)).collect();
+    let build = |shards: usize| {
+        let mut cfg = ServingConfig::new(f32::MAX, hop);
+        cfg.shards = shards;
+        let mut eng = ServingEngine::new(replicate(det, exec), cfg);
+        let ids: Vec<usize> = datas.iter().map(|_| eng.add_stream()).collect();
+        engine_round(&mut eng, &ids, &datas, hop); // untimed warm-up
+        (eng, ids)
+    };
+    let (mut s1_eng, s1_ids) = build(1);
+    let (mut s4_eng, s4_ids) = build(4);
+    let mut ratios: Vec<f64> = Vec::new();
+    let (mut s1_best, mut s4_best) = (0.0f64, 0.0f64);
+    for _ in 0..blocks {
+        let a1 = engine_round(&mut s1_eng, &s1_ids, &datas, hop).rows_per_sec;
+        let b1 = engine_round(&mut s4_eng, &s4_ids, &datas, hop).rows_per_sec;
+        let b2 = engine_round(&mut s4_eng, &s4_ids, &datas, hop).rows_per_sec;
+        let a2 = engine_round(&mut s1_eng, &s1_ids, &datas, hop).rows_per_sec;
+        s1_best = s1_best.max(a1).max(a2);
+        s4_best = s4_best.max(b1).max(b2);
+        ratios.push(((a1 * a2) / (b1 * b2).max(1e-12)).sqrt());
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    let pct = (median - 1.0) * 100.0;
+    println!(
+        "S={s} sharding overhead: shards=1 {s1_best:.0} rows/s, shards=4 {s4_best:.0} rows/s, \
+         median paired overhead {pct:+.2}%"
+    );
+    (s1_best, s4_best, pct)
+}
+
 fn render_json(
     cfg: &TfmaeConfig,
     hop: usize,
     threads: usize,
     entries: &[Entry],
     overhead: (f64, f64, f64),
+    capacity: &[CapacityEntry],
+    shard_overhead: (f64, f64, f64),
 ) -> String {
     use std::fmt::Write as _;
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -632,7 +785,10 @@ fn render_json(
             "  \"note\": \"1-core host: honest single-thread numbers; the forward is \
              per-element memory-bound, so cross-stream batching is traffic-neutral on one \
              core and the engine edge is the shared model + tape arena. The batching win \
-             needs worker fan-out over the batched kernels (re-run on a multi-core host).\","
+             needs worker fan-out over the batched kernels, and the shards > 1 capacity \
+             rows measure sharding overhead only — the coordinator executes every shard \
+             serially here, so rows_per_sec_per_core and the sharding_overhead bound are \
+             the 1-core story; re-run on a multi-core host for the speedup.\","
         );
     }
     let _ = writeln!(
@@ -645,6 +801,36 @@ fn render_json(
         "  \"metrics_overhead\": {{\"streams\": 8, \"rows_per_sec_disabled\": {:.0}, \"rows_per_sec_enabled\": {:.0}, \"overhead_pct\": {:.2}}},",
         overhead.0, overhead.1, overhead.2
     );
+    let _ = writeln!(
+        out,
+        "  \"sharding_overhead\": {{\"streams\": 8, \"rows_per_sec_shards1\": {:.0}, \"rows_per_sec_shards4\": {:.0}, \"overhead_pct\": {:.2}, \"bound_pct\": 2.0}},",
+        shard_overhead.0, shard_overhead.1, shard_overhead.2
+    );
+    let _ = writeln!(out, "  \"capacity\": [");
+    let shards1 = |streams: usize| -> Option<f64> {
+        capacity
+            .iter()
+            .find(|c| c.streams == streams && c.shards == 1)
+            .map(|c| c.rows_per_sec)
+    };
+    for (i, c) in capacity.iter().enumerate() {
+        let comma = if i + 1 < capacity.len() { "," } else { "" };
+        let speedup = shards1(c.streams)
+            .map(|b| format!(", \"shard_speedup_vs_1\": {:.3}", c.rows_per_sec / b))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"engine_sharded\", \"streams\": {}, \"shards\": {}, \"rows_per_sec\": {:.0}, \"rows_per_sec_per_core\": {:.0}, \"p50_tick_us\": {:.1}, \"p99_tick_us\": {:.1}, \"verdicts\": {}{speedup}}}{comma}",
+            c.streams,
+            c.shards,
+            c.rows_per_sec,
+            c.rows_per_sec / threads.max(1) as f64,
+            c.p50_tick_us,
+            c.p99_tick_us,
+            c.verdicts
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"results\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };

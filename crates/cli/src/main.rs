@@ -33,7 +33,7 @@ USAGE:
   tfmae quantize --model FILE.json --out OUT.json [--precision <bf16|int8>]
   tfmae serve    --model FILE.json --input FILE.csv [--input FILE.csv ...]
                  (--threshold F | --val FILE.csv [--ratio F]) [--hop N]
-                 [--precision <f32|bf16|int8>]
+                 [--precision <f32|bf16|int8>] [--shards N]
                  [--refresh-every N] [--from-scratch] [--out-dir DIR] [--lenient]
                  [--metrics-out FILE.json] [--metrics-prom FILE.prom]
                  [--adapt] [--adapt-ratio F] [--adapt-every N] [--adapt-min-samples N]
@@ -54,6 +54,9 @@ given. --val both derives the threshold (at --ratio, default 0.01) and
 freezes each stream's score calibration so online scores match the offline
 scale. --from-scratch disables the incremental masking state (baseline cost
 model); --refresh-every tunes its exact re-seed cadence (default 64 hops).
+--shards N partitions the streams across N engine shards that ingest and
+score in parallel on multi-core hosts; verdicts are bitwise identical at any
+shard count (default 1).
 
 --patch-len folds that many consecutive time steps into one temporal token
 (Ti-MAE-style patch embedding): attention cost in the temporal branch drops
@@ -509,6 +512,10 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
 
     let hop: usize = args.num("hop", (det.cfg.win_len / 4).max(1))?;
     let refresh_every: usize = args.num("refresh-every", 64)?;
+    let shards: usize = args.num("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be >= 1".into()));
+    }
     let val = match args.get("val") {
         Some(p) if !p.is_empty() => {
             let (v, _) = load_series(p, lenient)?;
@@ -536,6 +543,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     cfg.refresh_every = refresh_every.max(1);
     cfg.incremental = !args.has("from-scratch");
     cfg.precision = precision;
+    cfg.shards = shards;
     let incremental = cfg.incremental;
     let mut engine = ServingEngine::new(det, cfg);
     if adapt_on {
@@ -595,13 +603,18 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         let tick_started = std::time::Instant::now();
         let out = engine.tick(&rows);
         let elapsed = tick_started.elapsed().as_nanos();
-        if !out.is_empty() {
+        if !out.verdicts.is_empty() {
             tick_hist.record(u64::try_from(elapsed).unwrap_or(u64::MAX));
             if metrics_on && tick_hist.count() % METRICS_FLUSH_EVERY == 0 {
                 write_metrics(metrics_out.as_ref(), metrics_prom.as_ref())?;
             }
         }
-        for v in out {
+        // Every replayed id was registered above, so rejections here mean a
+        // CLI bug, not operator error — surface loudly rather than dropping.
+        for r in &out.rejections {
+            eprintln!("warning: row for stream {} rejected: {:?}", r.stream, r.reason);
+        }
+        for v in out.verdicts {
             per_stream[v.stream].push(v);
         }
     }
@@ -616,8 +629,8 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         .count();
     let ticks = tick_hist.snapshot();
     println!(
-        "served {} stream(s): {total_rows} rows, {total_verdicts} verdicts, {anomalies} anomalies \
-         (threshold δ = {threshold:.6}, hop {hop}, precision {precision}, {})",
+        "served {} stream(s) on {shards} shard(s): {total_rows} rows, {total_verdicts} verdicts, \
+         {anomalies} anomalies (threshold δ = {threshold:.6}, hop {hop}, precision {precision}, {})",
         streams_data.len(),
         if incremental { format!("incremental, refresh every {refresh_every}") } else { "from-scratch masking".to_string() },
     );

@@ -61,7 +61,9 @@ pub use masking::temporal::{
 };
 pub use model::{combine_scores, BatchInputs, BranchOutputs, TfmaeModel};
 pub use robust::{RobustnessConfig, StepFault, TrainGuard, TrainReport};
-pub use serving::{ServingConfig, ServingEngine, ServingVerdict};
+pub use serving::{
+    RejectReason, RowRejection, ServingConfig, ServingEngine, ServingVerdict, TickReport,
+};
 pub use stream::{
     DataQuality, DegradedModeConfig, StreamHealth, StreamMode, StreamVerdict, StreamingDetector,
 };

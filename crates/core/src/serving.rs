@@ -33,14 +33,40 @@
 //! [`crate::stream`]) are implemented here per stream;
 //! `StreamingDetector` is a thin single-stream wrapper over this engine, so
 //! the PR 1 fault-handling behavior is preserved verbatim.
+//!
+//! # Stream sharding
+//!
+//! With [`ServingConfig::shards`] ` = N > 1` the engine splits into N
+//! shards, each owning the per-stream incremental state for its partition
+//! of streams (least-loaded assignment on [`ServingEngine::add_stream`],
+//! slots recycled on [`ServingEngine::remove_stream`]) plus its own scratch
+//! executor — i.e. its own tape arena and `BufferPool` — while all shards
+//! score through the one shared read-only model. [`ServingEngine::tick`]
+//! fans ingested rows out to their shards over the detector's worker pool
+//! (the PR 2 `Executor` is the thread substrate); [`ServingEngine::flush`]
+//! forms forward batches *globally in staging order* — batch composition is
+//! what decides the floating-point reduction shapes, so it must not depend
+//! on the shard count — and shards then claim chunks (their own first,
+//! work-stealing any leftover chunk when their queue runs dry) and run the
+//! forwards on their private scratch executors. Scored rows merge back on
+//! the coordinating thread in staging order, so verdicts are **bitwise
+//! identical at any shard count** (test-asserted at 1/2/4), and `shards = 1`
+//! takes today's literal serial path. Calibration, threshold adaptation and
+//! background fine-tune stay on the coordinating thread: workers only exist
+//! inside the blocking fan-out calls, so the fine-tune/rollback snapshot
+//! handoff needs no locks — the next flush simply re-borrows the updated
+//! detector. Per-shard counters (`serve.shard<k>.rows/windows/chunks/
+//! steals`) roll the shard dimension up into the process registry.
+
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tfmae_data::TimeSeries;
 use tfmae_fft::{Complex64, RollingStats, SlidingDft, CV_EPS};
 use tfmae_nn::Ctx;
-use tfmae_obs::{LazyCounter, LazyGauge, LazyHistogram, LazySpan};
-use tfmae_tensor::{ExecStats, Graph, Precision, QuantStore};
+use tfmae_obs::{Counter, LazyCounter, LazyGauge, LazyHistogram, LazySpan};
+use tfmae_tensor::{ExecStats, Executor, Graph, Precision, QuantStore};
 
 use crate::adapt::{param_hash, AdaptationConfig, AdaptationStats, AdaptiveRuntime, AdaptiveSnapshot};
 use crate::config::{ScoreKind, TemporalMaskKind, TfmaeConfig};
@@ -95,10 +121,18 @@ pub struct ServingConfig {
     /// fine-tune (the f32 weights it would descend on are released);
     /// threshold recalibration still runs.
     pub precision: Precision,
+    /// Engine shards (≥ 1). Each shard owns the incremental state for its
+    /// partition of streams plus a private scratch executor (tape arena +
+    /// buffer pool); ticks fan rows out to shards and flushes run batched
+    /// forwards shard-parallel with chunk-level work-stealing. Verdicts are
+    /// bitwise identical at any shard count; `1` (the default) is today's
+    /// single-shard engine verbatim. See the module docs.
+    pub shards: usize,
 }
 
 impl ServingConfig {
-    /// Defaults: degraded mode on, refresh every 64 hops, incremental state.
+    /// Defaults: degraded mode on, refresh every 64 hops, incremental state,
+    /// one shard.
     pub fn new(threshold: f32, hop: usize) -> Self {
         Self {
             threshold,
@@ -109,6 +143,7 @@ impl ServingConfig {
             max_batch: None,
             adaptation: AdaptationConfig::default(),
             precision: Precision::F32,
+            shards: 1,
         }
     }
 }
@@ -120,6 +155,37 @@ pub struct ServingVerdict {
     pub stream: usize,
     /// The scored observation.
     pub verdict: StreamVerdict,
+}
+
+/// Why [`ServingEngine::tick`] / [`ServingEngine::try_ingest`] refused a row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The stream id was never registered (or was removed).
+    UnknownStream,
+}
+
+/// A row [`ServingEngine::tick`] could not ingest. Rejections are reported
+/// per row — the remaining rows of the tick are processed normally — and
+/// counted under `serve.rejected_rows`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowRejection {
+    /// The stream id the row was addressed to.
+    pub stream: usize,
+    /// Why it was refused.
+    pub reason: RejectReason,
+}
+
+/// Outcome of one [`ServingEngine::tick`]: scored verdicts plus the typed
+/// per-row rejections (rows addressed to unregistered stream ids used to be
+/// a panic; a fleet-facing tick surface must not take the engine down over
+/// one bad row).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TickReport {
+    /// Verdicts in deterministic stream/staging order, exactly as the
+    /// pre-shard engine emitted them.
+    pub verdicts: Vec<ServingVerdict>,
+    /// Rows refused this tick, in input order.
+    pub rejections: Vec<RowRejection>,
 }
 
 /// Incremental per-stream state: ring buffer + rolling statistics +
@@ -237,6 +303,146 @@ struct PendingWindow {
     window_clean: bool,
 }
 
+/// Interns `serve.shard<k>.<suffix>` metric names: the obs registry keys
+/// instruments by `&'static str`, so dynamic shard names must be leaked —
+/// the intern map bounds the leak to one allocation per distinct
+/// (shard, suffix) pair process-wide, however many engines are built.
+fn shard_metric(shard: usize, suffix: &'static str) -> &'static str {
+    use std::collections::BTreeMap;
+    static NAMES: Mutex<BTreeMap<(usize, &'static str), &'static str>> =
+        Mutex::new(BTreeMap::new());
+    let mut map = NAMES.lock().expect("shard metric intern lock");
+    map.entry((shard, suffix))
+        .or_insert_with(|| Box::leak(format!("serve.shard{shard}.{suffix}").into_boxed_str()))
+}
+
+/// A shard-labeled counter that registers lazily (like `LazyCounter`, but
+/// for an interned runtime name) and records only while observability is
+/// enabled.
+struct ShardCounter {
+    name: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl ShardCounter {
+    fn new(name: &'static str) -> Self {
+        Self { name, cell: OnceLock::new() }
+    }
+
+    fn add(&self, n: u64) {
+        if tfmae_obs::enabled() {
+            self.cell.get_or_init(|| tfmae_obs::global().counter(self.name)).add(n);
+        }
+    }
+}
+
+/// Per-shard observability: the shard dimension rolled up into the single
+/// process registry as `serve.shard<k>.*` counters (the unlabeled `serve.*`
+/// counters remain process totals).
+struct ShardObs {
+    /// Rows ingested by this shard.
+    rows: ShardCounter,
+    /// Windows this shard's streams staged.
+    windows: ShardCounter,
+    /// Forward chunks this shard executed.
+    chunks: ShardCounter,
+    /// Chunks claimed from another shard's queue after this shard's ran dry.
+    steals: ShardCounter,
+}
+
+impl ShardObs {
+    fn new(shard: usize) -> Self {
+        Self {
+            rows: ShardCounter::new(shard_metric(shard, "rows")),
+            windows: ShardCounter::new(shard_metric(shard, "windows")),
+            chunks: ShardCounter::new(shard_metric(shard, "chunks")),
+            steals: ShardCounter::new(shard_metric(shard, "steals")),
+        }
+    }
+}
+
+/// One engine shard: the incremental masking state for its partition of
+/// streams plus a private scratch executor, whose buffer pool doubles as a
+/// persistent per-shard tape arena across flushes. The shared model is
+/// deliberately *not* here — shards borrow it read-only during fan-out.
+struct Shard {
+    /// Stream slots; a slot index is the `local` half of a route entry.
+    streams: Vec<StreamState>,
+    /// Recycled slots of removed streams, refilled before growing.
+    free: Vec<usize>,
+    /// Scratch executor for this shard's forwards. Serial when the engine
+    /// has > 1 shard (parallelism then lives at the shard level); the
+    /// single shard of a 1-shard engine shares the detector's executor,
+    /// which is exactly the pre-shard engine.
+    exec: Arc<Executor>,
+    obs: ShardObs,
+}
+
+impl Shard {
+    fn new(shard: usize, exec: Arc<Executor>) -> Self {
+        Self { streams: Vec::new(), free: Vec::new(), exec, obs: ShardObs::new(shard) }
+    }
+
+    /// Live streams on this shard (assignment load).
+    fn live(&self) -> usize {
+        self.streams.len() - self.free.len()
+    }
+}
+
+/// What one ingested row produced on its shard; engine-level effects
+/// (quarantine probation accounting, staging) are applied by the
+/// coordinator in row order, so the fan-out path reproduces the serial
+/// path's `AdaptiveRuntime` call sequence exactly.
+enum RowOutcome {
+    /// Buffered; nothing due.
+    Buffered,
+    /// Quarantined: immediate `Degraded` verdict. The row also counts
+    /// against a fine-tune update on probation
+    /// (`AdaptiveRuntime::observe_unscored_degraded`, coordinator-applied).
+    Quarantined(ServingVerdict),
+    /// The row completed a hop: window snapshot staged for the next flush.
+    Staged(Box<PendingWindow>),
+}
+
+/// One scored observation as produced on a shard worker; the coordinator
+/// merges these in chunk order (= staging order) and replays the
+/// order-sensitive effects (`AdaptiveRuntime::observe`, verdict emission).
+struct ScoredRow {
+    stream: usize,
+    t: u64,
+    score: f32,
+    is_anomaly: bool,
+    quality: DataQuality,
+    calib: bool,
+}
+
+/// A row routed to a shard during ingest fan-out:
+/// (input row index, local slot, public stream id, row).
+type RoutedRow<'a> = (usize, usize, usize, &'a [f32]);
+
+/// Hands the shard fan-out disjoint `&mut` access to per-shard slots.
+///
+/// SAFETY contract (same as the kernel layer's `SendPtr`): the executor's
+/// `parallel_for` chunk ranges partition the index space, so each index is
+/// dereferenced by exactly one worker, and the call blocks until every
+/// chunk completed, so no reference outlives the borrow.
+struct ShardPtr<T>(*mut T);
+unsafe impl<T> Send for ShardPtr<T> {}
+unsafe impl<T> Sync for ShardPtr<T> {}
+
+impl<T> ShardPtr<T> {
+    /// The `i`-th slot, mutably.
+    ///
+    /// # Safety
+    /// The caller must be the only worker touching index `i` for the
+    /// lifetime of the returned reference (the `parallel_for` partition
+    /// guarantees this), and `i` must be in bounds of the backing slice.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
+}
+
 /// Multiplexes N independent streams over one shared fitted detector,
 /// batching windows that become due in the same tick (see module docs).
 pub struct ServingEngine {
@@ -244,7 +450,10 @@ pub struct ServingEngine {
     cfg: ServingConfig,
     win_len: usize,
     dims: usize,
-    streams: Vec<StreamState>,
+    /// Engine shards (always ≥ 1); stream state lives here.
+    shards: Vec<Shard>,
+    /// Public stream id → `(shard, local slot)`; `None` after removal.
+    route: Vec<Option<(usize, usize)>>,
     pending: Vec<PendingWindow>,
     /// Drift-adaptation state machine (present even when adaptation is
     /// disabled, so the calibration-anchored drift gauge still works).
@@ -266,23 +475,97 @@ impl ServingEngine {
         let dims = model.dims();
         assert!((1..=win_len).contains(&cfg.hop), "hop must be in 1..=win_len");
         assert!(cfg.refresh_every >= 1, "refresh_every must be >= 1");
+        assert!(cfg.shards >= 1, "shards must be >= 1");
         if let Err(e) = det.set_precision(cfg.precision) {
             panic!("ServingConfig::precision: {e}");
         }
         precision_gauge(det.precision());
         let adapt = AdaptiveRuntime::new(cfg.adaptation.clone(), cfg.threshold);
-        Self { det, cfg, win_len, dims, streams: Vec::new(), pending: Vec::new(), adapt }
+        let shards = (0..cfg.shards)
+            .map(|k| {
+                // One shard == the pre-shard engine: run on the detector's
+                // executor directly (same pool, same tape arena). Multiple
+                // shards each get a private serial scratch executor, and
+                // the detector's pool becomes the fan-out substrate.
+                let exec = if cfg.shards == 1 {
+                    det.executor().clone()
+                } else {
+                    Arc::new(Executor::serial())
+                };
+                Shard::new(k, exec)
+            })
+            .collect();
+        Self { det, cfg, win_len, dims, shards, route: Vec::new(), pending: Vec::new(), adapt }
     }
 
-    /// Registers a new stream and returns its id.
+    /// Registers a new stream and returns its id. The stream lands on the
+    /// least-loaded shard (lowest index on ties) and refills slots freed by
+    /// [`ServingEngine::remove_stream`] first, so the fleet rebalances
+    /// through register/unregister churn.
     pub fn add_stream(&mut self) -> usize {
-        self.streams.push(StreamState::new(self.win_len, self.dims, self.det.cfg.cv_window));
-        self.streams.len() - 1
+        let sh = (0..self.shards.len())
+            .min_by_key(|&k| (self.shards[k].live(), k))
+            .expect("engine always has >= 1 shard");
+        let state = StreamState::new(self.win_len, self.dims, self.det.cfg.cv_window);
+        let shard = &mut self.shards[sh];
+        let loc = match shard.free.pop() {
+            Some(loc) => {
+                shard.streams[loc] = state;
+                loc
+            }
+            None => {
+                shard.streams.push(state);
+                shard.streams.len() - 1
+            }
+        };
+        self.route.push(Some((sh, loc)));
+        self.route.len() - 1
     }
 
-    /// Number of registered streams.
+    /// Unregisters a stream: its id is retired (never reused — subsequent
+    /// rows for it are rejected, not misrouted) and its shard slot is
+    /// recycled by the next [`ServingEngine::add_stream`]. Returns whether
+    /// the id was live. Windows the stream already staged still score on
+    /// the next flush.
+    pub fn remove_stream(&mut self, stream: usize) -> bool {
+        match self.route.get(stream).copied().flatten() {
+            None => false,
+            Some((sh, loc)) => {
+                self.route[stream] = None;
+                self.shards[sh].free.push(loc);
+                true
+            }
+        }
+    }
+
+    /// Number of live (registered, not removed) streams.
     pub fn num_streams(&self) -> usize {
-        self.streams.len()
+        self.route.iter().flatten().count()
+    }
+
+    /// Shard count (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Resolves a public stream id, panicking like the pre-shard engine did
+    /// on unknown ids.
+    fn slot(&self, stream: usize) -> (usize, usize) {
+        self.route
+            .get(stream)
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("unknown stream id {stream}"))
+    }
+
+    fn state(&self, stream: usize) -> &StreamState {
+        let (sh, loc) = self.slot(stream);
+        &self.shards[sh].streams[loc]
+    }
+
+    fn state_mut(&mut self, stream: usize) -> &mut StreamState {
+        let (sh, loc) = self.slot(stream);
+        &mut self.shards[sh].streams[loc]
     }
 
     /// Input feature count per stream.
@@ -342,8 +625,13 @@ impl ServingEngine {
             .map(|m| m.ps.resident_bytes())
             .unwrap_or(0)
             + self.det.quant().map(QuantStore::bytes).unwrap_or(0);
-        let stream_bytes: usize = self.streams.iter().map(StreamState::heap_bytes).sum();
-        let n = self.streams.len().max(1);
+        let stream_bytes: usize = self
+            .route
+            .iter()
+            .flatten()
+            .map(|&(sh, loc)| self.shards[sh].streams[loc].heap_bytes())
+            .sum();
+        let n = self.num_streams().max(1);
         (model_bytes + stream_bytes) / n
     }
 
@@ -361,32 +649,32 @@ impl ServingEngine {
         let (kl, dual) = self.det.score_components(series);
         let ma = kl.iter().sum::<f32>() / kl.len().max(1) as f32;
         let mb = dual.iter().sum::<f32>() / dual.len().max(1) as f32;
-        self.streams[stream].frozen_norms = Some((ma, mb));
+        self.state_mut(stream).frozen_norms = Some((ma, mb));
     }
 
     /// Drops one stream's frozen calibration constants.
     pub fn thaw_stream(&mut self, stream: usize) {
-        self.streams[stream].frozen_norms = None;
+        self.state_mut(stream).frozen_norms = None;
     }
 
     /// Whether a stream has frozen calibration constants.
     pub fn is_calibrated(&self, stream: usize) -> bool {
-        self.streams[stream].frozen_norms.is_some()
+        self.state(stream).frozen_norms.is_some()
     }
 
     /// Fault counters and current mode of one stream.
     pub fn health(&self, stream: usize) -> &StreamHealth {
-        &self.streams[stream].health
+        &self.state(stream).health
     }
 
     /// Observations pushed to one stream so far.
     pub fn stream_len(&self, stream: usize) -> u64 {
-        self.streams[stream].pushed
+        self.state(stream).pushed
     }
 
     /// Whether one stream's warm-up window has filled.
     pub fn warmed_up(&self, stream: usize) -> bool {
-        self.streams[stream].filled >= self.win_len
+        self.state(stream).filled >= self.win_len
     }
 
     /// Execution-layer counters of the shared executor.
@@ -438,209 +726,59 @@ impl ServingEngine {
     /// handling runs immediately (quarantined rows return their `Degraded`
     /// verdict here), and a completed hop stages the stream's window for the
     /// next [`ServingEngine::flush`].
+    ///
+    /// # Panics
+    /// Panics on an unregistered stream id; the non-panicking variant is
+    /// [`ServingEngine::try_ingest`], and [`ServingEngine::tick`] reports
+    /// typed per-row rejections.
     pub fn ingest(&mut self, stream: usize, row: &[f32]) -> Vec<ServingVerdict> {
-        assert!(stream < self.streams.len(), "unknown stream id {stream}");
-        static ROWS: LazyCounter = LazyCounter::new("serve.rows");
-        ROWS.inc();
-        let dims = self.dims;
-        let norm = self.det.norm().expect("fitted detector has a normalizer");
+        match self.try_ingest(stream, row) {
+            Ok(v) => v,
+            Err(r) => panic!("unknown stream id {}", r.stream),
+        }
+    }
 
-        // Sanitize exactly as StreamingDetector::push did pre-engine.
-        let (clean, quality) = if !self.cfg.degraded.enabled {
-            assert_eq!(row.len(), dims, "row width mismatch");
-            (row.to_vec(), DataQuality::Clean)
-        } else {
-            let s = &mut self.streams[stream];
-            let width_ok = row.len() == dims;
-            let mut clean = vec![0.0f32; dims];
-            let mut quality = DataQuality::Clean;
-            for n in 0..dims {
-                let v = if width_ok { row[n] } else { f32::NAN };
-                if v.is_finite() {
-                    s.last_good[n] = Some(v);
-                    s.staleness[n] = 0;
-                    clean[n] = v;
-                } else {
-                    s.staleness[n] += 1;
-                    // Impute with the last good value; a channel that has
-                    // never produced one falls back to 0.0.
-                    clean[n] = s.last_good[n].unwrap_or(0.0);
-                    let q = if s.last_good[n].is_some()
-                        && s.staleness[n] <= self.cfg.degraded.staleness_budget
-                    {
-                        DataQuality::Imputed
-                    } else {
-                        DataQuality::Degraded
-                    };
-                    quality = quality.max(q);
-                }
-            }
-
-            if quality == DataQuality::Clean {
-                s.consecutive_bad = 0;
-                if s.health.mode == StreamMode::Quarantine {
-                    // Clean data ends quarantine; re-warm from empty. The
-                    // stream additionally sits out `holdoff` scored windows
-                    // before its scores re-enter calibration (see
-                    // `crate::adapt`).
-                    s.health.mode = StreamMode::Normal;
-                    s.calib_holdoff = self.cfg.adaptation.holdoff;
-                    static QUARANTINE_EXITS: LazyCounter =
-                        LazyCounter::new("serve.quarantine_exits");
-                    QUARANTINE_EXITS.inc();
-                    tfmae_obs::event("serve.quarantine_exit");
-                }
-            } else {
-                s.consecutive_bad += 1;
-                if s.health.mode == StreamMode::Normal
-                    && s.consecutive_bad >= self.cfg.degraded.quarantine_after
-                {
-                    s.health.mode = StreamMode::Quarantine;
-                    s.health.quarantine_entries += 1;
-                    static QUARANTINE_ENTRIES: LazyCounter =
-                        LazyCounter::new("serve.quarantine_entries");
-                    QUARANTINE_ENTRIES.inc();
-                    tfmae_obs::event("serve.quarantine_enter");
-                    s.clear_buffer();
-                }
-            }
-
-            if s.health.mode == StreamMode::Quarantine {
-                s.health.quarantined_rows += 1;
-                static QUARANTINED_ROWS: LazyCounter = LazyCounter::new("serve.quarantined_rows");
-                QUARANTINED_ROWS.inc();
-                s.pushed += 1;
+    /// [`ServingEngine::ingest`] that rejects rows for unregistered stream
+    /// ids (counted under `serve.rejected_rows`) instead of panicking.
+    pub fn try_ingest(
+        &mut self,
+        stream: usize,
+        row: &[f32],
+    ) -> Result<Vec<ServingVerdict>, RowRejection> {
+        let Some((sh, loc)) = self.route.get(stream).copied().flatten() else {
+            return Err(reject(stream));
+        };
+        let (det, cfg) = (&self.det, &self.cfg);
+        let (win_len, dims) = (self.win_len, self.dims);
+        let shard = &mut self.shards[sh];
+        shard.obs.rows.add(1);
+        let outcome = ingest_row(det, cfg, win_len, dims, stream, &mut shard.streams[loc], row);
+        Ok(match outcome {
+            RowOutcome::Buffered => Vec::new(),
+            RowOutcome::Quarantined(v) => {
                 // Quarantined rows never reach the scoring path, but they
                 // still count against a fine-tune update on probation.
                 self.adapt.observe_unscored_degraded();
-                return vec![ServingVerdict {
-                    stream,
-                    verdict: StreamVerdict {
-                        t: s.pushed - 1,
-                        score: 0.0,
-                        is_anomaly: false,
-                        quality: DataQuality::Degraded,
-                    },
-                }];
+                vec![v]
             }
-            (clean, quality)
-        };
-
-        // Buffer the sanitized row: normalize, write into the ring, advance
-        // the incremental accumulators.
-        let win_len = self.win_len;
-        let temporal_kind = self.det.cfg.temporal_mask;
-        let incremental = self.cfg.incremental;
-        let s = &mut self.streams[stream];
-        static IMPUTED_ROWS: LazyCounter = LazyCounter::new("serve.imputed_rows");
-        static DEGRADED_ROWS: LazyCounter = LazyCounter::new("serve.degraded_rows");
-        match quality {
-            DataQuality::Clean => {}
-            DataQuality::Imputed => {
-                s.health.imputed_rows += 1;
-                IMPUTED_ROWS.inc();
+            RowOutcome::Staged(w) => {
+                shard.obs.windows.add(1);
+                self.pending.push(*w);
+                Vec::new()
             }
-            DataQuality::Degraded => {
-                s.health.degraded_rows += 1;
-                DEGRADED_ROWS.inc();
-            }
-        }
-        let slot = s.head;
-        let mut normed = Vec::with_capacity(dims);
-        for n in 0..dims {
-            normed.push((clean[n] - norm.mean[n]) / norm.std[n]);
-        }
-        if incremental {
-            // Slide the spectra before the evicted sample is overwritten.
-            if s.filled == win_len && s.sdft[0].is_warm() {
-                for n in 0..dims {
-                    s.sdft[n]
-                        .slide(s.ring[slot * dims + n] as f64, normed[n] as f64);
-                }
-            }
-            for n in 0..dims {
-                s.roll[n].push(normed[n] as f64);
-            }
-            // Trailing statistic ending at this sample; meaningful once the
-            // rolling window holds `cv_window` real samples, which covers
-            // every window position whose trailing sub-sequence needs it.
-            s.stat_ring[slot] = match temporal_kind {
-                TemporalMaskKind::Cv => s.roll.iter().map(|r| r.cv()).sum(),
-                TemporalMaskKind::Std => s.roll.iter().map(|r| r.var().sqrt()).sum(),
-                TemporalMaskKind::Random | TemporalMaskKind::None => 0.0,
-            };
-        }
-        s.ring[slot * dims..(slot + 1) * dims].copy_from_slice(&normed);
-        s.quals[slot] = quality;
-        s.head = (s.head + 1) % win_len;
-        if s.filled < win_len {
-            s.filled += 1;
-        }
-        s.pushed += 1;
-        s.since_score += 1;
-
-        if s.filled < win_len || s.since_score < self.cfg.hop {
-            return Vec::new();
-        }
-        s.since_score = 0;
-
-        // Hop complete: snapshot the window, compute its masks from the
-        // incremental state, and stage it for the next flush.
-        let values = s.snapshot(win_len, dims);
-        let newest = self.cfg.hop.min(win_len);
-        let qualities: Vec<DataQuality> = (0..newest)
-            .map(|i| s.quals[(s.head + win_len - newest + i) % win_len])
-            .collect();
-        let base_t = s.pushed - newest as u64;
-        let frozen = s.frozen_norms;
-        // Calibration eligibility: a stream fresh out of quarantine sits
-        // out `holdoff` scored windows; reservoir eligibility additionally
-        // requires every retained sample to be Clean.
-        let calib = if s.calib_holdoff > 0 {
-            s.calib_holdoff -= 1;
-            false
-        } else {
-            true
-        };
-        let window_clean = s.quals.iter().all(|&q| q == DataQuality::Clean);
-
-        let mut rng = StdRng::seed_from_u64(self.det.cfg.seed ^ 0x5c0e);
-        let (mask_t, mask_f) = if !incremental {
-            // From-scratch baseline: the exact batch masking path per hop.
-            let model = self.det.model().expect("checked at construction");
-            model.window_masks(&values, &mut rng)
-        } else {
-            let refresh = s.hops_since_refresh == 0
-                || s.hops_since_refresh >= self.cfg.refresh_every;
-            if refresh {
-                static SDFT_REFRESHES: LazyCounter = LazyCounter::new("serve.sdft_refreshes");
-                SDFT_REFRESHES.inc();
-            }
-            let masks = incremental_masks(&self.det.cfg, s, &values, dims, refresh, &mut rng);
-            s.hops_since_refresh = if refresh { 1 } else { s.hops_since_refresh + 1 };
-            masks
-        };
-
-        static WINDOWS: LazyCounter = LazyCounter::new("serve.windows");
-        WINDOWS.inc();
-        self.pending.push(PendingWindow {
-            stream,
-            values,
-            mask_t,
-            mask_f,
-            base_t,
-            newest,
-            qualities,
-            frozen,
-            calib,
-            window_clean,
-        });
-        Vec::new()
+        })
     }
 
     /// Scores every staged window, batching up to
     /// [`ServingConfig::max_batch`] windows — across streams — per
     /// transformer forward, and returns their verdicts in staging order.
+    ///
+    /// Batch composition is decided *globally* in staging order — never per
+    /// shard — because the batched reduction shapes (and therefore the last
+    /// float bits) depend on it; sharding and work-stealing only decide
+    /// which worker executes an already-formed chunk, and per-chunk
+    /// numerics are thread-invariant (the PR 2 kernel contract), so the
+    /// merged verdicts are bitwise identical at any shard count.
     pub fn flush(&mut self) -> Vec<ServingVerdict> {
         if self.pending.is_empty() {
             return Vec::new();
@@ -652,7 +790,6 @@ impl ServingEngine {
         static SCORE_DRIFT: LazyGauge = LazyGauge::new("serve.score_drift_millis");
         let _flush_span = FLUSH_SPAN.enter();
         let mut pending = std::mem::take(&mut self.pending);
-        let model = self.det.model().expect("checked at construction");
         let (t, n) = (self.win_len, self.dims);
         let max_batch = self
             .cfg
@@ -676,77 +813,104 @@ impl ServingEngine {
             && self.cfg.adaptation.finetune.enabled
             && self.det.quant().is_none();
         let threshold = self.effective_threshold();
-        let g = Graph::with_executor(self.det.executor().clone());
-        let mut out = Vec::new();
-        while !pending.is_empty() {
-            let take = pending.len().min(max_batch);
-            let chunk: Vec<PendingWindow> = pending.drain(..take).collect();
-            g.reset();
-            let b = chunk.len();
-            static BATCHES: LazyCounter = LazyCounter::new("serve.batches");
-            static BATCH_WINDOWS: LazyHistogram = LazyHistogram::new("serve.batch_windows");
-            // Temporal tokens attended per scored window (win_len/patch_len):
-            // makes the patch-tokenization reduction visible in /metrics next
-            // to `serve.windows` (tokens/windows = T/P).
-            static PATCH_TOKENS: LazyCounter = LazyCounter::new("serve.patch_tokens");
-            BATCHES.inc();
-            BATCH_WINDOWS.record(b as u64);
-            PATCH_TOKENS.add((b * self.det.cfg.num_patch_tokens()) as u64);
-            let mut values = Vec::with_capacity(b * t * n);
-            let mut masks_t = Vec::with_capacity(b);
-            let mut masks_f = Vec::with_capacity(b);
-            let mut meta = Vec::with_capacity(b);
-            for p in chunk {
-                if reservoir_on && p.calib && p.window_clean {
+
+        // Reservoir offers happen on the coordinator in staging order (the
+        // offer ring is order-sensitive), before the chunks are handed to
+        // the shard workers.
+        if reservoir_on {
+            for p in &pending {
+                if p.calib && p.window_clean {
                     self.adapt.offer_window(p.values.clone());
                 }
-                values.extend_from_slice(&p.values);
-                masks_t.push(p.mask_t);
-                masks_f.push(p.mask_f);
-                meta.push((p.stream, p.base_t, p.newest, p.qualities, p.frozen, p.calib));
             }
-            let batch = crate::model::BatchInputs { values, b, masks_t, masks_f };
-            let ctx = match self.det.quant() {
-                Some(q) => Ctx::eval_quant(&g, &model.ps, q),
-                None => Ctx::eval(&g, &model.ps),
-            };
-            let fwd = model.forward(&ctx, &batch);
-            let (kl, dual) = model.anomaly_score_components(&ctx, &fwd);
-            for (wi, (stream, base_t, newest, qualities, frozen, calib)) in
-                meta.into_iter().enumerate()
-            {
-                let klw = &kl[wi * t..(wi + 1) * t];
-                let dualw = &dual[wi * t..(wi + 1) * t];
-                // Frozen calibration constants put scores on the offline
-                // scale; the fallback normalizes window-locally (exactly the
-                // pre-engine StreamingDetector behavior).
-                let scores: Vec<f32> = match (frozen, score_kind) {
-                    (Some((ma, mb)), ScoreKind::Combined) => klw
-                        .iter()
-                        .zip(dualw.iter())
-                        .map(|(x, y)| x / (ma + 1e-12) + y / (mb + 1e-12))
-                        .collect(),
-                    _ => combine_scores(score_kind, klw, dualw),
-                };
-                for i in 0..newest {
-                    let mut score = scores[t - newest + i];
-                    let mut quality = qualities[i];
-                    if !score.is_finite() {
-                        // Last line of defense: never emit a non-finite score.
-                        score = 0.0;
-                        quality = DataQuality::Degraded;
+        }
+
+        // Chunk formation: drain `max_batch` windows at a time in staging
+        // order, exactly as the single-shard engine batches.
+        let mut chunks: Vec<Vec<PendingWindow>> = Vec::new();
+        while !pending.is_empty() {
+            let take = pending.len().min(max_batch);
+            chunks.push(pending.drain(..take).collect());
+        }
+
+        let scored: Vec<Vec<ScoredRow>> = if self.shards.len() == 1 {
+            // Single shard: today's serial path on the detector's executor
+            // (shard 0's scratch executor aliases it).
+            let g = Graph::with_executor(self.shards[0].exec.clone());
+            let shard = &self.shards[0];
+            chunks
+                .into_iter()
+                .map(|chunk| {
+                    g.reset();
+                    shard.obs.chunks.add(1);
+                    score_chunk(&self.det, &g, chunk, t, n, score_kind, threshold)
+                })
+                .collect()
+        } else {
+            // Shard-parallel execution. Each chunk sits in a `Mutex<Option>`
+            // slot: `take()` is the claim, and it transfers ownership of the
+            // windows to exactly one worker. A shard first drains its own
+            // queue (chunks with index ≡ shard (mod N)), then sweeps every
+            // slot — work-stealing at the batched-forward-chunk level only.
+            let n_chunks = chunks.len();
+            let slots: Vec<Mutex<Option<Vec<PendingWindow>>>> =
+                chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+            let results: Vec<Mutex<Vec<ScoredRow>>> =
+                (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+            let det = &self.det;
+            let shards = &self.shards;
+            let nsh = shards.len();
+            self.det.executor().parallel_for(nsh, 1, &|a, b| {
+                for (sh, shard) in shards.iter().enumerate().take(b).skip(a) {
+                    let g = Graph::with_executor(shard.exec.clone());
+                    let claim = |ci: usize, stolen: bool| {
+                        let Some(chunk) = slots[ci].lock().expect("chunk slot").take() else {
+                            return;
+                        };
+                        g.reset();
+                        let rows = score_chunk(det, &g, chunk, t, n, score_kind, threshold);
+                        *results[ci].lock().expect("chunk result") = rows;
+                        shard.obs.chunks.add(1);
+                        if stolen {
+                            shard.obs.steals.add(1);
+                        }
+                    };
+                    let mut ci = sh;
+                    while ci < n_chunks {
+                        claim(ci, false);
+                        ci += nsh;
                     }
-                    let is_anomaly = score >= threshold && quality != DataQuality::Degraded;
-                    SCORE_HIST.record_micro(score as f64);
-                    self.adapt.observe(score, quality, calib, track);
-                    if is_anomaly {
-                        ANOMALIES.inc();
+                    for ci in 0..n_chunks {
+                        claim(ci, true);
                     }
-                    out.push(ServingVerdict {
-                        stream,
-                        verdict: StreamVerdict { t: base_t + i as u64, score, is_anomaly, quality },
-                    });
                 }
+            });
+            results
+                .into_iter()
+                .map(|m| m.into_inner().expect("chunk result"))
+                .collect()
+        };
+
+        // Merge on the coordinator in chunk order (= staging order): the
+        // order-sensitive effects — `AdaptiveRuntime::observe` and verdict
+        // emission — replay exactly as the serial engine interleaved them.
+        let mut out = Vec::new();
+        for rows in scored {
+            for r in rows {
+                SCORE_HIST.record_micro(r.score as f64);
+                self.adapt.observe(r.score, r.quality, r.calib, track);
+                if r.is_anomaly {
+                    ANOMALIES.inc();
+                }
+                out.push(ServingVerdict {
+                    stream: r.stream,
+                    verdict: StreamVerdict {
+                        t: r.t,
+                        score: r.score,
+                        is_anomaly: r.is_anomaly,
+                        quality: r.quality,
+                    },
+                });
             }
         }
         VERDICTS.add(out.len() as u64);
@@ -819,16 +983,380 @@ impl ServingEngine {
         out
     }
 
-    /// One serving tick: ingest a row per live stream, then score all
-    /// windows that became due in cross-stream batches.
-    pub fn tick(&mut self, rows: &[(usize, &[f32])]) -> Vec<ServingVerdict> {
-        let mut out = Vec::new();
-        for &(stream, row) in rows {
-            out.extend(self.ingest(stream, row));
+    /// One serving tick: ingest a row per live stream (fanned out to the
+    /// engine shards when `shards > 1`), then score all windows that became
+    /// due in cross-stream batches. Rows addressed to unregistered stream
+    /// ids are reported as typed [`RowRejection`]s — never a panic, and
+    /// never silently dropped — while the remaining rows process normally.
+    pub fn tick(&mut self, rows: &[(usize, &[f32])]) -> TickReport {
+        let mut report = TickReport::default();
+        if self.shards.len() == 1 {
+            for &(stream, row) in rows {
+                match self.try_ingest(stream, row) {
+                    Ok(v) => report.verdicts.extend(v),
+                    Err(r) => report.rejections.push(r),
+                }
+            }
+        } else {
+            self.fan_out_ingest(rows, &mut report);
         }
-        out.extend(self.flush());
-        out
+        report.verdicts.extend(self.flush());
+        report
     }
+
+    /// Routes a tick's rows to their shards and ingests shard-parallel over
+    /// the detector's worker pool; per-row outcomes merge back in input-row
+    /// order, so the engine-level effects (quarantine probation accounting,
+    /// window staging) replay exactly as the serial loop applies them.
+    fn fan_out_ingest(&mut self, rows: &[(usize, &[f32])], report: &mut TickReport) {
+        let nsh = self.shards.len();
+        let mut grouped: Vec<Vec<RoutedRow>> = vec![Vec::new(); nsh];
+        for (ri, &(stream, row)) in rows.iter().enumerate() {
+            match self.route.get(stream).copied().flatten() {
+                None => report.rejections.push(reject(stream)),
+                Some((sh, loc)) => grouped[sh].push((ri, loc, stream, row)),
+            }
+        }
+        let mut outs: Vec<Vec<(usize, RowOutcome)>> = (0..nsh).map(|_| Vec::new()).collect();
+        {
+            let det = &self.det;
+            let cfg = &self.cfg;
+            let (win_len, dims) = (self.win_len, self.dims);
+            let grouped = &grouped;
+            let shards_ptr = ShardPtr(self.shards.as_mut_ptr());
+            let outs_ptr = ShardPtr(outs.as_mut_ptr());
+            det.executor().parallel_for(nsh, 1, &|a, b| {
+                for (sh, rows) in grouped.iter().enumerate().take(b).skip(a) {
+                    // SAFETY: `parallel_for` chunk ranges partition `0..nsh`
+                    // and the call blocks until every chunk ran, so each
+                    // shard slot is mutated by exactly one worker (see
+                    // `ShardPtr`).
+                    let shard = unsafe { shards_ptr.at(sh) };
+                    let out = unsafe { outs_ptr.at(sh) };
+                    out.reserve(rows.len());
+                    for &(ri, loc, stream, row) in rows {
+                        shard.obs.rows.add(1);
+                        let o = ingest_row(
+                            det,
+                            cfg,
+                            win_len,
+                            dims,
+                            stream,
+                            &mut shard.streams[loc],
+                            row,
+                        );
+                        if matches!(o, RowOutcome::Staged(_)) {
+                            shard.obs.windows.add(1);
+                        }
+                        out.push((ri, o));
+                    }
+                }
+            });
+        }
+        let mut merged: Vec<(usize, RowOutcome)> = outs.into_iter().flatten().collect();
+        merged.sort_by_key(|&(ri, _)| ri);
+        for (_, o) in merged {
+            match o {
+                RowOutcome::Buffered => {}
+                RowOutcome::Quarantined(v) => {
+                    self.adapt.observe_unscored_degraded();
+                    report.verdicts.push(v);
+                }
+                RowOutcome::Staged(w) => self.pending.push(*w),
+            }
+        }
+    }
+}
+
+/// Counts and builds one typed row rejection.
+fn reject(stream: usize) -> RowRejection {
+    static REJECTED: LazyCounter = LazyCounter::new("serve.rejected_rows");
+    REJECTED.inc();
+    RowRejection { stream, reason: RejectReason::UnknownStream }
+}
+
+/// Sanitizes, buffers, and (on a completed hop) stages one row for one
+/// stream. This is the per-stream half of ingestion — it touches only the
+/// stream's own state plus process-wide atomic counters, so shard workers
+/// run it concurrently; the engine-level half (probation accounting,
+/// staging into the engine's pending queue) is applied by the coordinator
+/// from the returned [`RowOutcome`].
+fn ingest_row(
+    det: &TfmaeDetector,
+    cfg: &ServingConfig,
+    win_len: usize,
+    dims: usize,
+    stream: usize,
+    s: &mut StreamState,
+    row: &[f32],
+) -> RowOutcome {
+    static ROWS: LazyCounter = LazyCounter::new("serve.rows");
+    ROWS.inc();
+    let norm = det.norm().expect("fitted detector has a normalizer");
+
+    // Sanitize exactly as StreamingDetector::push did pre-engine.
+    let (clean, quality) = if !cfg.degraded.enabled {
+        assert_eq!(row.len(), dims, "row width mismatch");
+        (row.to_vec(), DataQuality::Clean)
+    } else {
+        let width_ok = row.len() == dims;
+        let mut clean = vec![0.0f32; dims];
+        let mut quality = DataQuality::Clean;
+        for n in 0..dims {
+            let v = if width_ok { row[n] } else { f32::NAN };
+            if v.is_finite() {
+                s.last_good[n] = Some(v);
+                s.staleness[n] = 0;
+                clean[n] = v;
+            } else {
+                s.staleness[n] += 1;
+                // Impute with the last good value; a channel that has
+                // never produced one falls back to 0.0.
+                clean[n] = s.last_good[n].unwrap_or(0.0);
+                let q = if s.last_good[n].is_some()
+                    && s.staleness[n] <= cfg.degraded.staleness_budget
+                {
+                    DataQuality::Imputed
+                } else {
+                    DataQuality::Degraded
+                };
+                quality = quality.max(q);
+            }
+        }
+
+        if quality == DataQuality::Clean {
+            s.consecutive_bad = 0;
+            if s.health.mode == StreamMode::Quarantine {
+                // Clean data ends quarantine; re-warm from empty. The
+                // stream additionally sits out `holdoff` scored windows
+                // before its scores re-enter calibration (see
+                // `crate::adapt`).
+                s.health.mode = StreamMode::Normal;
+                s.calib_holdoff = cfg.adaptation.holdoff;
+                static QUARANTINE_EXITS: LazyCounter =
+                    LazyCounter::new("serve.quarantine_exits");
+                QUARANTINE_EXITS.inc();
+                tfmae_obs::event("serve.quarantine_exit");
+            }
+        } else {
+            s.consecutive_bad += 1;
+            if s.health.mode == StreamMode::Normal
+                && s.consecutive_bad >= cfg.degraded.quarantine_after
+            {
+                s.health.mode = StreamMode::Quarantine;
+                s.health.quarantine_entries += 1;
+                static QUARANTINE_ENTRIES: LazyCounter =
+                    LazyCounter::new("serve.quarantine_entries");
+                QUARANTINE_ENTRIES.inc();
+                tfmae_obs::event("serve.quarantine_enter");
+                s.clear_buffer();
+            }
+        }
+
+        if s.health.mode == StreamMode::Quarantine {
+            s.health.quarantined_rows += 1;
+            static QUARANTINED_ROWS: LazyCounter = LazyCounter::new("serve.quarantined_rows");
+            QUARANTINED_ROWS.inc();
+            s.pushed += 1;
+            return RowOutcome::Quarantined(ServingVerdict {
+                stream,
+                verdict: StreamVerdict {
+                    t: s.pushed - 1,
+                    score: 0.0,
+                    is_anomaly: false,
+                    quality: DataQuality::Degraded,
+                },
+            });
+        }
+        (clean, quality)
+    };
+
+    // Buffer the sanitized row: normalize, write into the ring, advance
+    // the incremental accumulators.
+    let temporal_kind = det.cfg.temporal_mask;
+    let incremental = cfg.incremental;
+    static IMPUTED_ROWS: LazyCounter = LazyCounter::new("serve.imputed_rows");
+    static DEGRADED_ROWS: LazyCounter = LazyCounter::new("serve.degraded_rows");
+    match quality {
+        DataQuality::Clean => {}
+        DataQuality::Imputed => {
+            s.health.imputed_rows += 1;
+            IMPUTED_ROWS.inc();
+        }
+        DataQuality::Degraded => {
+            s.health.degraded_rows += 1;
+            DEGRADED_ROWS.inc();
+        }
+    }
+    let slot = s.head;
+    let mut normed = Vec::with_capacity(dims);
+    for n in 0..dims {
+        normed.push((clean[n] - norm.mean[n]) / norm.std[n]);
+    }
+    if incremental {
+        // Slide the spectra before the evicted sample is overwritten.
+        if s.filled == win_len && s.sdft[0].is_warm() {
+            for n in 0..dims {
+                s.sdft[n].slide(s.ring[slot * dims + n] as f64, normed[n] as f64);
+            }
+        }
+        for n in 0..dims {
+            s.roll[n].push(normed[n] as f64);
+        }
+        // Trailing statistic ending at this sample; meaningful once the
+        // rolling window holds `cv_window` real samples, which covers
+        // every window position whose trailing sub-sequence needs it.
+        s.stat_ring[slot] = match temporal_kind {
+            TemporalMaskKind::Cv => s.roll.iter().map(|r| r.cv()).sum(),
+            TemporalMaskKind::Std => s.roll.iter().map(|r| r.var().sqrt()).sum(),
+            TemporalMaskKind::Random | TemporalMaskKind::None => 0.0,
+        };
+    }
+    s.ring[slot * dims..(slot + 1) * dims].copy_from_slice(&normed);
+    s.quals[slot] = quality;
+    s.head = (s.head + 1) % win_len;
+    if s.filled < win_len {
+        s.filled += 1;
+    }
+    s.pushed += 1;
+    s.since_score += 1;
+
+    if s.filled < win_len || s.since_score < cfg.hop {
+        return RowOutcome::Buffered;
+    }
+    s.since_score = 0;
+
+    // Hop complete: snapshot the window, compute its masks from the
+    // incremental state, and stage it for the next flush.
+    let values = s.snapshot(win_len, dims);
+    let newest = cfg.hop.min(win_len);
+    let qualities: Vec<DataQuality> = (0..newest)
+        .map(|i| s.quals[(s.head + win_len - newest + i) % win_len])
+        .collect();
+    let base_t = s.pushed - newest as u64;
+    let frozen = s.frozen_norms;
+    // Calibration eligibility: a stream fresh out of quarantine sits
+    // out `holdoff` scored windows; reservoir eligibility additionally
+    // requires every retained sample to be Clean.
+    let calib = if s.calib_holdoff > 0 {
+        s.calib_holdoff -= 1;
+        false
+    } else {
+        true
+    };
+    let window_clean = s.quals.iter().all(|&q| q == DataQuality::Clean);
+
+    let mut rng = StdRng::seed_from_u64(det.cfg.seed ^ 0x5c0e);
+    let (mask_t, mask_f) = if !incremental {
+        // From-scratch baseline: the exact batch masking path per hop.
+        let model = det.model().expect("checked at construction");
+        model.window_masks(&values, &mut rng)
+    } else {
+        let refresh =
+            s.hops_since_refresh == 0 || s.hops_since_refresh >= cfg.refresh_every;
+        if refresh {
+            static SDFT_REFRESHES: LazyCounter = LazyCounter::new("serve.sdft_refreshes");
+            SDFT_REFRESHES.inc();
+        }
+        let masks = incremental_masks(&det.cfg, s, &values, dims, refresh, &mut rng);
+        s.hops_since_refresh = if refresh { 1 } else { s.hops_since_refresh + 1 };
+        masks
+    };
+
+    static WINDOWS: LazyCounter = LazyCounter::new("serve.windows");
+    WINDOWS.inc();
+    RowOutcome::Staged(Box::new(PendingWindow {
+        stream,
+        values,
+        mask_t,
+        mask_f,
+        base_t,
+        newest,
+        qualities,
+        frozen,
+        calib,
+        window_clean,
+    }))
+}
+
+/// Runs one already-formed chunk through the shared model on graph `g` and
+/// returns its scored rows. Touches nothing order-sensitive: every output
+/// is a pure function of the chunk, the read-only detector, and the
+/// pre-read threshold, so any worker may execute any chunk. The per-chunk
+/// numerics are thread-invariant (PR 2 kernel contract), which is what
+/// makes work-stealing verdict-neutral.
+fn score_chunk(
+    det: &TfmaeDetector,
+    g: &Graph,
+    chunk: Vec<PendingWindow>,
+    t: usize,
+    n: usize,
+    score_kind: ScoreKind,
+    threshold: f32,
+) -> Vec<ScoredRow> {
+    let model = det.model().expect("checked at construction");
+    let b = chunk.len();
+    static BATCHES: LazyCounter = LazyCounter::new("serve.batches");
+    static BATCH_WINDOWS: LazyHistogram = LazyHistogram::new("serve.batch_windows");
+    // Temporal tokens attended per scored window (win_len/patch_len):
+    // makes the patch-tokenization reduction visible in /metrics next
+    // to `serve.windows` (tokens/windows = T/P).
+    static PATCH_TOKENS: LazyCounter = LazyCounter::new("serve.patch_tokens");
+    BATCHES.inc();
+    BATCH_WINDOWS.record(b as u64);
+    PATCH_TOKENS.add((b * det.cfg.num_patch_tokens()) as u64);
+    let mut values = Vec::with_capacity(b * t * n);
+    let mut masks_t = Vec::with_capacity(b);
+    let mut masks_f = Vec::with_capacity(b);
+    let mut meta = Vec::with_capacity(b);
+    for p in chunk {
+        values.extend_from_slice(&p.values);
+        masks_t.push(p.mask_t);
+        masks_f.push(p.mask_f);
+        meta.push((p.stream, p.base_t, p.newest, p.qualities, p.frozen, p.calib));
+    }
+    let batch = crate::model::BatchInputs { values, b, masks_t, masks_f };
+    let ctx = match det.quant() {
+        Some(q) => Ctx::eval_quant(g, &model.ps, q),
+        None => Ctx::eval(g, &model.ps),
+    };
+    let fwd = model.forward(&ctx, &batch);
+    let (kl, dual) = model.anomaly_score_components(&ctx, &fwd);
+    let mut out = Vec::new();
+    for (wi, (stream, base_t, newest, qualities, frozen, calib)) in meta.into_iter().enumerate() {
+        let klw = &kl[wi * t..(wi + 1) * t];
+        let dualw = &dual[wi * t..(wi + 1) * t];
+        // Frozen calibration constants put scores on the offline
+        // scale; the fallback normalizes window-locally (exactly the
+        // pre-engine StreamingDetector behavior).
+        let scores: Vec<f32> = match (frozen, score_kind) {
+            (Some((ma, mb)), ScoreKind::Combined) => klw
+                .iter()
+                .zip(dualw.iter())
+                .map(|(x, y)| x / (ma + 1e-12) + y / (mb + 1e-12))
+                .collect(),
+            _ => combine_scores(score_kind, klw, dualw),
+        };
+        for i in 0..newest {
+            let mut score = scores[t - newest + i];
+            let mut quality = qualities[i];
+            if !score.is_finite() {
+                // Last line of defense: never emit a non-finite score.
+                score = 0.0;
+                quality = DataQuality::Degraded;
+            }
+            let is_anomaly = score >= threshold && quality != DataQuality::Degraded;
+            out.push(ScoredRow {
+                stream,
+                t: base_t + i as u64,
+                score,
+                is_anomaly,
+                quality,
+                calib,
+            });
+        }
+    }
+    out
 }
 
 /// Publishes the serving precision as bits per weight scalar (32/16/8):
@@ -1020,7 +1548,9 @@ mod tests {
         for t in 0..win + 16 {
             let rows: Vec<(usize, &[f32])> =
                 ids.iter().map(|&id| (id, datas[id].row(t))).collect();
-            for v in eng.tick(&rows) {
+            let report = eng.tick(&rows);
+            assert!(report.rejections.is_empty());
+            for v in report.verdicts {
                 batched[v.stream].push(v);
             }
         }
@@ -1102,6 +1632,63 @@ mod tests {
             eng.ingest(0, &[1.0]);
         }));
         assert!(r.is_err(), "ingest to an unregistered stream must panic");
+    }
+
+    #[test]
+    fn tick_rejects_unknown_stream_rows_and_keeps_scoring_the_rest() {
+        // The fleet-facing tick surface must not panic (or silently drop
+        // rows) over one bad stream id: the bad row comes back as a typed
+        // rejection and every other row processes normally.
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let mut eng = ServingEngine::new(det, ServingConfig::new(f32::MAX, win));
+        let id = eng.add_stream();
+        let data = series(win, 9);
+        let (mut verdicts, mut rejections) = (0usize, 0usize);
+        for t in 0..win {
+            let row = data.row(t);
+            let report = eng.tick(&[(id, row), (id + 7, row)]);
+            for r in &report.rejections {
+                assert_eq!(*r, RowRejection { stream: id + 7, reason: RejectReason::UnknownStream });
+            }
+            rejections += report.rejections.len();
+            verdicts += report.verdicts.len();
+        }
+        assert_eq!(rejections, win, "one typed rejection per bad row");
+        assert_eq!(verdicts, win, "the registered stream still scores");
+        assert_eq!(eng.stream_len(id), win as u64);
+    }
+
+    #[test]
+    fn removed_streams_reject_and_their_slots_are_recycled() {
+        let det = fitted();
+        let win = det.cfg.win_len;
+        let mut cfg = ServingConfig::new(f32::MAX, win);
+        cfg.shards = 2;
+        let mut eng = ServingEngine::new(det, cfg);
+        let a = eng.add_stream();
+        let b = eng.add_stream();
+        assert_eq!(eng.num_streams(), 2);
+        assert!(eng.remove_stream(a));
+        assert!(!eng.remove_stream(a), "double-remove reports not-live");
+        assert_eq!(eng.num_streams(), 1);
+        // A removed id is retired, not recycled: rows for it are rejected.
+        let row = vec![0.0f32; eng.dims()];
+        assert!(eng.try_ingest(a, &row).is_err());
+        // The freed shard slot is reused by the next registration; the old
+        // id keeps rejecting while the new stream scores end to end.
+        let c = eng.add_stream();
+        assert_ne!(a, c);
+        assert_eq!(eng.num_streams(), 2);
+        let data = series(win, 11);
+        let mut verdicts = 0usize;
+        for t in 0..win {
+            let rows: Vec<(usize, &[f32])> = vec![(b, data.row(t)), (c, data.row(t))];
+            let report = eng.tick(&rows);
+            assert!(report.rejections.is_empty());
+            verdicts += report.verdicts.len();
+        }
+        assert_eq!(verdicts, 2 * win);
     }
 
     #[test]

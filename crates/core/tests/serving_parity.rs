@@ -18,8 +18,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tfmae_core::{
-    AdaptationConfig, DataQuality, DegradedModeConfig, FinetuneConfig, ServingConfig,
-    ServingEngine, StreamVerdict, StreamingDetector, TfmaeConfig, TfmaeDetector,
+    AdaptationConfig, DataQuality, DegradedModeConfig, FinetuneConfig, Precision, RowRejection,
+    ServingConfig, ServingEngine, ServingVerdict, StreamVerdict, StreamingDetector, TfmaeConfig,
+    TfmaeDetector,
 };
 use tfmae_data::{render, Component, Detector, TimeSeries};
 
@@ -223,7 +224,7 @@ fn patched_batched_multi_stream_agrees_with_solo() {
     for t in 0..len {
         let rows: Vec<(usize, &[f32])> =
             ids.iter().map(|&id| (id, datas[id].row(t))).collect();
-        for v in eng.tick(&rows) {
+        for v in eng.tick(&rows).verdicts {
             batched[v.stream].push(v.verdict);
         }
     }
@@ -347,7 +348,7 @@ fn batched_multi_stream_agrees_with_solo_over_long_run() {
     for t in 0..len {
         let rows: Vec<(usize, &[f32])> =
             ids.iter().map(|&id| (id, datas[id].row(t))).collect();
-        for v in eng.tick(&rows) {
+        for v in eng.tick(&rows).verdicts {
             batched[v.stream].push(v.verdict);
         }
     }
@@ -577,4 +578,235 @@ fn calibrated_stream_parity_between_engine_and_wrapper() {
     for (a, b) in from_wrapper.iter().zip(from_engine.iter()) {
         assert_eq!(a, b);
     }
+}
+
+// --------------------------------------------------------------- sharding
+//
+// Contract 4: **shard count is invisible in the output.** The engine forms
+// forward batches globally in staging order and merges scored rows back on
+// the coordinator, so the full verdict trace — order, stream tags, and
+// every score bit — must be identical at shards = 1/2/4 across the whole
+// battery: plain batched serving, quarantine storms, frozen calibration,
+// enabled adaptation, patch tokenization, and quantized precision.
+
+/// Replays per-stream data through one engine at a given shard count,
+/// returning the full ordered (verdicts, rejections) trace plus the final
+/// effective threshold. `fault` may replace a (stream, t) row; `include`
+/// gates which streams participate in a tick (irregular interleaves).
+#[allow(clippy::too_many_arguments)]
+fn sharded_trace(
+    det: TfmaeDetector,
+    mut cfg: ServingConfig,
+    shards: usize,
+    datas: &[TimeSeries],
+    calibrate: Option<&TimeSeries>,
+    fault: &dyn Fn(usize, usize) -> Option<Vec<f32>>,
+    include: &dyn Fn(usize, usize) -> bool,
+    extra_rows: &dyn Fn(usize) -> Vec<(usize, Vec<f32>)>,
+) -> (Vec<ServingVerdict>, Vec<RowRejection>, f32) {
+    cfg.shards = shards;
+    let mut eng = ServingEngine::new(det, cfg);
+    let ids: Vec<usize> = datas.iter().map(|_| eng.add_stream()).collect();
+    if let Some(val) = calibrate {
+        for &id in &ids {
+            eng.calibrate_stream(id, val);
+        }
+    }
+    let len = datas[0].len();
+    let mut verdicts = Vec::new();
+    let mut rejections = Vec::new();
+    for t in 0..len {
+        let mut owned: Vec<(usize, Vec<f32>)> = Vec::new();
+        for (sid, &id) in ids.iter().enumerate() {
+            if include(sid, t) {
+                owned.push((id, fault(sid, t).unwrap_or_else(|| datas[sid].row(t).to_vec())));
+            }
+        }
+        owned.extend(extra_rows(t));
+        let rows: Vec<(usize, &[f32])> = owned.iter().map(|(id, r)| (*id, r.as_slice())).collect();
+        let report = eng.tick(&rows);
+        verdicts.extend(report.verdicts);
+        rejections.extend(report.rejections);
+    }
+    (verdicts, rejections, eng.effective_threshold())
+}
+
+/// Asserts bitwise-identical traces at shards = 1/2/4 and returns the
+/// shards = 1 reference trace.
+fn assert_shard_invariant(
+    det: &TfmaeDetector,
+    cfg: &ServingConfig,
+    datas: &[TimeSeries],
+    calibrate: Option<&TimeSeries>,
+    fault: &dyn Fn(usize, usize) -> Option<Vec<f32>>,
+    include: &dyn Fn(usize, usize) -> bool,
+    extra_rows: &dyn Fn(usize) -> Vec<(usize, Vec<f32>)>,
+) -> Vec<ServingVerdict> {
+    let (base_v, base_r, base_thr) =
+        sharded_trace(replicate(det), cfg.clone(), 1, datas, calibrate, fault, include, extra_rows);
+    assert!(!base_v.is_empty(), "battery run must produce verdicts");
+    for shards in [2usize, 4] {
+        let (v, r, thr) = sharded_trace(
+            replicate(det),
+            cfg.clone(),
+            shards,
+            datas,
+            calibrate,
+            fault,
+            include,
+            extra_rows,
+        );
+        assert_eq!(base_v.len(), v.len(), "verdict count at shards={shards}");
+        for (i, (a, b)) in base_v.iter().zip(v.iter()).enumerate() {
+            assert_eq!(a, b, "verdict #{i} differs at shards={shards}");
+        }
+        assert_eq!(base_r, r, "rejection trace at shards={shards}");
+        assert_eq!(
+            base_thr.to_bits(),
+            thr.to_bits(),
+            "effective threshold at shards={shards}"
+        );
+    }
+    base_v
+}
+
+const ALL: &dyn Fn(usize, usize) -> bool = &|_, _| true;
+const NO_FAULT: &dyn Fn(usize, usize) -> Option<Vec<f32>> = &|_, _| None;
+const NO_EXTRA: &dyn Fn(usize) -> Vec<(usize, Vec<f32>)> = &|_| Vec::new();
+
+#[test]
+fn shard_count_is_verdict_invariant_for_batched_multi_stream_serving() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let datas: Vec<TimeSeries> =
+        (0..5).map(|sid| series(win * 2 + 12, 400 + sid as u64)).collect();
+    let mut cfg = ServingConfig::new(f32::MAX, 3);
+    // Real multi-window chunks: chunk composition, not just solo windows,
+    // must be shard-count independent.
+    cfg.max_batch = Some(det.cfg.batch);
+    assert_shard_invariant(&det, &cfg, &datas, None, NO_FAULT, ALL, NO_EXTRA);
+}
+
+#[test]
+fn shard_count_invariance_survives_faults_and_quarantine() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let datas: Vec<TimeSeries> = (0..4).map(|sid| series(win * 3, 410 + sid as u64)).collect();
+    let mut cfg = ServingConfig::new(f32::MAX, 2);
+    cfg.degraded =
+        DegradedModeConfig { staleness_budget: 0, quarantine_after: 8, ..Default::default() };
+    cfg.max_batch = Some(det.cfg.batch);
+    // NaN storm on streams 1 and 3, deep enough to quarantine and recover;
+    // quarantine verdicts are emitted at ingest time, so this also pins the
+    // fan-out's row-order merge.
+    let fault = |sid: usize, t: usize| -> Option<Vec<f32>> {
+        (sid % 2 == 1 && t >= win && t < win + 12).then(|| vec![f32::NAN])
+    };
+    let got = assert_shard_invariant(&det, &cfg, &datas, None, &fault, ALL, NO_EXTRA);
+    assert!(
+        got.iter().any(|v| v.verdict.quality == DataQuality::Degraded),
+        "storm must bite for the battery to mean anything"
+    );
+}
+
+#[test]
+fn shard_count_invariance_with_frozen_calibration() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let val = series(160, 47);
+    let datas: Vec<TimeSeries> =
+        (0..4).map(|sid| series(win * 2, 420 + sid as u64)).collect();
+    let mut cfg = ServingConfig::new(f32::MAX, 2);
+    cfg.max_batch = Some(det.cfg.batch);
+    assert_shard_invariant(&det, &cfg, &datas, Some(&val), NO_FAULT, ALL, NO_EXTRA);
+}
+
+#[test]
+fn shard_count_invariance_with_adaptation_enabled() {
+    // Adaptation is the most order-sensitive consumer (score-window
+    // generations rotate on observation count; δ moves on recalibration),
+    // so a shard-order bug shows up here first. The final δ must match to
+    // the bit as well.
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let datas: Vec<TimeSeries> =
+        (0..3).map(|sid| series(win + 128, 430 + sid as u64)).collect();
+    let mut cfg = ServingConfig::new(1000.0, 2);
+    cfg.max_batch = Some(det.cfg.batch);
+    let mut ad = AdaptationConfig::enabled();
+    ad.min_samples = 32;
+    ad.recalibrate_every = 32;
+    ad.window = 128;
+    cfg.adaptation = ad;
+    let (_, _, thr) = sharded_trace(
+        replicate(&det),
+        { let mut c = cfg.clone(); c.shards = 1; c },
+        1,
+        &datas,
+        None,
+        NO_FAULT,
+        ALL,
+        NO_EXTRA,
+    );
+    assert!(thr < 1000.0, "run must actually recalibrate for this test to bite");
+    assert_shard_invariant(&det, &cfg, &datas, None, NO_FAULT, ALL, NO_EXTRA);
+}
+
+#[test]
+fn shard_count_invariance_with_patch_tokens() {
+    let det = fitted_patched(4);
+    let win = det.cfg.win_len;
+    let datas: Vec<TimeSeries> =
+        (0..4).map(|sid| series(win * 2 + 12, 440 + sid as u64)).collect();
+    let mut cfg = ServingConfig::new(f32::MAX, 3);
+    cfg.max_batch = Some(det.cfg.batch);
+    assert_shard_invariant(&det, &cfg, &datas, None, NO_FAULT, ALL, NO_EXTRA);
+}
+
+#[test]
+fn shard_count_invariance_with_quantized_precision() {
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let datas: Vec<TimeSeries> =
+        (0..4).map(|sid| series(win * 2, 450 + sid as u64)).collect();
+    let mut cfg = ServingConfig::new(f32::MAX, 3);
+    cfg.max_batch = Some(det.cfg.batch);
+    cfg.precision = Precision::Bf16;
+    assert_shard_invariant(&det, &cfg, &datas, None, NO_FAULT, ALL, NO_EXTRA);
+}
+
+#[test]
+fn interleaved_ingest_ordering_is_deterministic_across_shard_counts() {
+    // Irregular multi-stream interleave: streams drop in and out per tick
+    // (so hops complete on different ticks per stream) and every third tick
+    // carries a row for an unregistered id. The verdict trace AND the typed
+    // rejection trace must be identical at every shard count.
+    let det = fitted();
+    let win = det.cfg.win_len;
+    let dims = 1usize;
+    let datas: Vec<TimeSeries> =
+        (0..5).map(|sid| series(win * 2 + 30, 460 + sid as u64)).collect();
+    let mut cfg = ServingConfig::new(f32::MAX, 2);
+    cfg.max_batch = Some(det.cfg.batch);
+    let include = |sid: usize, t: usize| -> bool { (t + sid) % (sid + 2) != 0 };
+    let extra = move |t: usize| -> Vec<(usize, Vec<f32>)> {
+        if t % 3 == 0 {
+            vec![(999, vec![0.5f32; dims])]
+        } else {
+            Vec::new()
+        }
+    };
+    let (base_v, base_r, _) = sharded_trace(
+        replicate(&det),
+        { let mut c = cfg.clone(); c.shards = 1; c },
+        1,
+        &datas,
+        None,
+        NO_FAULT,
+        &include,
+        &extra,
+    );
+    assert!(!base_v.is_empty());
+    assert!(!base_r.is_empty(), "unknown-id rows must be rejected, not dropped");
+    assert_shard_invariant(&det, &cfg, &datas, None, NO_FAULT, &include, &extra);
 }

@@ -32,10 +32,14 @@ pub const THREADS_ENV: &str = "TFMAE_THREADS";
 
 /// Minimum total task work (multiply-adds) before
 /// [`Executor::parallel_for_flops`] fans a kernel out to the worker pool.
-/// BENCH_exec.json showed 0.78×/0.65× at 4 threads on small shapes: below
-/// roughly this many flops the wake/shard round-trip costs more than the
-/// arithmetic, so such tasks run inline on the caller.
-pub const MIN_PAR_FLOPS: usize = 256 * 1024;
+/// The original 256 Ki gate still let BENCH_exec's small shapes overshard —
+/// bmm_8x64x64x64 (2 Mi flops) recorded 0.78× and train_epoch_tiny 0.65× at
+/// 4 threads — so the gate sits at 4 Mi: below it the wake/shard round-trip
+/// costs more than the arithmetic and the task runs inline on the caller,
+/// while cache-resident medium matmuls (≥ ~5 Mi flops) still fan out.
+/// Serving-side multi-core throughput comes from stream-shard parallelism
+/// (`ServingConfig::shards`), not from sharding small per-window kernels.
+pub const MIN_PAR_FLOPS: usize = 4 * 1024 * 1024;
 
 /// Smallest pooled buffer capacity (floats): `1 << MIN_CLASS`.
 const MIN_CLASS: u32 = 6;

@@ -100,8 +100,14 @@ pub(crate) struct Node {
 }
 
 /// Minimum elements before an elementwise/reduction op fans out to the
-/// worker pool (below this the dispatch overhead dominates).
-const MIN_PAR_ELEMS: usize = 4096;
+/// worker pool. These ops are memory-bound — a few tenths of a ns per
+/// element — so the 4096-element gate this shipped with fanned out work
+/// that costs ~1µs serial against a multi-µs wake round-trip; tiny-model
+/// training measured 0.65–0.89x at 2–4 threads from exactly that (see
+/// BENCH_exec.json's note). Fan-out starts at `2 ×` this (≥ 128 Ki
+/// elements, ~512 KiB of traffic), where the copy is long enough to
+/// amortize the wake even on modest hosts.
+const MIN_PAR_ELEMS: usize = 64 * 1024;
 
 /// Append-only autograd tape.
 ///

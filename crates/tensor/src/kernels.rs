@@ -30,8 +30,14 @@ use crate::exec::{Executor, SendPtr};
 use crate::quant::{bf16_to_f32, QuantData};
 
 /// Minimum per-chunk work (inner-loop iterations) before a kernel fans out;
-/// below this the dispatch overhead dominates.
-const MIN_PAR_WORK: usize = 16 * 1024;
+/// below this the dispatch overhead dominates. Sized for the memory-bound
+/// kernels this gates directly (transpose, softmax, activations — no flops
+/// gate): fan-out starts at `2 ×` this, ~1 MiB of f32 traffic, matching
+/// the retuned [`crate::exec::MIN_PAR_FLOPS`] story — small per-window
+/// work stays on the caller, multi-core throughput comes from stream
+/// sharding above (the 16 Ki setting this shipped with measured 0.65–0.89x
+/// tiny-train "speedups" at 2–4 threads; see BENCH_exec.json's note).
+const MIN_PAR_WORK: usize = 128 * 1024;
 
 /// Rows per chunk so that each chunk carries at least [`MIN_PAR_WORK`].
 fn min_rows(per_row_work: usize) -> usize {
@@ -1852,7 +1858,10 @@ mod tests {
         let st = ex.stats();
         assert_eq!((st.tasks_dispatched, st.parallel_tasks), (1, 0), "tiny matmul must stay serial");
 
-        let (m, k, n) = (128usize, 64usize, 64usize); // 512k flops ≥ gate
+        // m·k·n = 4 Mi multiply-adds: exactly MIN_PAR_FLOPS, the smallest
+        // shape that fans out.
+        let (m, k, n) = (256usize, 128usize, 128usize);
+        assert!(m * k * n >= crate::exec::MIN_PAR_FLOPS);
         let a = rndvec(m * k, 43);
         let b = rndvec(k * n, 44);
         let mut out = vec![0.0; m * n];
