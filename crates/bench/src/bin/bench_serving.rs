@@ -20,9 +20,9 @@
 //!   i.e. S single-stream engines: incremental state but every hop is a
 //!   batch-of-one forward. Isolates the cross-stream batching win.
 //! * `per_stream_from_scratch` — S independent single-stream engines with
-//!   `incremental: false`: per-hop from-scratch masking (full `cv_statistic`
-//!   + rfft per window) and batch-of-one forwards — the pre-engine cost
-//!   model, and the honest "before" baseline.
+//!   `incremental: false`: per-hop from-scratch masking (full
+//!   `cv_statistic` + rfft per window) and batch-of-one forwards — the
+//!   pre-engine cost model, and the honest "before" baseline.
 //!
 //! Every mode shares one worker pool sized by `--threads` (default: the
 //! host's available parallelism). The engine's cross-stream batches give the
@@ -66,6 +66,15 @@
 //! `--overhead-only` runs just the paired A/B segments: those two, plus
 //! the bf16-vs-f32 ABBA comparison.
 //!
+//! A loopback **network segment** then measures the `tfmae-server` wire
+//! path end to end: the same checkpoint served from a temp registry over
+//! real HTTP/1.1 on 127.0.0.1, S=8 streams pushed in hop-sized CSV chunks
+//! over keep-alive connections and polled back. It records wire rows/sec,
+//! p50/p99 ingest→verdict latency (push-start to last verdict line of the
+//! hop, polling included — the honest client-observed figure), the direct
+//! in-process engine replay of the same rows, and the resulting
+//! `wire_overhead_pct`, into the JSON's `network` object.
+//!
 //! The three modes are measured in interleaved rounds over the same replay
 //! (engine, per-stream, from-scratch, repeat) and each mode reports its best
 //! round, so slow drift on a shared/noisy host biases no mode and warm-up
@@ -78,6 +87,8 @@
 //! copies to stay cache-resident. Training quality is irrelevant to the
 //! throughput measurement, so the fit is a single epoch.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -86,6 +97,7 @@ use rand::SeedableRng;
 use tfmae_core::{Precision, ServingConfig, ServingEngine, TfmaeConfig, TfmaeDetector};
 use tfmae_data::{render, Component, Detector, TimeSeries};
 use tfmae_obs::Histogram;
+use tfmae_server::{Server, ServerConfig};
 use tfmae_tensor::Executor;
 
 /// One row of the S=1k–10k capacity sweep: the sharded engine ticking S
@@ -391,9 +403,16 @@ fn main() {
     let capacity = capacity_segment(&det, &exec, hop, quick);
     let overhead = overhead_segment(&det, &exec, hop, if quick { 8 } else { 25 });
     let shard_overhead = shard_overhead_segment(&det, &exec, hop, if quick { 8 } else { 25 });
+    let network = network_segment(&det, &exec, hop, quick);
 
-    let json =
-        render_json(&det.cfg, hop, threads, &entries, overhead, &capacity, shard_overhead);
+    let json = render_json(
+        &det.cfg,
+        hop,
+        threads,
+        &entries,
+        &capacity,
+        &SegmentStats { overhead, shard_overhead, network: &network },
+    );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("could not write {out_path}: {e}");
     } else {
@@ -758,14 +777,287 @@ fn shard_overhead_segment(
     (s1_best, s4_best, pct)
 }
 
+/// What the loopback network segment measured.
+struct NetStats {
+    streams: usize,
+    rows_per_sec: f64,
+    p50_ingest_to_verdict_us: f64,
+    p99_ingest_to_verdict_us: f64,
+    direct_rows_per_sec: f64,
+    wire_overhead_pct: f64,
+}
+
+/// A keep-alive HTTP/1.1 client for the loopback bench: one connection,
+/// sequential request/response, `Content-Length` framing both ways.
+struct NetClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl NetClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to bench server");
+        stream.set_nodelay(true).expect("nodelay");
+        Self { stream, buf: Vec::new() }
+    }
+
+    fn call(&mut self, method: &str, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes()).expect("write request head");
+        self.stream.write_all(body).expect("write request body");
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            self.fill();
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end]).expect("response head UTF-8");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status in response line");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+            })
+            .expect("content-length in response");
+        while self.buf.len() < head_end + content_length {
+            self.fill();
+        }
+        let body = self.buf[head_end..head_end + content_length].to_vec();
+        self.buf.drain(..head_end + content_length);
+        (status, body)
+    }
+
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed mid-response");
+        self.buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Loopback network segment: the wire path (HTTP push → scorer → HTTP
+/// poll) vs the direct in-process engine on identical rows. The server
+/// runs in its shipped configuration (engine-chosen `max_batch`); the
+/// client pushes hop-sized CSV chunks per stream over keep-alive
+/// connections and drains verdicts after each replay. Latency is measured
+/// separately in steady state: one hop pushed to one stream, polled until
+/// its verdicts arrive — push-start to last line, polling round-trips
+/// included.
+fn network_segment(det: &TfmaeDetector, exec: &Arc<Executor>, hop: usize, quick: bool) -> NetStats {
+    let s = 8usize;
+    let win = det.cfg.win_len;
+    let hops_n = if quick { 6 } else { 8 };
+    let rounds = if quick { 2 } else { 3 };
+    let len = win + hop * hops_n;
+    let datas: Vec<TimeSeries> = (0..s).map(|sid| series(len, 100 + sid as u64)).collect();
+
+    // Direct baseline: identical rows, identical engine, no wire.
+    let mut d_eng = ServingEngine::new(replicate(det, exec), ServingConfig::new(f32::MAX, hop));
+    let d_ids: Vec<usize> = datas.iter().map(|_| d_eng.add_stream()).collect();
+    engine_round(&mut d_eng, &d_ids, &datas, hop); // untimed warm-up
+    let mut direct = 0.0f64;
+    let mut round_verdicts = 0usize;
+    for _ in 0..rounds {
+        let r = engine_round(&mut d_eng, &d_ids, &datas, hop);
+        direct = direct.max(r.rows_per_sec);
+        round_verdicts = r.verdicts;
+    }
+
+    // The same checkpoint, served over the wire from a temp registry.
+    let dir = std::env::temp_dir().join(format!("tfmae_bench_net_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir bench registry");
+    det.save(dir.join("bench.json")).expect("save bench checkpoint");
+    let mut cfg = ServerConfig::new("127.0.0.1:0", &dir);
+    // One worker camps on each keep-alive connection: S stream clients
+    // plus the control connection must all be served concurrently.
+    cfg.workers = s + 2;
+    let handle = Server::start(cfg).expect("start bench server");
+    let addr = handle.addr();
+
+    let mut ctl = NetClient::connect(addr);
+    let (status, body) =
+        ctl.call("POST", &format!("/v1/models/bench/load?threshold=3.0e38&hop={hop}"), b"");
+    assert_eq!(status, 200, "bench model load: {}", String::from_utf8_lossy(&body));
+    let sids: Vec<usize> = (0..s)
+        .map(|_| {
+            let (status, body) = ctl.call("POST", "/v1/streams?model=bench", b"");
+            assert_eq!(status, 200);
+            let text = String::from_utf8(body).expect("UTF-8");
+            let at = text.find("\"stream\":").expect("stream id") + "\"stream\":".len();
+            text[at..].chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().expect("id")
+        })
+        .collect();
+
+    // Hop-sized CSV chunks per stream, precomputed so formatting cost does
+    // not pollute the wire measurement.
+    let chunks: Vec<Vec<String>> = datas
+        .iter()
+        .map(|d| {
+            (0..len)
+                .step_by(hop)
+                .map(|t0| {
+                    (t0..(t0 + hop).min(len))
+                        .map(|t| {
+                            let row = d.row(t);
+                            let mut line = String::new();
+                            for (i, v) in row.iter().enumerate() {
+                                if i > 0 {
+                                    line.push(',');
+                                }
+                                line.push_str(&v.to_string());
+                            }
+                            line.push('\n');
+                            line
+                        })
+                        .collect::<String>()
+                })
+                .collect()
+        })
+        .collect();
+    let mut clients: Vec<NetClient> = sids.iter().map(|_| NetClient::connect(addr)).collect();
+    let count_lines = |body: &[u8]| body.iter().filter(|&&b| b == b'\n').count();
+
+    let mut replay = |timed: bool| -> f64 {
+        let started = Instant::now();
+        // Column-major over the row-major chunk table: chunk c goes to every
+        // stream before chunk c+1, interleaved like real fleet traffic.
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..chunks[0].len() {
+            for (slot, client) in clients.iter_mut().enumerate() {
+                let (status, _) = client.call(
+                    "POST",
+                    &format!("/v1/streams/{}/rows", sids[slot]),
+                    chunks[slot][c].as_bytes(),
+                );
+                assert_eq!(status, 200, "bench push must be admitted");
+            }
+        }
+        // The replay is not done until every verdict is back on the client.
+        let mut collected = 0usize;
+        let expected = if timed { round_verdicts } else { usize::MAX };
+        while collected < expected {
+            let mut got = 0usize;
+            for (slot, client) in clients.iter_mut().enumerate() {
+                let (status, body) =
+                    client.call("GET", &format!("/v1/streams/{}/verdicts", sids[slot]), b"");
+                assert_eq!(status, 200);
+                got += count_lines(&body);
+            }
+            collected += got;
+            if got == 0 {
+                if !timed {
+                    break; // warm-up: drain until quiet
+                }
+                // Empty poll: back off briefly instead of busy-spinning HTTP
+                // — on a 1-core host the spin would steal the scorer's CPU.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        }
+        (len * s) as f64 / started.elapsed().as_secs_f64().max(1e-12)
+    };
+    replay(false); // warm-up: close the win-1 gap, grow arenas, warm conns
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    replay(false); // drain any warm-up verdicts still in flight
+    let mut wire = 0.0f64;
+    for _ in 0..rounds {
+        wire = wire.max(replay(true));
+    }
+
+    // Quiesce: drain every outbox so the latency samples below start from
+    // an empty stream and time only their own hop.
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut got = 0usize;
+        for (slot, client) in clients.iter_mut().enumerate() {
+            let (_, body) =
+                client.call("GET", &format!("/v1/streams/{}/verdicts", sids[slot]), b"");
+            got += count_lines(&body);
+        }
+        if got == 0 {
+            break;
+        }
+    }
+
+    // Steady-state ingest→verdict latency, one stream, one hop per sample.
+    let lat_samples = if quick { 20 } else { 40 };
+    let hist = Histogram::new();
+    for sample in 0..lat_samples {
+        let body = &chunks[0][sample % chunks[0].len()];
+        let t0 = Instant::now();
+        let (status, _) = clients[0].call(
+            "POST",
+            &format!("/v1/streams/{}/rows", sids[0]),
+            body.as_bytes(),
+        );
+        assert_eq!(status, 200);
+        let mut got = 0usize;
+        while got < hop {
+            let (_, vbody) =
+                clients[0].call("GET", &format!("/v1/streams/{}/verdicts", sids[0]), b"");
+            let lines = count_lines(&vbody);
+            got += lines;
+            if lines == 0 {
+                // Same backoff as the throughput loop: an empty-poll spin
+                // would contend with the scorer for the core and inflate
+                // the very latency being measured.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        }
+        hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let snap = hist.snapshot();
+
+    handle.shutdown();
+    let _ = handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let stats = NetStats {
+        streams: s,
+        rows_per_sec: wire,
+        p50_ingest_to_verdict_us: snap.quantile(0.50) as f64 / 1e3,
+        p99_ingest_to_verdict_us: snap.quantile(0.99) as f64 / 1e3,
+        direct_rows_per_sec: direct,
+        wire_overhead_pct: (direct / wire.max(1e-12) - 1.0) * 100.0,
+    };
+    println!(
+        "S={s} loopback wire: {:.0} rows/s (direct {:.0} rows/s, overhead {:+.1}%), \
+         ingest→verdict p50 {:.0} µs / p99 {:.0} µs",
+        stats.rows_per_sec,
+        stats.direct_rows_per_sec,
+        stats.wire_overhead_pct,
+        stats.p50_ingest_to_verdict_us,
+        stats.p99_ingest_to_verdict_us,
+    );
+    stats
+}
+
+/// The paired A/B results and the wire segment, bundled for rendering:
+/// each becomes its own standalone JSON object.
+struct SegmentStats<'a> {
+    /// Metrics registry off vs on (disabled, enabled, overhead %).
+    overhead: (f64, f64, f64),
+    /// Shards 1 vs 4 (shards1, shards4, overhead %).
+    shard_overhead: (f64, f64, f64),
+    /// The loopback network segment.
+    network: &'a NetStats,
+}
+
 fn render_json(
     cfg: &TfmaeConfig,
     hop: usize,
     threads: usize,
     entries: &[Entry],
-    overhead: (f64, f64, f64),
     capacity: &[CapacityEntry],
-    shard_overhead: (f64, f64, f64),
+    segments: &SegmentStats<'_>,
 ) -> String {
     use std::fmt::Write as _;
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -799,12 +1091,23 @@ fn render_json(
     let _ = writeln!(
         out,
         "  \"metrics_overhead\": {{\"streams\": 8, \"rows_per_sec_disabled\": {:.0}, \"rows_per_sec_enabled\": {:.0}, \"overhead_pct\": {:.2}}},",
-        overhead.0, overhead.1, overhead.2
+        segments.overhead.0, segments.overhead.1, segments.overhead.2
     );
     let _ = writeln!(
         out,
         "  \"sharding_overhead\": {{\"streams\": 8, \"rows_per_sec_shards1\": {:.0}, \"rows_per_sec_shards4\": {:.0}, \"overhead_pct\": {:.2}, \"bound_pct\": 2.0}},",
-        shard_overhead.0, shard_overhead.1, shard_overhead.2
+        segments.shard_overhead.0, segments.shard_overhead.1, segments.shard_overhead.2
+    );
+    let network = segments.network;
+    let _ = writeln!(
+        out,
+        "  \"network\": {{\"streams\": {}, \"transport\": \"http_loopback\", \"rows_per_sec\": {:.0}, \"rows_per_sec_direct\": {:.0}, \"wire_overhead_pct\": {:.2}, \"p50_ingest_to_verdict_us\": {:.1}, \"p99_ingest_to_verdict_us\": {:.1}}},",
+        network.streams,
+        network.rows_per_sec,
+        network.direct_rows_per_sec,
+        network.wire_overhead_pct,
+        network.p50_ingest_to_verdict_us,
+        network.p99_ingest_to_verdict_us
     );
     let _ = writeln!(out, "  \"capacity\": [");
     let shards1 = |streams: usize| -> Option<f64> {

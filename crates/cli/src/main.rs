@@ -39,6 +39,10 @@ USAGE:
                  [--adapt] [--adapt-ratio F] [--adapt-every N] [--adapt-min-samples N]
                  [--adapt-window N] [--adapt-holdoff N] [--adapt-finetune]
                  [--adapt-save OUT.json]
+  tfmae server   --listen ADDR --registry DIR [--shards N] [--workers N]
+                 [--queue-cap N] [--max-body BYTES] [--max-batch N]
+                 [--drain-grace-secs N]
+  tfmae models   ls --registry DIR
   tfmae help
 
 CSV format: one row per observation, one numeric column per channel, optional
@@ -85,6 +89,19 @@ back (with exponential cadence backoff) if post-update scores leave the
 guard band. --adapt-save writes the adapted model plus its adaptive state
 as a v2 checkpoint; serving that file again with --adapt resumes δ and the
 backoff where they left off.
+
+`server` runs the long-lived network front-end: a model **registry**
+directory of checkpoints, each loadable as an independent tenant, with
+clients registering streams, pushing CSV rows and polling verdicts over a
+minimal HTTP/1.1 protocol (see DESIGN.md §19 and README for a curl/nc
+session). Per-stream ingest is bounded by --queue-cap; refusals are typed
+(429 backpressure, 400 width_mismatch, 413 payload_too_large, 503
+draining). SIGTERM/SIGINT (or POST /v1/shutdown) drains gracefully:
+admitted rows finish scoring and verdicts stay pollable for
+--drain-grace-secs before exit. GET /metrics serves the Prometheus
+exposition of the runtime metrics registry. `models ls` prints one row per
+registry checkpoint — version, CRC status, precision, patch/window/dims —
+without loading any model.
 
 --metrics-out / --metrics-prom turn on the runtime metrics registry and
 write a JSON snapshot / Prometheus textfile on exit (and periodically during
@@ -711,6 +728,58 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `tfmae server` — run the network serving front-end until a drain
+/// completes (SIGTERM/SIGINT or `POST /v1/shutdown`).
+fn cmd_server(args: &Args) -> Result<(), CliError> {
+    let listen = args.require("listen")?;
+    let registry = PathBuf::from(args.require("registry")?);
+    let mut cfg = tfmae_server::ServerConfig::new(listen, registry);
+    cfg.shards = args.num("shards", cfg.shards)?.max(1);
+    cfg.workers = args.num("workers", cfg.workers)?.max(1);
+    cfg.queue_cap = args.num("queue-cap", cfg.queue_cap)?.max(1);
+    cfg.max_body = args.num("max-body", cfg.max_body)?.max(1024);
+    if let Some(mb) = args.get("max-batch") {
+        let mb: usize = mb
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad value for --max-batch: {mb:?}")))?;
+        cfg.max_batch = Some(mb.max(1));
+    }
+    cfg.drain_grace = std::time::Duration::from_secs(args.num("drain-grace-secs", 5u64)?);
+    tfmae_server::install_term_handler();
+    let registry_display = cfg.registry.display().to_string();
+    let handle = tfmae_server::Server::start(cfg)
+        .map_err(|e| CliError::Data(format!("server start: {e}")))?;
+    println!(
+        "tfmae server listening on {} (registry {registry_display}; SIGTERM or POST /v1/shutdown drains)",
+        handle.addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = handle.join();
+    println!(
+        "drain complete: {} rows scored, {} verdicts delivered, {} unpolled, {} rows rejected",
+        report.rows_scored,
+        report.verdicts_delivered,
+        report.verdicts_unpolled,
+        report.rejected_rows
+    );
+    Ok(())
+}
+
+/// `tfmae models ls` — list registry checkpoints without loading them.
+fn cmd_models(sub: Option<&str>, args: &Args) -> Result<(), CliError> {
+    match sub {
+        Some("ls") => {
+            let dir = PathBuf::from(args.require("registry")?);
+            let entries = tfmae_server::scan_registry(&dir)
+                .map_err(|e| CliError::Data(format!("{}: {e}", dir.display())))?;
+            print!("{}", tfmae_server::models_table(&entries));
+            Ok(())
+        }
+        _ => Err(CliError::Usage("usage: tfmae models ls --registry DIR".into())),
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().map(String::as_str) else {
@@ -725,6 +794,8 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args),
         "quantize" => cmd_quantize(&args),
         "serve" => cmd_serve(&args),
+        "server" => cmd_server(&args),
+        "models" => cmd_models(argv.get(1).map(String::as_str), &args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -205,6 +205,116 @@ fn verify_quant_meta(meta: &QuantMeta, ps: &ParamStore) -> Result<(), Checkpoint
 /// Current checkpoint format version.
 pub const CHECKPOINT_VERSION: u32 = 2;
 
+/// What a light-weight envelope scan learned about a checkpoint file —
+/// the per-file row behind `tfmae models ls` and the server's model
+/// registry listing.
+///
+/// Produced by [`inspect_checkpoint`], which verifies the envelope and
+/// section CRCs and parses the payload *document* but never constructs the
+/// model: no parameter-layout validation, no re-quantization. `crc_ok &&
+/// loadable` is therefore necessary but not sufficient for a successful
+/// activation — the full [`TfmaeDetector::load_full`] (which re-quantizes
+/// against the quant section's fingerprints) remains the authority when a
+/// model is actually loaded to serve.
+#[derive(Clone, Debug)]
+pub struct CheckpointInfo {
+    /// Envelope format version (payload version for legacy v1 files).
+    pub version: u32,
+    /// Whether every CRC present in the file verified: the payload CRC and,
+    /// when sections exist, the adaptive/patch/quant section CRCs. Legacy
+    /// v1 files carry no CRC; they report `true` here with
+    /// [`CheckpointInfo::legacy`] set.
+    pub crc_ok: bool,
+    /// `true` for a bare pre-envelope (v1) document with no integrity CRC.
+    pub legacy: bool,
+    /// Whether the payload parsed as a checkpoint document (the envelope
+    /// may be intact while its payload is stitched or truncated).
+    pub loadable: bool,
+    /// Serving precision stored in the quant section, when one exists.
+    pub precision: Option<Precision>,
+    /// Whether the file carries an adaptive-state section.
+    pub adaptive: bool,
+    /// Temporal patch length (1 = unpatched); 0 when the payload was
+    /// unreadable.
+    pub patch_len: usize,
+    /// Model window length; 0 when the payload was unreadable.
+    pub win_len: usize,
+    /// Model width; 0 when the payload was unreadable.
+    pub d_model: usize,
+    /// Input feature count; 0 when the payload was unreadable.
+    pub dims: usize,
+    /// On-disk size in bytes.
+    pub file_bytes: u64,
+}
+
+/// Scans a checkpoint file without loading the model (see
+/// [`CheckpointInfo`]). Errors only on I/O or when the file is not any
+/// recognizable checkpoint shape; integrity problems are *reported* via
+/// [`CheckpointInfo::crc_ok`] / [`CheckpointInfo::loadable`] instead of
+/// failing, so a registry listing can show a damaged file next to healthy
+/// ones.
+pub fn inspect_checkpoint(path: impl AsRef<Path>) -> Result<CheckpointInfo, CheckpointError> {
+    let path = path.as_ref();
+    let bytes = fs::read(path)?;
+    let file_bytes = bytes.len() as u64;
+    let json = String::from_utf8(bytes)
+        .map_err(|_| CheckpointError::Corrupt("checkpoint is not valid UTF-8".into()))?;
+    if let Ok(env) = serde_json::from_str::<Envelope>(&json) {
+        let mut crc_ok = crc32_ieee(env.payload.as_bytes()) == env.crc32;
+        for crc_and_payload in [
+            env.adaptive.as_ref().map(|s| (s.crc32, &s.payload)),
+            env.patch.as_ref().map(|s| (s.crc32, &s.payload)),
+            env.quant.as_ref().map(|s| (s.crc32, &s.payload)),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            crc_ok &= crc32_ieee(crc_and_payload.1.as_bytes()) == crc_and_payload.0;
+        }
+        let precision = env
+            .quant
+            .as_ref()
+            .and_then(|s| serde_json::from_str::<QuantMeta>(&s.payload).ok())
+            .map(|m| m.precision);
+        let head = serde_json::from_str::<Checkpoint>(&env.payload).ok();
+        let cfg = head.as_ref().map(|c| c.config.clone().normalized());
+        return Ok(CheckpointInfo {
+            version: env.version,
+            crc_ok,
+            legacy: false,
+            loadable: head.is_some(),
+            precision,
+            adaptive: env.adaptive.is_some(),
+            patch_len: cfg.as_ref().map_or(0, |c| c.patch_len),
+            win_len: cfg.as_ref().map_or(0, |c| c.win_len),
+            d_model: cfg.as_ref().map_or(0, |c| c.d_model),
+            dims: head.as_ref().map_or(0, |c| c.dims),
+            file_bytes,
+        });
+    }
+    match serde_json::from_str::<Checkpoint>(&json) {
+        Ok(ckpt) => {
+            let cfg = ckpt.config.normalized();
+            Ok(CheckpointInfo {
+                version: ckpt.version,
+                crc_ok: true,
+                legacy: true,
+                loadable: true,
+                precision: None,
+                adaptive: false,
+                patch_len: cfg.patch_len,
+                win_len: cfg.win_len,
+                d_model: cfg.d_model,
+                dims: ckpt.dims,
+                file_bytes,
+            })
+        }
+        Err(e) => Err(CheckpointError::Corrupt(format!(
+            "not a valid checkpoint envelope or legacy checkpoint: {e}"
+        ))),
+    }
+}
+
 /// IEEE CRC-32 (polynomial `0xEDB88320`, as used by zip/PNG/Ethernet).
 pub fn crc32_ieee(bytes: &[u8]) -> u32 {
     let mut table = [0u32; 256];

@@ -50,7 +50,8 @@ pub use adapt::{
     ScoreWindow,
 };
 pub use checkpoint::{
-    Checkpoint, CheckpointError, PatchMeta, QuantMeta, QuantParamMeta, CHECKPOINT_VERSION,
+    inspect_checkpoint, Checkpoint, CheckpointError, CheckpointInfo, PatchMeta, QuantMeta,
+    QuantParamMeta, CHECKPOINT_VERSION,
 };
 pub use config::{AdversarialMode, FreqMaskKind, ScoreKind, TemporalMaskKind, TfmaeConfig};
 pub use detector::TfmaeDetector;

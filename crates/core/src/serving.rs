@@ -157,11 +157,50 @@ pub struct ServingVerdict {
     pub verdict: StreamVerdict,
 }
 
-/// Why [`ServingEngine::tick`] / [`ServingEngine::try_ingest`] refused a row.
+/// Why a serving surface refused a row. The engine itself only emits
+/// [`RejectReason::UnknownStream`]; the remaining variants type the
+/// admission-control decisions of the network front-end (`tfmae-server`),
+/// which shares this enum so every layer speaks one rejection vocabulary
+/// and rows are never dropped silently or answered with a panic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RejectReason {
     /// The stream id was never registered (or was removed).
     UnknownStream,
+    /// The row carries the wrong number of channels for the model it was
+    /// routed to. Checked at the network boundary *before* ingestion — the
+    /// engine's degraded mode would impute a malformed row, which is the
+    /// right call for a flaky sensor but not for a client speaking the
+    /// wrong schema.
+    WidthMismatch,
+    /// The stream's bounded ingest + verdict budget is exhausted: ingest
+    /// has outrun scoring, or the consumer stopped polling verdicts. The
+    /// row is refused (HTTP 429) rather than queued unboundedly or allowed
+    /// to block the scoring tick.
+    Backpressure,
+    /// The request payload exceeds the server's configured size bound.
+    PayloadTooLarge,
+    /// The server is draining for shutdown: in-flight rows still score and
+    /// their verdicts remain pollable, but no new rows are admitted.
+    Draining,
+}
+
+impl RejectReason {
+    /// Stable machine-readable token (used in wire responses and logs).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::UnknownStream => "unknown_stream",
+            RejectReason::WidthMismatch => "width_mismatch",
+            RejectReason::Backpressure => "backpressure",
+            RejectReason::PayloadTooLarge => "payload_too_large",
+            RejectReason::Draining => "draining",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// A row [`ServingEngine::tick`] could not ingest. Rejections are reported
@@ -303,17 +342,11 @@ struct PendingWindow {
     window_clean: bool,
 }
 
-/// Interns `serve.shard<k>.<suffix>` metric names: the obs registry keys
-/// instruments by `&'static str`, so dynamic shard names must be leaked —
-/// the intern map bounds the leak to one allocation per distinct
-/// (shard, suffix) pair process-wide, however many engines are built.
+/// Interns `serve.shard<k>.<suffix>` metric names via the obs-wide intern
+/// map ([`tfmae_obs::intern`]): one allocation per distinct (shard, suffix)
+/// pair process-wide, however many engines are built.
 fn shard_metric(shard: usize, suffix: &'static str) -> &'static str {
-    use std::collections::BTreeMap;
-    static NAMES: Mutex<BTreeMap<(usize, &'static str), &'static str>> =
-        Mutex::new(BTreeMap::new());
-    let mut map = NAMES.lock().expect("shard metric intern lock");
-    map.entry((shard, suffix))
-        .or_insert_with(|| Box::leak(format!("serve.shard{shard}.{suffix}").into_boxed_str()))
+    tfmae_obs::intern(&format!("serve.shard{shard}.{suffix}"))
 }
 
 /// A shard-labeled counter that registers lazily (like `LazyCounter`, but

@@ -40,7 +40,7 @@ mod span;
 
 pub use export::{json_snapshot, prometheus_text, validate_json_shape, validate_prometheus};
 pub use instruments::{Counter, Gauge, HistSnapshot, Histogram, N_BUCKETS, OVERFLOW_BUCKET};
-pub use registry::{Instrument, LazyCounter, LazyGauge, LazyHistogram, Registry};
+pub use registry::{intern, Instrument, LazyCounter, LazyGauge, LazyHistogram, Registry};
 pub use span::{
     event, Journal, JournalEvent, LazySpan, OwnedSpanGuard, Span, SpanGuard, JOURNAL_CAPACITY,
 };

@@ -157,6 +157,27 @@ impl Registry {
     }
 }
 
+/// Interns a runtime-built instrument name, returning the `&'static str`
+/// the registry requires as a key.
+///
+/// The registry keys instruments by `&'static str` so the cached call-site
+/// handles ([`LazyCounter`] etc.) stay allocation-free, but labeled metrics
+/// — `serve.shard<k>.rows`, `server.tenant.<model>.requests` — only know
+/// their names at runtime. Interning bounds the inherent leak to **one**
+/// allocation per distinct name process-wide, however many engines,
+/// tenants, or servers are constructed; re-interning an already-known name
+/// returns the original allocation.
+pub fn intern(name: &str) -> &'static str {
+    static NAMES: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut map = NAMES.lock().expect("obs name intern lock");
+    if let Some(&interned) = map.get(name) {
+        return interned;
+    }
+    let interned: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), interned);
+    interned
+}
+
 /// A counter handle cached at the call site: resolve once, then record
 /// through the `Arc` forever. Gated — when the global registry is disabled
 /// the record path is a single relaxed atomic load.

@@ -1,0 +1,327 @@
+//! Minimal HTTP/1.1 over [`std::net::TcpStream`] — exactly the subset the
+//! serving protocol needs (DESIGN.md §19.1), hand-rolled so the server
+//! stays zero-dependency.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, keep-alive
+//! with pipelining (bytes read past one request are kept for the next),
+//! `Connection: close`. Not supported (answered `400`): chunked transfer
+//! encoding, HTTP/2 preludes, multiline headers. Request targets are parsed
+//! as `path?key=value&...` with **no** percent-decoding — every token the
+//! protocol routes on (model names, stream ids, numbers) is restricted to
+//! URL-safe characters, so an escape sequence is itself a protocol error.
+//!
+//! Reads are non-blocking-ish: a short read timeout lets the connection
+//! loop observe the server's stop flag while idle, so workers wind down
+//! promptly on drain instead of camping in `read(2)`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Poll cadence for the stop flag while a read would block.
+const READ_TICK: Duration = Duration::from_millis(50);
+/// How long a *partially received* request may stall after stop is raised
+/// before the connection is abandoned mid-request.
+const STOP_LINGER: Duration = Duration::from_secs(5);
+
+/// One parsed request.
+pub(crate) struct Request {
+    /// Uppercase method token (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Path component of the target (no query string), e.g. `/v1/models`.
+    pub path: String,
+    /// Query pairs in request order; flags without `=` get an empty value.
+    pub query: Vec<(String, String)>,
+    /// Raw body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+    /// Peer asked for `Connection: close`.
+    pub close: bool,
+}
+
+impl Request {
+    /// First value for the query key, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What [`Conn::read_request`] produced.
+pub(crate) enum RecvOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Peer closed (or the stop flag was raised while the line was idle).
+    Closed,
+    /// Declared body exceeds the server's bound; carries the declared size.
+    /// The caller should answer `413` and close — the framing can no longer
+    /// be trusted.
+    TooLarge(usize),
+    /// Unparseable request; carries a human-readable reason. Answer `400`
+    /// and close.
+    Malformed(String),
+}
+
+/// A client connection: stream plus the carry-over buffer that makes
+/// keep-alive and pipelining work.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Wraps an accepted stream, arming the read/write timeouts.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        // The listener is non-blocking and some platforms pass that flag on
+        // to accepted sockets; read timeouts only mean anything in blocking
+        // mode.
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(READ_TICK))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Reads the next request, honoring `max_body`. `stop` is polled
+    /// roughly every [`READ_TICK`] while the line is quiet; once it returns
+    /// `true`, an idle connection closes immediately and a mid-request one
+    /// is given [`STOP_LINGER`] to finish.
+    pub fn read_request(
+        &mut self,
+        max_body: usize,
+        stop: &dyn Fn() -> bool,
+    ) -> io::Result<RecvOutcome> {
+        let mut stop_since: Option<Instant> = None;
+        loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                return self.finish_request(end, max_body, stop, &mut stop_since);
+            }
+            if self.buf.len() > MAX_HEAD {
+                return Ok(RecvOutcome::Malformed("request head too large".into()));
+            }
+            match self.fill(stop, &mut stop_since)? {
+                Fill::Got => {}
+                Fill::Eof => {
+                    return Ok(if self.buf.is_empty() {
+                        RecvOutcome::Closed
+                    } else {
+                        RecvOutcome::Malformed("connection closed mid-request".into())
+                    });
+                }
+                Fill::Stopped => {
+                    return Ok(if self.buf.is_empty() {
+                        RecvOutcome::Closed
+                    } else {
+                        RecvOutcome::Malformed("server stopping; request abandoned".into())
+                    });
+                }
+            }
+        }
+    }
+
+    /// Head is complete at `end` (index just past `\r\n\r\n`); parse it and
+    /// pull the body.
+    fn finish_request(
+        &mut self,
+        end: usize,
+        max_body: usize,
+        stop: &dyn Fn() -> bool,
+        stop_since: &mut Option<Instant>,
+    ) -> io::Result<RecvOutcome> {
+        let head = match std::str::from_utf8(&self.buf[..end]) {
+            Ok(h) => h.to_string(),
+            Err(_) => return Ok(RecvOutcome::Malformed("head is not UTF-8".into())),
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if !m.is_empty() && !t.is_empty() => (m, t, v),
+            _ => {
+                return Ok(RecvOutcome::Malformed(format!(
+                    "bad request line: {request_line:?}"
+                )))
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Ok(RecvOutcome::Malformed(format!(
+                "unsupported version {version:?}"
+            )));
+        }
+        let mut content_length = 0usize;
+        let mut close = false;
+        let mut chunked = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = match value.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Ok(RecvOutcome::Malformed(format!(
+                            "bad content-length {value:?}"
+                        )))
+                    }
+                };
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = true;
+            }
+        }
+        if chunked {
+            return Ok(RecvOutcome::Malformed(
+                "transfer-encoding not supported".into(),
+            ));
+        }
+        if content_length > max_body {
+            return Ok(RecvOutcome::TooLarge(content_length));
+        }
+        while self.buf.len() < end + content_length {
+            match self.fill(stop, stop_since)? {
+                Fill::Got => {}
+                Fill::Eof => return Ok(RecvOutcome::Malformed("body truncated".into())),
+                Fill::Stopped => {
+                    return Ok(RecvOutcome::Malformed(
+                        "server stopping; body abandoned".into(),
+                    ))
+                }
+            }
+        }
+        let body = self.buf[end..end + content_length].to_vec();
+        self.buf.drain(..end + content_length);
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let query = query_str
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (kv.to_string(), String::new()),
+            })
+            .collect();
+        Ok(RecvOutcome::Request(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query,
+            body,
+            close,
+        }))
+    }
+
+    /// One read attempt; translates timeouts into stop-flag polls.
+    fn fill(
+        &mut self,
+        stop: &dyn Fn() -> bool,
+        stop_since: &mut Option<Instant>,
+    ) -> io::Result<Fill> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(Fill::Eof),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(Fill::Got)
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop() {
+                    let since = stop_since.get_or_insert_with(Instant::now);
+                    if self.buf.is_empty() || since.elapsed() >= STOP_LINGER {
+                        return Ok(Fill::Stopped);
+                    }
+                }
+                Ok(Fill::Got)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(Fill::Got),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Lingering close for early refusals (413/400 before the body was
+    /// read): half-close the write side, then drain whatever the peer was
+    /// still sending so the kernel delivers our response instead of
+    /// clobbering it with an RST on close.
+    pub fn linger_close(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Write);
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut sink = [0u8; 4096];
+        while Instant::now() < deadline {
+            match self.stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    /// Writes one response with `Content-Length` framing.
+    pub fn respond(&mut self, status: u16, ctype: &str, body: &[u8]) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            reason(status),
+            body.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()
+    }
+}
+
+enum Fill {
+    Got,
+    Eof,
+    Stopped,
+}
+
+/// Index just past the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Canonical reason phrase for the statuses the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+
+    #[test]
+    fn reasons_cover_protocol_statuses() {
+        for s in [200, 202, 400, 404, 405, 409, 413, 422, 429, 500, 503] {
+            assert_ne!(reason(s), "Unknown");
+        }
+        assert_eq!(reason(418), "Unknown");
+    }
+}
